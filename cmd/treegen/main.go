@@ -1,0 +1,143 @@
+// Command treegen generates tree-shaped task graphs in the textual format
+// consumed by cmd/treesched: random families, the paper's complexity
+// gadgets, and assembly trees synthesized from sparse-matrix patterns.
+//
+// Usage examples:
+//
+//	treegen -kind attachment -n 1000 -seed 7 -fmax 100 > tree.txt
+//	treegen -kind grid2d -nx 30 -ny 30 -order nd -eta 4 > assembly.txt
+//	treegen -kind joinchain -p 4 -k 20 > fig4.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"treesched/internal/pebble"
+	"treesched/internal/spm"
+	"treesched/internal/tree"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "attachment", "tree family: attachment|prufer|binary|chain|fork|caterpillar|grid2d|grid3d|randsym|powerlaw|band|forkgadget|joinchain|spider|inapprox")
+		n    = flag.Int("n", 100, "number of nodes (random families) or vertices (matrices)")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+
+		wmin = flag.Float64("wmin", 1, "min processing time")
+		wmax = flag.Float64("wmax", 1, "max processing time")
+		nmin = flag.Int64("nmin", 0, "min execution-file size")
+		nmax = flag.Int64("nmax", 0, "max execution-file size")
+		fmin = flag.Int64("fmin", 1, "min output-file size")
+		fmax = flag.Int64("fmax", 1, "max output-file size")
+
+		nx  = flag.Int("nx", 20, "grid x dimension")
+		ny  = flag.Int("ny", 20, "grid y dimension")
+		nz  = flag.Int("nz", 8, "grid z dimension")
+		deg = flag.Float64("deg", 3, "average degree (randsym)")
+		m   = flag.Int("m", 2, "attachment edges (powerlaw)")
+		bw  = flag.Int("bw", 3, "bandwidth (band)")
+
+		order = flag.String("order", "nd", "matrix ordering: natural|nd|md|rcm")
+		eta   = flag.Int("eta", 1, "relaxed amalgamation parameter")
+
+		p     = flag.Int("p", 4, "gadget parameter p")
+		k     = flag.Int("k", 10, "gadget parameter k / number of chains")
+		delta = flag.Int("delta", 6, "inapprox gadget δ")
+		spine = flag.Int("spine", 10, "caterpillar spine length")
+		legs  = flag.Int("legs", 4, "caterpillar legs per spine node")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	ws := tree.WeightSpec{WMin: *wmin, WMax: *wmax, NMin: *nmin, NMax: *nmax, FMin: *fmin, FMax: *fmax}
+
+	t, err := build(*kind, rng, ws, buildParams{
+		n: *n, nx: *nx, ny: *ny, nz: *nz, deg: *deg, m: *m, bw: *bw,
+		order: *order, eta: *eta, p: *p, k: *k, delta: *delta, spine: *spine, legs: *legs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := t.Encode(w); err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+}
+
+type buildParams struct {
+	n, nx, ny, nz, m, bw, eta, p, k, delta, spine, legs int
+	deg                                                 float64
+	order                                               string
+}
+
+func build(kind string, rng *rand.Rand, ws tree.WeightSpec, bp buildParams) (*tree.Tree, error) {
+	matrix := func(pat *spm.Pattern) (*tree.Tree, error) {
+		var perm spm.Perm
+		switch bp.order {
+		case "natural":
+			perm = spm.NaturalOrder(pat.Len())
+		case "nd":
+			perm = spm.NestedDissection(pat)
+		case "md":
+			perm = spm.MinimumDegree(pat)
+		case "rcm":
+			perm = spm.RCM(pat)
+		default:
+			return nil, fmt.Errorf("unknown ordering %q", bp.order)
+		}
+		return spm.AssemblyTree(pat, perm, bp.eta)
+	}
+	switch kind {
+	case "attachment":
+		return tree.RandomAttachment(rng, bp.n, ws), nil
+	case "prufer":
+		return tree.RandomPrufer(rng, bp.n, ws), nil
+	case "binary":
+		return tree.RandomBinary(rng, bp.n, ws), nil
+	case "chain":
+		return tree.Chain(rng, bp.n, ws), nil
+	case "fork":
+		return tree.Fork(rng, bp.n, ws), nil
+	case "caterpillar":
+		return tree.Caterpillar(rng, bp.spine, bp.legs, ws), nil
+	case "grid2d":
+		return matrix(spm.Grid2D(bp.nx, bp.ny))
+	case "grid3d":
+		return matrix(spm.Grid3D(bp.nx, bp.ny, bp.nz))
+	case "randsym":
+		return matrix(spm.RandomSym(rng, bp.n, bp.deg))
+	case "powerlaw":
+		return matrix(spm.PowerLaw(rng, bp.n, bp.m))
+	case "band":
+		return matrix(spm.Band(bp.n, bp.bw))
+	case "forkgadget":
+		return pebble.ForkTree(bp.p, bp.k), nil
+	case "joinchain":
+		return pebble.JoinChainTree(bp.p, bp.k), nil
+	case "spider":
+		return pebble.SpiderTree(bp.k, 4), nil
+	case "inapprox":
+		g, err := pebble.NewInapprox(bp.n, bp.delta)
+		if err != nil {
+			return nil, err
+		}
+		return g.Tree, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}

@@ -1,0 +1,111 @@
+// Command treesched schedules a tree task graph (in the treegen format) on
+// p processors with the paper's heuristics and reports makespan and peak
+// memory against the lower bounds.
+//
+// Usage:
+//
+//	treesched -in tree.txt -p 8                  # all four heuristics
+//	treesched -in tree.txt -p 8 -heuristic ParDeepestFirst
+//	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"treesched/internal/sched"
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input tree file (treegen format); required")
+		p      = flag.Int("p", 2, "number of processors")
+		name   = flag.String("heuristic", "all", "heuristic name or 'all'")
+		memcap = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq")
+		gantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "treesched: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := tree.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	msLB := sched.MakespanLowerBound(t, *p)
+	memLB := sched.MemoryLowerBound(t)
+	opt := traversal.Optimal(t)
+	fmt.Printf("tree: %d nodes, %d leaves, height %d, max degree %d\n",
+		t.Len(), t.NumLeaves(), t.Height(), t.MaxDegree())
+	fmt.Printf("p=%d  makespan LB %.6g  sequential postorder memory %d  optimal sequential memory %d\n\n",
+		*p, msLB, memLB, opt.Peak)
+
+	var hs []sched.Heuristic
+	if *name == "all" {
+		hs = sched.Heuristics()
+	} else {
+		h, ok := sched.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown heuristic %q", *name))
+		}
+		hs = []sched.Heuristic{h}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
+	var charts []string
+	for _, h := range hs {
+		s, err := h.Run(t, *p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Validate(t); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid schedule: %w", h.Name, err))
+		}
+		report(w, h.Name, t, s, msLB, memLB)
+		if *gantt {
+			charts = append(charts, h.Name+"\n"+sched.GanttString(t, s, 100))
+		}
+	}
+	if *memcap > 0 {
+		cap := int64(*memcap * float64(memLB))
+		s, err := sched.MemCapped(t, *p, cap)
+		if err != nil {
+			fatal(err)
+		}
+		report(w, fmt.Sprintf("MemCapped(%.2g×)", *memcap), t, s, msLB, memLB)
+		s, err = sched.MemCappedBooking(t, *p, cap)
+		if err != nil {
+			fatal(err)
+		}
+		report(w, fmt.Sprintf("MemCappedBooking(%.2g×)", *memcap), t, s, msLB, memLB)
+	}
+	w.Flush()
+	for _, c := range charts {
+		fmt.Println("\n" + c)
+	}
+}
+
+func report(w *tabwriter.Writer, name string, t *tree.Tree, s *sched.Schedule, msLB float64, memLB int64) {
+	ms := s.Makespan(t)
+	mem := sched.PeakMemory(t, s)
+	fmt.Fprintf(w, "%s\t%.6g\t%.3f\t%d\t%.3f\t%.2f\n",
+		name, ms, ms/msLB, mem, float64(mem)/float64(memLB), sched.Utilization(t, s))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treesched:", err)
+	os.Exit(1)
+}

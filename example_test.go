@@ -1,0 +1,58 @@
+package treesched_test
+
+import (
+	"fmt"
+
+	"treesched"
+)
+
+// ExampleBestPostOrder computes the memory-optimal sequential traversal of
+// a three-leaf join.
+func ExampleBestPostOrder() {
+	var b treesched.Builder
+	root := b.Add(treesched.None, 1, 0, 0)
+	b.Add(root, 1, 0, 4)
+	b.Add(root, 1, 0, 2)
+	b.Add(root, 1, 0, 1)
+	t, _ := b.Build()
+	res := treesched.BestPostOrder(t)
+	fmt.Println(res.Peak)
+	// Output: 7
+}
+
+// ExampleParSubtrees schedules a fork of four unit tasks on two processors.
+func ExampleParSubtrees() {
+	t := treesched.ForkTree(2, 2) // root + 4 pebble leaves
+	s, _ := treesched.ParSubtrees(t, 2)
+	fmt.Println(s.Makespan(t), treesched.PeakMemory(t, s))
+	// Output: 4 5
+}
+
+// ExampleOptimalTraversal shows Liu's exact algorithm beating every
+// postorder: the tree interleaves two subtrees whose large temporary peaks
+// do not overlap under the optimal order.
+func ExampleOptimalTraversal() {
+	// Root with two children; each child has a heavy temporary (n) and a
+	// light output, so finishing one subtree entirely before the other
+	// (any postorder) pays both peaks on top of a resident output.
+	var b treesched.Builder
+	root := b.Add(treesched.None, 1, 0, 0)
+	a := b.Add(root, 1, 0, 6) // large output
+	b.Add(a, 1, 9, 1)         // heavy child of a
+	c := b.Add(root, 1, 0, 6)
+	b.Add(c, 1, 9, 1)
+	t, _ := b.Build()
+	po := treesched.BestPostOrder(t)
+	opt := treesched.OptimalTraversal(t)
+	fmt.Println(po.Peak > opt.Peak)
+	// Output: true
+}
+
+// ExampleMemCappedBooking schedules under a hard memory cap.
+func ExampleMemCappedBooking() {
+	t := treesched.SpiderTree(10, 4) // blows up deepest-first memory
+	mseq := treesched.MemoryLowerBound(t)
+	s, _ := treesched.MemCappedBooking(t, 4, mseq+2)
+	fmt.Println(treesched.PeakMemory(t, s) <= mseq+2)
+	// Output: true
+}

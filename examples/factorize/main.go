@@ -1,0 +1,63 @@
+// Factorize: the paper's model validated against real numerics. Build an
+// SPD matrix, run the actual multifrontal Cholesky factorization under
+// different tree traversals, and observe that (a) the factor is correct
+// regardless of the traversal and (b) the real peak memory — counted in
+// live matrix entries — is exactly what the abstract model predicts, so
+// memory-aware traversals pay off on real fronts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"treesched"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	pattern := treesched.Grid2D(14, 14)
+	perm := treesched.NestedDissection(pattern)
+	a := treesched.SPDMatrix(rng, pattern)
+	fmt.Printf("matrix: %d columns, %d nonzeros (2D grid, nested dissection)\n",
+		pattern.Len(), pattern.NNZ())
+
+	f, err := treesched.NewFactorizer(pattern, perm, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The η=1 assembly tree drives the traversal choices; its node ids are
+	// the eliminated column positions.
+	t, err := treesched.AssemblyTree(pattern, perm, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	orders := []struct {
+		name  string
+		order []int
+	}{
+		{"arbitrary topological", t.TopOrder()},
+		{"best postorder (Liu 1986)", treesched.BestPostOrder(t).Order},
+		{"optimal (Liu 1987)", treesched.OptimalTraversal(t).Order},
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "traversal\tmodel peak\tengine peak\tfactor ok")
+	for _, o := range orders {
+		predicted, err := treesched.SequentialPeakMemory(t, o.order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.Factorize(o.order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := f.Verify(res.L, 1e-8) == nil
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\n", o.name, predicted, res.PeakEntries, ok)
+	}
+	w.Flush()
+	fmt.Println("\nthe engine allocates exactly the entries the model charges:")
+	fmt.Println("front = µ² = n+f, contribution block = (µ-1)² = f  (paper §6.2, η=1)")
+}

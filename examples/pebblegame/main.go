@@ -1,0 +1,111 @@
+// Pebblegame: the paper's complexity results in action (§4 and Figures
+// 1-5). Builds each gadget tree and demonstrates the property it proves:
+// the NP-completeness schedule, the bi-objective inapproximability bound,
+// and the worst cases of the three heuristics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treesched"
+	"treesched/internal/pebble"
+	"treesched/internal/sched"
+	"treesched/internal/traversal"
+)
+
+func main() {
+	threePartition()
+	inapprox()
+	forkWorstCase()
+	joinChainWorstCase()
+	spiderWorstCase()
+}
+
+// threePartition follows Theorem 1: scheduling the Figure 1 tree within
+// both bounds is exactly solving 3-Partition.
+func threePartition() {
+	a := []int{3, 3, 4, 4, 3, 3} // m=2 triples summing to B=10
+	tp, err := pebble.NewThreePartition(a, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 1 (Fig 1): 3-Partition gadget with %d nodes, p=%d\n",
+		tp.Tree.Len(), tp.Procs)
+	part := pebble.SolveThreePartition(a, 10)
+	s, err := tp.YesSchedule(part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  partition %v gives makespan %g (bound %g), memory %d (bound %d)\n\n",
+		part, s.Makespan(tp.Tree), tp.MakespanBound,
+		sched.PeakMemory(tp.Tree, s), tp.MemoryBound)
+}
+
+// inapprox follows Theorem 2: any α-approximation of the makespan forces a
+// memory ratio that grows without bound.
+func inapprox() {
+	g, err := pebble.NewInapprox(3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := traversal.Optimal(g.Tree)
+	fmt.Printf("Theorem 2 (Fig 2): n=3, δ=5, %d nodes\n", g.Tree.Len())
+	fmt.Printf("  critical path %g, optimal sequential memory %d (= n+δ = %d)\n",
+		g.Tree.CriticalPath(), opt.Peak, g.OptimalPeakMemory())
+	fmt.Println("  forced memory ratio for a 2-approx of makespan, δ=n²:")
+	for _, n := range []int{4, 16, 64, 256} {
+		fmt.Printf("    n=%4d: ratio ≥ %.1f\n", n, pebble.MemoryRatioLowerBound(n, n*n, 2))
+	}
+	fmt.Println()
+}
+
+// forkWorstCase shows ParSubtrees losing a factor p on the makespan
+// (Figure 3) and ParSubtreesOptim repairing it.
+func forkWorstCase() {
+	const p, k = 4, 10
+	t := treesched.ForkTree(p, k)
+	run := func(name string, f func(*treesched.Tree, int) (*treesched.Schedule, error)) {
+		s, err := f(t, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s makespan %g\n", name, s.Makespan(t))
+	}
+	fmt.Printf("Figure 3: fork with %d leaves on p=%d (optimal makespan %d)\n",
+		p*k, p, k+1)
+	run("ParSubtrees", treesched.ParSubtrees)
+	run("ParSubtreesOptim", treesched.ParSubtreesOptim)
+	run("ParDeepestFirst", treesched.ParDeepestFirst)
+	fmt.Println()
+}
+
+// joinChainWorstCase shows ParInnerFirst's unbounded memory (Figure 4).
+func joinChainWorstCase() {
+	const p = 4
+	fmt.Printf("Figure 4: join-chain trees, p=%d (M_seq = p+1 = %d)\n", p, p+1)
+	for _, k := range []int{10, 20, 40} {
+		t := treesched.JoinChainTree(p, k)
+		s, err := treesched.ParInnerFirst(t, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%3d: ParInnerFirst memory %3d  (M_seq %d)\n",
+			k, treesched.PeakMemory(t, s), treesched.MemoryLowerBound(t))
+	}
+	fmt.Println()
+}
+
+// spiderWorstCase shows ParDeepestFirst's unbounded memory (Figure 5).
+func spiderWorstCase() {
+	fmt.Println("Figure 5: spiders of equal-depth chains, p=2 (optimal M_seq = 3)")
+	for _, m := range []int{5, 20, 80} {
+		t := treesched.SpiderTree(m, 4)
+		s, err := treesched.ParDeepestFirst(t, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d chains: ParDeepestFirst memory %3d  (M_seq %d)\n",
+			m, treesched.PeakMemory(t, s), treesched.MemoryLowerBound(t))
+	}
+}

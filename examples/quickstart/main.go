@@ -1,0 +1,60 @@
+// Quickstart: build a small task tree, find its memory-optimal sequential
+// traversals, then schedule it on 2 processors with every heuristic of the
+// paper and compare makespan and peak memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"treesched"
+)
+
+func main() {
+	// A tiny multifrontal-style tree:
+	//
+	//	         root (w=4)
+	//	        /          \
+	//	    merge (w=6)    chain (w=3)
+	//	    /    |    \        |
+	//	  leaf leaf  leaf    leaf
+	var b treesched.Builder
+	root := b.Add(treesched.None, 4, 2, 0)
+	merge := b.Add(root, 6, 4, 8)
+	chain := b.Add(root, 3, 1, 6)
+	for i := 0; i < 3; i++ {
+		b.Add(merge, 2, 0, 5)
+	}
+	b.Add(chain, 2, 0, 9)
+	t, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequential bounds: the best postorder and Liu's exact optimum.
+	po := treesched.BestPostOrder(t)
+	opt := treesched.OptimalTraversal(t)
+	fmt.Printf("tree with %d nodes, total work %g, critical path %g\n",
+		t.Len(), t.TotalW(), t.CriticalPath())
+	fmt.Printf("sequential memory: best postorder %d, optimal %d\n\n", po.Peak, opt.Peak)
+
+	// Parallel scheduling with the paper's four heuristics.
+	const p = 2
+	fmt.Printf("scheduling on p=%d processors (makespan LB %.4g, memory LB %d)\n\n",
+		p, treesched.MakespanLowerBound(t, p), treesched.MemoryLowerBound(t))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "heuristic\tmakespan\tpeak memory")
+	for _, h := range treesched.Heuristics() {
+		s, err := h.Run(t, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Validate(t); err != nil {
+			log.Fatalf("%s: invalid schedule: %v", h.Name, err)
+		}
+		fmt.Fprintf(w, "%s\t%g\t%d\n", h.Name, s.Makespan(t), treesched.PeakMemory(t, s))
+	}
+	w.Flush()
+}

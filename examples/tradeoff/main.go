@@ -1,0 +1,71 @@
+// Tradeoff: enumerate the bi-objective (makespan, memory) outcomes of all
+// schedulers on one tree and print the Pareto-efficient ones — the
+// practical takeaway of the paper's evaluation: no heuristic dominates,
+// each occupies a different spot on the memory/makespan frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"treesched"
+)
+
+type point struct {
+	name     string
+	makespan float64
+	memory   int64
+}
+
+func main() {
+	// An irregular random-matrix assembly tree exposes the trade-off well.
+	rng := rand.New(rand.NewSource(11))
+	pattern := treesched.RandomSymmetric(rng, 1500, 3)
+	t, err := treesched.AssemblyTree(pattern, treesched.MinimumDegree(pattern), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const p = 8
+	mseq := treesched.MemoryLowerBound(t)
+	msLB := treesched.MakespanLowerBound(t, p)
+	fmt.Printf("tree: %d nodes; p=%d; M_seq=%d; makespan LB %.4g\n\n", t.Len(), p, mseq, msLB)
+
+	var pts []point
+	for _, h := range treesched.Heuristics() {
+		s, err := h.Run(t, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{h.Name, s.Makespan(t), treesched.PeakMemory(t, s)})
+	}
+	for _, factor := range []float64{1.0, 1.5, 2.5} {
+		cap := int64(factor * float64(mseq))
+		s, err := treesched.MemCapped(t, p, cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{fmt.Sprintf("MemCapped(%.1f×)", factor),
+			s.Makespan(t), treesched.PeakMemory(t, s)})
+	}
+
+	sort.Slice(pts, func(a, b int) bool { return pts[a].makespan < pts[b].makespan })
+	fmt.Println("all schedules (sorted by makespan):")
+	for _, pt := range pts {
+		dominated := false
+		for _, other := range pts {
+			if (other.makespan < pt.makespan && other.memory <= pt.memory) ||
+				(other.makespan <= pt.makespan && other.memory < pt.memory) {
+				dominated = true
+				break
+			}
+		}
+		marker := "  pareto"
+		if dominated {
+			marker = ""
+		}
+		fmt.Printf("  %-18s ms/LB %.3f  mem/Mseq %.3f%s\n",
+			pt.name, pt.makespan/msLB, float64(pt.memory)/float64(mseq), marker)
+	}
+}

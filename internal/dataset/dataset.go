@@ -1,0 +1,211 @@
+// Package dataset synthesizes the tree collection of the paper's evaluation
+// (§6.2). The paper uses assembly trees of 76 matrices of the University of
+// Florida Sparse Matrix Collection, ordered with MeTiS and amd, amalgamated
+// with 1, 2, 4 and 16 relaxed amalgamations per node — 608 trees of 2,000
+// to 1,000,000 nodes. The collection is proprietary-by-availability, so
+// this package substitutes a deterministic synthetic suite spanning the
+// same structural range (see DESIGN.md §3): 2D/3D grid Laplacians under
+// nested dissection (deep balanced trees), random symmetric and power-law
+// patterns under minimum degree (irregular and star-like trees with huge
+// degrees), and band matrices under RCM (chain-like trees).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesched/internal/par"
+	"treesched/internal/spm"
+	"treesched/internal/tree"
+)
+
+// Instance is one assembly tree of the collection together with its
+// provenance.
+type Instance struct {
+	Name   string
+	Matrix string // matrix family and size
+	Order  string // ordering used
+	MaxEta int    // relaxed amalgamation parameter (1, 2, 4, 16)
+	Tree   *tree.Tree
+}
+
+// Scale selects the collection size.
+type Scale int
+
+const (
+	// Quick is sized for unit tests and CI: ~1-2 s to build.
+	Quick Scale = iota
+	// Standard is the default evaluation scale (matrices up to ~10⁴
+	// columns; a few hundred trees).
+	Standard
+	// Full uses the largest matrices (~10⁵ columns); building the trees
+	// takes minutes, comparable in spirit to the paper's 608-tree runs.
+	Full
+)
+
+// AmalgamationLevels are the paper's relaxed-amalgamation parameters.
+var AmalgamationLevels = []int{1, 2, 4, 16}
+
+type matrixSpec struct {
+	name  string
+	build func(rng *rand.Rand) *spm.Pattern
+	// orderings to apply; nested dissection for meshes (MeTiS stand-in),
+	// minimum degree for irregular graphs (amd stand-in).
+	orders []string
+}
+
+func matrixSuite(scale Scale, rng *rand.Rand) []matrixSpec {
+	grid2 := func(k int) matrixSpec {
+		return matrixSpec{
+			name:   fmt.Sprintf("grid2d-%dx%d", k, k),
+			build:  func(*rand.Rand) *spm.Pattern { return spm.Grid2D(k, k) },
+			orders: []string{"nd", "md"},
+		}
+	}
+	grid3 := func(k int) matrixSpec {
+		return matrixSpec{
+			name:   fmt.Sprintf("grid3d-%d", k),
+			build:  func(*rand.Rand) *spm.Pattern { return spm.Grid3D(k, k, k) },
+			orders: []string{"nd", "md"},
+		}
+	}
+	randsym := func(n int, deg float64) matrixSpec {
+		return matrixSpec{
+			name:   fmt.Sprintf("rand-%d-d%g", n, deg),
+			build:  func(r *rand.Rand) *spm.Pattern { return spm.RandomSym(r, n, deg) },
+			orders: []string{"nd", "md"},
+		}
+	}
+	plaw := func(n, m int) matrixSpec {
+		return matrixSpec{
+			name:   fmt.Sprintf("plaw-%d-m%d", n, m),
+			build:  func(r *rand.Rand) *spm.Pattern { return spm.PowerLaw(r, n, m) },
+			orders: []string{"md"},
+		}
+	}
+	band := func(n, bw int) matrixSpec {
+		return matrixSpec{
+			name:   fmt.Sprintf("band-%d-bw%d", n, bw),
+			build:  func(*rand.Rand) *spm.Pattern { return spm.Band(n, bw) },
+			orders: []string{"rcm", "nd"},
+		}
+	}
+	switch scale {
+	case Quick:
+		return []matrixSpec{
+			grid2(14), grid3(6), randsym(400, 3), plaw(400, 2), band(400, 3),
+		}
+	case Full:
+		// Minimum degree densifies the elimination graph on large irregular
+		// patterns (minutes of runtime), so the largest random and
+		// power-law matrices are ordered with nested dissection or built
+		// with m=1 (tree-like, where MD is trivial); grids take both
+		// orderings like the smaller scales.
+		full := []matrixSpec{
+			grid2(40), grid2(70), grid2(100), grid2(140),
+			grid3(12), grid3(16),
+			randsym(3000, 3),
+			plaw(3000, 2), plaw(10000, 1), plaw(30000, 1),
+			band(10000, 3), band(30000, 5),
+		}
+		full = append(full,
+			matrixSpec{
+				name:   "grid3d-22",
+				build:  func(*rand.Rand) *spm.Pattern { return spm.Grid3D(22, 22, 22) },
+				orders: []string{"nd"},
+			},
+			matrixSpec{
+				name:   "rand-10000-d4",
+				build:  func(r *rand.Rand) *spm.Pattern { return spm.RandomSym(r, 10000, 4) },
+				orders: []string{"nd"},
+			},
+			matrixSpec{
+				name:   "rand-30000-d3",
+				build:  func(r *rand.Rand) *spm.Pattern { return spm.RandomSym(r, 30000, 3) },
+				orders: []string{"nd"},
+			},
+		)
+		return full
+	default: // Standard
+		return []matrixSpec{
+			grid2(20), grid2(32), grid2(45),
+			grid3(8), grid3(11),
+			randsym(1000, 3), randsym(3000, 4),
+			plaw(1000, 2), plaw(3000, 1),
+			band(2000, 3),
+		}
+	}
+}
+
+func applyOrder(p *spm.Pattern, name string) (spm.Perm, error) {
+	switch name {
+	case "natural":
+		return spm.NaturalOrder(p.Len()), nil
+	case "nd":
+		return spm.NestedDissection(p), nil
+	case "md":
+		return spm.MinimumDegree(p), nil
+	case "rcm":
+		return spm.RCM(p), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown ordering %q", name)
+}
+
+// Collection builds the deterministic synthetic tree collection at the
+// given scale. The same (scale, seed) always yields identical trees.
+// Matrix patterns are generated sequentially (they consume the shared
+// random stream); the orderings and assembly trees — the expensive part —
+// are built in parallel, with results placed by index so the output order
+// never depends on goroutine scheduling.
+func Collection(scale Scale, seed int64) ([]Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	specs := matrixSuite(scale, rng)
+	patterns := make([]*spm.Pattern, len(specs))
+	for i, spec := range specs {
+		patterns[i] = spec.build(rng)
+	}
+	type job struct {
+		si    int
+		order string
+	}
+	var jobs []job
+	for si, spec := range specs {
+		for _, ord := range spec.orders {
+			jobs = append(jobs, job{si, ord})
+		}
+	}
+	out := make([]Instance, len(jobs)*len(AmalgamationLevels))
+	errs := make([]error, len(jobs))
+	par.ForEach(len(jobs), func(ji int) {
+		j := jobs[ji]
+		spec := specs[j.si]
+		perm, err := applyOrder(patterns[j.si], j.order)
+		if err != nil {
+			errs[ji] = err
+			return
+		}
+		for ei, eta := range AmalgamationLevels {
+			t, err := spm.AssemblyTree(patterns[j.si], perm, eta)
+			if err != nil {
+				errs[ji] = fmt.Errorf("dataset: %s/%s/η%d: %w", spec.name, j.order, eta, err)
+				return
+			}
+			out[ji*len(AmalgamationLevels)+ei] = Instance{
+				Name:   fmt.Sprintf("%s-%s-eta%d", spec.name, j.order, eta),
+				Matrix: spec.name,
+				Order:  j.order,
+				MaxEta: eta,
+				Tree:   t,
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ProcessorCounts are the processor counts of the paper's evaluation.
+var ProcessorCounts = []int{2, 4, 8, 16, 32}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"testing"
+
+	"treesched/internal/spm"
+)
+
+func TestCollectionQuickDeterministic(t *testing.T) {
+	a, err := Collection(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collection(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("collection sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Tree.Len() != b[i].Tree.Len() {
+			t.Fatalf("instance %d differs between identical builds", i)
+		}
+		for v := 0; v < a[i].Tree.Len(); v++ {
+			if a[i].Tree.W(v) != b[i].Tree.W(v) || a[i].Tree.F(v) != b[i].Tree.F(v) {
+				t.Fatalf("instance %d node %d weights differ", i, v)
+			}
+		}
+	}
+}
+
+func TestCollectionCoversAmalgamationLevels(t *testing.T) {
+	insts, err := Collection(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, in := range insts {
+		seen[in.MaxEta] = true
+	}
+	for _, eta := range AmalgamationLevels {
+		if !seen[eta] {
+			t.Errorf("no instance with η=%d", eta)
+		}
+	}
+}
+
+func TestCollectionTreeShrinksWithAmalgamation(t *testing.T) {
+	insts, err := Collection(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by matrix+order: node counts must be non-increasing in η.
+	sizes := map[string]map[int]int{}
+	for _, in := range insts {
+		key := in.Matrix + "/" + in.Order
+		if sizes[key] == nil {
+			sizes[key] = map[int]int{}
+		}
+		sizes[key][in.MaxEta] = in.Tree.Len()
+	}
+	for key, m := range sizes {
+		if m[1] < m[2] || m[2] < m[4] || m[4] < m[16] {
+			t.Errorf("%s: sizes not shrinking with η: %v", key, m)
+		}
+	}
+}
+
+func TestCollectionTreesAreNontrivial(t *testing.T) {
+	insts, err := Collection(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if in.Tree.Len() < 10 {
+			t.Errorf("%s: tiny tree (%d nodes)", in.Name, in.Tree.Len())
+		}
+		if in.Tree.TotalW() <= 0 {
+			t.Errorf("%s: non-positive work", in.Name)
+		}
+	}
+}
+
+func TestProcessorCountsMatchPaper(t *testing.T) {
+	want := []int{2, 4, 8, 16, 32}
+	if len(ProcessorCounts) != len(want) {
+		t.Fatalf("ProcessorCounts = %v", ProcessorCounts)
+	}
+	for i := range want {
+		if ProcessorCounts[i] != want[i] {
+			t.Fatalf("ProcessorCounts = %v, want %v", ProcessorCounts, want)
+		}
+	}
+}
+
+func TestStandardScaleBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the standard collection")
+	}
+	insts, err := Collection(Standard, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) < 50 {
+		t.Fatalf("standard collection has only %d trees", len(insts))
+	}
+	// The standard suite must span deep (band/RCM) and wide (power-law/MD)
+	// tree shapes.
+	var maxHeight, maxDeg int
+	for _, in := range insts {
+		if h := in.Tree.Height(); h > maxHeight {
+			maxHeight = h
+		}
+		if d := in.Tree.MaxDegree(); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxHeight < 100 {
+		t.Errorf("no deep trees: max height %d", maxHeight)
+	}
+	if maxDeg < 50 {
+		t.Errorf("no wide trees: max degree %d", maxDeg)
+	}
+}
+
+func TestUnknownOrderingRejected(t *testing.T) {
+	if _, err := applyOrder(spm.Grid2D(3, 3), "bogus"); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+}

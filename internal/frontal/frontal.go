@@ -1,0 +1,223 @@
+// Package frontal is a numeric multifrontal Cholesky factorization engine
+// operating on the elimination trees of package spm. It exists to validate
+// the paper's abstract cost model end to end: executing a sequential tree
+// traversal with real frontal matrices and extend-add of contribution
+// blocks allocates exactly the memory the model predicts —
+//
+//	front of column j:        µ_j² entries  (= n_j + f_j with η = 1)
+//	contribution block of j:  (µ_j−1)² entries  (= f_j)
+//
+// so the engine's measured peak-live-entry count equals
+// traversal.PeakMemory on the η=1 assembly tree, entry for entry, and the
+// computed factor satisfies L·Lᵀ = A.
+package frontal
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/spm"
+)
+
+// Factorizer carries the symbolic analysis of one SPD matrix and performs
+// numeric multifrontal factorizations under arbitrary traversals.
+type Factorizer struct {
+	n        int
+	pattern  *spm.Pattern
+	perm     spm.Perm
+	inv      []int
+	parent   []int     // elimination tree (positions)
+	children [][]int   // children lists of the elimination tree
+	structs  [][]int32 // below-diagonal row structure per column
+	a        *Dense    // the permuted input matrix
+}
+
+// NewFactorizer runs the symbolic analysis of a on pattern p under the
+// ordering perm. a must be symmetric positive definite with the sparsity
+// pattern of p (indices in original, unpermuted numbering).
+func NewFactorizer(p *spm.Pattern, perm spm.Perm, a *Dense) (*Factorizer, error) {
+	if a.N() != p.Len() {
+		return nil, fmt.Errorf("frontal: matrix is %d×%d but pattern has %d vertices", a.N(), a.N(), p.Len())
+	}
+	if !perm.Valid(p.Len()) {
+		return nil, fmt.Errorf("frontal: invalid permutation")
+	}
+	parent := spm.EliminationTree(p, perm)
+	structs := spm.ColStructs(p, perm, parent)
+	// Permute the matrix once: pa[i][j] = a[perm[i]][perm[j]].
+	pa := NewDense(p.Len())
+	for i := 0; i < p.Len(); i++ {
+		for j := 0; j < p.Len(); j++ {
+			pa.Set(i, j, a.At(perm[i], perm[j]))
+		}
+	}
+	children := make([][]int, p.Len())
+	for c, pa := range parent {
+		if pa != -1 {
+			children[pa] = append(children[pa], c)
+		}
+	}
+	return &Factorizer{
+		n: p.Len(), pattern: p, perm: perm, inv: perm.Inverse(),
+		parent: parent, children: children, structs: structs, a: pa,
+	}, nil
+}
+
+// Parent returns the elimination tree (positions; -1 marks roots).
+func (f *Factorizer) Parent() []int { return f.parent }
+
+// Mu returns µ_j = 1 + |struct(j)| for every column position.
+func (f *Factorizer) Mu() []int64 {
+	mu := make([]int64, f.n)
+	for j := range mu {
+		mu[j] = int64(len(f.structs[j])) + 1
+	}
+	return mu
+}
+
+// front is a live frontal or contribution block: a dense symmetric matrix
+// over an index set of column positions.
+type front struct {
+	rows []int32   // sorted positions
+	data []float64 // len(rows)² entries, row-major
+}
+
+func (fr *front) at(i, j int) float64     { return fr.data[i*len(fr.rows)+j] }
+func (fr *front) add(i, j int, v float64) { fr.data[i*len(fr.rows)+j] += v }
+
+// Result is the outcome of a numeric factorization.
+type Result struct {
+	L *Dense // lower-triangular factor (permuted numbering)
+	// PeakEntries is the maximum number of simultaneously live matrix
+	// entries (fronts plus pending contribution blocks).
+	PeakEntries int64
+}
+
+// Factorize runs the numeric multifrontal factorization following the
+// given traversal order of column positions (a topological order of the
+// elimination tree, children before parents). It returns the factor and
+// the measured peak memory in entries.
+func (f *Factorizer) Factorize(order []int) (*Result, error) {
+	if len(order) != f.n {
+		return nil, fmt.Errorf("frontal: order covers %d of %d columns", len(order), f.n)
+	}
+	l := NewDense(f.n)
+	pending := make([]*front, f.n) // contribution block per eliminated column
+	done := make([]bool, f.n)
+	var live, peak int64
+
+	for _, j := range order {
+		if j < 0 || j >= f.n || done[j] {
+			return nil, fmt.Errorf("frontal: bad or repeated column %d", j)
+		}
+		// Children must be eliminated (their contribution blocks pending).
+		children := f.children[j]
+		for _, c := range children {
+			if !done[c] {
+				return nil, fmt.Errorf("frontal: column %d eliminated before child %d", j, c)
+			}
+		}
+		// Assemble the front: index set {j} ∪ struct(j).
+		rows := make([]int32, 0, len(f.structs[j])+1)
+		rows = append(rows, int32(j))
+		rows = append(rows, f.structs[j]...)
+		fr := &front{rows: rows, data: make([]float64, len(rows)*len(rows))}
+		live += int64(len(rows) * len(rows)) // allocate front: µ² = n_j + f_j
+		if live > peak {
+			peak = live
+		}
+		// Matrix entries of column/row j.
+		for ri, r := range rows {
+			v := f.a.At(int(r), j)
+			fr.add(ri, 0, v)
+			if ri != 0 {
+				fr.add(0, ri, v)
+			}
+		}
+		// Extend-add the children's contribution blocks.
+		for _, c := range children {
+			cb := pending[c]
+			pending[c] = nil
+			if cb == nil {
+				continue
+			}
+			idx, err := mapRows(cb.rows, rows)
+			if err != nil {
+				return nil, fmt.Errorf("frontal: column %d child %d: %w", j, c, err)
+			}
+			for ri := range cb.rows {
+				for ci := range cb.rows {
+					fr.add(idx[ri], idx[ci], cb.at(ri, ci))
+				}
+			}
+		}
+		// Eliminate the first row/column of the front.
+		d := fr.at(0, 0)
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("frontal: non-positive pivot %g at column %d (matrix not SPD?)", d, j)
+		}
+		ld := math.Sqrt(d)
+		l.Set(j, j, ld)
+		m := len(rows)
+		col := make([]float64, m-1)
+		for ri := 1; ri < m; ri++ {
+			col[ri-1] = fr.at(ri, 0) / ld
+			l.Set(int(rows[ri]), j, col[ri-1])
+		}
+		// Contribution block: C -= l·lᵀ over rows[1:].
+		cb := &front{rows: rows[1:], data: make([]float64, (m-1)*(m-1))}
+		for ri := 1; ri < m; ri++ {
+			for ci := 1; ci < m; ci++ {
+				cb.data[(ri-1)*(m-1)+(ci-1)] = fr.at(ri, ci) - col[ri-1]*col[ci-1]
+			}
+		}
+		pending[j] = cb
+		done[j] = true
+		// The model frees the children's files and the execution part of
+		// the front at completion; the contribution block (f_j entries)
+		// stays live for the parent. live -= n_j + Σ_c f_c where
+		// n_j + f_j = µ² and f_j = (µ-1)².
+		live -= int64(m*m) - int64((m-1)*(m-1)) // n_j
+		for _, c := range children {
+			s := int64(len(f.structs[c]))
+			live -= s * s // f_c
+		}
+	}
+	// Roots leave their (possibly empty) contribution blocks live, exactly
+	// like the model's root output files.
+	return &Result{L: l, PeakEntries: peak}, nil
+}
+
+// mapRows maps each entry of sub (sorted) to its index in super (sorted),
+// failing if sub is not a subset.
+func mapRows(sub, super []int32) ([]int, error) {
+	idx := make([]int, len(sub))
+	k := 0
+	for i, r := range sub {
+		for k < len(super) && super[k] < r {
+			k++
+		}
+		if k == len(super) || super[k] != r {
+			return nil, fmt.Errorf("row %d not in parent front", r)
+		}
+		idx[i] = k
+	}
+	return idx, nil
+}
+
+// Verify checks ‖P·A·Pᵀ − L·Lᵀ‖_max ≤ tol for the factor in permuted
+// numbering.
+func (f *Factorizer) Verify(l *Dense, tol float64) error {
+	for i := 0; i < f.n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if d := math.Abs(s - f.a.At(i, j)); d > tol {
+				return fmt.Errorf("frontal: residual %g at (%d,%d) exceeds %g", d, i, j, tol)
+			}
+		}
+	}
+	return nil
+}

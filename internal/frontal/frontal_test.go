@@ -1,0 +1,245 @@
+package frontal
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/spm"
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+func connectedPattern(rng *rand.Rand, trial int) *spm.Pattern {
+	switch trial % 4 {
+	case 0:
+		return spm.Grid2D(3+rng.Intn(5), 3+rng.Intn(5))
+	case 1:
+		return spm.RandomSym(rng, 10+rng.Intn(50), 2.5)
+	case 2:
+		return spm.PowerLaw(rng, 10+rng.Intn(50), 2)
+	default:
+		return spm.Band(10+rng.Intn(50), 2)
+	}
+}
+
+func ordering(p *spm.Pattern, trial int) spm.Perm {
+	switch trial % 3 {
+	case 0:
+		return spm.NaturalOrder(p.Len())
+	case 1:
+		return spm.NestedDissection(p)
+	default:
+		return spm.MinimumDegree(p)
+	}
+}
+
+// TestFactorizeMatchesDenseCholesky: the multifrontal factor equals the
+// reference dense factorization of the permuted matrix.
+func TestFactorizeMatchesDenseCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 30; trial++ {
+		p := connectedPattern(rng, trial)
+		perm := ordering(p, trial)
+		a := SPDFromPattern(rng, p)
+		f, err := NewFactorizer(p, perm, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Factorize(traversal.BestPostOrder(mustTree(t, p, perm)).Order)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := f.Verify(res.L, 1e-8); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Cross-check against the dense reference on the permuted matrix.
+		pa := NewDense(p.Len())
+		for i := 0; i < p.Len(); i++ {
+			for j := 0; j < p.Len(); j++ {
+				pa.Set(i, j, a.At(perm[i], perm[j]))
+			}
+		}
+		ref, err := Cholesky(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDiff(res.L, ref); d > 1e-8 {
+			t.Fatalf("trial %d: factor differs from dense reference by %g", trial, d)
+		}
+	}
+}
+
+// mustTree builds the η=1 assembly tree whose node ids coincide with
+// eliminated positions (single root; connected patterns only).
+func mustTree(t *testing.T, p *spm.Pattern, perm spm.Perm) *tree.Tree {
+	t.Helper()
+	tr, err := spm.AssemblyTree(p, perm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != p.Len() {
+		t.Fatalf("assembly tree has %d nodes for %d columns (disconnected pattern?)", tr.Len(), p.Len())
+	}
+	return tr
+}
+
+// TestPeakEntriesMatchesModel is the headline validation: for any
+// traversal, the engine's measured peak live entries equals the abstract
+// model's peak memory on the η=1 assembly tree, entry for entry.
+func TestPeakEntriesMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 40; trial++ {
+		p := connectedPattern(rng, trial)
+		perm := ordering(p, trial)
+		a := SPDFromPattern(rng, p)
+		f, err := NewFactorizer(p, perm, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := mustTree(t, p, perm)
+		orders := [][]int{
+			traversal.BestPostOrder(tr).Order,
+			traversal.Optimal(tr).Order,
+			tr.TopOrder(),
+		}
+		for oi, order := range orders {
+			want, err := traversal.PeakMemory(tr, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := f.Factorize(order)
+			if err != nil {
+				t.Fatalf("trial %d order %d: %v", trial, oi, err)
+			}
+			if res.PeakEntries != want {
+				t.Fatalf("trial %d order %d: engine peak %d entries, model predicts %d",
+					trial, oi, res.PeakEntries, want)
+			}
+		}
+	}
+}
+
+// TestMemoryAwareOrderReducesEnginePeak: the motivation of the paper,
+// measured on real fronts — the optimal traversal's peak is never above an
+// arbitrary topological order's, and is strictly below somewhere.
+func TestMemoryAwareOrderReducesEnginePeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	strictly := false
+	for trial := 0; trial < 25; trial++ {
+		p := connectedPattern(rng, trial)
+		perm := ordering(p, trial)
+		a := SPDFromPattern(rng, p)
+		f, err := NewFactorizer(p, perm, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := mustTree(t, p, perm)
+		opt, err := f.Factorize(traversal.Optimal(tr).Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := f.Factorize(tr.TopOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.PeakEntries > top.PeakEntries {
+			t.Fatalf("trial %d: optimal order uses more entries (%d) than arbitrary (%d)",
+				trial, opt.PeakEntries, top.PeakEntries)
+		}
+		if opt.PeakEntries < top.PeakEntries {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("optimal order never strictly better than arbitrary topological order")
+	}
+}
+
+func TestFactorizeRejectsBadOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	p := spm.Grid2D(3, 3)
+	perm := spm.NaturalOrder(p.Len())
+	f, err := NewFactorizer(p, perm, SPDFromPattern(rng, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Factorize([]int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := make([]int, p.Len())
+	for i := range bad {
+		bad[i] = p.Len() - 1 - i // roots first: violates children-first
+	}
+	if _, err := f.Factorize(bad); err == nil {
+		t.Error("root-first order accepted")
+	}
+	dup := make([]int, p.Len())
+	if _, err := f.Factorize(dup); err == nil {
+		t.Error("duplicate order accepted")
+	}
+}
+
+func TestNewFactorizerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	p := spm.Grid2D(3, 3)
+	if _, err := NewFactorizer(p, spm.Perm{0, 1}, SPDFromPattern(rng, p)); err == nil {
+		t.Error("invalid perm accepted")
+	}
+	if _, err := NewFactorizer(p, spm.NaturalOrder(9), NewDense(4)); err == nil {
+		t.Error("mismatched matrix accepted")
+	}
+}
+
+func TestFactorizeDetectsNonSPD(t *testing.T) {
+	p, err := spm.NewPattern(2, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewDense(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	a.Set(0, 1, 5) // |off-diagonal| > diagonal: indefinite
+	a.Set(1, 0, 5)
+	f, err := NewFactorizer(p, spm.NaturalOrder(2), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Factorize([]int{0, 1}); err == nil {
+		t.Error("indefinite matrix factorized without error")
+	}
+}
+
+func TestDenseCholeskyReference(t *testing.T) {
+	// 2x2 handcheck: A = [[4,2],[2,5]] -> L = [[2,0],[1,2]].
+	a := NewDense(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 5)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.At(0, 0) != 2 || l.At(1, 0) != 1 || l.At(1, 1) != 2 {
+		t.Fatalf("L = [[%g,0],[%g,%g]]", l.At(0, 0), l.At(1, 0), l.At(1, 1))
+	}
+	if _, err := Cholesky(NewDense(2)); err == nil {
+		t.Error("singular matrix factorized")
+	}
+}
+
+func TestMuMatchesColCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(116))
+	p := spm.Grid2D(5, 5)
+	perm := spm.NestedDissection(p)
+	f, err := NewFactorizer(p, perm, SPDFromPattern(rng, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := spm.ColCounts(p, perm, f.Parent())
+	for j, mu := range f.Mu() {
+		if mu != counts[j] {
+			t.Fatalf("µ[%d] = %d, colcount %d", j, mu, counts[j])
+		}
+	}
+}

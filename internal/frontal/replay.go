@@ -1,0 +1,91 @@
+package frontal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScheduleReplay is the parallel counterpart of Factorize: it executes the
+// numeric factorization following a parallel schedule's timeline (tasks
+// identified by column position, starts and durations given by the
+// caller), accounting memory with the same event semantics as the abstract
+// simulator — releases apply before allocations at equal timestamps. The
+// numerics are independent of interleaving (extend-add is commutative), so
+// the factor equals the sequential one; the point of the replay is the
+// memory trace.
+type ScheduleReplay struct {
+	Start []float64 // start time per column position
+	W     []float64 // duration per column position
+}
+
+// Replay runs the factorization under the given timeline and returns the
+// factor and the peak number of simultaneously live entries: every running
+// task holds its full front (µ² entries), every finished task its
+// contribution block ((µ−1)² entries) until the parent finishes.
+func (f *Factorizer) Replay(r ScheduleReplay) (*Result, error) {
+	if len(r.Start) != f.n || len(r.W) != f.n {
+		return nil, fmt.Errorf("frontal: replay timeline covers %d/%d starts, %d/%d durations",
+			len(r.Start), f.n, len(r.W), f.n)
+	}
+	for j, w := range r.W {
+		if w <= 0 {
+			return nil, fmt.Errorf("frontal: task %d has non-positive duration %g", j, w)
+		}
+	}
+	// Completion order defines the numeric elimination order; it must be
+	// topological, which Factorize verifies as it goes.
+	type ev struct {
+		at   float64
+		kind int8 // 0 = completion (release), 1 = start (allocate)
+		node int
+	}
+	events := make([]ev, 0, 2*f.n)
+	for j := 0; j < f.n; j++ {
+		events = append(events, ev{r.Start[j], 1, j}, ev{r.Start[j] + r.W[j], 0, j})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		if events[a].kind != events[b].kind {
+			return events[a].kind < events[b].kind
+		}
+		return events[a].node < events[b].node
+	})
+	// The numeric elimination happens at completion events, in order; the
+	// memory accounting follows the event stream.
+	order := make([]int, 0, f.n)
+	for _, e := range events {
+		if e.kind == 0 {
+			order = append(order, e.node)
+		}
+	}
+	res, err := f.Factorize(order)
+	if err != nil {
+		return nil, err
+	}
+	// Recompute the peak with the parallel timeline: µ per position gives
+	// both block sizes.
+	mu := f.Mu()
+	var live, peak int64
+	for _, e := range events {
+		j := e.node
+		frontSz := mu[j] * mu[j]
+		cbSz := (mu[j] - 1) * (mu[j] - 1)
+		if e.kind == 1 {
+			live += frontSz
+			if live > peak {
+				peak = live
+			}
+			continue
+		}
+		// Completion: the front shrinks to its contribution block and the
+		// children's contribution blocks are consumed.
+		live -= frontSz - cbSz
+		for _, c := range f.children[j] {
+			live -= (mu[c] - 1) * (mu[c] - 1)
+		}
+	}
+	res.PeakEntries = peak
+	return res, nil
+}

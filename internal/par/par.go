@@ -1,0 +1,44 @@
+// Package par provides the tiny parallel-for used by the experiment
+// harness: scenario evaluations and tree constructions are independent, so
+// they are spread over GOMAXPROCS workers pulling indices from an atomic
+// counter. Results are index-addressed by the callers, keeping outputs
+// deterministic regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs body(i) for every i in [0, n), using up to GOMAXPROCS
+// concurrent workers. It returns when all calls have completed. body must
+// be safe to call concurrently for distinct i.
+func ForEach(n int, body func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

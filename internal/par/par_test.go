@@ -1,0 +1,52 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 10000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU")
+	}
+	var concurrent, peak int32
+	ForEach(64, func(i int) {
+		c := atomic.AddInt32(&concurrent, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		// Busy loop long enough for workers to overlap.
+		for j := 0; j < 100000; j++ {
+			_ = j * j
+		}
+		atomic.AddInt32(&concurrent, -1)
+	})
+	if peak < 2 {
+		t.Fatalf("never observed concurrent execution (peak=%d)", peak)
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	// n=1 must run inline without spawning.
+	ran := false
+	ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("body not run")
+	}
+}

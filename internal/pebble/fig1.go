@@ -1,0 +1,172 @@
+package pebble
+
+import (
+	"fmt"
+
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// ThreePartition is the NP-completeness gadget of paper Figure 1, built
+// from a 3-Partition instance with 3m integers a_i summing to m·B.
+type ThreePartition struct {
+	Tree *tree.Tree
+	A    []int   // the 3m integers
+	B    int     // the target subset sum
+	M    int     // number of subsets
+	Root int     // root node id
+	N    []int   // N[i] = id of inner node N_i (one per a_i)
+	L    [][]int // L[i] = ids of the 3m*a_i leaf children of N_i
+
+	// The decision bounds of the reduction.
+	Procs         int     // p = 3mB
+	MemoryBound   int64   // Bmem = 3mB + 3m
+	MakespanBound float64 // BCmax = 2m + 1
+}
+
+// NewThreePartition builds the Figure 1 tree for integers a (len 3m) and
+// target B. It validates Σa = mB and B/4 < a_i < B/2 (the strongly
+// NP-complete 3-Partition variant used in Theorem 1).
+func NewThreePartition(a []int, b int) (*ThreePartition, error) {
+	if len(a)%3 != 0 || len(a) == 0 {
+		return nil, fmt.Errorf("pebble: 3-partition needs 3m integers, got %d", len(a))
+	}
+	m := len(a) / 3
+	sum := 0
+	for _, x := range a {
+		if 4*x <= b || 2*x >= b {
+			return nil, fmt.Errorf("pebble: 3-partition requires B/4 < a_i < B/2, got a=%d B=%d", x, b)
+		}
+		sum += x
+	}
+	if sum != m*b {
+		return nil, fmt.Errorf("pebble: Σa = %d, want m·B = %d", sum, m*b)
+	}
+	var bld tree.Builder
+	root := bld.AddPebble(tree.None)
+	tp := &ThreePartition{
+		A: append([]int(nil), a...), B: b, M: m, Root: root,
+		Procs:         3 * m * b,
+		MemoryBound:   int64(3*m*b + 3*m),
+		MakespanBound: float64(2*m + 1),
+	}
+	for _, ai := range a {
+		ni := bld.AddPebble(root)
+		tp.N = append(tp.N, ni)
+		leaves := make([]int, 0, 3*m*ai)
+		for l := 0; l < 3*m*ai; l++ {
+			leaves = append(leaves, bld.AddPebble(ni))
+		}
+		tp.L = append(tp.L, leaves)
+	}
+	t, err := bld.Build()
+	if err != nil {
+		return nil, err
+	}
+	tp.Tree = t
+	return tp, nil
+}
+
+// YesSchedule constructs the schedule of the Theorem 1 "⇒" direction from
+// a solution of the 3-Partition instance: partition[k] lists the indices
+// i (into A) of subset S_{k+1}, each of size 3 and sum B. At step 2n+1 the
+// leaves of subset S_{n+1} are processed (3mB of them on 3mB processors);
+// at step 2n+2 its three N nodes; the root runs at step 2m+1. The schedule
+// meets both bounds: peak memory ≤ 3mB+3m and makespan ≤ 2m+1.
+func (tp *ThreePartition) YesSchedule(partition [][]int) (*sched.Schedule, error) {
+	if len(partition) != tp.M {
+		return nil, fmt.Errorf("pebble: partition has %d subsets, want %d", len(partition), tp.M)
+	}
+	used := make([]bool, len(tp.A))
+	s := &sched.Schedule{
+		Start: make([]float64, tp.Tree.Len()),
+		Proc:  make([]int, tp.Tree.Len()),
+		P:     tp.Procs,
+	}
+	for k, subset := range partition {
+		if len(subset) != 3 {
+			return nil, fmt.Errorf("pebble: subset %d has %d elements, want 3", k, len(subset))
+		}
+		sum := 0
+		proc := 0
+		for _, i := range subset {
+			if i < 0 || i >= len(tp.A) || used[i] {
+				return nil, fmt.Errorf("pebble: bad or reused index %d in subset %d", i, k)
+			}
+			used[i] = true
+			sum += tp.A[i]
+			for _, leaf := range tp.L[i] {
+				s.Start[leaf] = float64(2 * k) // step 2k+1 in 1-based time
+				s.Proc[leaf] = proc
+				proc++
+			}
+		}
+		if sum != tp.B {
+			return nil, fmt.Errorf("pebble: subset %d sums to %d, want %d", k, sum, tp.B)
+		}
+		for j, i := range subset {
+			s.Start[tp.N[i]] = float64(2*k + 1)
+			s.Proc[tp.N[i]] = j
+		}
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("pebble: index %d not covered by partition", i)
+		}
+	}
+	s.Start[tp.Root] = float64(2 * tp.M)
+	s.Proc[tp.Root] = 0
+	return s, nil
+}
+
+// SolveThreePartition exhaustively searches a valid partition into triples
+// of sum B (usable for the small instances of tests and examples). It
+// returns nil if none exists.
+func SolveThreePartition(a []int, b int) [][]int {
+	m := len(a) / 3
+	if len(a)%3 != 0 {
+		return nil
+	}
+	used := make([]bool, len(a))
+	var out [][]int
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		// First unused index anchors the next triple (canonical order).
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < len(a); j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			for k := j + 1; k < len(a); k++ {
+				if used[k] || a[first]+a[j]+a[k] != b {
+					continue
+				}
+				used[k] = true
+				out = append(out, []int{first, j, k})
+				if rec(remaining - 1) {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if !rec(m) {
+		return nil
+	}
+	return out
+}

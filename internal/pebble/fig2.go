@@ -1,0 +1,109 @@
+package pebble
+
+import (
+	"fmt"
+
+	"treesched/internal/tree"
+)
+
+// Inapprox is the Theorem 2 gadget of paper Figure 2: n identical subtrees
+// below the root. Subtree i is a chain of checkpoint nodes cp^i_1..cp^i_{δ-1}
+// ending in the two-node chain b^i_δ, b^i_{δ+1}; every cp^i_j additionally
+// owns a node d^i_j with δ-j+1 leaf children. All weights follow the
+// pebble-game model.
+type Inapprox struct {
+	Tree  *tree.Tree
+	N     int // number of subtrees
+	Delta int // δ
+
+	Root int
+	CP   [][]int // CP[i][j-1] = cp^{i+1}_j
+	D    [][]int // D[i][j-1]  = d^{i+1}_j
+	B    [][2]int
+}
+
+// NewInapprox builds the Figure 2 tree for n subtrees and chain parameter
+// δ ≥ 2.
+func NewInapprox(n, delta int) (*Inapprox, error) {
+	if n < 1 || delta < 2 {
+		return nil, fmt.Errorf("pebble: inapprox gadget needs n >= 1, δ >= 2; got n=%d δ=%d", n, delta)
+	}
+	var bld tree.Builder
+	root := bld.AddPebble(tree.None)
+	g := &Inapprox{N: n, Delta: delta, Root: root}
+	for i := 0; i < n; i++ {
+		cps := make([]int, delta-1)
+		ds := make([]int, delta-1)
+		parent := root
+		for j := 1; j <= delta-1; j++ {
+			cp := bld.AddPebble(parent)
+			cps[j-1] = cp
+			d := bld.AddPebble(cp)
+			ds[j-1] = d
+			for l := 0; l < delta-j+1; l++ {
+				bld.AddPebble(d)
+			}
+			parent = cp
+		}
+		bd := bld.AddPebble(parent)
+		bd1 := bld.AddPebble(bd)
+		g.CP = append(g.CP, cps)
+		g.D = append(g.D, ds)
+		g.B = append(g.B, [2]int{bd, bd1})
+	}
+	t, err := bld.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.Tree = t
+	return g, nil
+}
+
+// OptimalMakespan returns the critical-path length δ+2 (optimal with
+// unbounded processors, paper Theorem 2 proof).
+func (g *Inapprox) OptimalMakespan() float64 { return float64(g.Delta + 2) }
+
+// OptimalPeakMemory returns n+δ, the optimal sequential peak proven in the
+// paper (one subtree at a time, chains before leaves).
+func (g *Inapprox) OptimalPeakMemory() int64 { return int64(g.N + g.Delta) }
+
+// SequentialOrder returns the paper's memory-optimal sequential traversal:
+// subtrees one after the other; inside subtree i, process d^i_j's children
+// then d^i_j for j = 1..δ-1, then b^i_{δ+1}, b^i_δ, then cp^i_{δ-1}..cp^i_1;
+// finally the root. Its peak is exactly OptimalPeakMemory.
+func (g *Inapprox) SequentialOrder() []int {
+	t := g.Tree
+	order := make([]int, 0, t.Len())
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.Delta-1; j++ {
+			d := g.D[i][j]
+			order = append(order, t.Children(d)...)
+			order = append(order, d)
+		}
+		order = append(order, g.B[i][1], g.B[i][0])
+		for j := g.Delta - 2; j >= 0; j-- {
+			order = append(order, g.CP[i][j])
+		}
+	}
+	return append(order, g.Root)
+}
+
+// MemoryRatioLowerBound evaluates the paper's bound on the memory
+// approximation ratio forced upon any α-approximation of the makespan:
+//
+//	lb = n(δ²+5δ−6) / ((α(δ+2)−2)(n+δ))
+//
+// With δ = n², lb → ∞ as n grows: no algorithm can approximate both
+// objectives within constant factors (Theorem 2).
+func MemoryRatioLowerBound(n, delta int, alpha float64) float64 {
+	d := float64(delta)
+	num := float64(n) * (d*d + 5*d - 6)
+	den := (alpha*(d+2) - 2) * float64(n+delta)
+	return num / den
+}
+
+// DescendantsPerSubtree returns (δ²+5δ−4)/2, the number of descendants of
+// each cp^i_1 node (counted in the Theorem 2 proof).
+func DescendantsPerSubtree(delta int) int {
+	return (delta*delta + 5*delta - 4) / 2
+}

@@ -1,0 +1,19 @@
+// Package pebble builds the pebble-game instances used by the paper's
+// complexity results (§4): the unit-weight model (f_i=1, n_i=0, w_i=1), the
+// 3-Partition reduction tree of Figure 1 (Theorem 1, NP-completeness), the
+// inapproximability tree of Figure 2 (Theorem 2), and the worst-case trees
+// of Figures 3–5 exposing the heuristics' memory/makespan weaknesses.
+package pebble
+
+import "treesched/internal/tree"
+
+// IsPebbleTree reports whether every node of t follows the pebble-game
+// model of paper §4: f_i = 1, n_i = 0, w_i = 1.
+func IsPebbleTree(t *tree.Tree) bool {
+	for i := 0; i < t.Len(); i++ {
+		if t.F(i) != 1 || t.N(i) != 0 || t.W(i) != 1 {
+			return false
+		}
+	}
+	return true
+}

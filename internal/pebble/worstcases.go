@@ -1,0 +1,65 @@
+package pebble
+
+import "treesched/internal/tree"
+
+// ForkTree builds the Figure 3 instance: a root with p·k unit leaves. On p
+// processors the optimal makespan is k+1, while ParSubtrees — which keeps
+// whole subtrees on single processors — needs p(k-1)+2: it is at best a
+// p-approximation for the makespan.
+func ForkTree(p, k int) *tree.Tree {
+	var b tree.Builder
+	root := b.AddPebble(tree.None)
+	for i := 0; i < p*k; i++ {
+		b.AddPebble(root)
+	}
+	return b.MustBuild()
+}
+
+// JoinChainTree builds the Figure 4 instance: a main chain of 2k nodes
+// whose k-1 topmost nodes each carry p-1 extra leaves. The optimal
+// sequential memory is p+1 (deepest-first), but with p processors every
+// leaf is done before the first join node becomes ready, so ParInnerFirst
+// holds (k-1)(p-1)+1 files simultaneously: its memory is unbounded
+// relative to M_seq.
+func JoinChainTree(p, k int) *tree.Tree {
+	var b tree.Builder
+	prev := tree.None
+	for i := 1; i <= 2*k; i++ {
+		node := b.AddPebble(prev)
+		if i <= k-1 {
+			for l := 0; l < p-1; l++ {
+				b.AddPebble(node)
+			}
+		}
+		prev = node
+	}
+	return b.MustBuild()
+}
+
+// SpiderTree builds the Figure 5 instance: join nodes j_1..j_m form a path
+// from the root; every join carries one long chain (j_m carries two), and
+// chain lengths are chosen so that all leaves lie at the same, deepest
+// depth. The optimal sequential memory is 3 (finish one chain at a time),
+// but ParDeepestFirst advances all chains simultaneously — all leaves are
+// deepest — so its memory grows with the number of chains.
+func SpiderTree(m, minChain int) *tree.Tree {
+	var b tree.Builder
+	joins := make([]int, m)
+	prev := tree.None
+	for i := 0; i < m; i++ {
+		joins[i] = b.AddPebble(prev)
+		prev = joins[i]
+	}
+	// Join i sits at depth i; its leaf must reach depth m-1+minChain.
+	leafDepth := m - 1 + minChain
+	addChain := func(parent, parentDepth int) {
+		for d := parentDepth + 1; d <= leafDepth; d++ {
+			parent = b.AddPebble(parent)
+		}
+	}
+	for i := 0; i < m; i++ {
+		addChain(joins[i], i)
+	}
+	addChain(joins[m-1], m-1) // second chain of the last join
+	return b.MustBuild()
+}

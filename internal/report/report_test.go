@@ -1,0 +1,203 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treesched/internal/dataset"
+)
+
+func quickScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	insts, err := dataset.Collection(dataset.Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := Run(insts[:8], []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+func TestRunProducesConsistentScenarios(t *testing.T) {
+	scs := quickScenarios(t)
+	if len(scs) != 16 {
+		t.Fatalf("got %d scenarios, want 16", len(scs))
+	}
+	nh := len(Heuristics())
+	for _, sc := range scs {
+		if len(sc.Makespan) != nh || len(sc.Memory) != nh {
+			t.Fatalf("scenario has %d/%d entries", len(sc.Makespan), len(sc.Memory))
+		}
+		for i := 0; i < nh; i++ {
+			if sc.Makespan[i] < sc.MsLB-1e-6 {
+				t.Fatalf("%s p=%d: makespan below LB", sc.Instance, sc.P)
+			}
+			if sc.Memory[i] < sc.MemLB {
+				t.Fatalf("%s p=%d: memory %d below sequential LB %d", sc.Instance, sc.P, sc.Memory[i], sc.MemLB)
+			}
+		}
+	}
+}
+
+func TestTable1Shares(t *testing.T) {
+	scs := quickScenarios(t)
+	rows := Table1(scs)
+	if len(rows) != len(Heuristics()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// In every scenario someone achieves the best memory and makespan, so
+	// the shares must sum to at least 100%.
+	var memSum, msSum float64
+	for _, r := range rows {
+		memSum += r.BestMem
+		msSum += r.BestMs
+		if r.BestMem < 0 || r.BestMem > 100 || r.Within5Mem < r.BestMem {
+			t.Fatalf("row %+v inconsistent (memory)", r)
+		}
+		if r.BestMs < 0 || r.BestMs > 100 || r.Within5Ms < r.BestMs {
+			t.Fatalf("row %+v inconsistent (makespan)", r)
+		}
+		if r.AvgDevSeqMem < 0 {
+			t.Fatalf("%s: negative memory deviation %g", r.Heuristic, r.AvgDevSeqMem)
+		}
+		if r.AvgDevBestMs < 0 {
+			t.Fatalf("%s: negative makespan deviation %g", r.Heuristic, r.AvgDevBestMs)
+		}
+	}
+	if memSum < 100-1e-9 || msSum < 100-1e-9 {
+		t.Fatalf("best shares sum below 100%%: mem %g ms %g", memSum, msSum)
+	}
+}
+
+func TestTable1Empty(t *testing.T) {
+	rows := Table1(nil)
+	if len(rows) != len(Heuristics()) {
+		t.Fatalf("empty Table1 rows: %d", len(rows))
+	}
+}
+
+func TestFiguresShapes(t *testing.T) {
+	scs := quickScenarios(t)
+	nh := len(Heuristics())
+	f6 := Fig6(scs)
+	if len(f6) != len(scs)*nh {
+		t.Fatalf("Fig6 has %d points", len(f6))
+	}
+	for _, p := range f6 {
+		if p.X < 1-1e-9 || p.Y < 1-1e-9 {
+			t.Fatalf("Fig6 point below both lower bounds: %+v", p)
+		}
+	}
+	f7 := Fig7(scs)
+	if len(f7) != len(scs)*(nh-1) {
+		t.Fatalf("Fig7 has %d points", len(f7))
+	}
+	for _, p := range f7 {
+		if p.Heuristic == "ParSubtrees" {
+			t.Fatalf("Fig7 contains its reference heuristic")
+		}
+	}
+	f8 := Fig8(scs)
+	for _, p := range f8 {
+		if p.Heuristic == "ParInnerFirst" {
+			t.Fatalf("Fig8 contains its reference heuristic")
+		}
+	}
+}
+
+func TestCrossesAndWriters(t *testing.T) {
+	scs := quickScenarios(t)
+	pts := Fig6(scs)
+	crosses := Crosses(pts)
+	if len(crosses) != len(Heuristics()) {
+		t.Fatalf("crosses for %d heuristics", len(crosses))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(pts)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(pts)+1)
+	}
+	buf.Reset()
+	if err := WriteCrosses(&buf, crosses); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ParDeepestFirst") {
+		t.Fatalf("crosses output missing heuristic:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteTable1(&buf, Table1(scs)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ParSubtrees") {
+		t.Fatalf("table output missing heuristic")
+	}
+	if s := Summary(scs); !strings.Contains(s, "scenarios") {
+		t.Fatalf("Summary output: %q", s)
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	scs := quickScenarios(t)
+	pts := Fig6(scs)
+	var buf bytes.Buffer
+	if err := RenderScatter(&buf, pts, 60, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legend") {
+		t.Fatalf("scatter missing legend:\n%s", out)
+	}
+	marks := 0
+	for _, c := range out {
+		switch c {
+		case 'S', 'O', 'I', 'D', '*':
+			marks++
+		}
+	}
+	if marks < 10 {
+		t.Fatalf("scatter has only %d marks:\n%s", marks, out)
+	}
+	buf.Reset()
+	if err := RenderScatter(&buf, nil, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no points") {
+		t.Fatalf("empty scatter: %q", buf.String())
+	}
+}
+
+func TestRenderScatterClampsTinySizes(t *testing.T) {
+	pts := []FigPoint{{Heuristic: "ParSubtrees", X: 1, Y: 2}, {Heuristic: "ParDeepestFirst", X: 2, Y: 5}}
+	var buf bytes.Buffer
+	if err := RenderScatter(&buf, pts, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestByP(t *testing.T) {
+	scs := quickScenarios(t)
+	byP := ByP(scs)
+	if len(byP) != 2 {
+		t.Fatalf("ByP buckets: %d, want 2", len(byP))
+	}
+	for p, rows := range byP {
+		if len(rows) != len(Heuristics()) {
+			t.Fatalf("p=%d has %d rows", p, len(rows))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteByP(&buf, byP); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p = 2") || !strings.Contains(buf.String(), "p = 8") {
+		t.Fatalf("WriteByP output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// symbols assigns one plot character per heuristic; cells holding points of
+// several heuristics render '*'.
+var symbols = map[string]byte{
+	"ParSubtrees":      'S',
+	"ParSubtreesOptim": 'O',
+	"ParInnerFirst":    'I',
+	"ParDeepestFirst":  'D',
+}
+
+// RenderScatter draws a point cloud as an ASCII scatter plot with
+// logarithmic axes, mimicking the paper's Figures 6-8 (x: makespan ratio,
+// y: memory ratio). Each heuristic plots with its own letter; overlapping
+// heuristics show '*'.
+func RenderScatter(w io.Writer, pts []FigPoint, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	if len(pts) == 0 {
+		_, err := fmt.Fprintln(w, "(no points)")
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.X <= 0 || p.Y <= 0 {
+			continue
+		}
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if minX == maxX {
+		maxX = minX * 1.1
+	}
+	if minY == maxY {
+		maxY = minY * 1.1
+	}
+	lx0, lx1 := math.Log(minX), math.Log(maxX)
+	ly0, ly1 := math.Log(minY), math.Log(maxY)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		if p.X <= 0 || p.Y <= 0 {
+			continue
+		}
+		c := int(float64(width-1) * (math.Log(p.X) - lx0) / (lx1 - lx0))
+		r := height - 1 - int(float64(height-1)*(math.Log(p.Y)-ly0)/(ly1-ly0))
+		sym := symbols[p.Heuristic]
+		if sym == 0 {
+			sym = '.'
+		}
+		switch cur := grid[r][c]; {
+		case cur == ' ':
+			grid[r][c] = sym
+		case cur != sym:
+			grid[r][c] = '*'
+		}
+	}
+	for r, row := range grid {
+		label := "         "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f ", minY)
+		case height / 2:
+			label = fmt.Sprintf("%8.2f ", math.Exp((ly0+ly1)/2))
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s%-*.2f%*.2f\n", strings.Repeat(" ", 10), width/2, minX, width/2, maxX); err != nil {
+		return err
+	}
+	// Legend, stable order.
+	names := make([]string, 0, len(symbols))
+	for n := range symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var leg []string
+	for _, n := range names {
+		leg = append(leg, fmt.Sprintf("%c=%s", symbols[n], n))
+	}
+	_, err := fmt.Fprintf(w, "%slegend: %s, *=overlap (log-log)\n", strings.Repeat(" ", 10), strings.Join(leg, " "))
+	return err
+}

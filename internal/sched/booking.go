@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// MemCappedBooking schedules t on p processors under a hard peak-memory
+// cap, like MemCapped, but with far more parallelism: instead of activating
+// tasks strictly in the order of the reference traversal σ (the
+// memory-optimal postorder), it admits *any* ready task in deepest-first
+// priority, provided the task's footprint fits in the memory budget that is
+// not booked for σ's future needs.
+//
+// Booking invariant: let futurePeak[k] be the largest memory the purely
+// sequential execution of σ[k..] ever needs. Every out-of-order task v
+// charges n_v+f_v against the budget cap - futurePeak[next] (n_v is
+// released when v completes, f_v when its parent does). Since futurePeak is
+// non-increasing in next and any resident file is either part of the
+// σ-prefix state or charged to the budget, σ[next] can always start once
+// the machine drains — the scheduler never deadlocks and never exceeds cap.
+//
+// It returns an error if cap is below the sequential requirement of σ.
+func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	}
+	res := traversal.BestPostOrder(t)
+	n := t.Len()
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	if n == 0 {
+		return s, nil
+	}
+	pos := make([]int, n)
+	for k, v := range res.Order {
+		pos[v] = k
+	}
+	// futurePeak[k] = max over j >= k of the memory during step j of the
+	// sequential execution of σ (suffix maximum of the step peaks).
+	futurePeak := make([]int64, n+1)
+	{
+		var m int64
+		absPeak := make([]int64, n)
+		for k, v := range res.Order {
+			absPeak[k] = m + t.N(v) + t.F(v)
+			m += t.F(v) - t.InSize(v)
+		}
+		for k := n - 1; k >= 0; k-- {
+			futurePeak[k] = absPeak[k]
+			if futurePeak[k+1] > futurePeak[k] {
+				futurePeak[k] = futurePeak[k+1]
+			}
+		}
+	}
+	if futurePeak[0] > cap {
+		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, futurePeak[0])
+	}
+
+	wdepth := t.WDepths()
+	ready := &nodeHeap{less: func(a, b int) bool {
+		if wdepth[a] != wdepth[b] {
+			return wdepth[a] > wdepth[b]
+		}
+		return pos[a] < pos[b]
+	}}
+	remaining := make([]int, n)
+	for v := 0; v < n; v++ {
+		remaining[v] = t.NumChildren(v)
+		if remaining[v] == 0 {
+			ready.nodes = append(ready.nodes, v)
+		}
+	}
+	heap.Init(ready)
+
+	var (
+		mem        int64 // resident memory right now
+		extraUsed  int64 // budget charged by out-of-order tasks
+		next       int   // first index of σ not yet started
+		now        float64
+		outOfOrder = make([]bool, n) // still charged against the budget
+		started    = make([]bool, n)
+	)
+	running := &finishHeap{}
+	freeProcs := make([]int, 0, p)
+	for i := p - 1; i >= 0; i-- {
+		freeProcs = append(freeProcs, i)
+	}
+
+	// admissionWindow bounds the per-event scan of the ready queue; σ[next]
+	// is always retried, so the window only trades scheduling quality for
+	// speed, never progress.
+	const admissionWindow = 256
+
+	start := func(v, proc int) {
+		s.Start[v] = now
+		s.Proc[v] = proc
+		started[v] = true
+		mem += t.N(v) + t.F(v)
+		running.push3(now+t.W(v), v, proc)
+		if pos[v] > next {
+			outOfOrder[v] = true
+			extraUsed += t.N(v) + t.F(v)
+		}
+		for next < n && started[res.Order[next]] {
+			next++
+		}
+	}
+	admissible := func(v int) bool {
+		foot := t.N(v) + t.F(v)
+		if mem+foot > cap {
+			return false
+		}
+		if pos[v] == next {
+			return true
+		}
+		return extraUsed+foot <= cap-futurePeak[next]
+	}
+	assign := func() {
+		// Scan the ready queue in priority order, admitting greedily.
+		skipped := make([]int, 0, 16)
+		scanned := 0
+		for len(freeProcs) > 0 && ready.Len() > 0 && scanned < admissionWindow {
+			v := heap.Pop(ready).(int)
+			scanned++
+			if !admissible(v) {
+				skipped = append(skipped, v)
+				continue
+			}
+			proc := freeProcs[len(freeProcs)-1]
+			freeProcs = freeProcs[:len(freeProcs)-1]
+			start(v, proc)
+		}
+		for _, v := range skipped {
+			heap.Push(ready, v)
+		}
+		// Fallback: σ[next] is admissible whenever the machine is idle;
+		// retry it even if the window missed it.
+		if len(freeProcs) > 0 && next < n {
+			v := res.Order[next]
+			if !started[v] && remaining[v] == 0 && admissible(v) {
+				// Remove v from the ready heap before starting it.
+				for i, u := range ready.nodes {
+					if u == v {
+						heap.Remove(ready, i)
+						proc := freeProcs[len(freeProcs)-1]
+						freeProcs = freeProcs[:len(freeProcs)-1]
+						start(v, proc)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	complete := func(v, proc int) {
+		mem -= t.N(v) + t.InSize(v)
+		if outOfOrder[v] {
+			extraUsed -= t.N(v) // f_v stays charged until the parent completes
+		}
+		for _, c := range t.Children(v) {
+			if outOfOrder[c] {
+				extraUsed -= t.F(c)
+				outOfOrder[c] = false
+			}
+		}
+		freeProcs = append(freeProcs, proc)
+		if pa := t.Parent(v); pa != tree.None {
+			remaining[pa]--
+			if remaining[pa] == 0 {
+				heap.Push(ready, pa)
+			}
+		}
+	}
+
+	assign()
+	done := 0
+	for running.Len() > 0 {
+		at, v, proc := running.pop3()
+		now = at
+		complete(v, proc)
+		done++
+		for running.Len() > 0 && running.at[0] == now {
+			_, v2, proc2 := running.pop3()
+			complete(v2, proc2)
+			done++
+		}
+		assign()
+	}
+	if done != n {
+		return nil, fmt.Errorf("sched: booking scheduler finished %d of %d tasks", done, n)
+	}
+	return s, nil
+}

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// MakespanLowerBound returns the classic makespan lower bound with p
+// processors: max(total work / p, w-weighted critical path). This is the
+// reference used for the x axis of paper Figure 6.
+func MakespanLowerBound(t *tree.Tree, p int) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	lb := t.TotalW() / float64(p)
+	if cp := t.CriticalPath(); cp > lb {
+		lb = cp
+	}
+	return lb
+}
+
+// MemoryLowerBound returns the sequential memory reference M_seq used
+// throughout the paper's evaluation: the peak of the memory-optimal
+// sequential postorder (§6.1; optimal in 95.8% of the paper's instances and
+// within 1% on average). Adding processors can never reduce peak memory, so
+// the optimal sequential memory bounds every parallel schedule from below.
+func MemoryLowerBound(t *tree.Tree) int64 {
+	return traversal.BestPostOrder(t).Peak
+}
+
+// GrahamBound returns the guaranteed makespan bound of any list scheduling
+// on p processors: totalW/p + (1-1/p)·criticalPath, which is at most
+// (2-1/p) times the optimal makespan.
+func GrahamBound(t *tree.Tree, p int) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	fp := float64(p)
+	return t.TotalW()/fp + (1-1/fp)*t.CriticalPath()
+}

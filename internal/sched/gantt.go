@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"treesched/internal/tree"
+)
+
+// WriteGantt renders an ASCII Gantt chart of the schedule: one row per
+// processor, time flowing right, each task drawn as [id---] scaled to
+// width columns. Tasks too narrow to label are drawn as '#'. Intended for
+// debugging and the examples; charts of large schedules are summarized by
+// sampling (at most width columns).
+func WriteGantt(w io.Writer, t *tree.Tree, s *Schedule, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	ms := s.Makespan(t)
+	if ms <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	byProc := make([][]int, s.P)
+	for v := 0; v < t.Len(); v++ {
+		byProc[s.Proc[v]] = append(byProc[s.Proc[v]], v)
+	}
+	scale := float64(width) / ms
+	for p := 0; p < s.P; p++ {
+		tasks := byProc[p]
+		sort.Slice(tasks, func(a, b int) bool { return s.Start[tasks[a]] < s.Start[tasks[b]] })
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, v := range tasks {
+			lo := int(s.Start[v] * scale)
+			hi := int((s.Start[v] + t.W(v)) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			label := fmt.Sprintf("%d", v)
+			span := hi - lo + 1
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+			if span > len(label)+1 {
+				copy(row[lo+1:], label)
+				row[lo] = '['
+				row[hi] = ']'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "P%-3d |%s|\n", p, string(row)); err != nil {
+			return err
+		}
+	}
+	ticks := fmt.Sprintf("     0%s%.4g", strings.Repeat(" ", max(1, width-10)), ms)
+	_, err := fmt.Fprintln(w, ticks)
+	return err
+}
+
+// GanttString is WriteGantt into a string, for tests and logs.
+func GanttString(t *tree.Tree, s *Schedule, width int) string {
+	var sb strings.Builder
+	if err := WriteGantt(&sb, t, s, width); err != nil {
+		return "(gantt error: " + err.Error() + ")"
+	}
+	return sb.String()
+}
+
+// Utilization returns the fraction of processor time spent busy between 0
+// and the makespan.
+func Utilization(t *tree.Tree, s *Schedule) float64 {
+	ms := s.Makespan(t)
+	if ms <= 0 || s.P == 0 {
+		return 0
+	}
+	return t.TotalW() / (ms * float64(s.P))
+}

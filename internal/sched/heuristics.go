@@ -1,0 +1,41 @@
+package sched
+
+import "treesched/internal/tree"
+
+// Heuristic is a named tree-scheduling algorithm.
+type Heuristic struct {
+	Name string
+	Run  func(t *tree.Tree, p int) (*Schedule, error)
+}
+
+// Heuristics returns the four heuristics evaluated in the paper, in the
+// order of Table 1.
+func Heuristics() []Heuristic {
+	return []Heuristic{
+		{Name: "ParSubtrees", Run: ParSubtrees},
+		{Name: "ParSubtreesOptim", Run: ParSubtreesOptim},
+		{Name: "ParInnerFirst", Run: ParInnerFirst},
+		{Name: "ParDeepestFirst", Run: ParDeepestFirst},
+	}
+}
+
+// ByName returns the heuristic with the given name, or false if unknown.
+// Recognized names additionally include the ablation variant
+// "ParInnerFirstArbitrary" and the memory lower-bound pseudo-heuristic
+// "Sequential" (the memory-optimal postorder on one processor).
+func ByName(name string) (Heuristic, bool) {
+	for _, h := range Heuristics() {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	switch name {
+	case "ParInnerFirstArbitrary":
+		return Heuristic{Name: name, Run: ParInnerFirstArbitrary}, true
+	case "Sequential":
+		return Heuristic{Name: name, Run: func(t *tree.Tree, _ int) (*Schedule, error) {
+			return ParSubtrees(t, 1)
+		}}, true
+	}
+	return Heuristic{}, false
+}

@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"treesched/internal/tree"
+)
+
+// scheduleJSON is the stable on-disk form of a Schedule.
+type scheduleJSON struct {
+	P     int       `json:"p"`
+	Start []float64 `json:"start"`
+	Proc  []int     `json:"proc"`
+}
+
+// EncodeJSON writes the schedule as JSON, suitable for archiving runs and
+// for external plotting tools.
+func (s *Schedule) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(scheduleJSON{P: s.P, Start: s.Start, Proc: s.Proc})
+}
+
+// DecodeSchedule reads a schedule written by EncodeJSON and validates it
+// against t.
+func DecodeSchedule(r io.Reader, t *tree.Tree) (*Schedule, error) {
+	var sj scheduleJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	s := &Schedule{P: sj.P, Start: sj.Start, Proc: sj.Proc}
+	if err := s.Validate(t); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	return s, nil
+}

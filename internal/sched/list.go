@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"treesched/internal/tree"
+)
+
+// nodeHeap is a priority queue of ready nodes ordered by a caller-supplied
+// strict-weak-order comparator.
+type nodeHeap struct {
+	nodes []int
+	less  func(a, b int) bool
+}
+
+func (h *nodeHeap) Len() int           { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool { return h.less(h.nodes[i], h.nodes[j]) }
+func (h *nodeHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *nodeHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.nodes
+	n := len(old)
+	x := old[n-1]
+	h.nodes = old[:n-1]
+	return x
+}
+
+// finishHeap orders pending completion events by time (ties by node id for
+// determinism).
+type finishHeap struct {
+	at   []float64
+	node []int
+	proc []int
+}
+
+func (h *finishHeap) Len() int { return len(h.at) }
+func (h *finishHeap) Less(i, j int) bool {
+	if h.at[i] != h.at[j] {
+		return h.at[i] < h.at[j]
+	}
+	return h.node[i] < h.node[j]
+}
+func (h *finishHeap) Swap(i, j int) {
+	h.at[i], h.at[j] = h.at[j], h.at[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.proc[i], h.proc[j] = h.proc[j], h.proc[i]
+}
+func (h *finishHeap) Push(x interface{}) { panic("use push3") }
+func (h *finishHeap) Pop() interface{}   { panic("use pop3") }
+
+func (h *finishHeap) push3(at float64, node, proc int) {
+	h.at = append(h.at, at)
+	h.node = append(h.node, node)
+	h.proc = append(h.proc, proc)
+	heap.Fix(h, h.Len()-1) // sift the new last element up
+}
+
+func (h *finishHeap) pop3() (at float64, node, proc int) {
+	at, node, proc = h.at[0], h.node[0], h.proc[0]
+	last := h.Len() - 1
+	h.Swap(0, last)
+	h.at, h.node, h.proc = h.at[:last], h.node[:last], h.proc[:last]
+	if last > 0 {
+		heap.Fix(h, 0)
+	}
+	return at, node, proc
+}
+
+// ListSchedule runs the event-based list scheduling of paper Algorithm 3:
+// whenever a processor is available, it receives the head of the ready-node
+// priority queue defined by less. The returned schedule is always valid.
+func ListSchedule(t *tree.Tree, p int, less func(a, b int) bool) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	}
+	n := t.Len()
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	if n == 0 {
+		return s, nil
+	}
+	remaining := make([]int, n)
+	ready := &nodeHeap{less: less}
+	for v := 0; v < n; v++ {
+		remaining[v] = t.NumChildren(v)
+		if remaining[v] == 0 {
+			ready.nodes = append(ready.nodes, v)
+		}
+	}
+	heap.Init(ready)
+
+	freeProcs := make([]int, 0, p)
+	for i := p - 1; i >= 0; i-- {
+		freeProcs = append(freeProcs, i) // pop order: proc 0 first
+	}
+	running := &finishHeap{}
+	now := 0.0
+	scheduled := 0
+
+	assign := func() {
+		for len(freeProcs) > 0 && ready.Len() > 0 {
+			proc := freeProcs[len(freeProcs)-1]
+			freeProcs = freeProcs[:len(freeProcs)-1]
+			v := heap.Pop(ready).(int)
+			s.Start[v] = now
+			s.Proc[v] = proc
+			running.push3(now+t.W(v), v, proc)
+			scheduled++
+		}
+	}
+	assign()
+	for running.Len() > 0 {
+		at, v, proc := running.pop3()
+		now = at
+		freeProcs = append(freeProcs, proc)
+		if pa := t.Parent(v); pa != tree.None {
+			remaining[pa]--
+			if remaining[pa] == 0 {
+				heap.Push(ready, pa)
+			}
+		}
+		// Drain all events at the same instant before assigning, so that a
+		// parent freed by several children sees all of them complete.
+		for running.Len() > 0 && running.at[0] == now {
+			_, v2, proc2 := running.pop3()
+			freeProcs = append(freeProcs, proc2)
+			if pa := t.Parent(v2); pa != tree.None {
+				remaining[pa]--
+				if remaining[pa] == 0 {
+					heap.Push(ready, pa)
+				}
+			}
+		}
+		assign()
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("sched: internal error: scheduled %d of %d nodes", scheduled, n)
+	}
+	return s, nil
+}

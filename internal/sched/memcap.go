@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// MemCapped schedules t on p processors under a hard peak-memory cap. It
+// implements the activation-order strategy suggested by the paper's future
+// work (§7, "scheduling algorithms that take as input a cap on the memory
+// usage"):
+//
+// Tasks are started in the order of a memory-feasible sequential traversal
+// σ (the memory-optimal postorder). The next task of σ starts as soon as
+// (a) its children have completed and (b) starting it keeps resident memory
+// within the cap. Up to p tasks run concurrently. Because memory along σ
+// never exceeds the cap when tasks are executed one at a time, the scheduler
+// can always fall back to sequential progress: it never deadlocks.
+//
+// MemCapped returns an error if the cap is below the sequential requirement
+// M_seq of σ (no schedule following σ can respect it).
+func MemCapped(t *tree.Tree, p int, cap int64) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	}
+	res := traversal.BestPostOrder(t)
+	if res.Peak > cap {
+		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, res.Peak)
+	}
+	n := t.Len()
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	if n == 0 {
+		return s, nil
+	}
+	done := make([]bool, n)
+	running := &finishHeap{}
+	freeProcs := make([]int, 0, p)
+	for i := p - 1; i >= 0; i-- {
+		freeProcs = append(freeProcs, i)
+	}
+	var mem int64 // resident memory right now
+	now := 0.0
+	next := 0 // index into σ of the next task to activate
+
+	childrenDone := func(v int) bool {
+		for _, c := range t.Children(v) {
+			if !done[c] {
+				return false
+			}
+		}
+		return true
+	}
+	// startNext activates σ[next] while admissible.
+	startNext := func() {
+		for next < n && len(freeProcs) > 0 {
+			v := res.Order[next]
+			if !childrenDone(v) || mem+t.N(v)+t.F(v) > cap {
+				return
+			}
+			proc := freeProcs[len(freeProcs)-1]
+			freeProcs = freeProcs[:len(freeProcs)-1]
+			s.Start[v] = now
+			s.Proc[v] = proc
+			mem += t.N(v) + t.F(v)
+			running.push3(now+t.W(v), v, proc)
+			next++
+		}
+	}
+	startNext()
+	for running.Len() > 0 {
+		at, v, proc := running.pop3()
+		now = at
+		mem -= t.N(v) + t.InSize(v)
+		done[v] = true
+		freeProcs = append(freeProcs, proc)
+		for running.Len() > 0 && running.at[0] == now {
+			_, v2, proc2 := running.pop3()
+			mem -= t.N(v2) + t.InSize(v2)
+			done[v2] = true
+			freeProcs = append(freeProcs, proc2)
+		}
+		startNext()
+	}
+	if next != n {
+		return nil, fmt.Errorf("sched: internal error: activated %d of %d tasks", next, n)
+	}
+	return s, nil
+}

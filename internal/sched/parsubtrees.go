@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// Splitting is the outcome of SplitSubtrees (paper Alg. 2): a set of
+// disjoint maximal subtrees to process in parallel and the remaining nodes
+// to process sequentially.
+type Splitting struct {
+	// SubtreeRoots holds the roots of all subtrees produced by the selected
+	// splitting, heaviest first.
+	SubtreeRoots []int
+	// SeqNodes holds the nodes popped from the queue (the subtree merge
+	// points and their ancestors), in pop order.
+	SeqNodes []int
+	// PredictedMakespan is C_max(s) of the selected splitting under the
+	// two-phase execution model of Algorithm 1.
+	PredictedMakespan float64
+}
+
+// SplitSubtrees splits t into subtrees for ParSubtrees with p processors,
+// returning the splitting whose predicted two-phase makespan is minimal
+// over all splitting ranks (optimal for ParSubtrees by paper Lemma 1).
+func SplitSubtrees(t *tree.Tree, p int) Splitting {
+	n := t.Len()
+	if n == 0 {
+		return Splitting{}
+	}
+	W := t.SubtreeW()
+	key := func(v int) splitKey { return splitKey{W: W[v], w: t.W(v), id: v} }
+
+	// Pass 1: find the splitting rank with minimal cost.
+	q := newSplitQueue(p)
+	q.Push(key(t.Root()))
+	var seqSum float64
+	bestCost := W[t.Root()] // Cost(0): the whole tree on one processor
+	bestRank := 0
+	rank := 0
+	for {
+		head := q.Max()
+		if head.W <= head.w { // largest subtree is a single node: stop
+			break
+		}
+		q.PopMax()
+		seqSum += t.W(head.id)
+		for _, c := range t.Children(head.id) {
+			q.Push(key(c))
+		}
+		rank++
+		cost := q.Max().W + seqSum + (q.SumAll() - q.SumTop())
+		if cost < bestCost {
+			bestCost = cost
+			bestRank = rank
+		}
+	}
+
+	// Pass 2: replay to the selected rank.
+	q = newSplitQueue(p)
+	q.Push(key(t.Root()))
+	sp := Splitting{PredictedMakespan: bestCost}
+	for s := 0; s < bestRank; s++ {
+		head := q.PopMax()
+		sp.SeqNodes = append(sp.SeqNodes, head.id)
+		for _, c := range t.Children(head.id) {
+			q.Push(key(c))
+		}
+	}
+	for _, k := range q.Drain() {
+		sp.SubtreeRoots = append(sp.SubtreeRoots, k.id)
+	}
+	return sp
+}
+
+// SplitSubtreesNaive is the ablation baseline for SplitSubtrees: it stops
+// splitting as soon as the queue holds at least p subtrees (or the heaviest
+// is a single node), instead of scanning all splitting ranks for the
+// cost-optimal one (Lemma 1). Comparing the two isolates the value of the
+// optimal stopping rule.
+func SplitSubtreesNaive(t *tree.Tree, p int) Splitting {
+	n := t.Len()
+	if n == 0 {
+		return Splitting{}
+	}
+	W := t.SubtreeW()
+	key := func(v int) splitKey { return splitKey{W: W[v], w: t.W(v), id: v} }
+	q := newSplitQueue(p)
+	q.Push(key(t.Root()))
+	var sp Splitting
+	var seqSum float64
+	for q.Len() < p {
+		head := q.Max()
+		if head.W <= head.w {
+			break
+		}
+		q.PopMax()
+		sp.SeqNodes = append(sp.SeqNodes, head.id)
+		seqSum += t.W(head.id)
+		for _, c := range t.Children(head.id) {
+			q.Push(key(c))
+		}
+	}
+	sp.PredictedMakespan = q.Max().W + seqSum + (q.SumAll() - q.SumTop())
+	for _, k := range q.Drain() {
+		sp.SubtreeRoots = append(sp.SubtreeRoots, k.id)
+	}
+	return sp
+}
+
+// ParSubtrees is the memory-focused heuristic of paper §5.1 (Alg. 1): the
+// tree is split into subtrees by SplitSubtrees; the p heaviest subtrees run
+// concurrently, one per processor, each traversed with the memory-optimal
+// sequential postorder; every remaining node (merge nodes and surplus
+// subtrees) is then processed sequentially, again in memory-minimizing
+// order. ParSubtrees is a (p+1)-approximation for peak memory and a
+// p-approximation for makespan.
+func ParSubtrees(t *tree.Tree, p int) (*Schedule, error) {
+	return parSubtrees(t, p, false)
+}
+
+// ParSubtreesOptim is the makespan optimization of ParSubtrees (paper
+// §5.1): all subtrees produced by the splitting — not only the p heaviest —
+// are allocated to the processors in LPT fashion (heaviest first onto the
+// least-loaded processor), and only the merge nodes run sequentially. It
+// typically improves the makespan at the price of some extra memory.
+func ParSubtreesOptim(t *tree.Tree, p int) (*Schedule, error) {
+	return parSubtrees(t, p, true)
+}
+
+func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	}
+	n := t.Len()
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	if n == 0 {
+		return s, nil
+	}
+	sp := SplitSubtrees(t, p)
+
+	// Phase 1: process subtrees in parallel. Plain ParSubtrees runs only
+	// the p heaviest subtrees concurrently; the surplus joins the
+	// sequential phase. ParSubtreesOptim LPT-packs all of them.
+	inParallel := make([]bool, n)
+	parallelRoots := sp.SubtreeRoots
+	if !optim && len(parallelRoots) > p {
+		parallelRoots = parallelRoots[:p]
+	}
+	procFree := make([]float64, p)
+	// LPT allocation: roots are already ordered heaviest-first; place each
+	// on the least-loaded processor. For plain ParSubtrees there are at most
+	// p roots, so each lands on its own processor.
+	for _, r := range parallelRoots {
+		proc := 0
+		for q := 1; q < p; q++ {
+			if procFree[q] < procFree[proc] {
+				proc = q
+			}
+		}
+		sub, mapping := t.Subtree(r)
+		res := traversal.BestPostOrder(sub)
+		at := procFree[proc]
+		for _, v := range res.Order {
+			orig := mapping[v]
+			s.Start[orig] = at
+			s.Proc[orig] = proc
+			at += sub.W(v)
+			inParallel[orig] = true
+		}
+		procFree[proc] = at
+	}
+	phase1End := 0.0
+	for _, f := range procFree {
+		if f > phase1End {
+			phase1End = f
+		}
+	}
+
+	// Phase 2: remaining nodes sequentially on processor 0, in the
+	// memory-minimizing order of the quotient tree (completed subtrees
+	// appear as zero-work stub leaves whose output files are resident).
+	remaining := make([]int, 0, len(sp.SeqNodes)+8)
+	for v := 0; v < n; v++ {
+		if !inParallel[v] {
+			remaining = append(remaining, v)
+		}
+	}
+	if len(remaining) == 0 {
+		return s, nil
+	}
+	order := quotientOrder(t, remaining, inParallel)
+	at := phase1End
+	for _, v := range order {
+		s.Start[v] = at
+		s.Proc[v] = 0
+		at += t.W(v)
+	}
+	return s, nil
+}
+
+// quotientOrder returns a memory-minimizing sequential order of the
+// remaining nodes: the best postorder of the quotient tree in which every
+// child already processed in phase 1 is replaced by a zero-work stub leaf
+// carrying its output file.
+func quotientOrder(t *tree.Tree, remaining []int, done []bool) []int {
+	toNew := make(map[int]int, len(remaining))
+	for i, v := range remaining {
+		toNew[v] = i
+	}
+	var b tree.Builder
+	for _, v := range remaining {
+		pa := t.Parent(v)
+		np := tree.None
+		if pa != tree.None {
+			// The parent of a remaining node is always remaining (removed
+			// subtrees are maximal).
+			np = toNew[pa]
+		}
+		b.Add(np, t.W(v), t.N(v), t.F(v))
+	}
+	stubOf := make(map[int]int) // new stub id -> original node
+	for _, v := range remaining {
+		for _, c := range t.Children(v) {
+			if done[c] {
+				id := b.Add(toNew[v], 0, 0, t.F(c))
+				stubOf[id] = c
+			}
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		// The quotient construction above cannot fail for a valid splitting.
+		panic(fmt.Sprintf("sched: quotient tree: %v", err))
+	}
+	res := traversal.BestPostOrder(q)
+	order := make([]int, 0, len(remaining))
+	for _, v := range res.Order {
+		if _, isStub := stubOf[v]; !isStub {
+			order = append(order, remaining[v])
+		}
+	}
+	return order
+}
+
+// SubtreeRootsByWeight returns the subtree roots of sp ordered by
+// non-increasing subtree weight; exported for inspection and tests.
+func SubtreeRootsByWeight(t *tree.Tree, sp Splitting) []int {
+	W := t.SubtreeW()
+	out := append([]int(nil), sp.SubtreeRoots...)
+	sort.SliceStable(out, func(a, b int) bool { return W[out[a]] > W[out[b]] })
+	return out
+}

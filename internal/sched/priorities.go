@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"treesched/internal/tree"
+
+	"treesched/internal/traversal"
+)
+
+// ParInnerFirst is the parallel-postorder heuristic of paper §5.2, built on
+// the list scheduler: ready inner nodes always precede ready leaves; inner
+// nodes are ordered by non-increasing depth; leaves follow the
+// memory-optimal sequential postorder. Being a list scheduling, it is a
+// (2-1/p)-approximation for the makespan; its memory use is unbounded
+// relative to M_seq (paper Fig. 4).
+func ParInnerFirst(t *tree.Tree, p int) (*Schedule, error) {
+	order := traversal.BestPostOrder(t).Order
+	return parInnerFirstWithOrder(t, p, order)
+}
+
+// ParInnerFirstArbitrary is ParInnerFirst with an arbitrary (natural index)
+// leaf order instead of the optimal sequential postorder. It exists as the
+// ablation baseline for the role of the input order O in Algorithm 3.
+func ParInnerFirstArbitrary(t *tree.Tree, p int) (*Schedule, error) {
+	order := make([]int, t.Len())
+	for i := range order {
+		order[i] = i
+	}
+	return parInnerFirstWithOrder(t, p, order)
+}
+
+func parInnerFirstWithOrder(t *tree.Tree, p int, order []int) (*Schedule, error) {
+	pos := make([]int, t.Len())
+	for k, v := range order {
+		pos[v] = k
+	}
+	depth := t.Depths()
+	leaf := make([]bool, t.Len())
+	for v := 0; v < t.Len(); v++ {
+		leaf[v] = t.IsLeaf(v)
+	}
+	less := func(a, b int) bool {
+		if leaf[a] != leaf[b] {
+			return !leaf[a] // inner nodes first
+		}
+		if !leaf[a] { // both inner: deepest first
+			if depth[a] != depth[b] {
+				return depth[a] > depth[b]
+			}
+			return pos[a] < pos[b]
+		}
+		return pos[a] < pos[b] // both leaves: input order O
+	}
+	return ListSchedule(t, p, less)
+}
+
+// ParDeepestFirst is the makespan-focused heuristic of paper §5.3: ready
+// nodes are ordered by non-increasing w-weighted distance to the root
+// (including their own w — the deepest node starts the critical path), with
+// inner nodes before leaves and the optimal sequential postorder breaking
+// remaining ties. Its memory use is unbounded relative to M_seq
+// (paper Fig. 5).
+func ParDeepestFirst(t *tree.Tree, p int) (*Schedule, error) {
+	order := traversal.BestPostOrder(t).Order
+	pos := make([]int, t.Len())
+	for k, v := range order {
+		pos[v] = k
+	}
+	wdepth := t.WDepths()
+	leaf := make([]bool, t.Len())
+	for v := 0; v < t.Len(); v++ {
+		leaf[v] = t.IsLeaf(v)
+	}
+	less := func(a, b int) bool {
+		if wdepth[a] != wdepth[b] {
+			return wdepth[a] > wdepth[b]
+		}
+		if leaf[a] != leaf[b] {
+			return !leaf[a] // inner nodes before leaves
+		}
+		return pos[a] < pos[b]
+	}
+	return ListSchedule(t, p, less)
+}

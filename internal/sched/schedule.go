@@ -1,0 +1,91 @@
+// Package sched implements the parallel, memory-aware tree-scheduling
+// heuristics of Marchal, Sinnen and Vivien (INRIA RR-8082, IPDPS 2013):
+// ParSubtrees, ParSubtreesOptim, ParInnerFirst and ParDeepestFirst, together
+// with the event-driven list-scheduling engine they share (paper Alg. 3), a
+// discrete-event peak-memory simulator, bi-objective lower bounds, and a
+// memory-capped scheduler (the paper's stated future work).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"treesched/internal/tree"
+)
+
+// timeEps absorbs floating-point rounding in schedule validation.
+const timeEps = 1e-9
+
+// Schedule assigns every node of a tree a start time and a processor.
+// Tasks are non-preemptive: node i occupies Proc[i] during
+// [Start[i], Start[i]+w_i).
+type Schedule struct {
+	Start []float64 // start time per node
+	Proc  []int     // processor per node, in [0, P)
+	P     int       // number of processors
+}
+
+// Makespan returns the completion time of the last task.
+func (s *Schedule) Makespan(t *tree.Tree) float64 {
+	var m float64
+	for i, st := range s.Start {
+		if c := st + t.W(i); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Finish returns the completion time of node i.
+func (s *Schedule) Finish(t *tree.Tree, i int) float64 { return s.Start[i] + t.W(i) }
+
+// Validate checks that s is a feasible schedule of t: every node scheduled
+// exactly once on a valid processor, no task starts before its children
+// complete, and no two tasks overlap on the same processor.
+func (s *Schedule) Validate(t *tree.Tree) error {
+	n := t.Len()
+	if len(s.Start) != n || len(s.Proc) != n {
+		return fmt.Errorf("sched: schedule covers %d/%d starts, %d/%d procs", len(s.Start), n, len(s.Proc), n)
+	}
+	if s.P < 1 {
+		return fmt.Errorf("sched: invalid processor count %d", s.P)
+	}
+	for i := 0; i < n; i++ {
+		if s.Proc[i] < 0 || s.Proc[i] >= s.P {
+			return fmt.Errorf("sched: node %d on invalid processor %d", i, s.Proc[i])
+		}
+		if s.Start[i] < -timeEps || math.IsNaN(s.Start[i]) || math.IsInf(s.Start[i], 0) {
+			return fmt.Errorf("sched: node %d has invalid start time %v", i, s.Start[i])
+		}
+		if p := t.Parent(i); p != tree.None {
+			if s.Start[p]+timeEps < s.Start[i]+t.W(i) {
+				return fmt.Errorf("sched: node %d starts at %v before child %d completes at %v",
+					p, s.Start[p], i, s.Start[i]+t.W(i))
+			}
+		}
+	}
+	// Per-processor non-overlap.
+	byProc := make([][]int, s.P)
+	for i := 0; i < n; i++ {
+		byProc[s.Proc[i]] = append(byProc[s.Proc[i]], i)
+	}
+	for p, tasks := range byProc {
+		// Order by start time; zero-duration tasks sort before longer ones
+		// sharing their start, so they do not trip the overlap check.
+		sort.Slice(tasks, func(a, b int) bool {
+			sa, sb := s.Start[tasks[a]], s.Start[tasks[b]]
+			if sa != sb {
+				return sa < sb
+			}
+			return t.W(tasks[a]) < t.W(tasks[b])
+		})
+		for k := 1; k < len(tasks); k++ {
+			prev, cur := tasks[k-1], tasks[k]
+			if s.Start[cur]+timeEps < s.Start[prev]+t.W(prev) {
+				return fmt.Errorf("sched: tasks %d and %d overlap on processor %d", prev, cur, p)
+			}
+		}
+	}
+	return nil
+}

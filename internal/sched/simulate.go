@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sort"
+
+	"treesched/internal/tree"
+)
+
+// event kinds, in tie-break order at equal timestamps: completions release
+// memory before new tasks allocate (this matches the per-step accounting of
+// the paper's NP-completeness proof, §4.1).
+const (
+	evEnd   = 0 // task completion: release n_i and the children's files
+	evPulse = 1 // zero-duration task: allocate, peak, release in one step
+	evStart = 2 // task start: allocate n_i + f_i
+)
+
+type event struct {
+	at   float64
+	kind int8
+	node int
+}
+
+// PeakMemory returns the peak memory of executing schedule s on tree t: at
+// any instant, resident memory is the sum of the output files produced but
+// not yet consumed plus, for every running task, its execution and output
+// files. Memory released at time τ is available to tasks starting at τ.
+func PeakMemory(t *tree.Tree, s *Schedule) int64 {
+	n := t.Len()
+	events := make([]event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		if t.W(i) == 0 {
+			events = append(events, event{s.Start[i], evPulse, i})
+			continue
+		}
+		events = append(events, event{s.Start[i], evStart, i})
+		events = append(events, event{s.Start[i] + t.W(i), evEnd, i})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].kind < events[b].kind
+	})
+	var m, peak int64
+	for _, e := range events {
+		v := e.node
+		switch e.kind {
+		case evEnd:
+			m -= t.N(v) + t.InSize(v)
+		case evStart:
+			m += t.N(v) + t.F(v)
+		case evPulse:
+			m += t.N(v) + t.F(v)
+			if m > peak {
+				peak = m
+			}
+			m -= t.N(v) + t.InSize(v)
+		}
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// MemoryTrace returns the (time, resident-memory) steps of the schedule,
+// one entry per event, for plotting and debugging. Entries share timestamps
+// when several events coincide.
+func MemoryTrace(t *tree.Tree, s *Schedule) (times []float64, mem []int64) {
+	n := t.Len()
+	events := make([]event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		if t.W(i) == 0 {
+			events = append(events, event{s.Start[i], evPulse, i})
+			continue
+		}
+		events = append(events, event{s.Start[i], evStart, i})
+		events = append(events, event{s.Start[i] + t.W(i), evEnd, i})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].kind < events[b].kind
+	})
+	var m int64
+	for _, e := range events {
+		v := e.node
+		switch e.kind {
+		case evEnd:
+			m -= t.N(v) + t.InSize(v)
+		case evStart:
+			m += t.N(v) + t.F(v)
+		case evPulse:
+			m += t.N(v) + t.F(v)
+			times = append(times, e.at)
+			mem = append(mem, m)
+			m -= t.N(v) + t.InSize(v)
+		}
+		times = append(times, e.at)
+		mem = append(mem, m)
+	}
+	return times, mem
+}

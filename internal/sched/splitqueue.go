@@ -1,0 +1,134 @@
+package sched
+
+import "container/heap"
+
+// splitKey orders subtree roots in SplitSubtrees: by non-increasing subtree
+// weight W, ties by non-increasing node weight w (paper Alg. 2), final ties
+// by node id for determinism.
+type splitKey struct {
+	W, w float64
+	id   int
+}
+
+func (a splitKey) greater(b splitKey) bool {
+	if a.W != b.W {
+		return a.W > b.W
+	}
+	if a.w != b.w {
+		return a.w > b.w
+	}
+	return a.id < b.id
+}
+
+type maxKeyHeap []splitKey
+
+func (h maxKeyHeap) Len() int            { return len(h) }
+func (h maxKeyHeap) Less(i, j int) bool  { return h[i].greater(h[j]) }
+func (h maxKeyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxKeyHeap) Push(x interface{}) { *h = append(*h, x.(splitKey)) }
+func (h *maxKeyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type minKeyHeap []splitKey
+
+func (h minKeyHeap) Len() int            { return len(h) }
+func (h minKeyHeap) Less(i, j int) bool  { return h[j].greater(h[i]) }
+func (h minKeyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minKeyHeap) Push(x interface{}) { *h = append(*h, x.(splitKey)) }
+func (h *minKeyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// splitQueue is the priority queue of SplitSubtrees augmented with O(1)
+// access to the sum of the k heaviest subtree weights, so that the cost
+// C_max(s) of every candidate splitting is evaluated in O(k + log n). It
+// maintains the k largest keys in a min-heap (`top`) and the remainder in a
+// max-heap (`rest`); PopMax always removes from `top`.
+type splitQueue struct {
+	k      int
+	top    minKeyHeap
+	rest   maxKeyHeap
+	sumTop float64 // sum of W over top
+	sumAll float64 // sum of W over top and rest
+}
+
+func newSplitQueue(k int) *splitQueue { return &splitQueue{k: k} }
+
+func (q *splitQueue) Len() int { return len(q.top) + len(q.rest) }
+
+// SumAll returns the total subtree weight of all queued roots.
+func (q *splitQueue) SumAll() float64 { return q.sumAll }
+
+// SumTop returns the total subtree weight of the min(k, Len()) heaviest
+// queued roots.
+func (q *splitQueue) SumTop() float64 { return q.sumTop }
+
+// Push inserts a root.
+func (q *splitQueue) Push(x splitKey) {
+	q.sumAll += x.W
+	if len(q.top) < q.k {
+		heap.Push(&q.top, x)
+		q.sumTop += x.W
+		return
+	}
+	if x.greater(q.top[0]) {
+		evicted := q.top[0]
+		q.top[0] = x
+		heap.Fix(&q.top, 0)
+		q.sumTop += x.W - evicted.W
+		heap.Push(&q.rest, evicted)
+		return
+	}
+	heap.Push(&q.rest, x)
+}
+
+// Max returns the globally heaviest root without removing it.
+// Cost: O(k) scan of the top heap.
+func (q *splitQueue) Max() splitKey {
+	best := 0
+	for i := 1; i < len(q.top); i++ {
+		if q.top[i].greater(q.top[best]) {
+			best = i
+		}
+	}
+	return q.top[best]
+}
+
+// PopMax removes and returns the globally heaviest root, refilling top from
+// rest to keep the k-largest invariant.
+func (q *splitQueue) PopMax() splitKey {
+	best := 0
+	for i := 1; i < len(q.top); i++ {
+		if q.top[i].greater(q.top[best]) {
+			best = i
+		}
+	}
+	x := heap.Remove(&q.top, best).(splitKey)
+	q.sumTop -= x.W
+	q.sumAll -= x.W
+	if len(q.rest) > 0 {
+		y := heap.Pop(&q.rest).(splitKey)
+		heap.Push(&q.top, y)
+		q.sumTop += y.W
+	}
+	return x
+}
+
+// Drain returns all queued roots ordered heaviest-first and empties the
+// queue.
+func (q *splitQueue) Drain() []splitKey {
+	out := make([]splitKey, 0, q.Len())
+	for q.Len() > 0 {
+		out = append(out, q.PopMax())
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package spm
+
+import (
+	"fmt"
+
+	"treesched/internal/tree"
+)
+
+// AssemblyNode is one amalgamated node of an assembly tree.
+type AssemblyNode struct {
+	Eta     int   // η: number of amalgamated columns
+	Mu      int64 // µ: factor column count of the highest column
+	Highest int   // position of the highest amalgamated column
+}
+
+// Amalgamate performs the relaxed node amalgamation of paper §6.2: walking
+// the elimination tree bottom-up, a node is merged into its parent whenever
+// the combined node would contain at most maxEta original columns. maxEta=1
+// leaves the elimination tree untouched; the paper uses 1, 2, 4 and 16.
+// parent and counts are in eliminated positions (see EliminationTree); the
+// returned nodes are in topological order (children before parents) and
+// nodeParent[i] indexes into nodes (-1 for roots).
+func Amalgamate(parent []int, counts []int64, maxEta int) (nodes []AssemblyNode, nodeParent []int, err error) {
+	n := len(parent)
+	if len(counts) != n {
+		return nil, nil, fmt.Errorf("spm: %d counts for %d columns", len(counts), n)
+	}
+	if maxEta < 1 {
+		return nil, nil, fmt.Errorf("spm: maxEta must be >= 1, got %d", maxEta)
+	}
+	// Union-find on positions; the representative tracks the supernode.
+	uf := make([]int, n)
+	size := make([]int, n)
+	for i := range uf {
+		uf[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	// Positions are a topological order of the elimination tree (parents
+	// have higher positions), so a single ascending sweep visits children
+	// before parents.
+	for j := 0; j < n; j++ {
+		pa := parent[j]
+		if pa == -1 {
+			continue
+		}
+		rj, rp := find(j), find(pa)
+		if rj != rp && size[rj]+size[rp] <= maxEta {
+			// Merge the child's supernode into the parent's; keep the
+			// parent representative (it holds the highest column).
+			uf[rj] = rp
+			size[rp] += size[rj]
+		}
+	}
+	// The representative of each supernode is its highest position: merges
+	// always point child representatives at parent representatives.
+	index := make(map[int]int, n)
+	for j := 0; j < n; j++ {
+		r := find(j)
+		if r == j {
+			index[j] = len(nodes)
+			nodes = append(nodes, AssemblyNode{Eta: size[j], Mu: counts[j], Highest: j})
+		}
+	}
+	nodeParent = make([]int, len(nodes))
+	for i, nd := range nodes {
+		pa := parent[nd.Highest]
+		if pa == -1 {
+			nodeParent[i] = -1
+			continue
+		}
+		nodeParent[i] = index[find(pa)]
+	}
+	return nodes, nodeParent, nil
+}
+
+// TreeFromAssembly converts an assembly forest into a single task tree
+// weighted with the paper's multifrontal cost model. If the forest has
+// several roots (reducible matrices), a zero-cost super-root joins them.
+func TreeFromAssembly(nodes []AssemblyNode, nodeParent []int) (*tree.Tree, error) {
+	roots := 0
+	for _, p := range nodeParent {
+		if p == -1 {
+			roots++
+		}
+	}
+	var b tree.Builder
+	offset := 0
+	if roots != 1 {
+		b.Add(tree.None, 0, 0, 0) // super-root
+		offset = 1
+	}
+	for i, nd := range nodes {
+		eta := float64(nd.Eta)
+		mu1 := float64(nd.Mu - 1)
+		w := 2.0/3.0*eta*eta*eta + eta*eta*mu1 + eta*mu1*mu1
+		ni := int64(nd.Eta)*int64(nd.Eta) + 2*int64(nd.Eta)*(nd.Mu-1)
+		fi := (nd.Mu - 1) * (nd.Mu - 1)
+		pa := tree.None
+		if nodeParent[i] != -1 {
+			pa = nodeParent[i] + offset
+		} else if roots != 1 {
+			pa = 0
+		}
+		if got := b.Add(pa, w, ni, fi); got != i+offset {
+			return nil, fmt.Errorf("spm: assembly node ids out of sync at %d", i)
+		}
+	}
+	return b.Build()
+}
+
+// AssemblyTree runs the full pipeline: elimination tree, column counts,
+// amalgamation with maxEta, and conversion to a weighted task tree.
+func AssemblyTree(p *Pattern, perm Perm, maxEta int) (*tree.Tree, error) {
+	if !perm.Valid(p.Len()) {
+		return nil, fmt.Errorf("spm: invalid permutation")
+	}
+	parent := EliminationTree(p, perm)
+	counts := ColCounts(p, perm, parent)
+	nodes, nodeParent, err := Amalgamate(parent, counts, maxEta)
+	if err != nil {
+		return nil, err
+	}
+	return TreeFromAssembly(nodes, nodeParent)
+}

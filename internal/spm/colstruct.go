@@ -1,0 +1,32 @@
+package spm
+
+// ColStructs computes the full symbolic structure of the Cholesky factor:
+// for every column j (in eliminated positions), the sorted list of
+// below-diagonal row positions i > j with L[i][j] structurally nonzero.
+// len(ColStructs(...)[j]) + 1 == ColCounts(...)[j]. Runs in O(|L|) time and
+// memory via the same row-subtree traversal as ColCounts; intended for the
+// numeric multifrontal engine and for moderate problem sizes.
+func ColStructs(p *Pattern, perm Perm, parent []int) [][]int32 {
+	n := p.Len()
+	inv := perm.Inverse()
+	structs := make([][]int32, n)
+	mark := make([]int, n)
+	for j := 0; j < n; j++ {
+		mark[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = i
+		for _, u := range p.Adj(perm[i]) {
+			k := inv[u]
+			if k >= i {
+				continue
+			}
+			for j := k; mark[j] != i; j = parent[j] {
+				structs[j] = append(structs[j], int32(i)) // L[i][j] != 0
+				mark[j] = i
+			}
+		}
+	}
+	// Rows are appended in increasing i, so each list is already sorted.
+	return structs
+}

@@ -1,0 +1,87 @@
+package spm
+
+// EliminationTree computes the elimination tree of the matrix pattern p
+// under the ordering perm, using Liu's algorithm with path compression.
+// The result is expressed in eliminated positions: parent[k] is the
+// position of the parent of the column eliminated at step k, or -1 for a
+// root (the forest has one root per connected component; parents always
+// have higher positions).
+func EliminationTree(p *Pattern, perm Perm) []int {
+	n := p.Len()
+	inv := perm.Inverse()
+	parent := make([]int, n)
+	anc := make([]int, n) // virtual forest with path compression
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		anc[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		for _, u := range p.Adj(perm[j]) {
+			i := inv[u]
+			if i >= j {
+				continue
+			}
+			// Climb from i to its current root, compressing onto j.
+			for i != -1 && i != j {
+				next := anc[i]
+				anc[i] = j
+				if next == -1 {
+					parent[i] = j
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// ColCounts computes µ, the number of nonzeros of each column of the
+// Cholesky factor L (diagonal included), by the row-subtree traversal: the
+// nonzeros of row i of L are exactly the nodes on the elimination-tree
+// paths from the row's lower-triangular entries up to i. Positions refer to
+// the ordering perm; counts[k] belongs to the column eliminated at step k.
+// Runs in O(|L|).
+func ColCounts(p *Pattern, perm Perm, parent []int) []int64 {
+	n := p.Len()
+	inv := perm.Inverse()
+	counts := make([]int64, n)
+	mark := make([]int, n)
+	for j := 0; j < n; j++ {
+		counts[j] = 1 // diagonal
+		mark[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = i
+		for _, u := range p.Adj(perm[i]) {
+			k := inv[u]
+			if k >= i {
+				continue
+			}
+			for j := k; mark[j] != i; j = parent[j] {
+				counts[j]++ // L[i][j] is structurally nonzero
+				mark[j] = i
+			}
+		}
+	}
+	return counts
+}
+
+// FactorStats summarizes a symbolic factorization.
+type FactorStats struct {
+	FactorNNZ int64   // Σ µ: nonzeros of L
+	Flops     float64 // Σ µ²: multiply-add count of the factorization
+	MaxCount  int64   // largest µ
+}
+
+// Stats aggregates the column counts.
+func Stats(counts []int64) FactorStats {
+	var s FactorStats
+	for _, c := range counts {
+		s.FactorNNZ += c
+		s.Flops += float64(c) * float64(c)
+		if c > s.MaxCount {
+			s.MaxCount = c
+		}
+	}
+	return s
+}

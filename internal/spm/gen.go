@@ -1,0 +1,137 @@
+package spm
+
+import "math/rand"
+
+// Grid2D returns the 5-point stencil pattern of an nx × ny grid (the graph
+// of a 2D Laplacian), vertex (x,y) at index x + nx*y.
+func Grid2D(nx, ny int) *Pattern {
+	edges := make([][2]int, 0, 2*nx*ny)
+	id := func(x, y int) int { return x + nx*y }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < ny {
+				edges = append(edges, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	p, err := NewPattern(nx*ny, edges)
+	if err != nil {
+		panic(err) // generated edges are always in range
+	}
+	return p
+}
+
+// Grid3D returns the 7-point stencil pattern of an nx × ny × nz grid (3D
+// Laplacian), vertex (x,y,z) at index x + nx*(y + ny*z).
+func Grid3D(nx, ny, nz int) *Pattern {
+	edges := make([][2]int, 0, 3*nx*ny*nz)
+	id := func(x, y, z int) int { return x + nx*(y+ny*z) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					edges = append(edges, [2]int{id(x, y, z), id(x+1, y, z)})
+				}
+				if y+1 < ny {
+					edges = append(edges, [2]int{id(x, y, z), id(x, y+1, z)})
+				}
+				if z+1 < nz {
+					edges = append(edges, [2]int{id(x, y, z), id(x, y, z+1)})
+				}
+			}
+		}
+	}
+	p, err := NewPattern(nx*ny*nz, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RandomSym returns a connected random symmetric pattern with roughly
+// avgDeg neighbors per vertex: a random spanning tree (for connectivity)
+// plus uniform random edges.
+func RandomSym(rng *rand.Rand, n int, avgDeg float64) *Pattern {
+	edges := make([][2]int, 0, n+int(avgDeg*float64(n)/2))
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v, rng.Intn(v)})
+	}
+	extra := int(avgDeg*float64(n)/2) - (n - 1)
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	p, err := NewPattern(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PowerLaw returns a connected preferential-attachment pattern: each new
+// vertex attaches m edges to existing vertices chosen proportionally to
+// their degree. The heavy-tailed degrees reproduce the huge-degree assembly
+// trees of the paper's dataset (max degree up to 175,000).
+func PowerLaw(rng *rand.Rand, n, m int) *Pattern {
+	if m < 1 {
+		m = 1
+	}
+	edges := make([][2]int, 0, n*m)
+	// targets holds one entry per edge endpoint: sampling uniformly from it
+	// is sampling proportionally to degree.
+	targets := make([]int, 0, 2*n*m)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		k := m
+		if v < m {
+			k = v
+		}
+		chosen := make([]int, 0, k)
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if t == v {
+				continue
+			}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			edges = append(edges, [2]int{v, t})
+			targets = append(targets, v, t)
+		}
+	}
+	p, err := NewPattern(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Band returns a banded pattern: vertex i is connected to i±1..i±bw.
+// Band matrices yield chain-like elimination trees.
+func Band(n, bw int) *Pattern {
+	edges := make([][2]int, 0, n*bw)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= bw && i+d < n; d++ {
+			edges = append(edges, [2]int{i, i + d})
+		}
+	}
+	p, err := NewPattern(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

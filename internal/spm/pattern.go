@@ -1,0 +1,165 @@
+// Package spm is the sparse-matrix substrate of the reproduction: it
+// synthesizes the assembly trees that the paper obtains from the University
+// of Florida Sparse Matrix Collection. It provides symmetric sparsity
+// patterns and generators, fill-reducing orderings (nested dissection,
+// minimum degree, reverse Cuthill-McKee), Liu's elimination-tree algorithm,
+// symbolic Cholesky factorization (per-column factor counts µ), and relaxed
+// node amalgamation producing assembly trees weighted with the paper's
+// multifrontal cost model (§6.2):
+//
+//	n_i = η² + 2η(µ−1)
+//	w_i = 2/3·η³ + η²(µ−1) + η(µ−1)²
+//	f_i = (µ−1)²
+//
+// where η is the number of amalgamated columns of a node and µ the factor
+// column count of its highest column.
+package spm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern is the sparsity pattern of a structurally symmetric matrix,
+// viewed as an undirected graph on vertices 0..n-1 without self-loops.
+type Pattern struct {
+	n   int
+	adj [][]int32 // sorted neighbor lists; symmetric
+}
+
+// NewPattern builds a pattern from undirected edges. Self-loops are
+// rejected, duplicate edges are merged.
+func NewPattern(n int, edges [][2]int) (*Pattern, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("spm: negative dimension %d", n)
+	}
+	p := &Pattern{n: n, adj: make([][]int32, n)}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("spm: edge (%d,%d) out of range [0,%d)", a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("spm: self-loop on %d", a)
+		}
+		p.adj[a] = append(p.adj[a], int32(b))
+		p.adj[b] = append(p.adj[b], int32(a))
+	}
+	p.normalize()
+	return p, nil
+}
+
+// normalize sorts the neighbor lists and removes duplicates.
+func (p *Pattern) normalize() {
+	for v := range p.adj {
+		l := p.adj[v]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		out := l[:0]
+		for i, x := range l {
+			if i == 0 || x != l[i-1] {
+				out = append(out, x)
+			}
+		}
+		p.adj[v] = out
+	}
+}
+
+// Len returns the number of vertices (matrix dimension).
+func (p *Pattern) Len() int { return p.n }
+
+// Adj returns the sorted neighbors of v; the slice is owned by the pattern.
+func (p *Pattern) Adj(v int) []int32 { return p.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (p *Pattern) Degree(v int) int { return len(p.adj[v]) }
+
+// NNZ returns the number of structural nonzeros of the full symmetric
+// matrix, diagonal included.
+func (p *Pattern) NNZ() int {
+	nz := p.n
+	for _, l := range p.adj {
+		nz += len(l)
+	}
+	return nz
+}
+
+// NNZPerRow returns the average nonzeros per row, diagonal included (the
+// matrix-selection statistic of paper §6.2).
+func (p *Pattern) NNZPerRow() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return float64(p.NNZ()) / float64(p.n)
+}
+
+// MaxDegree returns the largest vertex degree.
+func (p *Pattern) MaxDegree() int {
+	m := 0
+	for _, l := range p.adj {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// Connected reports whether the graph of the pattern is connected
+// (vacuously true for n <= 1).
+func (p *Pattern) Connected() bool {
+	if p.n <= 1 {
+		return true
+	}
+	seen := make([]bool, p.n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range p.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return count == p.n
+}
+
+// Perm is a fill-reducing ordering: Perm[k] is the original vertex
+// eliminated at step k.
+type Perm []int
+
+// Inverse returns inv with inv[Perm[k]] = k.
+func (p Perm) Inverse() []int {
+	inv := make([]int, len(p))
+	for k, v := range p {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Valid reports whether p is a permutation of 0..n-1.
+func (p Perm) Valid(n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// NaturalOrder returns the identity ordering.
+func NaturalOrder(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

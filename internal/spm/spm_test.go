@@ -1,0 +1,417 @@
+package spm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseSymbolic runs boolean Cholesky elimination on a dense copy of the
+// permuted pattern and returns the factor pattern (lower triangle, diagonal
+// included), the reference for EliminationTree and ColCounts.
+func denseSymbolic(p *Pattern, perm Perm) [][]bool {
+	n := p.Len()
+	inv := perm.Inverse()
+	b := make([][]bool, n)
+	for i := range b {
+		b[i] = make([]bool, n)
+		b[i][i] = true
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range p.Adj(v) {
+			i, j := inv[v], inv[u]
+			b[i][j] = true
+			b[j][i] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if !b[i][k] {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if b[j][k] {
+					b[i][j] = true
+					b[j][i] = true
+				}
+			}
+		}
+	}
+	return b
+}
+
+func denseEtree(b [][]bool) []int {
+	n := len(b)
+	parent := make([]int, n)
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		for i := j + 1; i < n; i++ {
+			if b[i][j] {
+				parent[j] = i
+				break
+			}
+		}
+	}
+	return parent
+}
+
+func denseColCounts(b [][]bool) []int64 {
+	n := len(b)
+	counts := make([]int64, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if b[i][j] {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+func randomPattern(rng *rand.Rand, trial int) *Pattern {
+	switch trial % 4 {
+	case 0:
+		return Grid2D(2+rng.Intn(5), 2+rng.Intn(5))
+	case 1:
+		return RandomSym(rng, 5+rng.Intn(30), 2+3*rng.Float64())
+	case 2:
+		return PowerLaw(rng, 5+rng.Intn(30), 1+rng.Intn(3))
+	default:
+		return Band(5+rng.Intn(30), 1+rng.Intn(4))
+	}
+}
+
+func orderings(p *Pattern, trial int) Perm {
+	switch trial % 4 {
+	case 0:
+		return NaturalOrder(p.Len())
+	case 1:
+		return RCM(p)
+	case 2:
+		return NestedDissection(p)
+	default:
+		return MinimumDegree(p)
+	}
+}
+
+// TestEliminationTreeMatchesDense is the central substrate test: Liu's
+// elimination tree and the row-subtree column counts agree with dense
+// boolean Cholesky on random patterns under all four orderings.
+func TestEliminationTreeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		p := randomPattern(rng, trial)
+		perm := orderings(p, trial/4)
+		if !perm.Valid(p.Len()) {
+			t.Fatalf("trial %d: invalid permutation", trial)
+		}
+		b := denseSymbolic(p, perm)
+		wantParent := denseEtree(b)
+		gotParent := EliminationTree(p, perm)
+		for j := range wantParent {
+			if gotParent[j] != wantParent[j] {
+				t.Fatalf("trial %d: etree parent[%d] = %d, want %d", trial, j, gotParent[j], wantParent[j])
+			}
+		}
+		wantCounts := denseColCounts(b)
+		gotCounts := ColCounts(p, perm, gotParent)
+		for j := range wantCounts {
+			if gotCounts[j] != wantCounts[j] {
+				t.Fatalf("trial %d: colcount[%d] = %d, want %d", trial, j, gotCounts[j], wantCounts[j])
+			}
+		}
+	}
+}
+
+func TestOrderingsArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPattern(rng, trial)
+		for _, perm := range []Perm{NaturalOrder(p.Len()), RCM(p), NestedDissection(p), MinimumDegree(p)} {
+			if !perm.Valid(p.Len()) {
+				t.Fatalf("trial %d: ordering is not a permutation", trial)
+			}
+		}
+	}
+}
+
+func TestFillReducingOrderingsReduceFill(t *testing.T) {
+	// On a 2D grid, nested dissection and minimum degree must produce far
+	// less fill than the natural (band-like) order.
+	p := Grid2D(15, 15)
+	fill := func(perm Perm) int64 {
+		parent := EliminationTree(p, perm)
+		return Stats(ColCounts(p, perm, parent)).FactorNNZ
+	}
+	natural := fill(NaturalOrder(p.Len()))
+	nd := fill(NestedDissection(p))
+	md := fill(MinimumDegree(p))
+	if nd >= natural {
+		t.Errorf("nested dissection fill %d >= natural %d", nd, natural)
+	}
+	if md >= natural {
+		t.Errorf("minimum degree fill %d >= natural %d", md, natural)
+	}
+}
+
+func TestGridGenerators(t *testing.T) {
+	g := Grid2D(4, 3)
+	if g.Len() != 12 {
+		t.Fatalf("Grid2D size %d", g.Len())
+	}
+	if g.NNZ() != 12+2*(3*3+4*2) {
+		t.Errorf("Grid2D nnz = %d", g.NNZ())
+	}
+	if !g.Connected() {
+		t.Errorf("grid not connected")
+	}
+	g3 := Grid3D(3, 3, 3)
+	if g3.Len() != 27 || !g3.Connected() {
+		t.Errorf("Grid3D wrong: len=%d", g3.Len())
+	}
+	if g3.MaxDegree() != 6 {
+		t.Errorf("Grid3D interior degree = %d, want 6", g3.MaxDegree())
+	}
+}
+
+func TestRandomGeneratorsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	if p := RandomSym(rng, 200, 3); !p.Connected() {
+		t.Errorf("RandomSym disconnected")
+	}
+	if p := PowerLaw(rng, 200, 2); !p.Connected() {
+		t.Errorf("PowerLaw disconnected")
+	}
+	if p := Band(50, 2); !p.Connected() {
+		t.Errorf("Band disconnected")
+	}
+}
+
+func TestPowerLawHasHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	p := PowerLaw(rng, 2000, 2)
+	if p.MaxDegree() < 20 {
+		t.Errorf("power-law max degree = %d, expected a heavy tail", p.MaxDegree())
+	}
+}
+
+func TestNewPatternErrors(t *testing.T) {
+	if _, err := NewPattern(-1, nil); err == nil {
+		t.Errorf("negative n accepted")
+	}
+	if _, err := NewPattern(3, [][2]int{{0, 3}}); err == nil {
+		t.Errorf("out-of-range edge accepted")
+	}
+	if _, err := NewPattern(3, [][2]int{{1, 1}}); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	p, err := NewPattern(3, [][2]int{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree(0) != 1 || p.Degree(1) != 1 {
+		t.Errorf("duplicate edges not merged: deg0=%d deg1=%d", p.Degree(0), p.Degree(1))
+	}
+}
+
+func TestAmalgamateIdentity(t *testing.T) {
+	p := Grid2D(5, 5)
+	perm := NestedDissection(p)
+	parent := EliminationTree(p, perm)
+	counts := ColCounts(p, perm, parent)
+	nodes, nodeParent, err := Amalgamate(parent, counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != p.Len() {
+		t.Fatalf("maxEta=1 produced %d nodes, want %d", len(nodes), p.Len())
+	}
+	for i, nd := range nodes {
+		if nd.Eta != 1 {
+			t.Fatalf("maxEta=1 node %d has η=%d", i, nd.Eta)
+		}
+		if nd.Mu != counts[nd.Highest] {
+			t.Fatalf("node %d µ mismatch", i)
+		}
+	}
+	// Structure must mirror the elimination tree.
+	for i, nd := range nodes {
+		pa := parent[nd.Highest]
+		if pa == -1 {
+			if nodeParent[i] != -1 {
+				t.Fatalf("root node %d got parent %d", i, nodeParent[i])
+			}
+			continue
+		}
+		if nodes[nodeParent[i]].Highest != pa {
+			t.Fatalf("node %d parent mismatch", i)
+		}
+	}
+}
+
+func TestAmalgamateInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 40; trial++ {
+		p := randomPattern(rng, trial)
+		perm := orderings(p, trial)
+		parent := EliminationTree(p, perm)
+		counts := ColCounts(p, perm, parent)
+		for _, eta := range []int{1, 2, 4, 16} {
+			nodes, nodeParent, err := Amalgamate(parent, counts, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for i, nd := range nodes {
+				total += nd.Eta
+				if nd.Eta > eta {
+					t.Fatalf("η=%d exceeds maxEta=%d", nd.Eta, eta)
+				}
+				if nodeParent[i] != -1 && nodeParent[i] <= i {
+					t.Fatalf("assembly nodes not topologically ordered")
+				}
+			}
+			if total != p.Len() {
+				t.Fatalf("Ση = %d, want %d", total, p.Len())
+			}
+		}
+	}
+}
+
+func TestAmalgamateRejectsBadInput(t *testing.T) {
+	if _, _, err := Amalgamate([]int{-1}, []int64{1, 2}, 2); err == nil {
+		t.Errorf("mismatched lengths accepted")
+	}
+	if _, _, err := Amalgamate([]int{-1}, []int64{1}, 0); err == nil {
+		t.Errorf("maxEta=0 accepted")
+	}
+}
+
+func TestAssemblyTreePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPattern(rng, trial)
+		perm := orderings(p, trial)
+		for _, eta := range []int{1, 4} {
+			tr, err := AssemblyTree(p, perm, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() == 0 {
+				t.Fatalf("empty assembly tree")
+			}
+			for i := 0; i < tr.Len(); i++ {
+				if tr.F(i) < 0 || tr.N(i) < 0 || tr.W(i) < 0 {
+					t.Fatalf("negative weights at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestAssemblyTreeCostModel(t *testing.T) {
+	// Chain matrix 0-1-2 in natural order: column counts are 2,2,1 and the
+	// elimination tree is the chain 0->1->2. With maxEta=1:
+	// node µ=2: n = 1+2·1 = 3, f = 1, w = 2/3+1+1 = 8/3.
+	p, err := NewPattern(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AssemblyTree(p, NaturalOrder(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("tree size %d", tr.Len())
+	}
+	leaf := 0 // position 0 is built first and is the deepest node
+	if tr.N(leaf) != 3 || tr.F(leaf) != 1 {
+		t.Errorf("leaf n=%d f=%d, want 3, 1", tr.N(leaf), tr.F(leaf))
+	}
+	if w := tr.W(leaf); w < 8.0/3.0-1e-9 || w > 8.0/3.0+1e-9 {
+		t.Errorf("leaf w=%g, want 8/3", w)
+	}
+	root := tr.Root()
+	if tr.N(root) != 1 || tr.F(root) != 0 {
+		t.Errorf("root n=%d f=%d, want 1, 0", tr.N(root), tr.F(root))
+	}
+}
+
+func TestAssemblyTreeInvalidPerm(t *testing.T) {
+	p := Grid2D(3, 3)
+	if _, err := AssemblyTree(p, Perm{0, 1}, 1); err == nil {
+		t.Errorf("invalid permutation accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Stats([]int64{3, 2, 1})
+	if s.FactorNNZ != 6 || s.Flops != 14 || s.MaxCount != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestPermInverse(t *testing.T) {
+	p := Perm{2, 0, 1}
+	inv := p.Inverse()
+	for k, v := range p {
+		if inv[v] != k {
+			t.Fatalf("inverse wrong at %d", k)
+		}
+	}
+	if (Perm{0, 0, 1}).Valid(3) {
+		t.Errorf("duplicate perm accepted")
+	}
+	if (Perm{0, 1}).Valid(3) {
+		t.Errorf("short perm accepted")
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	p := RandomSym(rng, 150, 3)
+	bandwidth := func(perm Perm) int {
+		inv := perm.Inverse()
+		bw := 0
+		for v := 0; v < p.Len(); v++ {
+			for _, u := range p.Adj(v) {
+				if d := inv[v] - inv[int(u)]; d > bw {
+					bw = d
+				}
+			}
+		}
+		return bw
+	}
+	if rcm, nat := bandwidth(RCM(p)), bandwidth(NaturalOrder(p.Len())); rcm >= nat {
+		t.Errorf("RCM bandwidth %d >= natural %d", rcm, nat)
+	}
+}
+
+// TestColStructsMatchesDense verifies the full symbolic structure against
+// dense boolean elimination (ColStructs is the basis of the numeric
+// multifrontal engine).
+func TestColStructsMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 60; trial++ {
+		p := randomPattern(rng, trial)
+		perm := orderings(p, trial)
+		b := denseSymbolic(p, perm)
+		parent := EliminationTree(p, perm)
+		structs := ColStructs(p, perm, parent)
+		for j := 0; j < p.Len(); j++ {
+			var want []int32
+			for i := j + 1; i < p.Len(); i++ {
+				if b[i][j] {
+					want = append(want, int32(i))
+				}
+			}
+			if len(want) != len(structs[j]) {
+				t.Fatalf("trial %d: column %d has %d rows, want %d", trial, j, len(structs[j]), len(want))
+			}
+			for k := range want {
+				if structs[j][k] != want[k] {
+					t.Fatalf("trial %d: column %d row %d = %d, want %d", trial, j, k, structs[j][k], want[k])
+				}
+			}
+		}
+	}
+}

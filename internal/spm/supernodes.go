@@ -1,0 +1,63 @@
+package spm
+
+import "treesched/internal/tree"
+
+// FundamentalSupernodes partitions the columns into fundamental supernodes:
+// maximal runs of consecutively-eliminated columns where each column is the
+// only child of the next and the factor column counts decrease by exactly
+// one along the run. Within such a run the columns share one dense frontal
+// block, the classic starting point of supernodal multifrontal methods;
+// relaxed amalgamation (Amalgamate) merges further. The return convention
+// matches Amalgamate: nodes in topological order, nodeParent indexes nodes.
+func FundamentalSupernodes(parent []int, counts []int64) (nodes []AssemblyNode, nodeParent []int) {
+	n := len(parent)
+	if n == 0 {
+		return nil, nil
+	}
+	childCount := make([]int, n)
+	for j := 0; j < n; j++ {
+		if parent[j] != -1 {
+			childCount[parent[j]]++
+		}
+	}
+	// Column j continues the supernode of j-1 iff j is the parent of j-1,
+	// j-1 is its only child, and the column count shrinks by one.
+	index := make([]int, n)
+	for j := 0; j < n; j++ {
+		cont := j > 0 && parent[j-1] == j && childCount[j] == 1 && counts[j] == counts[j-1]-1
+		if !cont {
+			index[j] = len(nodes)
+			nodes = append(nodes, AssemblyNode{Eta: 1, Mu: counts[j], Highest: j})
+			continue
+		}
+		sn := index[j-1]
+		index[j] = sn
+		nodes[sn].Eta++
+		nodes[sn].Mu = counts[j]
+		nodes[sn].Highest = j
+	}
+	nodeParent = make([]int, len(nodes))
+	for i := range nodes {
+		pa := parent[nodes[i].Highest]
+		if pa == -1 {
+			nodeParent[i] = -1
+		} else {
+			nodeParent[i] = index[pa]
+		}
+	}
+	return nodes, nodeParent
+}
+
+// SupernodeTree builds the task tree of the fundamental-supernode assembly
+// tree of p under perm, weighted with the paper's cost model. It returns
+// the tree and the number of supernodes.
+func SupernodeTree(p *Pattern, perm Perm) (*tree.Tree, int, error) {
+	parent := EliminationTree(p, perm)
+	counts := ColCounts(p, perm, parent)
+	nodes, nodeParent := FundamentalSupernodes(parent, counts)
+	t, err := TreeFromAssembly(nodes, nodeParent)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, len(nodes), nil
+}

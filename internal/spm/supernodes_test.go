@@ -1,0 +1,114 @@
+package spm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFundamentalSupernodesBandMatrix(t *testing.T) {
+	// A band matrix in natural order factors without fill into long runs:
+	// counts are bw+1 except near the end, so supernodes stay small until
+	// the trailing dense block, which collapses into one supernode.
+	p := Band(20, 2)
+	perm := NaturalOrder(p.Len())
+	parent := EliminationTree(p, perm)
+	counts := ColCounts(p, perm, parent)
+	nodes, nodeParent := FundamentalSupernodes(parent, counts)
+	total := 0
+	for i, nd := range nodes {
+		total += nd.Eta
+		if nodeParent[i] != -1 && nodeParent[i] <= i {
+			t.Fatalf("supernodes not topologically ordered")
+		}
+	}
+	if total != p.Len() {
+		t.Fatalf("Ση = %d, want %d", total, p.Len())
+	}
+	// The last bw+1 columns form one fundamental supernode (counts bw+1..1).
+	last := nodes[len(nodes)-1]
+	if last.Eta < 3 {
+		t.Errorf("trailing supernode η = %d, want >= 3", last.Eta)
+	}
+}
+
+func TestFundamentalSupernodesChain(t *testing.T) {
+	// A tridiagonal (chain) matrix: counts are 2,2,...,2,1; only the last
+	// two columns merge (counts must drop by exactly one).
+	p := Band(10, 1)
+	perm := NaturalOrder(p.Len())
+	parent := EliminationTree(p, perm)
+	counts := ColCounts(p, perm, parent)
+	nodes, _ := FundamentalSupernodes(parent, counts)
+	if len(nodes) != 9 {
+		t.Fatalf("chain supernodes = %d, want 9", len(nodes))
+	}
+	if last := nodes[len(nodes)-1]; last.Eta != 2 {
+		t.Fatalf("trailing supernode η = %d, want 2", last.Eta)
+	}
+}
+
+func TestFundamentalSupernodesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		p := randomPattern(rng, trial)
+		perm := orderings(p, trial)
+		parent := EliminationTree(p, perm)
+		counts := ColCounts(p, perm, parent)
+		nodes, nodeParent := FundamentalSupernodes(parent, counts)
+		total := 0
+		for i, nd := range nodes {
+			total += nd.Eta
+			// Columns of a supernode are consecutive positions ending at
+			// Highest.
+			lo := nd.Highest - nd.Eta + 1
+			if lo < 0 {
+				t.Fatalf("supernode %d extends below position 0", i)
+			}
+			for j := lo; j < nd.Highest; j++ {
+				if parent[j] != j+1 {
+					t.Fatalf("supernode %d is not a parent-chain at %d", i, j)
+				}
+				if counts[j] != counts[j+1]+1 {
+					t.Fatalf("supernode %d counts not decrementing at %d", i, j)
+				}
+			}
+			if nd.Mu != counts[nd.Highest] {
+				t.Fatalf("supernode %d µ mismatch", i)
+			}
+		}
+		if total != p.Len() {
+			t.Fatalf("Ση = %d, want %d", total, p.Len())
+		}
+		_ = nodeParent
+	}
+}
+
+func TestSupernodeTreePipeline(t *testing.T) {
+	p := Grid2D(12, 12)
+	perm := NestedDissection(p)
+	tr, sn, err := SupernodeTree(p, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn <= 0 || sn > p.Len() {
+		t.Fatalf("supernode count %d out of range", sn)
+	}
+	if tr.Len() < sn {
+		t.Fatalf("tree smaller than supernode count")
+	}
+	// Supernodes must compress the tree relative to the raw etree.
+	raw, err := AssemblyTree(p, perm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() >= raw.Len() {
+		t.Errorf("supernode tree (%d) not smaller than etree (%d)", tr.Len(), raw.Len())
+	}
+}
+
+func TestFundamentalSupernodesEmpty(t *testing.T) {
+	nodes, nodeParent := FundamentalSupernodes(nil, nil)
+	if nodes != nil || nodeParent != nil {
+		t.Fatalf("empty input should give empty output")
+	}
+}

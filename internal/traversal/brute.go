@@ -1,0 +1,97 @@
+package traversal
+
+import (
+	"fmt"
+
+	"treesched/internal/tree"
+)
+
+// MaxBruteForceNodes bounds the tree size accepted by BruteForce: the
+// subset DP uses O(2^n) states.
+const MaxBruteForceNodes = 22
+
+// BruteForce computes the exact optimal sequential peak memory by dynamic
+// programming over subsets of completed nodes. The resident memory is a
+// function of the completed set alone, so
+//
+//	minPeak(S) = min over ready v ∉ S of max(m(S)+n_v+f_v, minPeak(S∪{v}))
+//
+// It exists to validate Optimal and BestPostOrder on small trees.
+func BruteForce(t *tree.Tree) (Result, error) {
+	n := t.Len()
+	if n > MaxBruteForceNodes {
+		return Result{}, fmt.Errorf("traversal: brute force limited to %d nodes, got %d", MaxBruteForceNodes, n)
+	}
+	if n == 0 {
+		return Result{}, nil
+	}
+	full := uint32(1)<<n - 1
+	memo := make(map[uint32]int64, 1<<uint(min(n, 20)))
+	choice := make(map[uint32]int, 1<<uint(min(n, 20)))
+
+	// resident(S): sum of f_i for completed i whose parent is not completed
+	// (the root's output stays resident).
+	resident := func(s uint32) int64 {
+		var m int64
+		for v := 0; v < n; v++ {
+			if s&(1<<uint(v)) == 0 {
+				continue
+			}
+			p := t.Parent(v)
+			if p == tree.None || s&(1<<uint(p)) == 0 {
+				m += t.F(v)
+			}
+		}
+		return m
+	}
+	ready := func(s uint32, v int) bool {
+		if s&(1<<uint(v)) != 0 {
+			return false
+		}
+		for _, c := range t.Children(v) {
+			if s&(1<<uint(c)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var solve func(s uint32) int64
+	solve = func(s uint32) int64 {
+		if s == full {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		m := resident(s)
+		best := int64(1) << 62
+		bestV := -1
+		for v := 0; v < n; v++ {
+			if !ready(s, v) {
+				continue
+			}
+			pk := m + t.N(v) + t.F(v)
+			if rest := solve(s | 1<<uint(v)); rest > pk {
+				pk = rest
+			}
+			if pk < best {
+				best = pk
+				bestV = v
+			}
+		}
+		memo[s] = best
+		choice[s] = bestV
+		return best
+	}
+
+	peak := solve(0)
+	order := make([]int, 0, n)
+	s := uint32(0)
+	for s != full {
+		v := choice[s]
+		order = append(order, v)
+		s |= 1 << uint(v)
+	}
+	return Result{Order: order, Peak: peak}, nil
+}

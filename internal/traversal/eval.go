@@ -1,0 +1,58 @@
+// Package traversal implements sequential (single-processor) tree
+// traversals minimizing peak memory, in the model of Marchal, Sinnen and
+// Vivien (INRIA RR-8082): processing node i requires its children's output
+// files, its execution file n_i and its output file f_i to be resident;
+// completing i frees the children files and n_i while f_i stays resident
+// until the parent completes.
+//
+// Three algorithms are provided:
+//
+//   - BestPostOrder: the memory-optimal postorder traversal (Liu 1986),
+//     O(n log n). The paper uses it as the sequential memory reference.
+//   - Optimal: Liu's exact optimal traversal (Liu 1987), based on merging
+//     hill–valley segment decompositions, O(n²) worst case.
+//   - BruteForce: exponential subset DP for tiny trees, used to validate
+//     the other two.
+package traversal
+
+import (
+	"fmt"
+
+	"treesched/internal/tree"
+)
+
+// PeakMemory returns the peak memory of executing the nodes of t
+// sequentially in the given topological order. It returns an error if order
+// is not a topological order of all nodes of t.
+func PeakMemory(t *tree.Tree, order []int) (int64, error) {
+	if !t.IsTopological(order) {
+		return 0, fmt.Errorf("traversal: order is not a topological order of the tree")
+	}
+	return peakMemoryUnchecked(t, order), nil
+}
+
+// peakMemoryUnchecked is PeakMemory without the validity check.
+func peakMemoryUnchecked(t *tree.Tree, order []int) int64 {
+	var m, peak int64
+	for _, v := range order {
+		m += t.N(v) + t.F(v)
+		if m > peak {
+			peak = m
+		}
+		m -= t.N(v) + t.InSize(v)
+	}
+	return peak
+}
+
+// Profile returns the residual memory after each step of order (the output
+// files still resident), without validity checking. The last entry equals
+// f_root for a complete order.
+func Profile(t *tree.Tree, order []int) []int64 {
+	prof := make([]int64, len(order))
+	var m int64
+	for k, v := range order {
+		m += t.F(v) - t.InSize(v)
+		prof[k] = m
+	}
+	return prof
+}

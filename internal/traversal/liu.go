@@ -1,0 +1,167 @@
+package traversal
+
+import (
+	"sort"
+
+	"treesched/internal/tree"
+)
+
+// segment is one hill–valley segment of a traversal's memory profile,
+// relative to the memory level at the segment's start:
+//
+//	P = rise to the segment's internal peak (hill - start), P >= 0
+//	D = net rise over the segment (valley - start), 0 <= D <= P for atomic
+//	    segments of a valley decomposition (the final segment of a subtree
+//	    may be produced with D < 0 before re-decomposition).
+//
+// chunks holds the nodes of the segment as a list of immutable slices, so
+// concatenation shares structure instead of copying nodes.
+type segment struct {
+	P, D   int64
+	chunks [][]int
+}
+
+// prio is the sort key of Liu's merge: segments are emitted in
+// non-increasing P-D.
+func (s segment) prio() int64 { return s.P - s.D }
+
+// concat merges b after a into a single segment.
+func concat(a, b segment) segment {
+	p := a.P
+	if q := a.D + b.P; q > p {
+		p = q
+	}
+	return segment{
+		P:      p,
+		D:      a.D + b.D,
+		chunks: append(append(make([][]int, 0, len(a.chunks)+len(b.chunks)), a.chunks...), b.chunks...),
+	}
+}
+
+// group is a run of consecutive atomic segments of one child that must be
+// emitted as a unit to keep priorities non-increasing within the child.
+type group struct {
+	p, d  int64 // combined P and D of the run
+	atoms []segment
+}
+
+func (g group) prio() int64 { return g.p - g.d }
+
+// Optimal computes a peak-memory-optimal sequential traversal using Liu's
+// generalized pebbling algorithm (Liu 1987): the optimal traversal of a
+// subtree is an interleaving of the children's optimal traversals followed
+// by the root, obtained by decomposing each child traversal into hill–valley
+// segments and emitting segments in non-increasing (hill - valley). Runs of
+// segments whose priorities would increase within a child are grouped first
+// (the combined segment dominates). Worst-case O(n²), typically much less.
+func Optimal(t *tree.Tree) Result {
+	n := t.Len()
+	if n == 0 {
+		return Result{}
+	}
+	segs := make([][]segment, n) // valley decomposition of each subtree
+	for _, v := range t.TopOrder() {
+		cs := t.Children(v)
+		// The node's own step: memory rises by n_v+f_v above the level where
+		// all children outputs are resident, then settles to f_v.
+		own := segment{
+			P:      t.N(v) + t.F(v),
+			D:      t.F(v) - t.InSize(v),
+			chunks: [][]int{{v}},
+		}
+		if len(cs) == 0 {
+			segs[v] = redecompose([]segment{own})
+			continue
+		}
+		// Group each child's segments, collect, and sort by priority.
+		var groups []group
+		for _, c := range cs {
+			groups = appendGroups(groups, segs[c])
+			segs[c] = nil // release
+		}
+		sort.SliceStable(groups, func(a, b int) bool { return groups[a].prio() > groups[b].prio() })
+		merged := make([]segment, 0, len(groups)+1)
+		for _, g := range groups {
+			merged = append(merged, g.atoms...)
+		}
+		merged = append(merged, own)
+		segs[v] = redecompose(merged)
+	}
+	rootSegs := segs[t.Root()]
+	order := make([]int, 0, n)
+	var base, peak int64
+	for _, s := range rootSegs {
+		if q := base + s.P; q > peak {
+			peak = q
+		}
+		base += s.D
+		for _, ch := range s.chunks {
+			order = append(order, ch...)
+		}
+	}
+	return Result{Order: order, Peak: peak}
+}
+
+// appendGroups appends the grouping of one child's atomic segments to dst.
+// Within a child the emitted groups have non-increasing priority: whenever a
+// later segment has strictly higher priority than the group before it, the
+// two are merged (emitting the pair as a unit is never worse — the standard
+// chain-coarsening argument).
+func appendGroups(dst []group, atoms []segment) []group {
+	start := len(dst)
+	for _, s := range atoms {
+		dst = append(dst, group{p: s.P, d: s.D, atoms: []segment{s}})
+		for len(dst)-start >= 2 {
+			a, b := dst[len(dst)-2], dst[len(dst)-1]
+			if b.prio() <= a.prio() {
+				break
+			}
+			p := a.p
+			if q := a.d + b.p; q > p {
+				p = q
+			}
+			dst = dst[:len(dst)-2]
+			dst = append(dst, group{p: p, d: a.d + b.d, atoms: append(append([]segment(nil), a.atoms...), b.atoms...)})
+		}
+	}
+	return dst
+}
+
+// redecompose cuts a concatenation of segments at the successive minima of
+// its valley profile, producing atomic segments with strictly increasing
+// absolute valleys (hence D >= 0 everywhere). Valleys inside input segments
+// never need to be cut: within an atomic segment all interior levels are at
+// least the end level, and the inputs are atomic or end the profile.
+func redecompose(in []segment) []segment {
+	m := len(in)
+	// Absolute valley after each input segment.
+	valley := make([]int64, m)
+	var base int64
+	for i, s := range in {
+		base += s.D
+		valley[i] = base
+	}
+	// suffixMin[i] = min valley over [i, m).
+	suffixMin := make([]int64, m+1)
+	suffixMin[m] = int64(1) << 62
+	for i := m - 1; i >= 0; i-- {
+		suffixMin[i] = valley[i]
+		if suffixMin[i+1] < suffixMin[i] {
+			suffixMin[i] = suffixMin[i+1]
+		}
+	}
+	out := make([]segment, 0, 4)
+	cur := in[0]
+	for i := 1; i < m; i++ {
+		// Cut after segment i-1 iff its valley is strictly below everything
+		// that follows (the last occurrence of the running minimum).
+		if valley[i-1] < suffixMin[i] {
+			out = append(out, cur)
+			cur = in[i]
+		} else {
+			cur = concat(cur, in[i])
+		}
+	}
+	out = append(out, cur)
+	return out
+}

@@ -1,0 +1,107 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/tree"
+)
+
+// TestOptimalMatchesBruteForceStructured extends the brute-force
+// cross-validation to structured families up to 12 nodes, where postorder
+// optimality often fails and segment merging is exercised hardest.
+func TestOptimalMatchesBruteForceStructured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential oracle")
+	}
+	rng := rand.New(rand.NewSource(101))
+	spec := tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 7, FMin: 0, FMax: 9}
+	builders := []func(n int) *tree.Tree{
+		func(n int) *tree.Tree { return tree.Caterpillar(rng, n/2, 1, spec) },
+		func(n int) *tree.Tree { return tree.Chain(rng, n, spec) },
+		func(n int) *tree.Tree { return tree.Fork(rng, n, spec) },
+		func(n int) *tree.Tree { return tree.RandomBinary(rng, n, spec) },
+	}
+	for trial := 0; trial < 120; trial++ {
+		n := 4 + rng.Intn(9) // 4..12
+		tr := builders[trial%len(builders)](n)
+		if tr.Len() > MaxBruteForceNodes {
+			continue
+		}
+		bf, err := BruteForce(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Optimal(tr)
+		if opt.Peak != bf.Peak {
+			t.Fatalf("trial %d (%d nodes): Optimal %d != brute %d", trial, tr.Len(), opt.Peak, bf.Peak)
+		}
+	}
+}
+
+// TestOptimalIdempotentOnItsOwnOrder: evaluating the order returned by
+// Optimal must reproduce the reported peak even after a round trip through
+// serialization (guards against hidden state in the segments).
+func TestOptimalIdempotentOnItsOwnOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 30; trial++ {
+		tr := tree.RandomPrufer(rng, 2+rng.Intn(200),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 9, FMin: 0, FMax: 9})
+		r1 := Optimal(tr)
+		r2 := Optimal(tr)
+		if r1.Peak != r2.Peak {
+			t.Fatalf("Optimal nondeterministic: %d vs %d", r1.Peak, r2.Peak)
+		}
+		for i := range r1.Order {
+			if r1.Order[i] != r2.Order[i] {
+				t.Fatalf("Optimal order nondeterministic at %d", i)
+			}
+		}
+	}
+}
+
+// TestOptimalZeroFileNodes: nodes with f=0 create flat valleys; the
+// decomposition must cut at the last occurrence and stay correct.
+func TestOptimalZeroFileNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	spec := tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 3, FMin: 0, FMax: 1}
+	for trial := 0; trial < 150; trial++ {
+		tr := tree.RandomAttachment(rng, 2+rng.Intn(9), spec)
+		bf, err := BruteForce(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt := Optimal(tr); opt.Peak != bf.Peak {
+			t.Fatalf("trial %d: %d != %d", trial, opt.Peak, bf.Peak)
+		}
+	}
+}
+
+// TestOptimalAllZeroWeights: degenerate all-zero files never crash and give
+// peak equal to the largest execution file.
+func TestOptimalAllZeroWeights(t *testing.T) {
+	tr := tree.MustNew([]int{tree.None, 0, 0, 1},
+		[]float64{1, 1, 1, 1}, []int64{0, 5, 2, 3}, []int64{0, 0, 0, 0})
+	opt := Optimal(tr)
+	if opt.Peak != 5 {
+		t.Fatalf("peak = %d, want 5", opt.Peak)
+	}
+	if got, err := PeakMemory(tr, opt.Order); err != nil || got != 5 {
+		t.Fatalf("eval = %d, %v", got, err)
+	}
+}
+
+// TestBestPostOrderDeepTreeNoOverflow: the explicit stack must handle very
+// deep trees (recursive implementations would blow the goroutine stack
+// far later, but chains of 10^6 are the paper's scale).
+func TestBestPostOrderDeepTreeNoOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	tr := tree.Chain(rng, 500000, tree.PebbleWeights)
+	res := BestPostOrder(tr)
+	if res.Peak != 2 {
+		t.Fatalf("chain peak = %d", res.Peak)
+	}
+	if len(res.Order) != tr.Len() {
+		t.Fatalf("order covers %d nodes", len(res.Order))
+	}
+}

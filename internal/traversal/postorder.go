@@ -1,0 +1,107 @@
+package traversal
+
+import (
+	"sort"
+
+	"treesched/internal/tree"
+)
+
+// Result is a sequential traversal together with its peak memory.
+type Result struct {
+	Order []int // topological order of all nodes
+	Peak  int64 // peak memory of executing Order sequentially
+}
+
+// BestPostOrder computes the memory-optimal postorder traversal (Liu 1986):
+// at every node, subtrees are visited in non-increasing (peak_j - f_j).
+// This is the reference sequential memory M_seq used throughout the paper's
+// evaluation (§6.1). O(n log n).
+func BestPostOrder(t *tree.Tree) Result {
+	return postOrder(t, true)
+}
+
+// NaturalPostOrder computes the postorder that visits children in index
+// order. It serves as an ablation baseline for the child-ordering rule of
+// BestPostOrder.
+func NaturalPostOrder(t *tree.Tree) Result {
+	return postOrder(t, false)
+}
+
+func postOrder(t *tree.Tree, sortChildren bool) Result {
+	n := t.Len()
+	if n == 0 {
+		return Result{}
+	}
+	peak := make([]int64, n)         // subtree postorder peak
+	sorted := make([][]int, n)       // children in visit order
+	for _, v := range t.TopOrder() { // children before parents
+		cs := t.Children(v)
+		vis := make([]int, len(cs))
+		copy(vis, cs)
+		if sortChildren && len(vis) > 1 {
+			sort.SliceStable(vis, func(a, b int) bool {
+				return peak[vis[a]]-t.F(vis[a]) > peak[vis[b]]-t.F(vis[b])
+			})
+		}
+		sorted[v] = vis
+		var resident, pk int64
+		for _, c := range vis {
+			if q := resident + peak[c]; q > pk {
+				pk = q
+			}
+			resident += t.F(c)
+		}
+		if q := resident + t.N(v) + t.F(v); q > pk {
+			pk = q
+		}
+		peak[v] = pk
+	}
+	// Emit the postorder with an explicit stack (trees can be very deep).
+	order := make([]int, 0, n)
+	type frame struct{ v, next int }
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{t.Root(), 0})
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(sorted[fr.v]) {
+			c := sorted[fr.v][fr.next]
+			fr.next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		order = append(order, fr.v)
+		stack = stack[:len(stack)-1]
+	}
+	return Result{Order: order, Peak: peak[t.Root()]}
+}
+
+// PostOrderPeaks returns, for every node v, the peak memory of the best
+// postorder traversal of the subtree rooted at v. PostOrderPeaks(t)[root]
+// equals BestPostOrder(t).Peak.
+func PostOrderPeaks(t *tree.Tree) []int64 {
+	n := t.Len()
+	peak := make([]int64, n)
+	buf := make([]int, 0, 16)
+	for _, v := range t.TopOrder() {
+		cs := t.Children(v)
+		buf = buf[:0]
+		buf = append(buf, cs...)
+		if len(buf) > 1 {
+			sort.SliceStable(buf, func(a, b int) bool {
+				return peak[buf[a]]-t.F(buf[a]) > peak[buf[b]]-t.F(buf[b])
+			})
+		}
+		var resident, pk int64
+		for _, c := range buf {
+			if q := resident + peak[c]; q > pk {
+				pk = q
+			}
+			resident += t.F(c)
+		}
+		if q := resident + t.N(v) + t.F(v); q > pk {
+			pk = q
+		}
+		peak[v] = pk
+	}
+	return peak
+}

@@ -1,0 +1,84 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/tree"
+)
+
+// quick.Check property suite over randomly generated trees: the optimality
+// chain brute <= Optimal <= BestPostOrder <= NaturalPostOrder and the
+// internal consistency of every reported peak.
+
+func randomSpecTree(seed int64, size uint8) *tree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 + int(size)%40
+	spec := tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 6, FMin: 0, FMax: 9}
+	switch seed % 3 {
+	case 0:
+		return tree.RandomAttachment(r, n, spec)
+	case 1:
+		return tree.RandomPrufer(r, n, spec)
+	default:
+		return tree.RandomBinary(r, n, spec)
+	}
+}
+
+func TestQuickOptimalityChain(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		tr := randomSpecTree(seed, size)
+		opt := Optimal(tr)
+		best := BestPostOrder(tr)
+		nat := NaturalPostOrder(tr)
+		return opt.Peak <= best.Peak && best.Peak <= nat.Peak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(131))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReportedPeaksMatchEvaluation(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		tr := randomSpecTree(seed, size)
+		for _, res := range []Result{Optimal(tr), BestPostOrder(tr), NaturalPostOrder(tr)} {
+			got, err := PeakMemory(tr, res.Order)
+			if err != nil || got != res.Peak {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(132))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPeakAtLeastEveryFootprint(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		tr := randomSpecTree(seed, size)
+		opt := Optimal(tr)
+		for v := 0; v < tr.Len(); v++ {
+			if opt.Peak < tr.ProcFootprint(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(133))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPeakAtLeastRootFile(t *testing.T) {
+	// The root's output file remains resident, so no traversal peaks below
+	// f_root (or below any single output file plus nothing).
+	f := func(seed int64, size uint8) bool {
+		tr := randomSpecTree(seed, size)
+		return Optimal(tr).Peak >= tr.F(tr.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(134))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/tree"
+)
+
+// pebbleChain builds a chain of n pebble-game nodes rooted at node 0.
+func pebbleChain(n int) *tree.Tree {
+	rng := rand.New(rand.NewSource(0))
+	return tree.Chain(rng, n, tree.PebbleWeights)
+}
+
+func TestPeakMemoryChain(t *testing.T) {
+	tr := pebbleChain(5)
+	order := []int{4, 3, 2, 1, 0}
+	peak, err := PeakMemory(tr, order)
+	if err != nil {
+		t.Fatalf("PeakMemory: %v", err)
+	}
+	// Processing a chain node: previous output (1) + own output (1) = 2.
+	if peak != 2 {
+		t.Errorf("chain peak = %d, want 2", peak)
+	}
+}
+
+func TestPeakMemoryRejectsBadOrder(t *testing.T) {
+	tr := pebbleChain(3)
+	if _, err := PeakMemory(tr, []int{0, 1, 2}); err == nil {
+		t.Errorf("root-first order accepted")
+	}
+	if _, err := PeakMemory(tr, []int{2, 1}); err == nil {
+		t.Errorf("partial order accepted")
+	}
+}
+
+func TestPeakMemoryFork(t *testing.T) {
+	// Root with 3 leaf children, pebble weights: all leaves must be resident
+	// plus the root's output => peak 4.
+	tr := tree.MustNew([]int{tree.None, 0, 0, 0},
+		[]float64{1, 1, 1, 1}, []int64{0, 0, 0, 0}, []int64{1, 1, 1, 1})
+	peak, err := PeakMemory(tr, []int{1, 2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 4 {
+		t.Errorf("fork peak = %d, want 4", peak)
+	}
+}
+
+func TestProfileEndsAtRootFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		tr := tree.RandomAttachment(rng, 1+rng.Intn(60),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 4, FMin: 0, FMax: 9})
+		res := BestPostOrder(tr)
+		prof := Profile(tr, res.Order)
+		if got := prof[len(prof)-1]; got != tr.F(tr.Root()) {
+			t.Fatalf("profile end = %d, want f_root = %d", got, tr.F(tr.Root()))
+		}
+	}
+}
+
+func TestBestPostOrderIsPostorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 25; trial++ {
+		tr := tree.RandomPrufer(rng, 2+rng.Intn(80),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 4, FMin: 0, FMax: 9})
+		res := BestPostOrder(tr)
+		if !tr.IsPostorder(res.Order) {
+			t.Fatalf("BestPostOrder returned non-postorder")
+		}
+		got, err := PeakMemory(tr, res.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res.Peak {
+			t.Fatalf("BestPostOrder reported peak %d, evaluated %d", res.Peak, got)
+		}
+	}
+}
+
+func TestBestPostOrderBeatsNatural(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr := tree.RandomAttachment(rng, 2+rng.Intn(100),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 3, FMin: 0, FMax: 20})
+		best := BestPostOrder(tr)
+		nat := NaturalPostOrder(tr)
+		if best.Peak > nat.Peak {
+			t.Fatalf("best postorder peak %d > natural postorder peak %d", best.Peak, nat.Peak)
+		}
+	}
+}
+
+func TestBestPostOrderHandExample(t *testing.T) {
+	// Root with two subtrees: a heavy one (peak 10, output 1) and a light
+	// one (peak 3, output 3). Visiting heavy first: max(10, 1+3, 1+3+n+f).
+	// Visiting light first: max(3, 3+10) = 13. Best = 10.
+	//
+	//	     0 (n=0, f=0)
+	//	    / \
+	//	   1   2        1: f=1, n=9  (peak 10 alone)   2: f=3, n=0 (peak 3)
+	tr := tree.MustNew([]int{tree.None, 0, 0},
+		[]float64{1, 1, 1}, []int64{0, 9, 0}, []int64{0, 1, 3})
+	res := BestPostOrder(tr)
+	if res.Peak != 10 {
+		t.Errorf("peak = %d, want 10", res.Peak)
+	}
+	if res.Order[0] != 1 {
+		t.Errorf("heavy child not visited first: order %v", res.Order)
+	}
+}
+
+func TestPostOrderPeaksMatchesBestPostOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.RandomBinary(rng, 2+rng.Intn(60),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 5, FMin: 1, FMax: 8})
+		peaks := PostOrderPeaks(tr)
+		if peaks[tr.Root()] != BestPostOrder(tr).Peak {
+			t.Fatalf("PostOrderPeaks[root] = %d, BestPostOrder = %d",
+				peaks[tr.Root()], BestPostOrder(tr).Peak)
+		}
+	}
+}
+
+func TestOptimalValidAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		tr := tree.RandomAttachment(rng, 1+rng.Intn(120),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 5, FMin: 0, FMax: 9})
+		res := Optimal(tr)
+		got, err := PeakMemory(tr, res.Order)
+		if err != nil {
+			t.Fatalf("Optimal returned invalid order: %v", err)
+		}
+		if got != res.Peak {
+			t.Fatalf("Optimal reported peak %d, evaluated %d", res.Peak, got)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanPostorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		tr := tree.RandomPrufer(rng, 2+rng.Intn(150),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 6, FMin: 0, FMax: 12})
+		opt := Optimal(tr)
+		po := BestPostOrder(tr)
+		if opt.Peak > po.Peak {
+			t.Fatalf("Optimal peak %d > BestPostOrder peak %d", opt.Peak, po.Peak)
+		}
+	}
+}
+
+// TestOptimalMatchesBruteForce is the central correctness test of Liu's
+// algorithm: exact agreement with exponential search on random small trees
+// across weight regimes.
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	specs := []tree.WeightSpec{
+		tree.PebbleWeights,
+		{WMin: 1, WMax: 1, NMin: 0, NMax: 3, FMin: 0, FMax: 5},
+		{WMin: 1, WMax: 1, NMin: 0, NMax: 0, FMin: 1, FMax: 9},
+		{WMin: 1, WMax: 1, NMin: 2, NMax: 7, FMin: 1, FMax: 3},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		spec := specs[trial%len(specs)]
+		n := 2 + rng.Intn(9) // up to 10 nodes
+		var tr *tree.Tree
+		switch trial % 3 {
+		case 0:
+			tr = tree.RandomAttachment(rng, n, spec)
+		case 1:
+			tr = tree.RandomPrufer(rng, n, spec)
+		default:
+			tr = tree.RandomBinary(rng, n, spec)
+		}
+		bf, err := BruteForce(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Optimal(tr)
+		if opt.Peak != bf.Peak {
+			var buf []byte
+			for i := 0; i < tr.Len(); i++ {
+				buf = append(buf, []byte(
+					"\n  node "+itoa(i)+" parent "+itoa(tr.Parent(i))+
+						" n="+itoa(int(tr.N(i)))+" f="+itoa(int(tr.F(i))))...)
+			}
+			t.Fatalf("trial %d: Optimal peak %d != brute force %d; tree:%s\norder=%v",
+				trial, opt.Peak, bf.Peak, string(buf), opt.Order)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestBruteForceRejectsBigTrees(t *testing.T) {
+	tr := pebbleChain(MaxBruteForceNodes + 1)
+	if _, err := BruteForce(tr); err == nil {
+		t.Fatalf("BruteForce accepted %d nodes", tr.Len())
+	}
+}
+
+func TestBruteForceChain(t *testing.T) {
+	bf, err := BruteForce(pebbleChain(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Peak != 2 {
+		t.Errorf("chain brute peak = %d, want 2", bf.Peak)
+	}
+}
+
+func TestOptimalOnEmptyAndSingle(t *testing.T) {
+	empty, _ := tree.New(nil, nil, nil, nil)
+	if res := Optimal(empty); res.Peak != 0 || len(res.Order) != 0 {
+		t.Errorf("Optimal(empty) = %+v", res)
+	}
+	single := tree.MustNew([]int{tree.None}, []float64{1}, []int64{4}, []int64{3})
+	if res := Optimal(single); res.Peak != 7 {
+		t.Errorf("Optimal(single) peak = %d, want 7", res.Peak)
+	}
+	if res := BestPostOrder(single); res.Peak != 7 {
+		t.Errorf("BestPostOrder(single) peak = %d, want 7", res.Peak)
+	}
+}
+
+// TestOptimalBeatsPostorderSometimes ensures the exact algorithm is not
+// accidentally identical to the postorder heuristic: there must exist trees
+// where a non-postorder traversal strictly wins (Liu 1987 motivating case).
+func TestOptimalBeatsPostorderSometimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	wins := 0
+	for trial := 0; trial < 2000 && wins == 0; trial++ {
+		tr := tree.RandomAttachment(rng, 4+rng.Intn(10),
+			tree.WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 6, FMin: 0, FMax: 9})
+		if Optimal(tr).Peak < BestPostOrder(tr).Peak {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("Optimal never beat BestPostOrder on 2000 random trees")
+	}
+}
+
+func BenchmarkBestPostOrder10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := tree.RandomAttachment(rng, 10000,
+		tree.WeightSpec{WMin: 1, WMax: 9, NMin: 0, NMax: 9, FMin: 1, FMax: 99})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestPostOrder(tr)
+	}
+}
+
+func BenchmarkOptimal10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := tree.RandomAttachment(rng, 10000,
+		tree.WeightSpec{WMin: 1, WMax: 9, NMin: 0, NMax: 9, FMin: 1, FMax: 99})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimal(tr)
+	}
+}

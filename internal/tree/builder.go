@@ -1,0 +1,46 @@
+package tree
+
+// Builder assembles a tree incrementally. Nodes are added one at a time;
+// parents may be added after children. Call Build to obtain the immutable
+// Tree. The zero value is an empty builder ready for use.
+type Builder struct {
+	parent []int
+	w      []float64
+	n      []int64
+	f      []int64
+}
+
+// Add appends a node with the given parent (None for the root) and weights,
+// returning the new node's id. Ids are assigned consecutively from 0.
+func (b *Builder) Add(parent int, w float64, n, f int64) int {
+	id := len(b.parent)
+	b.parent = append(b.parent, parent)
+	b.w = append(b.w, w)
+	b.n = append(b.n, n)
+	b.f = append(b.f, f)
+	return id
+}
+
+// AddPebble appends a pebble-game node (w=1, n=0, f=1); see paper §4.
+func (b *Builder) AddPebble(parent int) int { return b.Add(parent, 1, 0, 1) }
+
+// SetParent re-parents an existing node; useful when the parent id was not
+// known at Add time.
+func (b *Builder) SetParent(node, parent int) { b.parent[node] = parent }
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Build validates and returns the tree.
+func (b *Builder) Build() (*Tree, error) {
+	return New(b.parent, b.w, b.n, b.f)
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

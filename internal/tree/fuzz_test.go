@@ -1,0 +1,69 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the tree parser: arbitrary input must never panic,
+// and successfully decoded trees must re-encode to a decodable equivalent.
+func FuzzDecode(f *testing.F) {
+	f.Add("2\n0 -1 1 0 1\n1 0 1 0 1\n")
+	f.Add("1\n0 -1 0.5 3 4\n")
+	f.Add("# comment\n\n3\n2 1 1 0 1\n1 0 1 0 1\n0 -1 1 0 1\n")
+	f.Add("")
+	f.Add("-1\n")
+	f.Add("2\n0 1 1 0 1\n1 0 1 0 1\n") // cycle
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of decoded tree failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip size %d != %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzNew hardens the structural validator: arbitrary parent vectors must
+// either produce a valid tree or an error, never a panic or an invalid
+// topological order.
+func FuzzNew(f *testing.F) {
+	f.Add([]byte{255, 0, 0})    // root + two children
+	f.Add([]byte{1, 2, 3, 255}) // chain ending at a root
+	f.Add([]byte{1, 0})         // 2-cycle
+	f.Add([]byte{})             // empty
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parent := make([]int, len(raw))
+		for i, b := range raw {
+			if b == 255 {
+				parent[i] = None
+			} else {
+				parent[i] = int(b) % (len(raw) + 1)
+			}
+		}
+		w := make([]float64, len(raw))
+		n := make([]int64, len(raw))
+		fs := make([]int64, len(raw))
+		for i := range w {
+			w[i] = 1
+			fs[i] = 1
+		}
+		tr, err := New(parent, w, n, fs)
+		if err != nil {
+			return
+		}
+		if !tr.IsTopological(tr.TopOrder()) {
+			t.Fatalf("accepted tree has invalid topological order")
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package tree
+
+import (
+	"math/rand"
+)
+
+// WeightSpec controls how random node weights are drawn by the generators.
+// Zero-valued fields fall back to the pebble-game model (w=1, n=0, f=1).
+type WeightSpec struct {
+	WMin, WMax float64 // processing times drawn uniformly from [WMin, WMax]
+	NMin, NMax int64   // execution-file sizes drawn uniformly from [NMin, NMax]
+	FMin, FMax int64   // output-file sizes drawn uniformly from [FMin, FMax]
+}
+
+// PebbleWeights is the unit-weight pebble-game model of paper §4:
+// f_i = 1, n_i = 0, w_i = 1 for every node.
+var PebbleWeights = WeightSpec{WMin: 1, WMax: 1, NMin: 0, NMax: 0, FMin: 1, FMax: 1}
+
+func (s WeightSpec) draw(rng *rand.Rand, n int) (w []float64, nn, f []int64) {
+	if s == (WeightSpec{}) {
+		s = PebbleWeights
+	}
+	w = make([]float64, n)
+	nn = make([]int64, n)
+	f = make([]int64, n)
+	for i := 0; i < n; i++ {
+		w[i] = uniformF(rng, s.WMin, s.WMax)
+		nn[i] = uniformI(rng, s.NMin, s.NMax)
+		f[i] = uniformI(rng, s.FMin, s.FMax)
+	}
+	return w, nn, f
+}
+
+func uniformF(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func uniformI(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// RandomAttachment generates a random tree of n nodes by uniform attachment:
+// node i (i>0) picks its parent uniformly among nodes 0..i-1. Node 0 is the
+// root. This yields trees of expected height Θ(log n).
+func RandomAttachment(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	parent := make([]int, n)
+	parent[0] = None
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}
+
+// RandomPrufer generates a uniformly random labeled tree on n nodes via a
+// Prüfer sequence, rooted at node 0 (edges oriented toward the root).
+// Uniform random trees have expected height Θ(√n) — deeper than attachment
+// trees, shallower than chains.
+func RandomPrufer(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	if n == 1 {
+		w, nn, f := ws.draw(rng, 1)
+		return MustNew([]int{None}, w, nn, f)
+	}
+	if n == 2 {
+		w, nn, f := ws.draw(rng, 2)
+		return MustNew([]int{None, 0}, w, nn, f)
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range seq {
+		deg[v]++
+	}
+	adj := make([][]int, n)
+	// Standard Prüfer decoding with a pointer-scan over leaves.
+	ptr := 0
+	leaf := -1
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, v := range seq {
+		if leaf == -1 {
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+		addEdge(leaf, v)
+		deg[leaf]--
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			leaf = -1
+		}
+	}
+	// Two nodes of degree 1 remain; connect them.
+	u, v := -1, -1
+	for i := 0; i < n; i++ {
+		if deg[i] == 1 {
+			if u == -1 {
+				u = i
+			} else {
+				v = i
+			}
+		}
+	}
+	addEdge(u, v)
+	// Orient toward root 0 by BFS.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[0] = None
+	queue := []int{0}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range adj[x] {
+			if parent[y] == -2 {
+				parent[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}
+
+// RandomBinary generates a random binary tree of n nodes: each new node is
+// attached to a random node that still has fewer than two children.
+func RandomBinary(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	parent := make([]int, n)
+	parent[0] = None
+	open := []int{0, 0} // two slots for the root
+	for i := 1; i < n; i++ {
+		k := rng.Intn(len(open))
+		parent[i] = open[k]
+		open[k] = open[len(open)-1]
+		open = open[:len(open)-1]
+		open = append(open, i, i)
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}
+
+// Chain generates a chain of n nodes: node 0 is the root and node i+1 is the
+// only child of node i.
+func Chain(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	parent := make([]int, n)
+	parent[0] = None
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}
+
+// Fork generates a tree of height 1: a root with n-1 leaf children (the
+// worst-case instance of paper Fig. 3 when weights are unit).
+func Fork(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	parent := make([]int, n)
+	parent[0] = None
+	for i := 1; i < n; i++ {
+		parent[i] = 0
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}
+
+// Caterpillar generates a chain of length spineLen where every spine node
+// additionally carries legs leaf children.
+func Caterpillar(rng *rand.Rand, spineLen, legs int, ws WeightSpec) *Tree {
+	n := spineLen * (1 + legs)
+	parent := make([]int, n)
+	id := 0
+	prev := None
+	for s := 0; s < spineLen; s++ {
+		spine := id
+		parent[spine] = prev
+		id++
+		for l := 0; l < legs; l++ {
+			parent[id] = spine
+			id++
+		}
+		prev = spine
+	}
+	w, nn, f := ws.draw(rng, n)
+	return MustNew(parent, w, nn, f)
+}

@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the tree in the textual format read by Decode:
+//
+//	# optional comments
+//	<number of nodes>
+//	<node> <parent|-1> <w> <n> <f>     (one line per node)
+//
+// Node lines may appear in any order.
+func (t *Tree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", t.Len()); err != nil {
+		return err
+	}
+	for i := 0; i < t.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %g %d %d\n", i, t.parent[i], t.w[i], t.n[i], t.f[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the format produced by Encode.
+func Decode(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("tree: decode: %w", err)
+	}
+	nn, err := strconv.Atoi(line)
+	if err != nil {
+		return nil, fmt.Errorf("tree: decode: bad node count %q: %w", line, err)
+	}
+	if nn < 0 {
+		return nil, fmt.Errorf("tree: decode: negative node count %d", nn)
+	}
+	parent := make([]int, nn)
+	w := make([]float64, nn)
+	n := make([]int64, nn)
+	f := make([]int64, nn)
+	seen := make([]bool, nn)
+	for k := 0; k < nn; k++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("tree: decode: node line %d: %w", k, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("tree: decode: node line %q: want 5 fields, got %d", line, len(fields))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil || i < 0 || i >= nn {
+			return nil, fmt.Errorf("tree: decode: bad node id %q", fields[0])
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("tree: decode: duplicate node %d", i)
+		}
+		seen[i] = true
+		if parent[i], err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("tree: decode: node %d: bad parent %q", i, fields[1])
+		}
+		if w[i], err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("tree: decode: node %d: bad w %q", i, fields[2])
+		}
+		if n[i], err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("tree: decode: node %d: bad n %q", i, fields[3])
+		}
+		if f[i], err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("tree: decode: node %d: bad f %q", i, fields[4])
+		}
+	}
+	return New(parent, w, n, f)
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		return s, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

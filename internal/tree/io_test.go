@@ -1,0 +1,112 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		orig := RandomAttachment(rng, 1+rng.Intn(200), WeightSpec{WMin: 0.5, WMax: 9, NMin: 0, NMax: 5, FMin: 0, FMax: 100})
+		var buf bytes.Buffer
+		if err := orig.Encode(&buf); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("round trip Len: %d vs %d", got.Len(), orig.Len())
+		}
+		for i := 0; i < orig.Len(); i++ {
+			if got.Parent(i) != orig.Parent(i) || got.W(i) != orig.W(i) ||
+				got.N(i) != orig.N(i) || got.F(i) != orig.F(i) {
+				t.Fatalf("round trip node %d differs", i)
+			}
+		}
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	in := "# a tree\n\n2\n# root\n0 -1 1.5 2 3\n1 0 1 0 1\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if tr.Len() != 2 || tr.W(0) != 1.5 || tr.N(0) != 2 || tr.F(0) != 3 {
+		t.Fatalf("decoded wrong tree: %v", tr)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad count", "x\n"},
+		{"negative count", "-2\n"},
+		{"truncated", "2\n0 -1 1 0 1\n"},
+		{"bad fields", "1\n0 -1 1 0\n"},
+		{"bad id", "1\n9 -1 1 0 1\n"},
+		{"dup id", "2\n0 -1 1 0 1\n0 -1 1 0 1\n"},
+		{"bad parent", "1\n0 zz 1 0 1\n"},
+		{"bad w", "1\n0 -1 zz 0 1\n"},
+		{"bad n", "1\n0 -1 1 zz 1\n"},
+		{"bad f", "1\n0 -1 1 0 zz\n"},
+		{"invalid structure", "2\n0 1 1 0 1\n1 0 1 0 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+// TestQuickSubtreeWConsistency checks with random trees that the subtree
+// weights of the root equal the total weight and that every node's W_i is
+// its own w plus its children's W.
+func TestQuickSubtreeWConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64, size uint8) bool {
+		n := 1 + int(size)%64
+		r := rand.New(rand.NewSource(seed))
+		tr := RandomAttachment(r, n, WeightSpec{WMin: 0, WMax: 4})
+		ws := tr.SubtreeW()
+		if diff := ws[tr.Root()] - tr.TotalW(); diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		for v := 0; v < tr.Len(); v++ {
+			sum := tr.W(v)
+			for _, c := range tr.Children(v) {
+				sum += ws[c]
+			}
+			if d := sum - ws[v]; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPruferUniformValidity checks that Prüfer trees of many sizes are
+// structurally valid and span all nodes.
+func TestQuickPruferUniformValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64, size uint8) bool {
+		n := 1 + int(size)%100
+		r := rand.New(rand.NewSource(seed))
+		tr := RandomPrufer(r, n, WeightSpec{})
+		return tr.Len() == n && tr.IsTopological(tr.TopOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package tree
+
+// Depths returns, for every node, its depth in edges from the root
+// (root depth is 0).
+func (t *Tree) Depths() []int {
+	d := make([]int, t.Len())
+	for i := t.Len() - 1; i >= 0; i-- { // order is topological: parents later
+		v := t.order[i]
+		if p := t.parent[v]; p != None {
+			d[v] = d[p] + 1
+		}
+	}
+	return d
+}
+
+// Height returns the maximum node depth in edges (0 for a single node or an
+// empty tree).
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depths() {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// WDepths returns, for every node i, the w-weighted length of the path from
+// i to the root, inclusive of both endpoints. This is the "depth" used by
+// the ParDeepestFirst heuristic (paper §5.3): the deepest node is the first
+// node of the critical path.
+func (t *Tree) WDepths() []float64 {
+	d := make([]float64, t.Len())
+	for i := t.Len() - 1; i >= 0; i-- {
+		v := t.order[i]
+		if p := t.parent[v]; p != None {
+			d[v] = d[p] + t.w[v]
+		} else {
+			d[v] = t.w[v]
+		}
+	}
+	return d
+}
+
+// CriticalPath returns the w-weighted length of the longest root-to-leaf
+// path (the classic makespan lower bound with unlimited processors).
+func (t *Tree) CriticalPath() float64 {
+	var m float64
+	for _, d := range t.WDepths() {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SubtreeW returns, for every node i, the total processing time W_i of the
+// subtree rooted at i (including i). Used by SplitSubtrees (paper Alg. 2).
+func (t *Tree) SubtreeW() []float64 {
+	ws := make([]float64, t.Len())
+	for _, v := range t.order { // children before parents
+		ws[v] += t.w[v]
+		if p := t.parent[v]; p != None {
+			ws[p] += ws[v]
+		}
+	}
+	return ws
+}
+
+// SubtreeSize returns, for every node i, the number of nodes of the subtree
+// rooted at i (including i).
+func (t *Tree) SubtreeSize() []int {
+	sz := make([]int, t.Len())
+	for _, v := range t.order {
+		sz[v]++
+		if p := t.parent[v]; p != None {
+			sz[p] += sz[v]
+		}
+	}
+	return sz
+}
+
+// MaxDegree returns the largest number of children of any node.
+func (t *Tree) MaxDegree() int {
+	m := 0
+	for i := range t.parent {
+		if c := len(t.children[i]); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SubtreeNodes returns the nodes of the subtree rooted at r in preorder.
+func (t *Tree) SubtreeNodes(r int) []int {
+	nodes := make([]int, 0, 16)
+	stack := []int{r}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes = append(nodes, v)
+		stack = append(stack, t.children[v]...)
+	}
+	return nodes
+}
+
+// Subtree extracts the subtree rooted at r as a standalone Tree. It returns
+// the new tree and the mapping from new node ids to original node ids.
+func (t *Tree) Subtree(r int) (*Tree, []int) {
+	nodes := t.SubtreeNodes(r)
+	toNew := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		toNew[v] = i
+	}
+	parent := make([]int, len(nodes))
+	w := make([]float64, len(nodes))
+	n := make([]int64, len(nodes))
+	f := make([]int64, len(nodes))
+	for i, v := range nodes {
+		if v == r {
+			parent[i] = None
+		} else {
+			parent[i] = toNew[t.parent[v]]
+		}
+		w[i], n[i], f[i] = t.w[v], t.n[v], t.f[v]
+	}
+	return MustNew(parent, w, n, f), nodes
+}
+
+// IsTopological reports whether order is a permutation of all nodes in which
+// every node appears after all of its children.
+func (t *Tree) IsTopological(order []int) bool {
+	if len(order) != t.Len() {
+		return false
+	}
+	pos := make([]int, t.Len())
+	seen := make([]bool, t.Len())
+	for i, v := range order {
+		if v < 0 || v >= t.Len() || seen[v] {
+			return false
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for v := 0; v < t.Len(); v++ {
+		if p := t.parent[v]; p != None && pos[p] < pos[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPostorder reports whether order is a topological order in which the
+// nodes of every subtree are contiguous (the defining property of a
+// postorder traversal).
+func (t *Tree) IsPostorder(order []int) bool {
+	if !t.IsTopological(order) {
+		return false
+	}
+	pos := make([]int, t.Len())
+	for i, v := range order {
+		pos[v] = i
+	}
+	sz := t.SubtreeSize()
+	// A topological order is a postorder iff for every node v the earliest
+	// position of a node of subtree(v) is exactly pos[v]-sz[v]+1, i.e. the
+	// subtree occupies positions [pos[v]-sz[v]+1, pos[v]].
+	minPos := make([]int, t.Len())
+	for i := range minPos {
+		minPos[i] = pos[i]
+	}
+	for _, v := range t.order { // children before parents
+		if p := t.parent[v]; p != None && minPos[v] < minPos[p] {
+			minPos[p] = minPos[v]
+		}
+	}
+	for v := 0; v < t.Len(); v++ {
+		if minPos[v] != pos[v]-sz[v]+1 {
+			return false
+		}
+	}
+	return true
+}

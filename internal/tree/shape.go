@@ -1,0 +1,61 @@
+package tree
+
+import "fmt"
+
+// Shape summarizes the structural statistics the paper reports for its
+// dataset (§6.2): node count, depth, degree, and weight ranges.
+type Shape struct {
+	Nodes     int
+	Leaves    int
+	Height    int // depth in edges
+	MaxDegree int
+	TotalW    float64
+	MaxW      float64
+	MaxF      int64
+	// AvgBranch is the mean number of children over inner nodes.
+	AvgBranch float64
+}
+
+// ShapeOf computes the shape statistics of t.
+func ShapeOf(t *Tree) Shape {
+	s := Shape{
+		Nodes:     t.Len(),
+		Leaves:    t.NumLeaves(),
+		Height:    t.Height(),
+		MaxDegree: t.MaxDegree(),
+		TotalW:    t.TotalW(),
+		MaxW:      t.MaxW(),
+		MaxF:      t.MaxF(),
+	}
+	inner := s.Nodes - s.Leaves
+	if inner > 0 {
+		s.AvgBranch = float64(s.Nodes-1) / float64(inner)
+	}
+	return s
+}
+
+// String renders the shape on one line.
+func (s Shape) String() string {
+	return fmt.Sprintf("nodes=%d leaves=%d height=%d maxdeg=%d avgbranch=%.2f totalW=%.4g",
+		s.Nodes, s.Leaves, s.Height, s.MaxDegree, s.AvgBranch, s.TotalW)
+}
+
+// DegreeHistogram returns counts of nodes by number of children, indexed
+// 0..MaxDegree.
+func (t *Tree) DegreeHistogram() []int {
+	h := make([]int, t.MaxDegree()+1)
+	for v := 0; v < t.Len(); v++ {
+		h[len(t.children[v])]++
+	}
+	return h
+}
+
+// DepthHistogram returns counts of nodes by depth, indexed 0..Height.
+func (t *Tree) DepthHistogram() []int {
+	depths := t.Depths()
+	h := make([]int, t.Height()+1)
+	for _, d := range depths {
+		h[d]++
+	}
+	return h
+}

@@ -1,0 +1,79 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestShapeOf(t *testing.T) {
+	tr := MustNew(
+		[]int{None, 0, 0, 1, 1, 2},
+		[]float64{6, 5, 4, 3, 2, 1},
+		[]int64{1, 1, 1, 1, 1, 1},
+		[]int64{10, 20, 30, 40, 50, 60},
+	)
+	s := ShapeOf(tr)
+	if s.Nodes != 6 || s.Leaves != 3 || s.Height != 2 || s.MaxDegree != 2 {
+		t.Fatalf("shape = %+v", s)
+	}
+	if s.TotalW != 21 || s.MaxW != 6 || s.MaxF != 60 {
+		t.Fatalf("shape weights = %+v", s)
+	}
+	// 5 edges over 3 inner nodes.
+	if s.AvgBranch < 5.0/3-1e-9 || s.AvgBranch > 5.0/3+1e-9 {
+		t.Fatalf("AvgBranch = %g", s.AvgBranch)
+	}
+	if !strings.Contains(s.String(), "nodes=6") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestShapeOfChainAndFork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	chain := ShapeOf(Chain(rng, 10, PebbleWeights))
+	if chain.Height != 9 || chain.Leaves != 1 || chain.AvgBranch != 1 {
+		t.Fatalf("chain shape = %+v", chain)
+	}
+	fork := ShapeOf(Fork(rng, 10, PebbleWeights))
+	if fork.Height != 1 || fork.Leaves != 9 || fork.MaxDegree != 9 {
+		t.Fatalf("fork shape = %+v", fork)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := RandomBinary(rng, 50, PebbleWeights)
+	h := tr.DegreeHistogram()
+	total := 0
+	edges := 0
+	for d, c := range h {
+		total += c
+		edges += d * c
+	}
+	if total != tr.Len() {
+		t.Fatalf("histogram counts %d nodes, want %d", total, tr.Len())
+	}
+	if edges != tr.Len()-1 {
+		t.Fatalf("histogram counts %d edges, want %d", edges, tr.Len()-1)
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := RandomAttachment(rng, 80, PebbleWeights)
+	h := tr.DepthHistogram()
+	if h[0] != 1 {
+		t.Fatalf("depth-0 count = %d, want 1 (the root)", h[0])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != tr.Len() {
+		t.Fatalf("histogram counts %d nodes, want %d", total, tr.Len())
+	}
+	if len(h) != tr.Height()+1 {
+		t.Fatalf("histogram has %d levels, want %d", len(h), tr.Height()+1)
+	}
+}

@@ -1,0 +1,242 @@
+// Package tree implements the in-tree task-graph model of Marchal, Sinnen
+// and Vivien, "Scheduling tree-shaped task graphs to minimize memory and
+// makespan" (INRIA RR-8082, IPDPS 2013).
+//
+// A tree has n nodes numbered 0..n-1. Each node i carries a processing time
+// w_i (float64), an execution-file size n_i and an output-file size f_i
+// (both int64, exact arithmetic). Edges point from child to parent: a node
+// can execute only after all of its children have executed, and the output
+// file of every child must be resident in memory until the parent completes.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// None marks the absence of a node (the parent of the root).
+const None = -1
+
+// Tree is an immutable in-tree task graph. Construct one with New or with a
+// Builder; the zero value is an empty tree.
+type Tree struct {
+	parent   []int
+	children [][]int
+	order    []int // one fixed topological order (children before parents)
+	w        []float64
+	n        []int64
+	f        []int64
+	root     int
+}
+
+// ErrInvalidTree is wrapped by all construction errors of this package.
+var ErrInvalidTree = errors.New("tree: invalid tree")
+
+// New builds a tree from a parent vector. parent[i] is the parent of node i,
+// or None for the (unique) root. w, n and f give the node weights; they must
+// all have the same length as parent. n and f entries must be non-negative
+// and w entries must not be negative or NaN.
+func New(parent []int, w []float64, n, f []int64) (*Tree, error) {
+	nn := len(parent)
+	if len(w) != nn || len(n) != nn || len(f) != nn {
+		return nil, fmt.Errorf("%w: mismatched slice lengths (parent=%d w=%d n=%d f=%d)",
+			ErrInvalidTree, nn, len(w), len(n), len(f))
+	}
+	t := &Tree{
+		parent: append([]int(nil), parent...),
+		w:      append([]float64(nil), w...),
+		n:      append([]int64(nil), n...),
+		f:      append([]int64(nil), f...),
+		root:   None,
+	}
+	for i := 0; i < nn; i++ {
+		if t.w[i] < 0 || t.w[i] != t.w[i] {
+			return nil, fmt.Errorf("%w: node %d has invalid processing time %v", ErrInvalidTree, i, t.w[i])
+		}
+		if t.n[i] < 0 || t.f[i] < 0 {
+			return nil, fmt.Errorf("%w: node %d has negative file size", ErrInvalidTree, i)
+		}
+		switch p := t.parent[i]; {
+		case p == None:
+			if t.root != None {
+				return nil, fmt.Errorf("%w: two roots (%d and %d)", ErrInvalidTree, t.root, i)
+			}
+			t.root = i
+		case p < 0 || p >= nn:
+			return nil, fmt.Errorf("%w: node %d has out-of-range parent %d", ErrInvalidTree, i, p)
+		case p == i:
+			return nil, fmt.Errorf("%w: node %d is its own parent", ErrInvalidTree, i)
+		}
+	}
+	if nn > 0 && t.root == None {
+		return nil, fmt.Errorf("%w: no root", ErrInvalidTree)
+	}
+	if err := t.buildChildren(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error; for tests and literals.
+func MustNew(parent []int, w []float64, n, f []int64) *Tree {
+	t, err := New(parent, w, n, f)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// buildChildren derives the children lists and a topological order, and
+// verifies that the parent vector is acyclic (i.e. an actual tree).
+func (t *Tree) buildChildren() error {
+	nn := len(t.parent)
+	counts := make([]int, nn)
+	for _, p := range t.parent {
+		if p != None {
+			counts[p]++
+		}
+	}
+	t.children = make([][]int, nn)
+	for i, c := range counts {
+		if c > 0 {
+			t.children[i] = make([]int, 0, c)
+		}
+	}
+	for i, p := range t.parent {
+		if p != None {
+			t.children[p] = append(t.children[p], i)
+		}
+	}
+	// Topological order by iterative DFS from the root; children before
+	// parents when reversed. Also detects unreachable nodes (cycles).
+	t.order = make([]int, 0, nn)
+	if nn == 0 {
+		return nil
+	}
+	stack := make([]int, 0, 64)
+	stack = append(stack, t.root)
+	visited := make([]bool, nn)
+	pre := make([]int, 0, nn)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			return fmt.Errorf("%w: node %d reached twice", ErrInvalidTree, v)
+		}
+		visited[v] = true
+		pre = append(pre, v)
+		stack = append(stack, t.children[v]...)
+	}
+	if len(pre) != nn {
+		return fmt.Errorf("%w: %d of %d nodes unreachable from root (cycle?)", ErrInvalidTree, nn-len(pre), nn)
+	}
+	// Reverse preorder is a valid topological order (children first).
+	for i := nn - 1; i >= 0; i-- {
+		t.order = append(t.order, pre[i])
+	}
+	return nil
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the root node, or None for an empty tree.
+func (t *Tree) Root() int {
+	if len(t.parent) == 0 {
+		return None
+	}
+	return t.root
+}
+
+// Parent returns the parent of i, or None if i is the root.
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// Children returns the children of i. The returned slice is owned by the
+// tree and must not be modified.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// NumChildren returns the number of children of i.
+func (t *Tree) NumChildren(i int) int { return len(t.children[i]) }
+
+// IsLeaf reports whether i has no children.
+func (t *Tree) IsLeaf(i int) bool { return len(t.children[i]) == 0 }
+
+// W returns the processing time of i.
+func (t *Tree) W(i int) float64 { return t.w[i] }
+
+// N returns the execution-file size of i.
+func (t *Tree) N(i int) int64 { return t.n[i] }
+
+// F returns the output-file size of i.
+func (t *Tree) F(i int) int64 { return t.f[i] }
+
+// InSize returns the total size of the input files of i
+// (the sum of its children's output files).
+func (t *Tree) InSize(i int) int64 {
+	var s int64
+	for _, c := range t.children[i] {
+		s += t.f[c]
+	}
+	return s
+}
+
+// ProcFootprint returns the memory needed while i executes:
+// sum of input files + execution file + output file (paper §3.1).
+func (t *Tree) ProcFootprint(i int) int64 { return t.InSize(i) + t.n[i] + t.f[i] }
+
+// TopOrder returns a fixed topological order of the nodes (every node
+// appears after all of its descendants). The slice is owned by the tree and
+// must not be modified.
+func (t *Tree) TopOrder() []int { return t.order }
+
+// TotalW returns the sum of all processing times.
+func (t *Tree) TotalW() float64 {
+	var s float64
+	for _, x := range t.w {
+		s += x
+	}
+	return s
+}
+
+// MaxW returns the largest processing time, or 0 for an empty tree.
+func (t *Tree) MaxW() float64 {
+	var m float64
+	for _, x := range t.w {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MaxF returns the largest output-file size, or 0 for an empty tree.
+func (t *Tree) MaxF() int64 {
+	var m int64
+	for _, x := range t.f {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	return MustNew(t.parent, t.w, t.n, t.f)
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{n=%d root=%d leaves=%d depth=%d}", t.Len(), t.Root(), t.NumLeaves(), t.Height())
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.parent {
+		if t.IsLeaf(i) {
+			c++
+		}
+	}
+	return c
+}

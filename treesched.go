@@ -1,0 +1,208 @@
+package treesched
+
+import (
+	"io"
+	"math/rand"
+
+	"treesched/internal/dataset"
+	"treesched/internal/frontal"
+	"treesched/internal/pebble"
+	"treesched/internal/sched"
+	"treesched/internal/spm"
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// Core model types, re-exported from the implementation packages.
+type (
+	// Tree is an in-tree task graph with processing times w, execution-file
+	// sizes n and output-file sizes f per node.
+	Tree = tree.Tree
+	// Builder assembles a Tree incrementally.
+	Builder = tree.Builder
+	// WeightSpec controls random node weights in the tree generators.
+	WeightSpec = tree.WeightSpec
+	// Traversal is a sequential order together with its peak memory.
+	Traversal = traversal.Result
+	// Schedule maps every node to a start time and a processor.
+	Schedule = sched.Schedule
+	// Heuristic is a named parallel scheduling algorithm.
+	Heuristic = sched.Heuristic
+	// Splitting is the subtree decomposition computed by SplitSubtrees.
+	Splitting = sched.Splitting
+	// Pattern is a symmetric sparse-matrix sparsity pattern.
+	Pattern = spm.Pattern
+	// Perm is a fill-reducing elimination ordering.
+	Perm = spm.Perm
+	// Instance is one assembly tree of the synthetic evaluation collection.
+	Instance = dataset.Instance
+	// DenseMatrix is the dense symmetric matrix type of the numeric engine.
+	DenseMatrix = frontal.Dense
+	// Factorizer performs numeric multifrontal Cholesky factorizations
+	// under arbitrary tree traversals.
+	Factorizer = frontal.Factorizer
+	// FactorResult is the outcome of a numeric factorization: the factor
+	// and the measured peak live entries.
+	FactorResult = frontal.Result
+)
+
+// None marks the absence of a node (the parent of a root).
+const None = tree.None
+
+// PebbleWeights is the unit-cost pebble-game model of the paper's
+// complexity section (f=1, n=0, w=1).
+var PebbleWeights = tree.PebbleWeights
+
+// NewTree builds a tree from a parent vector (None for the root) and the
+// per-node weights.
+func NewTree(parent []int, w []float64, n, f []int64) (*Tree, error) {
+	return tree.New(parent, w, n, f)
+}
+
+// DecodeTree parses the textual tree format (see Tree.Encode).
+func DecodeTree(r io.Reader) (*Tree, error) { return tree.Decode(r) }
+
+// RandomTree generates a random tree by uniform attachment.
+func RandomTree(rng *rand.Rand, n int, ws WeightSpec) *Tree {
+	return tree.RandomAttachment(rng, n, ws)
+}
+
+// Sequential traversals (single processor).
+
+// BestPostOrder returns the memory-optimal postorder traversal (Liu 1986),
+// the sequential memory reference M_seq of the paper's evaluation.
+func BestPostOrder(t *Tree) Traversal { return traversal.BestPostOrder(t) }
+
+// OptimalTraversal returns a peak-memory-optimal sequential traversal
+// (Liu 1987), which may beat every postorder.
+func OptimalTraversal(t *Tree) Traversal { return traversal.Optimal(t) }
+
+// SequentialPeakMemory evaluates the peak memory of executing order
+// sequentially; order must be a topological order of t.
+func SequentialPeakMemory(t *Tree, order []int) (int64, error) {
+	return traversal.PeakMemory(t, order)
+}
+
+// Parallel heuristics (paper §5).
+
+// ParSubtrees runs the memory-focused two-phase heuristic (paper Alg. 1):
+// a (p+1)-approximation for memory, a p-approximation for makespan.
+func ParSubtrees(t *Tree, p int) (*Schedule, error) { return sched.ParSubtrees(t, p) }
+
+// ParSubtreesOptim is ParSubtrees with LPT allocation of all split
+// subtrees, trading a little memory for makespan.
+func ParSubtreesOptim(t *Tree, p int) (*Schedule, error) { return sched.ParSubtreesOptim(t, p) }
+
+// ParInnerFirst approximates a postorder in parallel: ready inner nodes
+// first, then leaves in optimal-postorder order. (2-1/p)-approximation for
+// makespan; unbounded memory ratio in the worst case.
+func ParInnerFirst(t *Tree, p int) (*Schedule, error) { return sched.ParInnerFirst(t, p) }
+
+// ParDeepestFirst processes deepest nodes (by w-weighted root distance)
+// first, targeting the critical path. (2-1/p)-approximation for makespan;
+// unbounded memory ratio in the worst case.
+func ParDeepestFirst(t *Tree, p int) (*Schedule, error) { return sched.ParDeepestFirst(t, p) }
+
+// MemCapped schedules under a hard peak-memory cap by activating tasks in
+// optimal-postorder order (the paper's future-work proposal). It fails if
+// cap is below the sequential requirement.
+func MemCapped(t *Tree, p int, cap int64) (*Schedule, error) { return sched.MemCapped(t, p, cap) }
+
+// MemCappedBooking schedules under a hard peak-memory cap with
+// deepest-first admission: memory not booked for the reference traversal's
+// future needs is lent to out-of-order tasks, recovering most of the
+// parallelism lost by MemCapped while never deadlocking or exceeding cap.
+func MemCappedBooking(t *Tree, p int, cap int64) (*Schedule, error) {
+	return sched.MemCappedBooking(t, p, cap)
+}
+
+// SplitSubtrees exposes the makespan-optimal subtree decomposition used by
+// ParSubtrees (paper Alg. 2, Lemma 1).
+func SplitSubtrees(t *Tree, p int) Splitting { return sched.SplitSubtrees(t, p) }
+
+// Heuristics returns the paper's four heuristics in Table 1 order.
+func Heuristics() []Heuristic { return sched.Heuristics() }
+
+// HeuristicByName resolves a heuristic by name ("ParSubtrees",
+// "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst", and the extras
+// "ParInnerFirstArbitrary", "Sequential").
+func HeuristicByName(name string) (Heuristic, bool) { return sched.ByName(name) }
+
+// Schedule analysis.
+
+// PeakMemory returns the exact peak memory of schedule s on t, from the
+// discrete-event simulation of file lifetimes.
+func PeakMemory(t *Tree, s *Schedule) int64 { return sched.PeakMemory(t, s) }
+
+// MakespanLowerBound returns max(total work / p, critical path).
+func MakespanLowerBound(t *Tree, p int) float64 { return sched.MakespanLowerBound(t, p) }
+
+// MemoryLowerBound returns the sequential memory reference M_seq (best
+// postorder peak).
+func MemoryLowerBound(t *Tree) int64 { return sched.MemoryLowerBound(t) }
+
+// Sparse-matrix substrate: synthesizing assembly trees.
+
+// Grid2D returns the 5-point-stencil pattern of an nx × ny grid.
+func Grid2D(nx, ny int) *Pattern { return spm.Grid2D(nx, ny) }
+
+// Grid3D returns the 7-point-stencil pattern of an nx × ny × nz grid.
+func Grid3D(nx, ny, nz int) *Pattern { return spm.Grid3D(nx, ny, nz) }
+
+// RandomSymmetric returns a connected random pattern with ~avgDeg
+// neighbors per vertex.
+func RandomSymmetric(rng *rand.Rand, n int, avgDeg float64) *Pattern {
+	return spm.RandomSym(rng, n, avgDeg)
+}
+
+// NestedDissection returns a nested-dissection ordering of p.
+func NestedDissection(p *Pattern) Perm { return spm.NestedDissection(p) }
+
+// MinimumDegree returns a minimum-degree ordering of p.
+func MinimumDegree(p *Pattern) Perm { return spm.MinimumDegree(p) }
+
+// AssemblyTree runs the multifrontal pipeline — elimination tree, symbolic
+// factorization, relaxed amalgamation with at most maxEta columns per node
+// — and returns the task tree weighted with the paper's cost model (§6.2).
+func AssemblyTree(p *Pattern, perm Perm, maxEta int) (*Tree, error) {
+	return spm.AssemblyTree(p, perm, maxEta)
+}
+
+// EvaluationCollection builds the deterministic synthetic tree collection
+// standing in for the paper's 608 assembly trees. scale is one of "quick",
+// "standard", "full".
+func EvaluationCollection(scale string, seed int64) ([]Instance, error) {
+	s := dataset.Standard
+	switch scale {
+	case "quick":
+		s = dataset.Quick
+	case "full":
+		s = dataset.Full
+	}
+	return dataset.Collection(s, seed)
+}
+
+// Numeric multifrontal engine.
+
+// NewFactorizer runs the symbolic analysis of the SPD matrix a (with the
+// sparsity of p) under perm, ready to factorize numerically under any tree
+// traversal. The engine's measured peak memory matches the abstract model
+// entry for entry.
+func NewFactorizer(p *Pattern, perm Perm, a *DenseMatrix) (*Factorizer, error) {
+	return frontal.NewFactorizer(p, perm, a)
+}
+
+// SPDMatrix builds a random symmetric positive-definite matrix with the
+// sparsity pattern of p (strictly diagonally dominant).
+func SPDMatrix(rng *rand.Rand, p *Pattern) *DenseMatrix { return frontal.SPDFromPattern(rng, p) }
+
+// Complexity gadgets (paper §4).
+
+// ForkTree builds the Figure 3 worst case for ParSubtrees' makespan.
+func ForkTree(p, k int) *Tree { return pebble.ForkTree(p, k) }
+
+// JoinChainTree builds the Figure 4 worst case for ParInnerFirst's memory.
+func JoinChainTree(p, k int) *Tree { return pebble.JoinChainTree(p, k) }
+
+// SpiderTree builds the Figure 5 worst case for ParDeepestFirst's memory.
+func SpiderTree(m, minChain int) *Tree { return pebble.SpiderTree(m, minChain) }
