@@ -1,0 +1,84 @@
+// Command treeschedd serves the treesched library over HTTP: clients POST
+// tree task graphs as JSON and receive per-heuristic makespan, simulated
+// peak memory and the paper's lower bounds. See internal/service for the
+// API and README.md for curl examples.
+//
+// Usage:
+//
+//	treeschedd -addr :8080
+//	treeschedd -addr :8080 -workers 16 -cache 4096 -max-body 16777216
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"treesched/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scheduling worker pool size (default GOMAXPROCS)")
+		cacheSize = flag.Int("cache", service.DefaultCacheSize, "LRU result cache entries (negative disables)")
+		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "max request body / batch line bytes")
+		maxNodes  = flag.Int("max-nodes", service.DefaultMaxNodes, "max tree size in nodes")
+		maxProcs  = flag.Int("max-procs", service.DefaultMaxProcs, "max processor count per request")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		MaxBodyBytes: *maxBody,
+		MaxNodes:     *maxNodes,
+		MaxProcs:     *maxProcs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("treeschedd: listening on %s (workers=%d cache=%d)", *addr, svc.Workers(), *cacheSize)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "treeschedd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Printf("treeschedd: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Handlers may still be running (drain timed out), so closing the
+		// worker pool is not safe; we are exiting anyway.
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("treeschedd: drain timed out after %s; in-flight requests cut off", *drain)
+		} else {
+			log.Printf("treeschedd: shutdown: %v", err)
+		}
+	} else {
+		svc.Close()
+	}
+	log.Printf("treeschedd: bye")
+}

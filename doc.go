@@ -31,7 +31,10 @@
 //     University of Florida collection used by the paper.
 //   - The complexity gadgets of the paper's Theorems 1 and 2 and Figures
 //     3-5, and an experiment harness regenerating Table 1 and Figures 6-8.
+//   - A scheduling service, treeschedd (cmd/treeschedd, internal/service):
+//     an HTTP JSON API with a worker pool, an LRU result cache keyed by a
+//     canonical tree hash, and a streaming NDJSON batch endpoint.
 //
-// See the examples directory for runnable entry points and EXPERIMENTS.md
-// for the reproduction results.
+// See the examples directory for runnable entry points, EXPERIMENTS.md
+// for the reproduction results, and README.md for CLI and API usage.
 package treesched

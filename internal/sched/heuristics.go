@@ -1,6 +1,9 @@
 package sched
 
-import "treesched/internal/tree"
+import (
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
 
 // Heuristic is a named tree-scheduling algorithm.
 type Heuristic struct {
@@ -21,21 +24,14 @@ func Heuristics() []Heuristic {
 
 // ByName returns the heuristic with the given name, or false if unknown.
 // Recognized names additionally include the ablation variant
-// "ParInnerFirstArbitrary" and the memory lower-bound pseudo-heuristic
-// "Sequential" (the memory-optimal postorder on one processor).
+// "ParInnerFirstArbitrary" and the sequential baselines "Sequential" (the
+// memory-optimal postorder on one processor) and "OptimalSequential"
+// (Liu's exact optimal traversal). The memory-capped schedulers need a cap
+// parameter and are only reachable through Options.
 func ByName(name string) (Heuristic, bool) {
-	for _, h := range Heuristics() {
-		if h.Name == name {
-			return h, true
-		}
+	id, ok := ParseHeuristic(name)
+	if !ok || id == IDMemCapped || id == IDMemCappedBooking {
+		return Heuristic{}, false
 	}
-	switch name {
-	case "ParInnerFirstArbitrary":
-		return Heuristic{Name: name, Run: ParInnerFirstArbitrary}, true
-	case "Sequential":
-		return Heuristic{Name: name, Run: func(t *tree.Tree, _ int) (*Schedule, error) {
-			return ParSubtrees(t, 1)
-		}}, true
-	}
-	return Heuristic{}, false
+	return Options{}.heuristic(id, traversal.BestPostOrder), true
 }

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// HeuristicID enumerates every scheduler this package can run. It is the
+// typed alternative to string names: callers such as the HTTP service
+// parse wire names once with ParseHeuristic and then work with IDs.
+type HeuristicID int
+
+const (
+	// The paper's four heuristics, in Table 1 order.
+	IDParSubtrees HeuristicID = iota
+	IDParSubtreesOptim
+	IDParInnerFirst
+	IDParDeepestFirst
+	// IDParInnerFirstArbitrary is the leaf-order ablation of ParInnerFirst.
+	IDParInnerFirstArbitrary
+	// IDSequential is the memory lower-bound baseline: the memory-optimal
+	// postorder executed on a single processor.
+	IDSequential
+	// IDOptimalSequential is Liu's exact optimal sequential traversal
+	// (may beat every postorder), executed on a single processor.
+	IDOptimalSequential
+	// IDMemCapped and IDMemCappedBooking schedule under a hard memory cap
+	// (Options.MemCapFactor × M_seq).
+	IDMemCapped
+	IDMemCappedBooking
+
+	numHeuristicIDs // sentinel; keep last
+)
+
+var heuristicNames = [numHeuristicIDs]string{
+	IDParSubtrees:            "ParSubtrees",
+	IDParSubtreesOptim:       "ParSubtreesOptim",
+	IDParInnerFirst:          "ParInnerFirst",
+	IDParDeepestFirst:        "ParDeepestFirst",
+	IDParInnerFirstArbitrary: "ParInnerFirstArbitrary",
+	IDSequential:             "Sequential",
+	IDOptimalSequential:      "OptimalSequential",
+	IDMemCapped:              "MemCapped",
+	IDMemCappedBooking:       "MemCappedBooking",
+}
+
+// String returns the canonical wire name of the heuristic.
+func (id HeuristicID) String() string {
+	if id < 0 || id >= numHeuristicIDs {
+		return fmt.Sprintf("HeuristicID(%d)", int(id))
+	}
+	return heuristicNames[id]
+}
+
+// Valid reports whether id names an actual heuristic.
+func (id HeuristicID) Valid() bool { return id >= 0 && id < numHeuristicIDs }
+
+// ParseHeuristic resolves a canonical wire name to its ID.
+func ParseHeuristic(name string) (HeuristicID, bool) {
+	for id, n := range heuristicNames {
+		if n == name {
+			return HeuristicID(id), true
+		}
+	}
+	return -1, false
+}
+
+// PaperHeuristics returns the IDs of the paper's four heuristics in
+// Table 1 order, the default selection everywhere.
+func PaperHeuristics() []HeuristicID {
+	return []HeuristicID{IDParSubtrees, IDParSubtreesOptim, IDParInnerFirst, IDParDeepestFirst}
+}
+
+// Options selects the schedulers to run on a tree and their shared
+// parameters. The zero value is not runnable: Processors must be >= 1.
+type Options struct {
+	// Processors is the machine size p. Required, >= 1.
+	Processors int
+	// Heuristics lists the schedulers to run, in output order.
+	// Empty means the paper's four heuristics.
+	Heuristics []HeuristicID
+	// MemCapFactor sets the memory cap of IDMemCapped and
+	// IDMemCappedBooking to MemCapFactor × MemoryLowerBound(t). It must be
+	// >= 1 when a capped heuristic is selected and is ignored otherwise.
+	MemCapFactor float64
+}
+
+// Validate checks o without reference to a particular tree.
+func (o Options) Validate() error {
+	if o.Processors < 1 {
+		return fmt.Errorf("sched: options: processors must be >= 1, got %d", o.Processors)
+	}
+	for _, id := range o.Heuristics {
+		if !id.Valid() {
+			return fmt.Errorf("sched: options: invalid heuristic id %d", int(id))
+		}
+		// !(>= 1) rather than (< 1) so NaN is rejected too.
+		if (id == IDMemCapped || id == IDMemCappedBooking) && !(o.MemCapFactor >= 1) {
+			return fmt.Errorf("sched: options: %s requires mem_cap_factor >= 1, got %g", id, o.MemCapFactor)
+		}
+	}
+	return nil
+}
+
+// Select resolves o into runnable heuristics. Capped heuristics receive a
+// closure computing cap = MemCapFactor × MemoryLowerBound(t) per tree;
+// sequential baselines ignore Processors and run on one processor.
+func (o Options) Select() ([]Heuristic, error) {
+	return o.selectWith(traversal.BestPostOrder)
+}
+
+// SelectFor is Select specialized to a single tree: the memory-optimal
+// postorder that the Sequential baseline and the capped heuristics need is
+// computed once here and shared by every returned closure, and its peak
+// (M_seq) is returned alongside. The returned heuristics must only be run
+// on t.
+func (o Options) SelectFor(t *tree.Tree) ([]Heuristic, int64, error) {
+	ref := traversal.BestPostOrder(t)
+	hs, err := o.selectWith(func(*tree.Tree) traversal.Result { return ref })
+	return hs, ref.Peak, err
+}
+
+func (o Options) selectWith(bestPostOrder func(*tree.Tree) traversal.Result) ([]Heuristic, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	ids := o.Heuristics
+	if len(ids) == 0 {
+		ids = PaperHeuristics()
+	}
+	hs := make([]Heuristic, 0, len(ids))
+	for _, id := range ids {
+		hs = append(hs, o.heuristic(id, bestPostOrder))
+	}
+	return hs, nil
+}
+
+func (o Options) heuristic(id HeuristicID, bestPostOrder func(*tree.Tree) traversal.Result) Heuristic {
+	h := Heuristic{Name: id.String()}
+	switch id {
+	case IDParSubtrees:
+		h.Run = ParSubtrees
+	case IDParSubtreesOptim:
+		h.Run = ParSubtreesOptim
+	case IDParInnerFirst:
+		h.Run = ParInnerFirst
+	case IDParDeepestFirst:
+		h.Run = ParDeepestFirst
+	case IDParInnerFirstArbitrary:
+		h.Run = ParInnerFirstArbitrary
+	case IDSequential:
+		h.Run = func(t *tree.Tree, _ int) (*Schedule, error) {
+			return SequentialSchedule(t, bestPostOrder(t).Order)
+		}
+	case IDOptimalSequential:
+		h.Run = func(t *tree.Tree, _ int) (*Schedule, error) {
+			return SequentialSchedule(t, traversal.Optimal(t).Order)
+		}
+	case IDMemCapped:
+		factor := o.MemCapFactor
+		h.Run = func(t *tree.Tree, p int) (*Schedule, error) {
+			return MemCapped(t, p, capFromFactor(factor, bestPostOrder(t).Peak))
+		}
+	case IDMemCappedBooking:
+		factor := o.MemCapFactor
+		h.Run = func(t *tree.Tree, p int) (*Schedule, error) {
+			return MemCappedBooking(t, p, capFromFactor(factor, bestPostOrder(t).Peak))
+		}
+	}
+	return h
+}
+
+// capFromFactor converts a cap expressed as a multiple of M_seq into an
+// absolute cap, rounding up so the cap never undershoots the requested
+// factor × M_seq through float truncation and factor 1.0 is always
+// feasible sequentially. Products beyond int64 range saturate at
+// MaxInt64 (an effectively unlimited cap) instead of overflowing.
+func capFromFactor(factor float64, mseq int64) int64 {
+	prod := math.Ceil(factor * float64(mseq))
+	if prod >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	cap := int64(prod)
+	if cap < mseq {
+		cap = mseq
+	}
+	return cap
+}
+
+// SequentialSchedule lays order out back to back on a single processor.
+// order must be a topological order of t (children before parents); a
+// non-topological order yields an invalid schedule, which Validate
+// detects. Validation is left to the caller so hot paths that always pass
+// a correct order (the service, the CLI) don't pay for it twice.
+func SequentialSchedule(t *tree.Tree, order []int) (*Schedule, error) {
+	n := t.Len()
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: sequential: order covers %d of %d nodes", len(order), n)
+	}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: 1}
+	var now float64
+	for _, v := range order {
+		s.Start[v] = now
+		now += t.W(v)
+	}
+	return s, nil
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+func optionsTestTree(tb testing.TB) *tree.Tree {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(9))
+	return tree.RandomAttachment(rng, 70, tree.WeightSpec{WMin: 1, WMax: 5, NMin: 0, NMax: 2, FMin: 1, FMax: 8})
+}
+
+func TestParseHeuristicRoundTrip(t *testing.T) {
+	for id := HeuristicID(0); id.Valid(); id++ {
+		got, ok := ParseHeuristic(id.String())
+		if !ok || got != id {
+			t.Errorf("ParseHeuristic(%q) = %v, %v", id.String(), got, ok)
+		}
+	}
+	if _, ok := ParseHeuristic("NoSuchHeuristic"); ok {
+		t.Error("parsed an unknown name")
+	}
+	if HeuristicID(-1).Valid() || HeuristicID(int(numHeuristicIDs)).Valid() {
+		t.Error("out-of-range IDs report valid")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{Processors: 0}).Validate(); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{HeuristicID(99)}}).Validate(); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDMemCapped}}).Validate(); err == nil {
+		t.Error("capped heuristic without factor accepted")
+	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDMemCapped}, MemCapFactor: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN cap factor accepted")
+	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDMemCapped}, MemCapFactor: 1.5}).Validate(); err != nil {
+		t.Errorf("valid capped options rejected: %v", err)
+	}
+}
+
+func TestOptionsSelectDefaultsToPaperFour(t *testing.T) {
+	hs, err := (Options{Processors: 4}).Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Heuristics()
+	if len(hs) != len(want) {
+		t.Fatalf("got %d heuristics, want %d", len(hs), len(want))
+	}
+	tr := optionsTestTree(t)
+	for i, h := range hs {
+		if h.Name != want[i].Name {
+			t.Errorf("heuristic %d: %q, want %q", i, h.Name, want[i].Name)
+		}
+		s, err := h.Run(tr, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		ref, err := want[i].Run(tr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan(tr) != ref.Makespan(tr) || PeakMemory(tr, s) != PeakMemory(tr, ref) {
+			t.Errorf("%s via Options differs from direct call", h.Name)
+		}
+	}
+}
+
+func TestOptionsSequentialBaselines(t *testing.T) {
+	tr := optionsTestTree(t)
+	opts := Options{
+		Processors: 4, // ignored by the sequential baselines
+		Heuristics: []HeuristicID{IDSequential, IDOptimalSequential},
+	}
+	hs, err := opts.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hs {
+		s, err := h.Run(tr, opts.Processors)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if err := s.Validate(tr); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", h.Name, err)
+		}
+		if s.P != 1 {
+			t.Errorf("%s ran on %d processors", h.Name, s.P)
+		}
+		if got, want := s.Makespan(tr), tr.TotalW(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s makespan %g, want total work %g", h.Name, got, want)
+		}
+		peak := PeakMemory(tr, s)
+		ref := traversal.BestPostOrder(tr).Peak
+		if i == 0 && peak != ref {
+			t.Errorf("Sequential peak %d, want best postorder peak %d", peak, ref)
+		}
+		if i == 1 && peak != traversal.Optimal(tr).Peak {
+			t.Errorf("OptimalSequential peak %d, want Liu optimal %d", peak, traversal.Optimal(tr).Peak)
+		}
+	}
+}
+
+func TestOptionsMemCapped(t *testing.T) {
+	tr := optionsTestTree(t)
+	opts := Options{
+		Processors:   4,
+		Heuristics:   []HeuristicID{IDMemCapped, IDMemCappedBooking},
+		MemCapFactor: 1.5,
+	}
+	hs, err := opts.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := int64(math.Ceil(1.5 * float64(MemoryLowerBound(tr))))
+	for _, h := range hs {
+		s, err := h.Run(tr, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if peak := PeakMemory(tr, s); peak > cap {
+			t.Errorf("%s peak %d exceeds cap %d", h.Name, peak, cap)
+		}
+	}
+}
+
+func TestSequentialScheduleRejectsPartialOrder(t *testing.T) {
+	tr := optionsTestTree(t)
+	if _, err := SequentialSchedule(tr, tr.TopOrder()[:tr.Len()-1]); err == nil {
+		t.Error("partial order accepted")
+	}
+	if _, err := SequentialSchedule(tr, tr.TopOrder()); err != nil {
+		t.Errorf("valid order rejected: %v", err)
+	}
+}
+
+func TestByNameStillResolvesEverything(t *testing.T) {
+	for _, name := range []string{
+		"ParSubtrees", "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst",
+		"ParInnerFirstArbitrary", "Sequential", "OptimalSequential",
+	} {
+		h, ok := ByName(name)
+		if !ok || h.Name != name || h.Run == nil {
+			t.Errorf("ByName(%q) broken", name)
+		}
+	}
+	for _, name := range []string{"MemCapped", "MemCappedBooking", "nope"} {
+		if _, ok := ByName(name); ok {
+			t.Errorf("ByName(%q) should not resolve", name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used response cache, keyed
+// by the canonical tree hash plus scheduling parameters (see cacheKey).
+// Cached *Response values are shared between hits and must be treated as
+// immutable by all readers.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+func (c *lruCache) add(key string, resp *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

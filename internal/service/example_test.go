@@ -1,0 +1,64 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"treesched/internal/service"
+)
+
+// ExampleClient schedules one small tree over the HTTP JSON API, exactly
+// as an external client would: POST a Request to /v1/schedule, read back
+// per-heuristic makespan and peak memory with the lower bounds, and
+// observe that an identical resubmission is served from the cache.
+func ExampleClient() {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// A five-node in-tree: the root 0 has children 1 and 2, and node 1 has
+	// the leaves 3 and 4. w is the processing time, f the output-file size.
+	reqBody := []byte(`{
+		"id": "demo",
+		"tree": {
+			"parent": [-1, 0, 0, 1, 1],
+			"w":      [2, 1, 3, 1, 1],
+			"f":      [0, 2, 4, 1, 3]
+		},
+		"p": 2,
+		"heuristics": ["ParSubtrees", "ParDeepestFirst", "Sequential"]
+	}`)
+
+	submit := func() service.Response {
+		httpResp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			panic(err)
+		}
+		defer httpResp.Body.Close()
+		var resp service.Response
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			panic(err)
+		}
+		return resp
+	}
+
+	resp := submit()
+	fmt.Printf("job %s: %d nodes on p=%d, makespan LB %g, M_seq %d\n",
+		resp.ID, resp.Nodes, resp.Processors, resp.Bounds.MakespanLB, resp.Bounds.MemorySeq)
+	for _, r := range resp.Results {
+		fmt.Printf("  %-16s makespan %g  memory %d\n", r.Heuristic, r.Makespan, r.PeakMemory)
+	}
+	fmt.Printf("first answer cached: %v, resubmission cached: %v\n",
+		resp.Cached, submit().Cached)
+
+	// Output:
+	// job demo: 5 nodes on p=2, makespan LB 5, M_seq 6
+	//   ParSubtrees      makespan 5  memory 10
+	//   ParDeepestFirst  makespan 5  memory 10
+	//   Sequential       makespan 8  memory 6
+	// first answer cached: false, resubmission cached: true
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) rejectJSON(w http.ResponseWriter, status int, msg string) {
+	s.metrics.errors.Add(1)
+	writeJSON(w, status, Response{Error: msg})
+}
+
+// handleSchedule answers POST /v1/schedule: one JSON Request in, one JSON
+// Response out. The handler goroutine only does I/O (reading the body,
+// writing the response); all CPU work — parsing, validation, hashing,
+// scheduling — runs on the bounded worker pool, exactly as in the batch
+// endpoint, so per-connection goroutines cannot oversubscribe the CPU the
+// pool is meant to bound.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.metrics.scheduleRequests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.rejectJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+			return
+		}
+		s.rejectJSON(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	type outcome struct {
+		status int
+		resp   *Response
+	}
+	ch := make(chan outcome, 1)
+	s.metrics.inflight.Add(1)
+	s.pool.submit(func() {
+		defer s.metrics.inflight.Add(-1)
+		status, resp := s.answerBytes(r.Context(), body)
+		ch <- outcome{status, resp}
+	})
+	out := <-ch
+	writeJSON(w, out.status, out.resp)
+}
+
+// handleBatch answers POST /v1/schedule/batch: NDJSON in, NDJSON out, one
+// Response line per Request line, in input order. Lines are pipelined:
+// a reader goroutine frames lines and dispatches them to the worker pool
+// (which does all per-line work — parsing, validation, hashing,
+// scheduling — so it parallelizes across workers) while this goroutine
+// streams completed responses back; the batch is never buffered whole.
+// The reader stays at most 2×Workers lines ahead of the writer (the
+// `results` buffer), bounding memory for arbitrarily long batches.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batchRequests.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// Set by the writer when the client stops reading; makes the reader
+	// quit instead of scheduling work nobody will receive.
+	var clientGone atomic.Bool
+	ctx := r.Context()
+
+	results := make(chan chan *Response, 2*s.cfg.Workers)
+	go func() {
+		defer close(results)
+		sc := bufio.NewScanner(r.Body)
+		// bufio.Scanner's effective token limit is max(max, cap(buf)), so
+		// the initial buffer must not exceed the configured line limit.
+		// The +1 leaves room for the newline delimiter, making the limit
+		// inclusive like the single endpoint's MaxBytesReader.
+		bufCap := 64 << 10
+		if int(s.cfg.MaxBodyBytes) < bufCap {
+			bufCap = int(s.cfg.MaxBodyBytes)
+		}
+		sc.Buffer(make([]byte, 0, bufCap), int(s.cfg.MaxBodyBytes)+1)
+		for sc.Scan() && !clientGone.Load() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			line = append([]byte(nil), line...) // sc.Bytes() is reused by the next Scan
+			ch := make(chan *Response, 1)
+			select {
+			case results <- ch: // bounded lookahead: blocks when far ahead of the writer
+			case <-ctx.Done(): // client disconnected while we waited
+				return
+			}
+			s.metrics.inflight.Add(1)
+			s.pool.submit(func() {
+				defer s.metrics.inflight.Add(-1)
+				ch <- s.answerLine(ctx, line)
+			})
+		}
+		if err := sc.Err(); err != nil {
+			// Line framing cannot resync past an oversized or unreadable
+			// line, so the remainder of the batch is dropped; the final
+			// error line says so for clients correlating by position.
+			s.metrics.errors.Add(1)
+			ch := make(chan *Response, 1)
+			ch <- &Response{Error: "batch read: " + err.Error() + " (remaining batch lines dropped)"}
+			results <- ch
+		}
+	}()
+
+	// A per-line write deadline bounds how long a stalled-but-connected
+	// client can pin this handler in Encode on TCP backpressure; a blown
+	// deadline surfaces as a write error and aborts the batch.
+	rc := http.NewResponseController(w)
+	defer rc.SetWriteDeadline(time.Time{}) // don't leak the deadline into later keep-alive requests
+	enc := json.NewEncoder(w)
+	for ch := range results {
+		resp := <-ch // must drain even after a write error, to unblock the reader
+		if clientGone.Load() {
+			continue
+		}
+		rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+		if err := enc.Encode(resp); err != nil {
+			clientGone.Store(true)
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// batchWriteTimeout is the per-response-line write deadline of the batch
+// endpoint: generous enough for any reading client, finite so a client
+// that stops reading cannot pin handler goroutines forever.
+const batchWriteTimeout = 2 * time.Minute
+
+// answerLine answers one batch line; it is answerBytes without the HTTP
+// status (batch lines carry errors in the response body, not the status).
+func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
+	_, resp := s.answerBytes(ctx, line)
+	return resp
+}
+
+// answerBytes parses, validates and answers one raw JSON request. It runs
+// on a pool worker, so the O(n) work (JSON decode, tree validation,
+// canonical hashing, scheduling) parallelizes across the pool. Pool
+// workers have no net/http panic net, so the whole path — decode included
+// — is recover-protected here; a panic must cost one request, not the
+// daemon.
+func (s *Server) answerBytes(ctx context.Context, raw []byte) (status int, resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.errors.Add(1)
+			status = http.StatusInternalServerError
+			resp = &Response{Error: fmt.Sprintf("internal error: panic handling request: %v", r)}
+		}
+	}()
+	if ctx.Err() != nil {
+		return http.StatusBadRequest, &Response{Error: "request canceled"}
+	}
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		s.metrics.errors.Add(1)
+		// req.ID is echoed best-effort: it is populated whenever the id
+		// field was decoded before the failure.
+		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error()}
+	}
+	j, err := s.prepare(req)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		st := http.StatusBadRequest
+		var re *requestError
+		if errors.As(err, &re) {
+			st = re.status
+		}
+		return st, &Response{ID: req.ID, Error: err.Error()}
+	}
+	if resp, ok := s.cached(j); ok {
+		return http.StatusOK, resp
+	}
+	return http.StatusOK, s.answerJob(ctx, j)
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.cfg.Workers,
+	})
+}
+
+// handleMetrics answers GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	cacheLen := 0
+	if s.cache != nil {
+		cacheLen = s.cache.len()
+	}
+	s.metrics.write(w, cacheLen, time.Since(s.started).Seconds())
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics is the server's counter set, exposed in Prometheus text format
+// on /metrics. All fields are monotonic counters except inflight.
+type metrics struct {
+	scheduleRequests atomic.Int64 // POST /v1/schedule
+	batchRequests    atomic.Int64 // POST /v1/schedule/batch
+	trees            atomic.Int64 // trees actually scheduled (cache misses)
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	errors           atomic.Int64 // rejected requests and batch lines
+	inflight         atomic.Int64 // jobs currently on or waiting for the pool
+}
+
+// write emits the metrics in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, cacheLen int, uptimeSeconds float64) {
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# HELP treeschedd_requests_total Requests received per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_requests_total counter\n")
+	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule\"} %d\n", m.scheduleRequests.Load())
+	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule/batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_trees_scheduled_total Trees scheduled (cache misses that ran the heuristics).\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_trees_scheduled_total counter\n")
+	fmt.Fprintf(w, "treeschedd_trees_scheduled_total %d\n", m.trees.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_cache_hits_total Responses served from the LRU cache.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "treeschedd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP treeschedd_cache_misses_total Cache lookups that missed.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "treeschedd_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP treeschedd_cache_hit_ratio Hits / (hits + misses) since start.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "treeschedd_cache_hit_ratio %g\n", ratio)
+	fmt.Fprintf(w, "# HELP treeschedd_cache_entries Responses currently cached.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_cache_entries gauge\n")
+	fmt.Fprintf(w, "treeschedd_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "# HELP treeschedd_inflight_jobs Scheduling jobs running or queued on the pool.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_inflight_jobs gauge\n")
+	fmt.Fprintf(w, "treeschedd_inflight_jobs %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_errors_total Rejected requests and failed batch lines.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_errors_total counter\n")
+	fmt.Fprintf(w, "treeschedd_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "treeschedd_uptime_seconds %g\n", uptimeSeconds)
+}

@@ -1,0 +1,38 @@
+package service
+
+import "sync"
+
+// pool is a bounded worker pool for CPU-bound scheduling jobs, in the
+// spirit of internal/par: a fixed set of goroutines pulling closures from
+// an unbuffered channel. Submission blocks while all workers are busy,
+// which propagates backpressure to the HTTP layer instead of letting the
+// per-connection goroutines oversubscribe the machine.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues f for asynchronous execution, blocking while the pool is
+// saturated. Completion is the closure's business (e.g. a result channel).
+func (p *pool) submit(f func()) { p.jobs <- f }
+
+// close waits for queued jobs to drain and stops the workers. No submit or
+// run may be in flight or follow.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

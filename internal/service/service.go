@@ -1,0 +1,126 @@
+// Package service implements treeschedd, the scheduling-as-a-service HTTP
+// layer over the treesched library: clients submit tree-shaped task graphs
+// as JSON and receive, per selected heuristic, the makespan, the simulated
+// peak memory and the paper's bi-objective lower bounds.
+//
+// # Endpoints
+//
+//   - POST /v1/schedule — one JSON Request, one JSON Response.
+//   - POST /v1/schedule/batch — newline-delimited JSON (NDJSON): one
+//     Request per line, one Response per line, in input order. Lines are
+//     pipelined through the worker pool, so arbitrarily long batches
+//     stream without being buffered whole. A malformed or invalid line
+//     yields an error Response for that line only; a line exceeding
+//     Config.MaxBodyBytes cannot be framed past, so it terminates the
+//     batch with a final error line noting that the remainder was
+//     dropped.
+//   - GET /healthz — liveness probe with uptime and pool size.
+//   - GET /metrics — Prometheus-style text metrics: request counts per
+//     endpoint, scheduled-tree count, cache hits/misses and hit ratio,
+//     in-flight jobs, errors.
+//
+// # Shape
+//
+// Scheduling is CPU-bound, so all scheduling work runs on a bounded worker
+// pool (Config.Workers goroutines) rather than on the unbounded HTTP
+// handler goroutines; the pool applies backpressure when saturated.
+// Results are cached in an LRU keyed by the tree's canonical hash plus all
+// scheduling parameters, so a repeated submission is answered without
+// rescheduling. Requests are size-limited (Config.MaxBodyBytes,
+// Config.MaxNodes) and malformed or oversized payloads are rejected with
+// JSON error objects. Responses are deterministic: identical requests
+// produce identical result sets whether computed or cached, concurrent or
+// not.
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheSize    = 1024
+	DefaultMaxBodyBytes = 8 << 20 // 8 MiB per request (or per batch line)
+	DefaultMaxNodes     = 1_000_000
+	DefaultMaxProcs     = 4096
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to a sensible default.
+type Config struct {
+	// Workers is the size of the scheduling worker pool.
+	// Default: GOMAXPROCS.
+	Workers int
+	// CacheSize is the number of LRU-cached responses. 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// MaxBodyBytes limits the size of a single request body, and of each
+	// line of a batch. Default: DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxNodes rejects trees larger than this. Default: DefaultMaxNodes.
+	MaxNodes int
+	// MaxProcs rejects requests with p above this. Default: DefaultMaxProcs.
+	MaxProcs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = DefaultMaxNodes
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = DefaultMaxProcs
+	}
+	return c
+}
+
+// Server is the treeschedd scheduling service. Create one with New, mount
+// Handler on an http.Server, and Close it after the http.Server has shut
+// down.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	cache   *lruCache
+	metrics metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server from cfg (zero value for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers),
+		started: time.Now(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool. Call only after all in-flight HTTP
+// requests have completed (e.g. after http.Server.Shutdown returned).
+func (s *Server) Close() { s.pool.close() }
+
+// Workers returns the size of the scheduling pool.
+func (s *Server) Workers() int { return s.cfg.Workers }

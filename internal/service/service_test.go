@@ -1,0 +1,523 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+func testTree(tb testing.TB, seed int64, n int) *tree.Tree {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return tree.RandomAttachment(rng, n, tree.WeightSpec{
+		WMin: 1, WMax: 10, NMin: 0, NMax: 5, FMin: 1, FMax: 20,
+	})
+}
+
+func postJSON(tb testing.TB, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		tb.Fatal(err)
+	}
+	return post(tb, h, path, buf.Bytes())
+}
+
+func post(tb testing.TB, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	tb.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeResponse(tb testing.TB, rec *httptest.ResponseRecorder) Response {
+	tb.Helper()
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		tb.Fatalf("response not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return resp
+}
+
+func TestScheduleSingle(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 1, 50)
+
+	rec := postJSON(t, h, "/v1/schedule", Request{ID: "job-1", Tree: tr, Processors: 4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResponse(t, rec)
+	if resp.Error != "" {
+		t.Fatalf("unexpected error: %s", resp.Error)
+	}
+	if resp.ID != "job-1" || resp.Nodes != 50 || resp.Processors != 4 || resp.Cached {
+		t.Fatalf("bad envelope: %+v", resp)
+	}
+	if resp.TreeHash != tr.CanonicalHash() {
+		t.Fatalf("tree hash mismatch")
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("want the paper's 4 heuristics, got %d", len(resp.Results))
+	}
+	wantNames := []string{"ParSubtrees", "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst"}
+	for i, r := range resp.Results {
+		if r.Heuristic != wantNames[i] {
+			t.Errorf("result %d: heuristic %q, want %q", i, r.Heuristic, wantNames[i])
+		}
+		if r.Error != "" {
+			t.Errorf("%s failed: %s", r.Heuristic, r.Error)
+		}
+		if r.Makespan < resp.Bounds.MakespanLB-1e-9 {
+			t.Errorf("%s makespan %g below lower bound %g", r.Heuristic, r.Makespan, resp.Bounds.MakespanLB)
+		}
+		if r.PeakMemory < resp.Bounds.MemorySeq {
+			t.Errorf("%s memory %d below M_seq %d", r.Heuristic, r.PeakMemory, resp.Bounds.MemorySeq)
+		}
+	}
+
+	// The same submission again is served from the cache, identically.
+	rec2 := postJSON(t, h, "/v1/schedule", Request{ID: "job-2", Tree: tr, Processors: 4})
+	resp2 := decodeResponse(t, rec2)
+	if !resp2.Cached {
+		t.Fatalf("second identical submission not served from cache")
+	}
+	if resp2.ID != "job-2" {
+		t.Fatalf("cached response has ID %q, want job-2", resp2.ID)
+	}
+	if !reflect.DeepEqual(resp.Results, resp2.Results) || !reflect.DeepEqual(resp.Bounds, resp2.Bounds) {
+		t.Fatalf("cached response differs from computed one")
+	}
+
+	// Different p is a different cache entry.
+	resp3 := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{Tree: tr, Processors: 2}))
+	if resp3.Cached {
+		t.Fatalf("different p wrongly served from cache")
+	}
+}
+
+func TestScheduleHeuristicSelectionAndTreeText(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 2, 40)
+	var txt bytes.Buffer
+	if err := tr.Encode(&txt); err != nil {
+		t.Fatal(err)
+	}
+
+	req := Request{
+		TreeText:     txt.String(),
+		Processors:   3,
+		Heuristics:   []string{"Sequential", "OptimalSequential", "MemCapped", "MemCappedBooking", "ParDeepestFirst"},
+		MemCapFactor: 2,
+	}
+	resp := decodeResponse(t, postJSON(t, h, "/v1/schedule", req))
+	if resp.Error != "" {
+		t.Fatalf("unexpected error: %s", resp.Error)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("want 5 results, got %d", len(resp.Results))
+	}
+	seq, opt := resp.Results[0], resp.Results[1]
+	if seq.PeakMemory != resp.Bounds.MemorySeq {
+		t.Errorf("Sequential peak %d != M_seq %d", seq.PeakMemory, resp.Bounds.MemorySeq)
+	}
+	if opt.PeakMemory > seq.PeakMemory {
+		t.Errorf("OptimalSequential peak %d exceeds best postorder %d", opt.PeakMemory, seq.PeakMemory)
+	}
+	cap := int64(math.Ceil(2 * float64(resp.Bounds.MemorySeq)))
+	for _, r := range resp.Results[2:4] {
+		if r.Error != "" {
+			t.Errorf("%s failed: %s", r.Heuristic, r.Error)
+		}
+		if r.PeakMemory > cap {
+			t.Errorf("%s peak %d exceeds cap %d", r.Heuristic, r.PeakMemory, cap)
+		}
+	}
+
+	// The JSON and text encodings of the same tree share a cache entry.
+	resp2 := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{
+		Tree: tr, Processors: 3,
+		Heuristics:   req.Heuristics,
+		MemCapFactor: 2,
+	}))
+	if !resp2.Cached {
+		t.Fatalf("JSON encoding of the same tree missed the cache")
+	}
+}
+
+func TestScheduleRejections(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 4096, MaxNodes: 100, MaxProcs: 8})
+	defer s.Close()
+	h := s.Handler()
+	small := testTree(t, 3, 10)
+
+	cases := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"malformed JSON", []byte(`{"tree":`), http.StatusBadRequest},
+		{"no tree", mustJSON(t, Request{Processors: 2}), http.StatusBadRequest},
+		{"both trees", mustJSON(t, Request{Tree: small, TreeText: "1\n0 -1 1 0 0\n", Processors: 2}), http.StatusBadRequest},
+		{"bad tree_text", mustJSON(t, Request{TreeText: "not a tree", Processors: 2}), http.StatusBadRequest},
+		{"cyclic tree", []byte(`{"tree":{"parent":[-1,2,1],"w":[1,1,1]},"p":2}`), http.StatusBadRequest},
+		{"empty tree", []byte(`{"tree":{"parent":[],"w":[]},"p":2}`), http.StatusBadRequest},
+		{"p missing", mustJSON(t, Request{Tree: small}), http.StatusBadRequest},
+		{"p too large", mustJSON(t, Request{Tree: small, Processors: 9}), http.StatusBadRequest},
+		{"unknown heuristic", mustJSON(t, Request{Tree: small, Processors: 2, Heuristics: []string{"Nope"}}), http.StatusBadRequest},
+		{"memcap without factor", mustJSON(t, Request{Tree: small, Processors: 2, Heuristics: []string{"MemCapped"}}), http.StatusBadRequest},
+		{"tree too large", mustJSON(t, Request{Tree: testTree(t, 4, 101), Processors: 2}), http.StatusRequestEntityTooLarge},
+		{"tree_text declares huge count", []byte(`{"tree_text":"1000000000\n","p":2}`), http.StatusRequestEntityTooLarge},
+		{"tree_text declares absurd count", []byte(`{"tree_text":"9000000000000000000\n","p":2}`), http.StatusRequestEntityTooLarge},
+		{"body too large", append([]byte(`{"tree_text":"`), bytes.Repeat([]byte("x"), 5000)...), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		rec := post(t, h, "/v1/schedule", tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+			continue
+		}
+		if resp := decodeResponse(t, rec); resp.Error == "" {
+			t.Errorf("%s: no error message in %s", tc.name, rec.Body.String())
+		}
+	}
+
+	// Wrong method on every endpoint.
+	for _, path := range []string{"/v1/schedule", "/v1/schedule/batch"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, rec.Code)
+		}
+	}
+}
+
+func mustJSON(tb testing.TB, v any) []byte {
+	tb.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func TestBatchStreamsThousandTrees(t *testing.T) {
+	s := New(Config{Workers: 8, CacheSize: 4096})
+	defer s.Close()
+	h := s.Handler()
+
+	const nTrees = 1000
+	var batch bytes.Buffer
+	enc := json.NewEncoder(&batch)
+	for i := 0; i < nTrees; i++ {
+		tr := testTree(t, int64(i), 20+i%30)
+		if err := enc.Encode(Request{ID: fmt.Sprintf("t%04d", i), Tree: tr, Processors: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	input := batch.Bytes()
+
+	runBatch := func() []Response {
+		rec := post(t, h, "/v1/schedule/batch", input)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch status %d", rec.Code)
+		}
+		var out []Response
+		sc := bufio.NewScanner(rec.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+		for sc.Scan() {
+			var resp Response
+			if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+				t.Fatalf("bad NDJSON line: %v", err)
+			}
+			out = append(out, resp)
+		}
+		return out
+	}
+
+	first := runBatch()
+	if len(first) != nTrees {
+		t.Fatalf("got %d response lines, want %d", len(first), nTrees)
+	}
+	for i, resp := range first {
+		if want := fmt.Sprintf("t%04d", i); resp.ID != want {
+			t.Fatalf("line %d out of order: id %q, want %q", i, resp.ID, want)
+		}
+		if resp.Error != "" {
+			t.Fatalf("line %d failed: %s", i, resp.Error)
+		}
+		if len(resp.Results) != 4 {
+			t.Fatalf("line %d: %d results", i, len(resp.Results))
+		}
+	}
+
+	// The identical batch again: every line comes from the cache with
+	// identical results.
+	second := runBatch()
+	if len(second) != nTrees {
+		t.Fatalf("second run: %d lines", len(second))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("line %d of repeated batch not cached", i)
+		}
+		if !reflect.DeepEqual(first[i].Results, second[i].Results) {
+			t.Fatalf("line %d: cached results differ", i)
+		}
+	}
+
+	// Cache hits are observable on /metrics.
+	metrics := getBody(t, h, "/metrics")
+	if !strings.Contains(metrics, fmt.Sprintf("treeschedd_cache_hits_total %d", nTrees)) {
+		t.Errorf("metrics missing %d cache hits:\n%s", nTrees, metrics)
+	}
+	if !strings.Contains(metrics, fmt.Sprintf("treeschedd_trees_scheduled_total %d", nTrees)) {
+		t.Errorf("metrics missing %d scheduled trees:\n%s", nTrees, metrics)
+	}
+	if !strings.Contains(metrics, "treeschedd_cache_hit_ratio 0.5") {
+		t.Errorf("metrics missing hit ratio 0.5:\n%s", metrics)
+	}
+}
+
+func TestBatchBadLinesDoNotBreakStream(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 7, 15)
+
+	var batch bytes.Buffer
+	enc := json.NewEncoder(&batch)
+	enc.Encode(Request{ID: "ok-1", Tree: tr, Processors: 2})
+	batch.WriteString("this is not json\n")
+	batch.WriteString("\n") // blank lines are skipped, not answered
+	enc.Encode(Request{ID: "bad-p", Tree: tr, Processors: 0})
+	enc.Encode(Request{ID: "ok-2", Tree: tr, Processors: 2})
+
+	rec := post(t, h, "/v1/schedule/batch", batch.Bytes())
+	var out []Response
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resp)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d lines, want 4", len(out))
+	}
+	if out[0].ID != "ok-1" || out[0].Error != "" {
+		t.Errorf("line 0: %+v", out[0])
+	}
+	if out[1].Error == "" {
+		t.Errorf("line 1 (malformed) has no error")
+	}
+	if out[2].ID != "bad-p" || out[2].Error == "" {
+		t.Errorf("line 2 (p=0) not rejected: %+v", out[2])
+	}
+	if out[3].ID != "ok-2" || out[3].Error != "" {
+		t.Errorf("line 3: %+v", out[3])
+	}
+}
+
+func TestBatchEnforcesLineLimit(t *testing.T) {
+	// MaxBodyBytes below bufio's 64 KiB default buffer must still cap the
+	// batch line size.
+	s := New(Config{Workers: 2, MaxBodyBytes: 4096})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 21, 10)
+
+	// A line of exactly MaxBodyBytes must pass, matching the single
+	// endpoint's inclusive limit; the first longer line kills the stream.
+	atLimit := mustJSON(t, Request{ID: "pad", Tree: tr, Processors: 2})
+	atLimit = append(atLimit[:len(atLimit)-1], []byte(`,"tree_text":"`)...)
+	atLimit = append(atLimit, bytes.Repeat([]byte(" "), 4096-len(atLimit)-2)...)
+	atLimit = append(atLimit, '"', '}')
+	if len(atLimit) != 4096 {
+		t.Fatalf("at-limit line is %d bytes", len(atLimit))
+	}
+
+	var batch bytes.Buffer
+	json.NewEncoder(&batch).Encode(Request{ID: "ok", Tree: tr, Processors: 2})
+	batch.Write(atLimit)
+	batch.WriteByte('\n')
+	batch.WriteString(`{"tree_text":"` + strings.Repeat("x", 50_000) + `"}` + "\n")
+
+	rec := post(t, h, "/v1/schedule/batch", batch.Bytes())
+	var out []Response
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resp)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d lines, want 3 (good line + at-limit rejection + stream error)", len(out))
+	}
+	if out[0].ID != "ok" || out[0].Error != "" {
+		t.Errorf("line 0: %+v", out[0])
+	}
+	// The at-limit line frames fine; it fails only semantically (both tree
+	// and tree_text set), proving the scanner did not choke on it.
+	if out[1].ID != "pad" || !strings.Contains(out[1].Error, "exactly one of tree and tree_text") {
+		t.Errorf("at-limit line mishandled: %+v", out[1])
+	}
+	if !strings.Contains(out[2].Error, "token too long") {
+		t.Errorf("oversized line not rejected: %+v", out[2])
+	}
+}
+
+func TestConcurrentIdenticalRequestsAreDeterministic(t *testing.T) {
+	// Cache disabled: every request recomputes, so this checks that the
+	// heuristics themselves are deterministic under concurrency.
+	s := New(Config{Workers: 4, CacheSize: -1})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 11, 80)
+	body := mustJSON(t, Request{Tree: tr, Processors: 4})
+
+	const goroutines = 16
+	bodies := make([]string, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			bodies[g] = post(t, h, "/v1/schedule", body).Body.String()
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if bodies[g] != bodies[0] {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", g, bodies[g], bodies[0])
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := New(Config{Workers: 3})
+	defer s.Close()
+	h := s.Handler()
+
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, h, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Workers != 3 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	metrics := getBody(t, h, "/metrics")
+	for _, want := range []string{
+		"treeschedd_requests_total{endpoint=\"/v1/schedule\"} 0",
+		"treeschedd_cache_hits_total 0",
+		"treeschedd_inflight_jobs 0",
+		"treeschedd_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestBatchSurvivesHostileLines(t *testing.T) {
+	// Hostile per-line payloads must cost one error line, never the
+	// process: the worker-side recover and the DecodeMax allocation cap.
+	s := New(Config{Workers: 2, MaxNodes: 1000})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 23, 12)
+
+	var batch bytes.Buffer
+	batch.WriteString(`{"id":"huge","tree_text":"9000000000000000000\n","p":1}` + "\n")
+	json.NewEncoder(&batch).Encode(Request{ID: "ok", Tree: tr, Processors: 2})
+
+	rec := post(t, h, "/v1/schedule/batch", batch.Bytes())
+	var out []Response
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resp)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d lines, want 2", len(out))
+	}
+	if out[0].ID != "huge" || !strings.Contains(out[0].Error, "exceeds limit") {
+		t.Errorf("hostile line: %+v", out[0])
+	}
+	if out[1].ID != "ok" || out[1].Error != "" {
+		t.Errorf("line after hostile one broken: %+v", out[1])
+	}
+}
+
+func TestSafeRunContainsPanics(t *testing.T) {
+	// A nil tree makes run() panic; the pool-worker wrapper must convert
+	// that into an error response instead of crashing the daemon.
+	j := &job{req: Request{ID: "boom"}, opts: sched.Options{Processors: 1}}
+	resp := safeRun(j)
+	if resp == nil || resp.ID != "boom" || !strings.Contains(resp.Error, "panic") {
+		t.Fatalf("panic not contained: %+v", resp)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	r := &Response{}
+	c.add("a", r)
+	c.add("b", r)
+	if _, ok := c.get("a"); !ok { // touches a, making b the eviction victim
+		t.Fatal("a missing")
+	}
+	c.add("c", r)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a wrongly evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+}
+
+func getBody(tb testing.TB, h http.Handler, path string) string {
+	tb.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		tb.Fatalf("GET %s: status %d", path, rec.Code)
+	}
+	return rec.Body.String()
+}

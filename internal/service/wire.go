@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// Request is one scheduling job: a tree, a machine size and an optional
+// heuristic selection. Exactly one of Tree and TreeText must be set.
+type Request struct {
+	// ID is an opaque client tag echoed in the Response; useful for
+	// correlating lines of a batch.
+	ID string `json:"id,omitempty"`
+	// Tree is the task tree in JSON form:
+	// {"parent":[-1,0,0],"w":[1,1,1],"n":[0,0,0],"f":[1,2,3]}
+	// (parent -1 marks the root; n and f default to zero when omitted).
+	Tree *tree.Tree `json:"tree,omitempty"`
+	// TreeText is the task tree in the textual treegen format, as an
+	// alternative to Tree.
+	TreeText string `json:"tree_text,omitempty"`
+	// Processors is the machine size p (>= 1). Required.
+	Processors int `json:"p"`
+	// Heuristics names the schedulers to run, in output order: any of
+	// ParSubtrees, ParSubtreesOptim, ParInnerFirst, ParDeepestFirst,
+	// ParInnerFirstArbitrary, Sequential, OptimalSequential, MemCapped,
+	// MemCappedBooking. Empty means the paper's four heuristics.
+	Heuristics []string `json:"heuristics,omitempty"`
+	// MemCapFactor sets the cap of MemCapped/MemCappedBooking to
+	// MemCapFactor × M_seq. Required (>= 1) iff a capped heuristic is
+	// selected.
+	MemCapFactor float64 `json:"mem_cap_factor,omitempty"`
+}
+
+// Bounds carries the paper's bi-objective lower bounds for one instance.
+type Bounds struct {
+	// MakespanLB is max(total work / p, critical path).
+	MakespanLB float64 `json:"makespan_lb"`
+	// MemorySeq is M_seq, the paper's sequential memory reference: the
+	// peak of the memory-optimal sequential postorder. It is near-optimal
+	// but not a strict bound — the OptimalSequential heuristic (Liu's
+	// exact traversal) can come in below it, i.e. memory_ratio < 1.
+	MemorySeq int64 `json:"memory_seq"`
+}
+
+// HeuristicResult is the outcome of one heuristic on one tree.
+type HeuristicResult struct {
+	Heuristic  string  `json:"heuristic"`
+	Makespan   float64 `json:"makespan"`
+	PeakMemory int64   `json:"peak_memory"`
+	// MakespanRatio is Makespan / Bounds.MakespanLB (0 if the bound is 0).
+	MakespanRatio float64 `json:"makespan_ratio"`
+	// MemoryRatio is PeakMemory / Bounds.MemorySeq (0 if M_seq is 0).
+	MemoryRatio float64 `json:"memory_ratio"`
+	// Error is set when this heuristic failed on the instance (the other
+	// results are still valid).
+	Error string `json:"error,omitempty"`
+}
+
+// Response is the answer to one Request. In batch mode a line-level
+// failure is reported as a Response with only ID and Error set.
+type Response struct {
+	ID         string            `json:"id,omitempty"`
+	TreeHash   string            `json:"tree_hash,omitempty"`
+	Nodes      int               `json:"nodes,omitempty"`
+	Processors int               `json:"p,omitempty"`
+	Bounds     *Bounds           `json:"bounds,omitempty"`
+	Results    []HeuristicResult `json:"results,omitempty"`
+	// Cached reports that the response was served from the LRU cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error is set instead of the result fields when the request itself
+	// was invalid.
+	Error string `json:"error,omitempty"`
+}
+
+// requestError is an invalid-request failure with an HTTP status.
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *requestError {
+	return &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// job is a validated, runnable request: the parsed tree plus the resolved
+// scheduling options and the cache key identifying the result.
+type job struct {
+	req      Request
+	tree     *tree.Tree
+	treeHash string
+	opts     sched.Options
+	cacheKey string
+}
+
+// prepare validates req against the server limits and resolves it into a
+// runnable job.
+func (s *Server) prepare(req Request) (*job, error) {
+	var t *tree.Tree
+	switch {
+	case req.Tree != nil && req.TreeText != "":
+		return nil, badRequest("exactly one of tree and tree_text must be set, got both")
+	case req.Tree != nil:
+		t = req.Tree
+	case req.TreeText != "":
+		var err error
+		// DecodeMax caps the declared node count before allocation, so a
+		// tiny hostile payload cannot demand MaxNodes-independent memory.
+		t, err = tree.DecodeMax(strings.NewReader(req.TreeText), s.cfg.MaxNodes)
+		if err != nil {
+			if errors.Is(err, tree.ErrTooLarge) {
+				return nil, &requestError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+			}
+			return nil, badRequest("invalid tree_text: %v", err)
+		}
+	default:
+		return nil, badRequest("one of tree and tree_text is required")
+	}
+	if t.Len() == 0 {
+		return nil, badRequest("tree is empty")
+	}
+	if t.Len() > s.cfg.MaxNodes {
+		return nil, &requestError{
+			status: http.StatusRequestEntityTooLarge,
+			msg:    fmt.Sprintf("tree has %d nodes, limit is %d", t.Len(), s.cfg.MaxNodes),
+		}
+	}
+	if req.Processors < 1 {
+		return nil, badRequest("p must be >= 1, got %d", req.Processors)
+	}
+	if req.Processors > s.cfg.MaxProcs {
+		return nil, badRequest("p=%d exceeds limit %d", req.Processors, s.cfg.MaxProcs)
+	}
+	ids := make([]sched.HeuristicID, 0, len(req.Heuristics))
+	for _, name := range req.Heuristics {
+		id, ok := sched.ParseHeuristic(name)
+		if !ok {
+			return nil, badRequest("unknown heuristic %q (known: %s)",
+				name, strings.Join(sortedHeuristicNames(), ", "))
+		}
+		ids = append(ids, id)
+	}
+	opts := sched.Options{
+		Processors:   req.Processors,
+		Heuristics:   ids,
+		MemCapFactor: req.MemCapFactor,
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	j := &job{req: req, tree: t, treeHash: t.CanonicalHash(), opts: opts}
+	j.cacheKey = cacheKey(j.treeHash, opts)
+	return j, nil
+}
+
+// cacheKey identifies a (tree, options) pair. Heuristic order matters for
+// the Results order, so the selection is included in request order.
+func cacheKey(treeHash string, opts sched.Options) string {
+	var b strings.Builder
+	b.WriteString(treeHash)
+	fmt.Fprintf(&b, "|p=%d", opts.Processors)
+	ids := opts.Heuristics
+	if len(ids) == 0 {
+		ids = sched.PaperHeuristics()
+	}
+	b.WriteString("|h=")
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(id.String())
+	}
+	if needsCapFactor(ids) {
+		fmt.Fprintf(&b, "|cap=%g", opts.MemCapFactor)
+	}
+	return b.String()
+}
+
+func needsCapFactor(ids []sched.HeuristicID) bool {
+	for _, id := range ids {
+		if id == sched.IDMemCapped || id == sched.IDMemCappedBooking {
+			return true
+		}
+	}
+	return false
+}
+
+// safeRun is run with panic containment: on HTTP handler goroutines
+// net/http limits a panic's blast radius to one connection, but pool
+// workers have no such net, so a latent panic in the scheduling code must
+// not take the whole daemon down with every in-flight request.
+func safeRun(j *job) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{ID: j.req.ID, Error: fmt.Sprintf("internal error: panic during scheduling: %v", r)}
+		}
+	}()
+	return run(j)
+}
+
+// run schedules the job's tree with every selected heuristic. It is a pure
+// function of the job and always produces results in selection order, so
+// responses are deterministic.
+func run(j *job) *Response {
+	t, p := j.tree, j.opts.Processors
+	// SelectFor computes the best postorder once; its peak is M_seq and the
+	// sequential/capped heuristics reuse the traversal instead of
+	// recomputing it per heuristic.
+	hs, memSeq, err := j.opts.SelectFor(t)
+	if err != nil { // unreachable: prepare validated the options
+		return &Response{ID: j.req.ID, Error: err.Error()}
+	}
+	bounds := Bounds{
+		MakespanLB: sched.MakespanLowerBound(t, p),
+		MemorySeq:  memSeq,
+	}
+	resp := &Response{
+		ID:         j.req.ID,
+		TreeHash:   j.treeHash,
+		Nodes:      t.Len(),
+		Processors: p,
+		Bounds:     &bounds,
+		Results:    make([]HeuristicResult, 0, len(hs)),
+	}
+	for _, h := range hs {
+		hr := HeuristicResult{Heuristic: h.Name}
+		sc, err := h.Run(t, p)
+		if err == nil {
+			err = sc.Validate(t)
+		}
+		if err != nil {
+			hr.Error = err.Error()
+		} else {
+			hr.Makespan = sc.Makespan(t)
+			hr.PeakMemory = sched.PeakMemory(t, sc)
+			if bounds.MakespanLB > 0 {
+				hr.MakespanRatio = hr.Makespan / bounds.MakespanLB
+			}
+			if bounds.MemorySeq > 0 {
+				hr.MemoryRatio = float64(hr.PeakMemory) / float64(bounds.MemorySeq)
+			}
+		}
+		resp.Results = append(resp.Results, hr)
+	}
+	return resp
+}
+
+// cached returns a personalized copy of j's cached response, counting the
+// hit or miss.
+func (s *Server) cached(j *job) (*Response, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	c, ok := s.cache.get(j.cacheKey)
+	if !ok {
+		s.metrics.cacheMisses.Add(1)
+		return nil, false
+	}
+	s.metrics.cacheHits.Add(1)
+	resp := *c // shallow copy; Results are shared and read-only
+	resp.ID = j.req.ID
+	resp.Cached = true
+	return &resp, true
+}
+
+// answerJob schedules j on the calling goroutine — which must be a pool
+// worker — and caches the result. Jobs whose client has gone away by the
+// time a worker picks them up are skipped rather than computed for nobody.
+func (s *Server) answerJob(ctx context.Context, j *job) *Response {
+	if ctx.Err() != nil {
+		return &Response{ID: j.req.ID, Error: "request canceled"}
+	}
+	// Dedup re-check: a concurrent identical request may have finished
+	// while this one waited for a worker. Bypasses the hit/miss counters —
+	// this lookup is an internal optimization, not a client-visible miss.
+	if s.cache != nil {
+		if c, ok := s.cache.get(j.cacheKey); ok {
+			resp := *c
+			resp.ID = j.req.ID
+			resp.Cached = true
+			return &resp
+		}
+	}
+	resp := safeRun(j)
+	s.metrics.trees.Add(1)
+	if s.cache != nil && resp.Error == "" {
+		s.cache.add(j.cacheKey, resp)
+	}
+	return resp
+}
+
+// sortedHeuristicNames returns all canonical wire names, for error texts.
+func sortedHeuristicNames() []string {
+	var names []string
+	for id := sched.HeuristicID(0); ; id++ {
+		if !id.Valid() {
+			break
+		}
+		names = append(names, id.String())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,36 @@
+package tree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// CanonicalHash returns a hex SHA-256 digest of the tree's full content:
+// node count, parent vector and the three weight vectors, in node order.
+// Two trees hash equally iff they have identical parent/w/n/f vectors, so
+// the digest is independent of how the tree was encoded or constructed and
+// is a safe key for result caches.
+func (t *Tree) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(t.Len()))
+	for _, p := range t.parent {
+		put(uint64(int64(p)))
+	}
+	for _, w := range t.w {
+		put(math.Float64bits(w))
+	}
+	for _, n := range t.n {
+		put(uint64(n))
+	}
+	for _, f := range t.f {
+		put(uint64(f))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

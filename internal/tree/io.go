@@ -2,8 +2,10 @@ package tree
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -28,8 +30,19 @@ func (t *Tree) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode parses the format produced by Encode.
-func Decode(r io.Reader) (*Tree, error) {
+// ErrTooLarge is wrapped by DecodeMax when the declared node count
+// exceeds the caller's limit.
+var ErrTooLarge = errors.New("tree: too large")
+
+// Decode parses the format produced by Encode. The input is trusted: the
+// declared node count is allocated as-is. For untrusted inputs use
+// DecodeMax.
+func Decode(r io.Reader) (*Tree, error) { return DecodeMax(r, math.MaxInt) }
+
+// DecodeMax is Decode with a cap on the declared node count, checked
+// before any count-sized allocation so a hostile header line cannot
+// demand arbitrary memory.
+func DecodeMax(r io.Reader, maxNodes int) (*Tree, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	line, err := nextLine(sc)
@@ -42,6 +55,9 @@ func Decode(r io.Reader) (*Tree, error) {
 	}
 	if nn < 0 {
 		return nil, fmt.Errorf("tree: decode: negative node count %d", nn)
+	}
+	if nn > maxNodes {
+		return nil, fmt.Errorf("%w: declared node count %d exceeds limit %d", ErrTooLarge, nn, maxNodes)
 	}
 	parent := make([]int, nn)
 	w := make([]float64, nn)

@@ -1,0 +1,44 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// treeJSON is the wire form of a Tree used by the JSON codec and the
+// scheduling service. parent[i] is the parent of node i, or -1 (None) for
+// the root. n and f may be omitted, in which case they default to zero
+// (the pure makespan model).
+type treeJSON struct {
+	Parent []int     `json:"parent"`
+	W      []float64 `json:"w"`
+	N      []int64   `json:"n,omitempty"`
+	F      []int64   `json:"f,omitempty"`
+}
+
+// MarshalJSON encodes the tree as {"parent":[...],"w":[...],"n":[...],"f":[...]}.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{Parent: t.parent, W: t.w, N: t.n, F: t.f})
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON and validates it
+// with the same rules as New. Absent n/f arrays default to all-zero.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var tj treeJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("tree: json: %w", err)
+	}
+	nn := len(tj.Parent)
+	if tj.N == nil {
+		tj.N = make([]int64, nn)
+	}
+	if tj.F == nil {
+		tj.F = make([]int64, nn)
+	}
+	nt, err := New(tj.Parent, tj.W, tj.N, tj.F)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

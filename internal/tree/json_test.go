@@ -1,0 +1,97 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := RandomAttachment(rng, 60, WeightSpec{WMin: 0.5, WMax: 4, NMin: 0, NMax: 3, FMin: 1, FMax: 9})
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.Root() != orig.Root() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.Parent(i) != orig.Parent(i) || back.W(i) != orig.W(i) ||
+			back.N(i) != orig.N(i) || back.F(i) != orig.F(i) {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+	if back.CanonicalHash() != orig.CanonicalHash() {
+		t.Fatalf("hash changed across JSON round trip")
+	}
+}
+
+func TestJSONDefaultsAndValidation(t *testing.T) {
+	// n and f default to zero vectors when omitted.
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{"parent":[-1,0,0],"w":[1,2,3]}`), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.N(1) != 0 || tr.F(2) != 0 {
+		t.Fatalf("defaults not applied: %v", tr.String())
+	}
+
+	for name, bad := range map[string]string{
+		"two roots":       `{"parent":[-1,-1],"w":[1,1]}`,
+		"cycle":           `{"parent":[-1,2,1],"w":[1,1,1]}`,
+		"length mismatch": `{"parent":[-1,0],"w":[1]}`,
+		"negative f":      `{"parent":[-1],"w":[1],"f":[-2]}`,
+		"negative w":      `{"parent":[-1],"w":[-1]}`,
+		"not an object":   `[1,2,3]`,
+	} {
+		var tr Tree
+		if err := json.Unmarshal([]byte(bad), &tr); err == nil {
+			t.Errorf("%s: accepted invalid tree %s", name, bad)
+		}
+	}
+}
+
+func TestCanonicalHash(t *testing.T) {
+	a := MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 1, 1})
+	b := MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 1, 1})
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("identical trees hash differently")
+	}
+	if a.CanonicalHash() != a.Clone().CanonicalHash() {
+		t.Fatal("clone hashes differently")
+	}
+
+	// The hash covers every component: perturb each one.
+	variants := []*Tree{
+		MustNew([]int{None, 0, 1}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 1, 1}), // parent
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 4}, []int64{0, 0, 0}, []int64{1, 1, 1}), // w
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 1, 0}, []int64{1, 1, 1}), // n
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 2, 1}), // f
+		MustNew([]int{None, 0, 0, 0}, []float64{1, 2, 3, 0}, make([]int64, 4), make([]int64, 4)), // size
+	}
+	for i, v := range variants {
+		if v.CanonicalHash() == a.CanonicalHash() {
+			t.Errorf("variant %d collides with the base tree", i)
+		}
+	}
+
+	// The textual codec preserves the hash (format-independence).
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.CanonicalHash() != a.CanonicalHash() {
+		t.Fatal("hash changed across text round trip")
+	}
+}

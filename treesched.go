@@ -8,6 +8,7 @@ import (
 	"treesched/internal/frontal"
 	"treesched/internal/pebble"
 	"treesched/internal/sched"
+	"treesched/internal/service"
 	"treesched/internal/spm"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
@@ -44,6 +45,23 @@ type (
 	// FactorResult is the outcome of a numeric factorization: the factor
 	// and the measured peak live entries.
 	FactorResult = frontal.Result
+	// HeuristicID is the typed identifier of a scheduling heuristic.
+	HeuristicID = sched.HeuristicID
+	// ScheduleOptions selects heuristics and parameters for a scheduling
+	// run (used by the service and batch callers).
+	ScheduleOptions = sched.Options
+	// Server is the treeschedd scheduling-as-a-service HTTP server.
+	Server = service.Server
+	// ServerConfig parameterizes a Server (worker pool, cache, limits).
+	ServerConfig = service.Config
+	// ScheduleRequest is one job submitted to the scheduling service.
+	ScheduleRequest = service.Request
+	// ScheduleResponse is the service's answer to one ScheduleRequest.
+	ScheduleResponse = service.Response
+	// HeuristicResult is one heuristic's outcome within a ScheduleResponse.
+	HeuristicResult = service.HeuristicResult
+	// ScheduleBounds carries the bi-objective lower bounds of an instance.
+	ScheduleBounds = service.Bounds
 )
 
 // None marks the absence of a node (the parent of a root).
@@ -53,14 +71,31 @@ const None = tree.None
 // complexity section (f=1, n=0, w=1).
 var PebbleWeights = tree.PebbleWeights
 
+// ErrTreeTooLarge is wrapped by DecodeTreeMax when the declared node
+// count exceeds the given limit.
+var ErrTreeTooLarge = tree.ErrTooLarge
+
 // NewTree builds a tree from a parent vector (None for the root) and the
 // per-node weights.
 func NewTree(parent []int, w []float64, n, f []int64) (*Tree, error) {
 	return tree.New(parent, w, n, f)
 }
 
-// DecodeTree parses the textual tree format (see Tree.Encode).
+// DecodeTree parses the textual tree format (see Tree.Encode). The input
+// is trusted: the declared node count is allocated as-is. For untrusted
+// inputs use DecodeTreeMax.
 func DecodeTree(r io.Reader) (*Tree, error) { return tree.Decode(r) }
+
+// DecodeTreeMax is DecodeTree with a cap on the declared node count,
+// checked before any count-sized allocation; exceeding it returns an
+// error wrapping ErrTreeTooLarge. Use it on untrusted inputs, where a
+// tiny hostile header line could otherwise demand arbitrary memory.
+func DecodeTreeMax(r io.Reader, maxNodes int) (*Tree, error) { return tree.DecodeMax(r, maxNodes) }
+
+// TreeHash returns the canonical SHA-256 hash of t (hex), the cache key
+// of the scheduling service. Trees with identical parent/w/n/f vectors
+// hash equally regardless of how they were constructed or encoded.
+func TreeHash(t *Tree) string { return t.CanonicalHash() }
 
 // RandomTree generates a random tree by uniform attachment.
 func RandomTree(rng *rand.Rand, n int, ws WeightSpec) *Tree {
@@ -125,8 +160,19 @@ func Heuristics() []Heuristic { return sched.Heuristics() }
 
 // HeuristicByName resolves a heuristic by name ("ParSubtrees",
 // "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst", and the extras
-// "ParInnerFirstArbitrary", "Sequential").
+// "ParInnerFirstArbitrary", "Sequential", "OptimalSequential").
 func HeuristicByName(name string) (Heuristic, bool) { return sched.ByName(name) }
+
+// ParseHeuristic resolves a heuristic wire name to its typed ID for use in
+// ScheduleOptions; it additionally recognizes the memory-capped
+// schedulers ("MemCapped", "MemCappedBooking").
+func ParseHeuristic(name string) (HeuristicID, bool) { return sched.ParseHeuristic(name) }
+
+// Scheduling service (see cmd/treeschedd and internal/service).
+
+// NewServer builds the scheduling-as-a-service HTTP server. Mount
+// Server.Handler on an http.Server and Close the Server after shutdown.
+func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
 
 // Schedule analysis.
 
