@@ -7,14 +7,18 @@
 //	treesched -in tree.txt -p 8                  # all four heuristics
 //	treesched -in tree.txt -p 8 -heuristic ParDeepestFirst
 //	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
+//	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
+//	treesched -in tree.txt -p 8 -objective makespan_under_memcap:1.5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
@@ -22,11 +26,13 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input tree file (treegen format); required")
-		p      = flag.Int("p", 2, "number of processors")
-		name   = flag.String("heuristic", "all", "heuristic name or 'all'")
-		memcap = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq")
-		gantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
+		in        = flag.String("in", "", "input tree file (treegen format); required")
+		p         = flag.Int("p", 2, "number of processors")
+		name      = flag.String("heuristic", "all", "heuristic name or 'all'")
+		memcap    = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
+		runPort   = flag.Bool("portfolio", false, "race the paper's four heuristics + Sequential concurrently; print the Pareto frontier and the -objective winner")
+		objective = flag.String("objective", "", "portfolio selection objective (min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A); implies -portfolio")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -51,6 +57,11 @@ func main() {
 		t.Len(), t.NumLeaves(), t.Height(), t.MaxDegree())
 	fmt.Printf("p=%d  makespan LB %.6g  sequential postorder memory %d  optimal sequential memory %d\n\n",
 		*p, msLB, memLB, opt.Peak)
+
+	if *runPort || *objective != "" {
+		runPortfolio(t, *p, *objective, *memcap)
+		return
+	}
 
 	var hs []sched.Heuristic
 	if *name == "all" {
@@ -95,6 +106,59 @@ func main() {
 	w.Flush()
 	for _, c := range charts {
 		fmt.Println("\n" + c)
+	}
+}
+
+// runPortfolio races the default candidate set (plus the memory-capped
+// schedulers when -memcap is given) and reports every candidate with its
+// frontier membership and the objective-selected winner.
+func runPortfolio(t *tree.Tree, p int, objSpec string, memcap float64) {
+	obj := portfolio.MinMakespan()
+	if objSpec != "" {
+		var err error
+		obj, err = portfolio.ParseObjective(objSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opts := portfolio.Options{Options: sched.Options{Processors: p}}
+	if memcap > 0 {
+		opts.Heuristics = append(portfolio.DefaultCandidates(), sched.IDMemCapped, sched.IDMemCappedBooking)
+		opts.MemCapFactor = memcap
+	}
+	res, err := portfolio.Run(context.Background(), t, obj, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var sum float64
+	for _, c := range res.Candidates {
+		sum += c.Elapsed.Seconds()
+	}
+	fmt.Printf("portfolio: %d candidates raced in %v (sum of candidate times %.3gs), objective %s\n\n",
+		len(res.Candidates), res.Elapsed, sum, res.Objective)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\telapsed\t")
+	for i, c := range res.Candidates {
+		if c.Err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\t\t\t\t\t\n", c.ID, c.Err)
+			continue
+		}
+		mark := ""
+		if res.OnFrontier(i) {
+			mark = "pareto"
+		}
+		if i == res.Winner {
+			mark += " winner"
+		}
+		fmt.Fprintf(w, "%s\t%.6g\t%.3f\t%d\t%.3f\t%v\t%s\n",
+			c.ID, c.Makespan, c.MakespanRatio, c.PeakMemory, c.MemoryRatio, c.Elapsed, mark)
+	}
+	w.Flush()
+	if win, ok := res.WinnerCandidate(); ok {
+		fmt.Printf("\nwinner under %s: %s (makespan %.6g, memory %d)\n",
+			res.Objective, win.ID, win.Makespan, win.PeakMemory)
+	} else {
+		fmt.Println("\nno winner: every candidate failed")
 	}
 }
 

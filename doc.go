@@ -31,9 +31,15 @@
 //     University of Florida collection used by the paper.
 //   - The complexity gadgets of the paper's Theorems 1 and 2 and Figures
 //     3-5, and an experiment harness regenerating Table 1 and Figures 6-8.
+//   - A portfolio scheduler (internal/portfolio): races a candidate set of
+//     heuristics concurrently over one tree with shared precomputation,
+//     computes the Pareto frontier of (makespan, peak memory), and selects
+//     a winner under a typed objective (min-makespan, min-memory,
+//     makespan-under-memory-cap, memory-under-deadline, weighted).
 //   - A scheduling service, treeschedd (cmd/treeschedd, internal/service):
 //     an HTTP JSON API with a worker pool, an LRU result cache keyed by a
-//     canonical tree hash, and a streaming NDJSON batch endpoint.
+//     canonical tree hash, a streaming NDJSON batch endpoint, and a
+//     /v1/portfolio endpoint exposing the portfolio scheduler.
 //
 // See the examples directory for runnable entry points, EXPERIMENTS.md
 // for the reproduction results, and README.md for CLI and API usage.

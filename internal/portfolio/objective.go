@@ -1,0 +1,261 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the selection policies an Objective can express.
+type Kind int
+
+const (
+	// KindMinMakespan selects the fastest schedule, breaking makespan ties
+	// toward lower memory.
+	KindMinMakespan Kind = iota
+	// KindMinMemory selects the most memory-frugal schedule, breaking ties
+	// toward lower makespan.
+	KindMinMemory
+	// KindMakespanUnderMemCap selects the fastest schedule whose peak
+	// memory stays within Param × M_seq; if none qualifies it falls back to
+	// the most memory-frugal candidate (the one closest to feasibility).
+	KindMakespanUnderMemCap
+	// KindMemoryUnderDeadline selects the most memory-frugal schedule whose
+	// makespan stays within Param × the makespan lower bound; if none
+	// qualifies it falls back to the fastest candidate.
+	KindMemoryUnderDeadline
+	// KindWeighted minimizes Param·(makespan/LB) + (1−Param)·(memory/M_seq),
+	// the paper's normalized bi-criteria score.
+	KindWeighted
+)
+
+// Objective is a typed selection policy over a portfolio's candidates. The
+// zero value is MinMakespan. Objectives round-trip through a compact wire
+// syntax (see String and ParseObjective), so they embed in JSON requests
+// and CLI flags as plain strings.
+type Objective struct {
+	kind  Kind
+	param float64
+}
+
+// MinMakespan selects the fastest schedule.
+func MinMakespan() Objective { return Objective{kind: KindMinMakespan} }
+
+// MinMemory selects the most memory-frugal schedule.
+func MinMemory() Objective { return Objective{kind: KindMinMemory} }
+
+// MakespanUnderMemCap selects the fastest schedule with peak memory at
+// most factor × M_seq (factor > 0; factor 1 asks for sequential-grade
+// memory).
+func MakespanUnderMemCap(factor float64) Objective {
+	return Objective{kind: KindMakespanUnderMemCap, param: factor}
+}
+
+// MemoryUnderDeadline selects the most memory-frugal schedule with
+// makespan at most d × the makespan lower bound max(W/p, critical path)
+// (d > 0; d below 1 is unsatisfiable by definition and always falls back
+// to the fastest candidate).
+func MemoryUnderDeadline(d float64) Objective {
+	return Objective{kind: KindMemoryUnderDeadline, param: d}
+}
+
+// Weighted minimizes alpha·(makespan/LB) + (1−alpha)·(memory/M_seq) with
+// alpha in [0, 1]: 1 is pure makespan, 0 pure memory.
+func Weighted(alpha float64) Objective {
+	return Objective{kind: KindWeighted, param: alpha}
+}
+
+// Kind returns the objective's selection policy.
+func (o Objective) Kind() Kind { return o.kind }
+
+// Param returns the policy parameter: the memory-cap factor, the deadline
+// factor, or the weight alpha; 0 for the parameterless kinds.
+func (o Objective) Param() float64 { return o.param }
+
+// Validate checks that the parameter is in the policy's domain.
+func (o Objective) Validate() error {
+	switch o.kind {
+	case KindMinMakespan, KindMinMemory:
+		return nil
+	case KindMakespanUnderMemCap, KindMemoryUnderDeadline:
+		// !(> 0) rather than (<= 0) so NaN is rejected too.
+		if !(o.param > 0) || math.IsInf(o.param, 1) {
+			return fmt.Errorf("portfolio: objective %s requires a positive finite factor, got %g", kindNames[o.kind], o.param)
+		}
+		return nil
+	case KindWeighted:
+		if !(o.param >= 0 && o.param <= 1) {
+			return fmt.Errorf("portfolio: objective weighted requires alpha in [0,1], got %g", o.param)
+		}
+		return nil
+	}
+	return fmt.Errorf("portfolio: unknown objective kind %d", int(o.kind))
+}
+
+var kindNames = map[Kind]string{
+	KindMinMakespan:         "min_makespan",
+	KindMinMemory:           "min_memory",
+	KindMakespanUnderMemCap: "makespan_under_memcap",
+	KindMemoryUnderDeadline: "memory_under_deadline",
+	KindWeighted:            "weighted",
+}
+
+// String renders the wire syntax: "min_makespan", "min_memory",
+// "makespan_under_memcap:F", "memory_under_deadline:D", "weighted:A".
+func (o Objective) String() string {
+	name, ok := kindNames[o.kind]
+	if !ok {
+		return fmt.Sprintf("objective(%d)", int(o.kind))
+	}
+	switch o.kind {
+	case KindMinMakespan, KindMinMemory:
+		return name
+	}
+	return name + ":" + strconv.FormatFloat(o.param, 'g', -1, 64)
+}
+
+// ParseObjective parses the wire syntax accepted by String. The
+// parameterized kinds require their parameter ("makespan_under_memcap:2"),
+// the parameterless ones reject one.
+func ParseObjective(s string) (Objective, error) {
+	name, param, hasParam := strings.Cut(s, ":")
+	var kind Kind = -1
+	for k, n := range kindNames {
+		if n == name {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return Objective{}, fmt.Errorf("portfolio: unknown objective %q (known: min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A)", s)
+	}
+	o := Objective{kind: kind}
+	switch kind {
+	case KindMinMakespan, KindMinMemory:
+		if hasParam {
+			return Objective{}, fmt.Errorf("portfolio: objective %s takes no parameter, got %q", name, s)
+		}
+	default:
+		if !hasParam {
+			return Objective{}, fmt.Errorf("portfolio: objective %s requires a parameter, e.g. %q", name, name+":2")
+		}
+		v, err := strconv.ParseFloat(param, 64)
+		if err != nil {
+			return Objective{}, fmt.Errorf("portfolio: objective %s: bad parameter %q", name, param)
+		}
+		o.param = v
+	}
+	if err := o.Validate(); err != nil {
+		return Objective{}, err
+	}
+	return o, nil
+}
+
+// MarshalText encodes the wire syntax, so Objective fields serialize as
+// JSON strings.
+func (o Objective) MarshalText() ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText decodes the wire syntax.
+func (o *Objective) UnmarshalText(text []byte) error {
+	got, err := ParseObjective(string(text))
+	if err != nil {
+		return err
+	}
+	*o = got
+	return nil
+}
+
+// Select returns the index of the best candidate in cands under o, given
+// the instance baselines makespanLB (max(W/p, critical path)) and memSeq
+// (M_seq, the best-postorder sequential peak). Failed candidates are
+// skipped. Ties on the primary criterion break toward the secondary one
+// (the other metric), then toward the lower heuristic ID, then the lower
+// index, so selection is deterministic. Returns -1 when every candidate
+// failed.
+func (o Objective) Select(cands []Candidate, makespanLB float64, memSeq int64) int {
+	best := -1
+	for i := range cands {
+		if cands[i].Err != nil {
+			continue
+		}
+		if best < 0 || o.better(&cands[i], &cands[best], makespanLB, memSeq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// better reports whether candidate a beats candidate b under o.
+func (o Objective) better(a, b *Candidate, lb float64, mseq int64) bool {
+	switch o.kind {
+	case KindMinMakespan:
+		return lexBetter(a, b, a.Makespan, b.Makespan, float64(a.PeakMemory), float64(b.PeakMemory))
+	case KindMinMemory:
+		return lexBetter(a, b, float64(a.PeakMemory), float64(b.PeakMemory), a.Makespan, b.Makespan)
+	case KindMakespanUnderMemCap:
+		cap := o.param * float64(mseq)
+		fa, fb := float64(a.PeakMemory) <= cap, float64(b.PeakMemory) <= cap
+		if fa != fb {
+			return fa
+		}
+		if !fa { // neither feasible: get as close to the cap as possible
+			return lexBetter(a, b, float64(a.PeakMemory), float64(b.PeakMemory), a.Makespan, b.Makespan)
+		}
+		return lexBetter(a, b, a.Makespan, b.Makespan, float64(a.PeakMemory), float64(b.PeakMemory))
+	case KindMemoryUnderDeadline:
+		deadline := o.param * lb
+		fa, fb := a.Makespan <= deadline, b.Makespan <= deadline
+		if fa != fb {
+			return fa
+		}
+		if !fa { // neither feasible: get as close to the deadline as possible
+			return lexBetter(a, b, a.Makespan, b.Makespan, float64(a.PeakMemory), float64(b.PeakMemory))
+		}
+		return lexBetter(a, b, float64(a.PeakMemory), float64(b.PeakMemory), a.Makespan, b.Makespan)
+	case KindWeighted:
+		sa := o.weightedScore(a, lb, mseq)
+		sb := o.weightedScore(b, lb, mseq)
+		if sa != sb {
+			return sa < sb
+		}
+		return tieBreak(a, b)
+	}
+	return false
+}
+
+// weightedScore is the normalized bi-criteria score. Degenerate baselines
+// (a zero lower bound or zero M_seq) fall back to the raw metric so the
+// score stays finite and ordering-consistent.
+func (o Objective) weightedScore(c *Candidate, lb float64, mseq int64) float64 {
+	ms, mem := c.Makespan, float64(c.PeakMemory)
+	if lb > 0 {
+		ms /= lb
+	}
+	if mseq > 0 {
+		mem /= float64(mseq)
+	}
+	return o.param*ms + (1-o.param)*mem
+}
+
+// lexBetter compares (primary, secondary) lexicographically, falling back
+// to the deterministic ID/index tie-break.
+func lexBetter(a, b *Candidate, pa, pb, sa, sb float64) bool {
+	if pa != pb {
+		return pa < pb
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	return tieBreak(a, b)
+}
+
+// tieBreak orders exactly-equal outcomes by heuristic ID. Callers pass
+// candidates in selection order, so equal IDs keep the earlier index
+// (Select never replaces best on a full tie).
+func tieBreak(a, b *Candidate) bool { return a.ID < b.ID }

@@ -1,0 +1,175 @@
+package portfolio
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestObjectiveWireRoundTrip(t *testing.T) {
+	for _, o := range []Objective{
+		MinMakespan(),
+		MinMemory(),
+		MakespanUnderMemCap(1.5),
+		MemoryUnderDeadline(2),
+		Weighted(0.25),
+		Weighted(0),
+		Weighted(1),
+	} {
+		back, err := ParseObjective(o.String())
+		if err != nil {
+			t.Fatalf("ParseObjective(%q): %v", o.String(), err)
+		}
+		if back != o {
+			t.Errorf("round trip %q -> %+v, want %+v", o.String(), back, o)
+		}
+		// And through JSON, as the service carries it.
+		b, err := json.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON Objective
+		if err := json.Unmarshal(b, &viaJSON); err != nil {
+			t.Fatalf("json round trip of %s: %v", o, err)
+		}
+		if viaJSON != o {
+			t.Errorf("json round trip %s -> %+v", o, viaJSON)
+		}
+	}
+}
+
+func TestParseObjectiveRejections(t *testing.T) {
+	for _, s := range []string{
+		"", "nope", "min_makespan:1", "min_memory:0.5",
+		"makespan_under_memcap", "makespan_under_memcap:", "makespan_under_memcap:x",
+		"makespan_under_memcap:0", "makespan_under_memcap:-1", "makespan_under_memcap:NaN",
+		"memory_under_deadline", "memory_under_deadline:0",
+		"weighted", "weighted:-0.1", "weighted:1.1", "weighted:NaN",
+	} {
+		if o, err := ParseObjective(s); err == nil {
+			t.Errorf("ParseObjective(%q) accepted as %+v", s, o)
+		}
+	}
+	if err := (Objective{kind: Kind(99)}).Validate(); err == nil {
+		t.Error("unknown kind validated")
+	}
+}
+
+func TestZeroObjectiveIsMinMakespan(t *testing.T) {
+	var o Objective
+	if o != MinMakespan() {
+		t.Fatalf("zero objective is %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixture is the hand-computed candidate set used by the selection tests:
+//
+//	index ID  makespan memory
+//	0     0   10       100     (fast, hungry)
+//	1     1   10       100     (exact duplicate of 0, higher ID)
+//	2     2   14        60
+//	3     3   20        40     (slow, frugal)
+//	4     4   12        90     (failed)
+//
+// Baselines: makespan LB 10, M_seq 40.
+func fixture() ([]Candidate, float64, int64) {
+	cands := []Candidate{
+		{ID: 0, Makespan: 10, PeakMemory: 100},
+		{ID: 1, Makespan: 10, PeakMemory: 100},
+		{ID: 2, Makespan: 14, PeakMemory: 60},
+		{ID: 3, Makespan: 20, PeakMemory: 40},
+		{ID: 4, Err: errTest},
+	}
+	return cands, 10, 40
+}
+
+var errTest = errorString("synthetic failure")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestObjectiveSelectFixtures(t *testing.T) {
+	cands, lb, mseq := fixture()
+	cases := []struct {
+		obj  Objective
+		want int
+	}{
+		// Fastest is 10, shared by 0 and 1 with equal memory: ID 0 wins.
+		{MinMakespan(), 0},
+		// Most frugal is 40 at index 3.
+		{MinMemory(), 3},
+		// Cap 2×40 = 80: only 2 (60) and 3 (40) qualify; 2 is faster.
+		{MakespanUnderMemCap(2), 2},
+		// Cap 1×40 = 40: only 3 qualifies.
+		{MakespanUnderMemCap(1), 3},
+		// Cap 0.5×40 = 20: nobody qualifies; fall back to min memory (3).
+		{MakespanUnderMemCap(0.5), 3},
+		// Deadline 1.5×10 = 15: candidates 0, 1, 2 qualify; 2 is most frugal.
+		{MemoryUnderDeadline(1.5), 2},
+		// Deadline 1×10 = 10: 0 and 1 qualify with equal memory; ID 0 wins.
+		{MemoryUnderDeadline(1), 0},
+		// Deadline 0.5×10 = 5: nobody qualifies; fall back to min makespan (0).
+		{MemoryUnderDeadline(0.5), 0},
+		// Pure makespan weight reduces to MinMakespan.
+		{Weighted(1), 0},
+		// Pure memory weight reduces to MinMemory.
+		{Weighted(0), 3},
+		// alpha=0.5: scores are (1+2.5)/2, (1+2.5)/2, (1.4+1.5)/2, (2+1)/2
+		// = 1.75, 1.75, 1.45, 1.5 -> index 2.
+		{Weighted(0.5), 2},
+		// alpha=0.2: 0.2·ms/10 + 0.8·mem/40 -> 2.2, 2.2, 1.48, 1.2 -> index 3.
+		{Weighted(0.2), 3},
+	}
+	for _, tc := range cases {
+		if got := tc.obj.Select(cands, lb, mseq); got != tc.want {
+			t.Errorf("%s: selected %d, want %d", tc.obj, got, tc.want)
+		}
+	}
+}
+
+func TestObjectiveSelectDegenerate(t *testing.T) {
+	if got := MinMakespan().Select(nil, 1, 1); got != -1 {
+		t.Errorf("empty candidates: %d", got)
+	}
+	allFailed := []Candidate{{ID: 0, Err: errTest}, {ID: 1, Err: errTest}}
+	for _, o := range []Objective{MinMakespan(), MinMemory(), MakespanUnderMemCap(2), MemoryUnderDeadline(2), Weighted(0.5)} {
+		if got := o.Select(allFailed, 1, 1); got != -1 {
+			t.Errorf("%s: selected %d from all-failed set", o, got)
+		}
+	}
+	// Zero baselines must not produce NaN scores or panics.
+	cands := []Candidate{{ID: 0, Makespan: 3, PeakMemory: 7}, {ID: 1, Makespan: 2, PeakMemory: 9}}
+	if got := Weighted(0.5).Select(cands, 0, 0); got != 0 && got != 1 {
+		t.Errorf("zero baselines: selected %d", got)
+	}
+	if s := Weighted(0.5).weightedScore(&cands[0], 0, 0); math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("degenerate score %g", s)
+	}
+}
+
+func TestWinnerAlwaysOnFrontier(t *testing.T) {
+	// For every objective, the selected candidate must be Pareto-optimal:
+	// objectives are monotone in both metrics, and ties break identically
+	// to the frontier's deduplication.
+	cands, lb, mseq := fixture()
+	frontier := Frontier(cands)
+	on := make(map[int]bool)
+	for _, i := range frontier {
+		on[i] = true
+	}
+	for _, o := range []Objective{
+		MinMakespan(), MinMemory(),
+		MakespanUnderMemCap(0.5), MakespanUnderMemCap(1), MakespanUnderMemCap(2), MakespanUnderMemCap(3),
+		MemoryUnderDeadline(0.5), MemoryUnderDeadline(1), MemoryUnderDeadline(1.5), MemoryUnderDeadline(3),
+		Weighted(0), Weighted(0.2), Weighted(0.5), Weighted(0.8), Weighted(1),
+	} {
+		w := o.Select(cands, lb, mseq)
+		if w < 0 || !on[w] {
+			t.Errorf("%s: winner %d not on frontier %v", o, w, frontier)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package portfolio
+
+import "sort"
+
+// Frontier returns the indices into cands of the Pareto-optimal
+// candidates for the bi-criteria minimization (makespan, peak memory),
+// sorted by ascending makespan (hence descending memory). Failed
+// candidates never appear. A candidate is excluded iff some other
+// candidate dominates it: no worse in both metrics and strictly better in
+// at least one. Among candidates with identical (makespan, memory) only
+// one representative is kept — the lowest heuristic ID, then the lowest
+// index — so the frontier is deterministic regardless of racing order.
+func Frontier(cands []Candidate) []int {
+	idx := make([]int, 0, len(cands))
+	for i := range cands {
+		if cands[i].Err == nil {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := &cands[idx[a]], &cands[idx[b]]
+		if ca.Makespan != cb.Makespan {
+			return ca.Makespan < cb.Makespan
+		}
+		if ca.PeakMemory != cb.PeakMemory {
+			return ca.PeakMemory < cb.PeakMemory
+		}
+		if ca.ID != cb.ID {
+			return ca.ID < cb.ID
+		}
+		return idx[a] < idx[b]
+	})
+	// One sweep in makespan order: a candidate is on the frontier iff its
+	// memory strictly undercuts everything faster-or-equal seen so far.
+	// Exact duplicates of a frontier point fail the strict test, keeping
+	// only the sort's first (lowest-ID) representative.
+	var frontier []int
+	first := true
+	var bestMem int64
+	for _, i := range idx {
+		if first || cands[i].PeakMemory < bestMem {
+			frontier = append(frontier, i)
+			bestMem = cands[i].PeakMemory
+			first = false
+		}
+	}
+	return frontier
+}

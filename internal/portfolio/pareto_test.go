@@ -1,0 +1,156 @@
+package portfolio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/sched"
+)
+
+// dominates reports the reference dominance relation: a no worse than b in
+// both metrics and strictly better in at least one.
+func dominates(a, b *Candidate) bool {
+	if a.Err != nil || b.Err != nil {
+		return false
+	}
+	return a.Makespan <= b.Makespan && a.PeakMemory <= b.PeakMemory &&
+		(a.Makespan < b.Makespan || a.PeakMemory < b.PeakMemory)
+}
+
+// randomCandidates draws candidates from a small value range so duplicate
+// points and ties occur constantly.
+func randomCandidates(rng *rand.Rand, n int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{
+			ID:         sched.HeuristicID(rng.Intn(5)),
+			Makespan:   float64(1 + rng.Intn(6)),
+			PeakMemory: int64(1 + rng.Intn(6)),
+		}
+		if rng.Intn(8) == 0 {
+			cands[i].Err = errors.New("synthetic failure")
+		}
+	}
+	return cands
+}
+
+func TestFrontierProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		cands := randomCandidates(rng, 1+rng.Intn(12))
+		frontier := Frontier(cands)
+
+		onFrontier := make(map[int]bool, len(frontier))
+		for _, i := range frontier {
+			onFrontier[i] = true
+		}
+
+		// No frontier point is dominated by any candidate, and no frontier
+		// point failed.
+		for _, i := range frontier {
+			if cands[i].Err != nil {
+				t.Fatalf("trial %d: failed candidate %d on frontier", trial, i)
+			}
+			for j := range cands {
+				if dominates(&cands[j], &cands[i]) {
+					t.Fatalf("trial %d: frontier point %d dominated by %d\n%+v\n%+v",
+						trial, i, j, cands[i], cands[j])
+				}
+			}
+		}
+
+		// Every dominated candidate is excluded; every excluded successful
+		// candidate is either dominated or an exact duplicate of a frontier
+		// point (deduplicated by ID then index).
+		for i := range cands {
+			if cands[i].Err != nil || onFrontier[i] {
+				continue
+			}
+			dominated := false
+			for j := range cands {
+				if dominates(&cands[j], &cands[i]) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			dup := false
+			for _, f := range frontier {
+				if cands[f].Makespan == cands[i].Makespan && cands[f].PeakMemory == cands[i].PeakMemory {
+					if cands[f].ID > cands[i].ID || (cands[f].ID == cands[i].ID && f > i) {
+						t.Fatalf("trial %d: duplicate representative %d should have lost to %d", trial, f, i)
+					}
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				t.Fatalf("trial %d: candidate %d excluded but neither dominated nor duplicate\n%+v\nfrontier %v",
+					trial, i, cands[i], frontier)
+			}
+		}
+
+		// The frontier is a staircase: strictly increasing makespan,
+		// strictly decreasing memory.
+		for k := 1; k < len(frontier); k++ {
+			a, b := &cands[frontier[k-1]], &cands[frontier[k]]
+			if !(a.Makespan < b.Makespan && a.PeakMemory > b.PeakMemory) {
+				t.Fatalf("trial %d: frontier not a strict staircase at %d: %+v then %+v", trial, k, a, b)
+			}
+		}
+	}
+}
+
+func TestFrontierDeterministicUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		cands := randomCandidates(rng, 2+rng.Intn(10))
+		want := frontierPoints(cands)
+		perm := rng.Perm(len(cands))
+		shuffled := make([]Candidate, len(cands))
+		for i, p := range perm {
+			shuffled[p] = cands[i]
+		}
+		got := frontierPoints(shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: frontier size %d after shuffle, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if want[k] != got[k] {
+				t.Fatalf("trial %d: frontier point %d is %+v after shuffle, want %+v", trial, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func frontierPoints(cands []Candidate) []Candidate {
+	var pts []Candidate
+	for _, i := range Frontier(cands) {
+		pts = append(pts, Candidate{ID: cands[i].ID, Makespan: cands[i].Makespan, PeakMemory: cands[i].PeakMemory})
+	}
+	return pts
+}
+
+func TestFrontierEdgeCases(t *testing.T) {
+	if f := Frontier(nil); len(f) != 0 {
+		t.Errorf("empty input: frontier %v", f)
+	}
+	if f := Frontier([]Candidate{{Err: errors.New("x")}}); len(f) != 0 {
+		t.Errorf("all-failed input: frontier %v", f)
+	}
+	one := []Candidate{{ID: 3, Makespan: 2, PeakMemory: 5}}
+	if f := Frontier(one); len(f) != 1 || f[0] != 0 {
+		t.Errorf("singleton: frontier %v", f)
+	}
+	// Exact duplicates: the lower ID wins regardless of order.
+	dup := []Candidate{
+		{ID: 2, Makespan: 1, PeakMemory: 1},
+		{ID: 0, Makespan: 1, PeakMemory: 1},
+	}
+	if f := Frontier(dup); len(f) != 1 || f[0] != 1 {
+		t.Errorf("duplicate points: frontier %v, want [1]", f)
+	}
+}

@@ -1,0 +1,216 @@
+// Package portfolio races a set of scheduling heuristics concurrently
+// over one tree and answers the paper's bi-criteria question in one call:
+// it collects every (makespan, peak memory) outcome, computes the Pareto
+// frontier of the race, and selects a winner under a typed Objective.
+//
+// The paper's whole point is that no single heuristic wins both
+// objectives — ParSubtrees dominates on memory, ParDeepestFirst on
+// makespan (Table 1) — so a production service should not make the caller
+// pick one blindly. A portfolio run replaces N sequential per-heuristic
+// requests with one racing call: the memory-optimal postorder (M_seq) is
+// computed once and shared, the candidates run on a bounded goroutine
+// fan-out with per-heuristic panic containment, and the wall time
+// approaches the slowest single candidate instead of the sum.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// Options parameterizes a portfolio run. The embedded sched.Options
+// carries the machine size, the candidate set and the memory-cap factor;
+// an empty candidate set means DefaultCandidates.
+type Options struct {
+	sched.Options
+	// Parallelism bounds how many candidates run concurrently. 0 means
+	// min(len(candidates), GOMAXPROCS); 1 degenerates to a sequential
+	// sweep (useful under an already-saturated caller).
+	Parallelism int
+}
+
+// DefaultCandidates returns the default racing set: the paper's four
+// heuristics in Table 1 order plus the Sequential baseline, whose
+// (total work, M_seq) point anchors the memory end of the frontier.
+func DefaultCandidates() []sched.HeuristicID {
+	return append(sched.PaperHeuristics(), sched.IDSequential)
+}
+
+// Candidate is one heuristic's outcome in a race. Either Err is non-nil
+// (the heuristic failed or panicked; the other candidates are unaffected)
+// or the metric fields are valid.
+type Candidate struct {
+	ID       sched.HeuristicID
+	Makespan float64
+	// PeakMemory is the exact simulated peak memory of the schedule.
+	PeakMemory int64
+	// MakespanRatio is Makespan / the makespan lower bound (0 if the bound
+	// is 0); MemoryRatio is PeakMemory / M_seq (0 if M_seq is 0).
+	MakespanRatio float64
+	MemoryRatio   float64
+	// Elapsed is this candidate's own scheduling time; comparing the sum
+	// over candidates with Result.Elapsed shows the racing speedup.
+	Elapsed time.Duration
+	Err     error
+}
+
+// Result is the outcome of one portfolio run.
+type Result struct {
+	// Objective is the selection policy that produced Winner.
+	Objective Objective
+	// Processors is the machine size the candidates were scheduled for.
+	Processors int
+	// MakespanLB is max(total work / p, critical path); MemorySeq is
+	// M_seq, the best-postorder sequential peak — the normalization
+	// baselines of the paper's evaluation.
+	MakespanLB float64
+	MemorySeq  int64
+	// Candidates holds one entry per requested heuristic, in request
+	// order, deterministic regardless of racing order.
+	Candidates []Candidate
+	// Frontier indexes the Pareto-optimal candidates in ascending-makespan
+	// order (see Frontier).
+	Frontier []int
+	// Winner indexes the objective-selected candidate, or is -1 when every
+	// candidate failed.
+	Winner int
+	// Elapsed is the wall time of the whole race.
+	Elapsed time.Duration
+}
+
+// WinnerCandidate returns the selected candidate, or false when every
+// candidate failed.
+func (r *Result) WinnerCandidate() (Candidate, bool) {
+	if r.Winner < 0 || r.Winner >= len(r.Candidates) {
+		return Candidate{}, false
+	}
+	return r.Candidates[r.Winner], true
+}
+
+// OnFrontier reports whether candidate i is Pareto-optimal.
+func (r *Result) OnFrontier(i int) bool {
+	for _, f := range r.Frontier {
+		if f == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Run races the candidate heuristics of opts over t and selects a winner
+// under obj. The memory-optimal postorder shared by the Sequential
+// baseline and the capped candidates is computed once, before the
+// fan-out. A candidate that fails or panics costs only its own entry;
+// cancellation of ctx abandons candidates that have not started and
+// returns ctx.Err() (running candidates are pure CPU and finish their
+// tree first).
+func Run(ctx context.Context, t *tree.Tree, obj Objective, opts Options) (*Result, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, errors.New("portfolio: tree is empty")
+	}
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Heuristics) == 0 {
+		opts.Heuristics = DefaultCandidates()
+	}
+	// SelectFor validates the options and precomputes the best postorder
+	// once; its peak is M_seq.
+	hs, memSeq, err := opts.Options.SelectFor(t)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cands := race(ctx, t, opts.Processors, hs, opts.Parallelism)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lb := sched.MakespanLowerBound(t, opts.Processors)
+	for i := range cands {
+		if cands[i].Err != nil {
+			continue
+		}
+		if lb > 0 {
+			cands[i].MakespanRatio = cands[i].Makespan / lb
+		}
+		if memSeq > 0 {
+			cands[i].MemoryRatio = float64(cands[i].PeakMemory) / float64(memSeq)
+		}
+	}
+	return &Result{
+		Objective:  obj,
+		Processors: opts.Processors,
+		MakespanLB: lb,
+		MemorySeq:  memSeq,
+		Candidates: cands,
+		Frontier:   Frontier(cands),
+		Winner:     obj.Select(cands, lb, memSeq),
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// race runs every heuristic over t with a bounded goroutine fan-out.
+// Candidate i corresponds to hs[i], so the output order never depends on
+// goroutine scheduling. Each candidate is individually recover-protected:
+// a panic in one heuristic costs one Err entry, not the race.
+func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parallelism int) []Candidate {
+	n := len(hs)
+	if parallelism <= 0 || parallelism > n {
+		parallelism = min(n, runtime.GOMAXPROCS(0))
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	cands := make([]Candidate, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range hs {
+		cands[i].ID = hs[i].ID
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				cands[i].Err = ctx.Err()
+				return
+			}
+			if err := ctx.Err(); err != nil { // canceled while a slot freed up
+				cands[i].Err = err
+				return
+			}
+			start := time.Now()
+			runOne(t, p, hs[i], &cands[i])
+			cands[i].Elapsed = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	return cands
+}
+
+// runOne executes and measures a single candidate, containing panics.
+func runOne(t *tree.Tree, p int, h sched.Heuristic, c *Candidate) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.Err = fmt.Errorf("portfolio: %s panicked: %v", h.Name, r)
+		}
+	}()
+	s, err := h.Run(t, p)
+	if err == nil {
+		err = s.Validate(t)
+	}
+	if err != nil {
+		c.Err = err
+		return
+	}
+	c.Makespan = s.Makespan(t)
+	c.PeakMemory = sched.PeakMemory(t, s)
+}

@@ -7,6 +7,7 @@ import (
 
 // Heuristic is a named tree-scheduling algorithm.
 type Heuristic struct {
+	ID   HeuristicID
 	Name string
 	Run  func(t *tree.Tree, p int) (*Schedule, error)
 }
@@ -15,10 +16,10 @@ type Heuristic struct {
 // order of Table 1.
 func Heuristics() []Heuristic {
 	return []Heuristic{
-		{Name: "ParSubtrees", Run: ParSubtrees},
-		{Name: "ParSubtreesOptim", Run: ParSubtreesOptim},
-		{Name: "ParInnerFirst", Run: ParInnerFirst},
-		{Name: "ParDeepestFirst", Run: ParDeepestFirst},
+		{ID: IDParSubtrees, Name: "ParSubtrees", Run: ParSubtrees},
+		{ID: IDParSubtreesOptim, Name: "ParSubtreesOptim", Run: ParSubtreesOptim},
+		{ID: IDParInnerFirst, Name: "ParInnerFirst", Run: ParInnerFirst},
+		{ID: IDParDeepestFirst, Name: "ParDeepestFirst", Run: ParDeepestFirst},
 	}
 }
 
@@ -27,10 +28,11 @@ func Heuristics() []Heuristic {
 // "ParInnerFirstArbitrary" and the sequential baselines "Sequential" (the
 // memory-optimal postorder on one processor) and "OptimalSequential"
 // (Liu's exact optimal traversal). The memory-capped schedulers need a cap
-// parameter and are only reachable through Options.
+// parameter and are only reachable through Options; the portfolio
+// pseudo-heuristic "Auto" is only reachable through internal/portfolio.
 func ByName(name string) (Heuristic, bool) {
 	id, ok := ParseHeuristic(name)
-	if !ok || id == IDMemCapped || id == IDMemCappedBooking {
+	if !ok || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto {
 		return Heuristic{}, false
 	}
 	return Options{}.heuristic(id, traversal.BestPostOrder), true

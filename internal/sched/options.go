@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
@@ -31,6 +33,12 @@ const (
 	// (Options.MemCapFactor × M_seq).
 	IDMemCapped
 	IDMemCappedBooking
+	// IDAuto is the portfolio pseudo-heuristic: it is a valid wire name
+	// ("Auto") but not runnable by this package. The portfolio layer
+	// (internal/portfolio, the service's /v1/portfolio path) expands it
+	// into racing a candidate set and selecting a winner by objective, so
+	// Options.Validate rejects it in a plain selection.
+	IDAuto
 
 	numHeuristicIDs // sentinel; keep last
 )
@@ -45,7 +53,19 @@ var heuristicNames = [numHeuristicIDs]string{
 	IDOptimalSequential:      "OptimalSequential",
 	IDMemCapped:              "MemCapped",
 	IDMemCappedBooking:       "MemCappedBooking",
+	IDAuto:                   "Auto",
 }
+
+// heuristicIDs inverts heuristicNames once at init, making ParseHeuristic
+// (and every wire decode through UnmarshalText) a map lookup instead of a
+// linear scan.
+var heuristicIDs = func() map[string]HeuristicID {
+	m := make(map[string]HeuristicID, len(heuristicNames))
+	for id, n := range heuristicNames {
+		m[n] = HeuristicID(id)
+	}
+	return m
+}()
 
 // String returns the canonical wire name of the heuristic.
 func (id HeuristicID) String() string {
@@ -60,12 +80,42 @@ func (id HeuristicID) Valid() bool { return id >= 0 && id < numHeuristicIDs }
 
 // ParseHeuristic resolves a canonical wire name to its ID.
 func ParseHeuristic(name string) (HeuristicID, bool) {
-	for id, n := range heuristicNames {
-		if n == name {
-			return HeuristicID(id), true
-		}
+	id, ok := heuristicIDs[name]
+	if !ok {
+		return -1, false
 	}
-	return -1, false
+	return id, true
+}
+
+// MarshalText encodes the ID as its canonical wire name, so wire structs
+// can carry []HeuristicID fields that serialize as JSON string arrays.
+func (id HeuristicID) MarshalText() ([]byte, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("sched: cannot marshal invalid heuristic id %d", int(id))
+	}
+	return []byte(heuristicNames[id]), nil
+}
+
+// UnmarshalText decodes a canonical wire name.
+func (id *HeuristicID) UnmarshalText(text []byte) error {
+	got, ok := heuristicIDs[string(text)]
+	if !ok {
+		return fmt.Errorf("unknown heuristic %q (known: %s)",
+			text, strings.Join(HeuristicNames(), ", "))
+	}
+	*id = got
+	return nil
+}
+
+// HeuristicNames returns every canonical wire name in sorted order, for
+// error texts and documentation.
+func HeuristicNames() []string {
+	names := make([]string, 0, len(heuristicNames))
+	for _, n := range heuristicNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // PaperHeuristics returns the IDs of the paper's four heuristics in
@@ -96,6 +146,9 @@ func (o Options) Validate() error {
 	for _, id := range o.Heuristics {
 		if !id.Valid() {
 			return fmt.Errorf("sched: options: invalid heuristic id %d", int(id))
+		}
+		if id == IDAuto {
+			return fmt.Errorf("sched: options: Auto is a pseudo-heuristic; it must be resolved by the portfolio layer before selection")
 		}
 		// !(>= 1) rather than (< 1) so NaN is rejected too.
 		if (id == IDMemCapped || id == IDMemCappedBooking) && !(o.MemCapFactor >= 1) {
@@ -139,7 +192,7 @@ func (o Options) selectWith(bestPostOrder func(*tree.Tree) traversal.Result) ([]
 }
 
 func (o Options) heuristic(id HeuristicID, bestPostOrder func(*tree.Tree) traversal.Result) Heuristic {
-	h := Heuristic{Name: id.String()}
+	h := Heuristic{ID: id, Name: id.String()}
 	switch id {
 	case IDParSubtrees:
 		h.Run = ParSubtrees

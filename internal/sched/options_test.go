@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"treesched/internal/traversal"
@@ -30,6 +31,47 @@ func TestParseHeuristicRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHeuristicIDTextRoundTrip(t *testing.T) {
+	for id := HeuristicID(0); id.Valid(); id++ {
+		text, err := id.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", id, err)
+		}
+		if string(text) != id.String() {
+			t.Errorf("MarshalText(%v) = %q, want %q", id, text, id.String())
+		}
+		var back HeuristicID
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != id {
+			t.Errorf("round trip %v -> %q -> %v", id, text, back)
+		}
+	}
+	if _, err := HeuristicID(-1).MarshalText(); err == nil {
+		t.Error("marshaled an invalid id")
+	}
+	var id HeuristicID
+	if err := id.UnmarshalText([]byte("NoSuchHeuristic")); err == nil {
+		t.Error("unmarshaled an unknown name")
+	}
+}
+
+func TestHeuristicNamesSortedAndComplete(t *testing.T) {
+	names := HeuristicNames()
+	if len(names) != int(numHeuristicIDs) {
+		t.Fatalf("got %d names, want %d", len(names), int(numHeuristicIDs))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("names not sorted: %v", names)
+	}
+	for _, n := range names {
+		if _, ok := ParseHeuristic(n); !ok {
+			t.Errorf("listed name %q does not parse", n)
+		}
+	}
+}
+
 func TestOptionsValidate(t *testing.T) {
 	if err := (Options{Processors: 0}).Validate(); err == nil {
 		t.Error("p=0 accepted")
@@ -45,6 +87,9 @@ func TestOptionsValidate(t *testing.T) {
 	}
 	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDMemCapped}, MemCapFactor: 1.5}).Validate(); err != nil {
 		t.Errorf("valid capped options rejected: %v", err)
+	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDAuto}}).Validate(); err == nil {
+		t.Error("Auto pseudo-heuristic accepted in a plain selection")
 	}
 }
 
@@ -154,7 +199,7 @@ func TestByNameStillResolvesEverything(t *testing.T) {
 			t.Errorf("ByName(%q) broken", name)
 		}
 	}
-	for _, name := range []string{"MemCapped", "MemCappedBooking", "nope"} {
+	for _, name := range []string{"MemCapped", "MemCappedBooking", "Auto", "nope"} {
 		if _, ok := ByName(name); ok {
 			t.Errorf("ByName(%q) should not resolve", name)
 		}

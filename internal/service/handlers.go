@@ -32,6 +32,23 @@ func (s *Server) rejectJSON(w http.ResponseWriter, status int, msg string) {
 // pool is meant to bound.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.metrics.scheduleRequests.Add(1)
+	s.handleOne(w, r, false)
+}
+
+// handlePortfolio answers POST /v1/portfolio: the same Request shape as
+// /v1/schedule, but the selected heuristics (default: the paper's four
+// plus the Sequential baseline) race concurrently and the Response carries
+// the Pareto frontier and the objective-selected winner. An absent
+// objective defaults to min_makespan.
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	s.metrics.portfolioRequests.Add(1)
+	s.handleOne(w, r, true)
+}
+
+// handleOne is the shared single-request path: the handler goroutine only
+// does I/O; parsing, validation, hashing and scheduling run on the bounded
+// worker pool.
+func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfolio bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -50,7 +67,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.metrics.inflight.Add(1)
 	s.pool.submit(func() {
 		defer s.metrics.inflight.Add(-1)
-		status, resp := s.answerBytes(r.Context(), body)
+		status, resp := s.answerBytes(r.Context(), body, forcePortfolio)
 		ch <- outcome{status, resp}
 	})
 	out := <-ch
@@ -146,8 +163,10 @@ const batchWriteTimeout = 2 * time.Minute
 
 // answerLine answers one batch line; it is answerBytes without the HTTP
 // status (batch lines carry errors in the response body, not the status).
+// Portfolio mode is per-line: a line with an objective (or Auto) races,
+// plain lines schedule sequentially.
 func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
-	_, resp := s.answerBytes(ctx, line)
+	_, resp := s.answerBytes(ctx, line, false)
 	return resp
 }
 
@@ -157,7 +176,7 @@ func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
 // workers have no net/http panic net, so the whole path — decode included
 // — is recover-protected here; a panic must cost one request, not the
 // daemon.
-func (s *Server) answerBytes(ctx context.Context, raw []byte) (status int, resp *Response) {
+func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool) (status int, resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.errors.Add(1)
@@ -175,7 +194,7 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte) (status int, resp 
 		// field was decoded before the failure.
 		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error()}
 	}
-	j, err := s.prepare(req)
+	j, err := s.prepare(req, forcePortfolio)
 	if err != nil {
 		s.metrics.errors.Add(1)
 		st := http.StatusBadRequest

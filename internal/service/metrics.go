@@ -9,13 +9,14 @@ import (
 // metrics is the server's counter set, exposed in Prometheus text format
 // on /metrics. All fields are monotonic counters except inflight.
 type metrics struct {
-	scheduleRequests atomic.Int64 // POST /v1/schedule
-	batchRequests    atomic.Int64 // POST /v1/schedule/batch
-	trees            atomic.Int64 // trees actually scheduled (cache misses)
-	cacheHits        atomic.Int64
-	cacheMisses      atomic.Int64
-	errors           atomic.Int64 // rejected requests and batch lines
-	inflight         atomic.Int64 // jobs currently on or waiting for the pool
+	scheduleRequests  atomic.Int64 // POST /v1/schedule
+	batchRequests     atomic.Int64 // POST /v1/schedule/batch
+	portfolioRequests atomic.Int64 // POST /v1/portfolio
+	trees             atomic.Int64 // trees actually scheduled (cache misses)
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	errors            atomic.Int64 // rejected requests and batch lines
+	inflight          atomic.Int64 // jobs currently on or waiting for the pool
 }
 
 // write emits the metrics in Prometheus text exposition format.
@@ -29,6 +30,7 @@ func (m *metrics) write(w io.Writer, cacheLen int, uptimeSeconds float64) {
 	fmt.Fprintf(w, "# TYPE treeschedd_requests_total counter\n")
 	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule\"} %d\n", m.scheduleRequests.Load())
 	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule/batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/portfolio\"} %d\n", m.portfolioRequests.Load())
 	fmt.Fprintf(w, "# HELP treeschedd_trees_scheduled_total Trees scheduled (cache misses that ran the heuristics).\n")
 	fmt.Fprintf(w, "# TYPE treeschedd_trees_scheduled_total counter\n")
 	fmt.Fprintf(w, "treeschedd_trees_scheduled_total %d\n", m.trees.Load())

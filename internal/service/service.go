@@ -14,6 +14,13 @@
 //     Config.MaxBodyBytes cannot be framed past, so it terminates the
 //     batch with a final error line noting that the remainder was
 //     dropped.
+//   - POST /v1/portfolio — one Request whose heuristics (default: the
+//     paper's four plus the Sequential baseline) race concurrently over
+//     the tree; the Response carries every candidate, the Pareto frontier
+//     of (makespan, peak memory), and the winner under the request's
+//     objective (default min_makespan). The same portfolio semantics are
+//     reachable on /v1/schedule and batch lines via the "objective" field
+//     or the "Auto" pseudo-heuristic.
 //   - GET /healthz — liveness probe with uptime and pool size.
 //   - GET /metrics — Prometheus-style text metrics: request counts per
 //     endpoint, scheduled-tree count, cache hits/misses and hit ratio,
@@ -94,15 +101,22 @@ type Server struct {
 	metrics metrics
 	mux     *http.ServeMux
 	started time.Time
+	// raceSlots is the process-wide budget of extra goroutines portfolio
+	// races may add on top of their pool worker. Each portfolio job grabs
+	// as many free slots as it can use without blocking, so an idle server
+	// races at full width while a saturated one degrades to sequential
+	// sweeps instead of stacking GOMAXPROCS goroutines per worker.
+	raceSlots chan struct{}
 }
 
 // New builds a Server from cfg (zero value for defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    newPool(cfg.Workers),
-		started: time.Now(),
+		cfg:       cfg,
+		pool:      newPool(cfg.Workers),
+		started:   time.Now(),
+		raceSlots: make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
@@ -110,6 +124,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/portfolio", s.handlePortfolio)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -76,10 +78,10 @@ func TestScheduleSingle(t *testing.T) {
 	if len(resp.Results) != 4 {
 		t.Fatalf("want the paper's 4 heuristics, got %d", len(resp.Results))
 	}
-	wantNames := []string{"ParSubtrees", "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst"}
+	wantIDs := sched.PaperHeuristics()
 	for i, r := range resp.Results {
-		if r.Heuristic != wantNames[i] {
-			t.Errorf("result %d: heuristic %q, want %q", i, r.Heuristic, wantNames[i])
+		if r.Heuristic != wantIDs[i] {
+			t.Errorf("result %d: heuristic %v, want %v", i, r.Heuristic, wantIDs[i])
 		}
 		if r.Error != "" {
 			t.Errorf("%s failed: %s", r.Heuristic, r.Error)
@@ -123,9 +125,12 @@ func TestScheduleHeuristicSelectionAndTreeText(t *testing.T) {
 	}
 
 	req := Request{
-		TreeText:     txt.String(),
-		Processors:   3,
-		Heuristics:   []string{"Sequential", "OptimalSequential", "MemCapped", "MemCappedBooking", "ParDeepestFirst"},
+		TreeText:   txt.String(),
+		Processors: 3,
+		Heuristics: []sched.HeuristicID{
+			sched.IDSequential, sched.IDOptimalSequential,
+			sched.IDMemCapped, sched.IDMemCappedBooking, sched.IDParDeepestFirst,
+		},
 		MemCapFactor: 2,
 	}
 	resp := decodeResponse(t, postJSON(t, h, "/v1/schedule", req))
@@ -182,8 +187,10 @@ func TestScheduleRejections(t *testing.T) {
 		{"empty tree", []byte(`{"tree":{"parent":[],"w":[]},"p":2}`), http.StatusBadRequest},
 		{"p missing", mustJSON(t, Request{Tree: small}), http.StatusBadRequest},
 		{"p too large", mustJSON(t, Request{Tree: small, Processors: 9}), http.StatusBadRequest},
-		{"unknown heuristic", mustJSON(t, Request{Tree: small, Processors: 2, Heuristics: []string{"Nope"}}), http.StatusBadRequest},
-		{"memcap without factor", mustJSON(t, Request{Tree: small, Processors: 2, Heuristics: []string{"MemCapped"}}), http.StatusBadRequest},
+		{"unknown heuristic", []byte(`{"tree":{"parent":[-1,0],"w":[1,1]},"p":2,"heuristics":["Nope"]}`), http.StatusBadRequest},
+		{"memcap without factor", mustJSON(t, Request{Tree: small, Processors: 2, Heuristics: []sched.HeuristicID{sched.IDMemCapped}}), http.StatusBadRequest},
+		{"bad objective", []byte(`{"tree":{"parent":[-1,0],"w":[1,1]},"p":2,"objective":"maximize_vibes"}`), http.StatusBadRequest},
+		{"objective out of domain", []byte(`{"tree":{"parent":[-1,0],"w":[1,1]},"p":2,"objective":"weighted:1.5"}`), http.StatusBadRequest},
 		{"tree too large", mustJSON(t, Request{Tree: testTree(t, 4, 101), Processors: 2}), http.StatusRequestEntityTooLarge},
 		{"tree_text declares huge count", []byte(`{"tree_text":"1000000000\n","p":2}`), http.StatusRequestEntityTooLarge},
 		{"tree_text declares absurd count", []byte(`{"tree_text":"9000000000000000000\n","p":2}`), http.StatusRequestEntityTooLarge},
@@ -201,7 +208,7 @@ func TestScheduleRejections(t *testing.T) {
 	}
 
 	// Wrong method on every endpoint.
-	for _, path := range []string{"/v1/schedule", "/v1/schedule/batch"} {
+	for _, path := range []string{"/v1/schedule", "/v1/schedule/batch", "/v1/portfolio"} {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
@@ -481,8 +488,10 @@ func TestBatchSurvivesHostileLines(t *testing.T) {
 func TestSafeRunContainsPanics(t *testing.T) {
 	// A nil tree makes run() panic; the pool-worker wrapper must convert
 	// that into an error response instead of crashing the daemon.
+	s := New(Config{Workers: 1})
+	defer s.Close()
 	j := &job{req: Request{ID: "boom"}, opts: sched.Options{Processors: 1}}
-	resp := safeRun(j)
+	resp := s.safeRun(context.Background(), j)
 	if resp == nil || resp.ID != "boom" || !strings.Contains(resp.Error, "panic") {
 		t.Fatalf("panic not contained: %+v", resp)
 	}
@@ -508,6 +517,184 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("cache len %d, want 2", c.len())
+	}
+}
+
+func TestPortfolioEndpoint(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 31, 120)
+
+	rec := postJSON(t, h, "/v1/portfolio", Request{ID: "pf-1", Tree: tr, Processors: 4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResponse(t, rec)
+	if resp.Error != "" {
+		t.Fatalf("unexpected error: %s", resp.Error)
+	}
+	// Default candidate set: the paper's four + the Sequential baseline.
+	want := portfolio.DefaultCandidates()
+	if len(resp.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(resp.Results), len(want))
+	}
+	for i, r := range resp.Results {
+		if r.Heuristic != want[i] {
+			t.Errorf("result %d: %v, want %v", i, r.Heuristic, want[i])
+		}
+		if r.Error != "" {
+			t.Errorf("%v failed: %s", r.Heuristic, r.Error)
+		}
+	}
+	if resp.Objective == nil || *resp.Objective != portfolio.MinMakespan() {
+		t.Errorf("objective not defaulted to min_makespan: %v", resp.Objective)
+	}
+	if len(resp.Frontier) == 0 || resp.Winner == nil {
+		t.Fatalf("missing frontier/winner: %+v", resp)
+	}
+
+	// Verify the frontier against the results: every frontier member is
+	// non-dominated, every non-member is dominated or a duplicate.
+	byID := make(map[sched.HeuristicID]HeuristicResult, len(resp.Results))
+	for _, r := range resp.Results {
+		byID[r.Heuristic] = r
+	}
+	onFrontier := make(map[sched.HeuristicID]bool)
+	for _, id := range resp.Frontier {
+		onFrontier[id] = true
+	}
+	dominates := func(a, b HeuristicResult) bool {
+		return a.Makespan <= b.Makespan && a.PeakMemory <= b.PeakMemory &&
+			(a.Makespan < b.Makespan || a.PeakMemory < b.PeakMemory)
+	}
+	for _, id := range resp.Frontier {
+		for _, r := range resp.Results {
+			if dominates(r, byID[id]) {
+				t.Errorf("frontier member %v dominated by %v", id, r.Heuristic)
+			}
+		}
+	}
+	for _, r := range resp.Results {
+		if onFrontier[r.Heuristic] {
+			continue
+		}
+		excludable := false
+		for _, fid := range resp.Frontier {
+			f := byID[fid]
+			if dominates(f, r) || (f.Makespan == r.Makespan && f.PeakMemory == r.PeakMemory) {
+				excludable = true
+				break
+			}
+		}
+		if !excludable {
+			t.Errorf("%v excluded from frontier but not dominated", r.Heuristic)
+		}
+	}
+
+	// min_makespan winner: nothing is faster.
+	w := byID[*resp.Winner]
+	for _, r := range resp.Results {
+		if r.Error == "" && r.Makespan < w.Makespan {
+			t.Errorf("winner %v (%g) beaten by %v (%g)", *resp.Winner, w.Makespan, r.Heuristic, r.Makespan)
+		}
+	}
+
+	// A repeated identical request is fully cache-served, winner included.
+	resp2 := decodeResponse(t, postJSON(t, h, "/v1/portfolio", Request{ID: "pf-2", Tree: tr, Processors: 4}))
+	if !resp2.Cached {
+		t.Fatal("repeated portfolio request not served from cache")
+	}
+	if !reflect.DeepEqual(resp.Results, resp2.Results) || !reflect.DeepEqual(resp.Frontier, resp2.Frontier) ||
+		resp2.Winner == nil || *resp2.Winner != *resp.Winner {
+		t.Fatal("cached portfolio response differs from computed one")
+	}
+
+	// A different objective is a different cache entry and may pick a
+	// different winner; min_memory must select the Sequential baseline
+	// (its peak is M_seq, which nothing undercuts in this candidate set).
+	obj := portfolio.MinMemory()
+	resp3 := decodeResponse(t, postJSON(t, h, "/v1/portfolio", Request{Tree: tr, Processors: 4, Objective: &obj}))
+	if resp3.Cached {
+		t.Fatal("different objective wrongly shared a cache entry")
+	}
+	if resp3.Winner == nil || *resp3.Winner != sched.IDSequential {
+		t.Errorf("min_memory winner %v, want Sequential", resp3.Winner)
+	}
+	if wr := byID[sched.IDSequential]; wr.PeakMemory != resp3.Bounds.MemorySeq {
+		t.Errorf("Sequential peak %d != M_seq %d", wr.PeakMemory, resp3.Bounds.MemorySeq)
+	}
+}
+
+func TestScheduleObjectiveAndAutoTriggerPortfolio(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 37, 80)
+
+	// The Auto pseudo-heuristic on the plain schedule endpoint expands to
+	// the default portfolio with a min_makespan winner.
+	resp := decodeResponse(t, post(t, h, "/v1/schedule",
+		mustJSON(t, Request{Tree: tr, Processors: 4, Heuristics: []sched.HeuristicID{sched.IDAuto}})))
+	if resp.Error != "" {
+		t.Fatalf("Auto request failed: %s", resp.Error)
+	}
+	if len(resp.Results) != len(portfolio.DefaultCandidates()) || resp.Winner == nil || len(resp.Frontier) == 0 {
+		t.Fatalf("Auto did not produce a portfolio response: %+v", resp)
+	}
+
+	// An explicit objective with an explicit candidate list races exactly
+	// that list; memory_under_deadline respects its constraint.
+	obj := portfolio.MemoryUnderDeadline(1.5)
+	resp2 := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{
+		Tree: tr, Processors: 4,
+		Heuristics: []sched.HeuristicID{sched.IDParSubtrees, sched.IDParDeepestFirst},
+		Objective:  &obj,
+	}))
+	if resp2.Error != "" {
+		t.Fatalf("objective request failed: %s", resp2.Error)
+	}
+	if len(resp2.Results) != 2 || resp2.Winner == nil {
+		t.Fatalf("bad portfolio response: %+v", resp2)
+	}
+	var w HeuristicResult
+	for _, r := range resp2.Results {
+		if r.Heuristic == *resp2.Winner {
+			w = r
+		}
+	}
+	feasible := false
+	for _, r := range resp2.Results {
+		if r.Makespan <= 1.5*resp2.Bounds.MakespanLB {
+			feasible = true
+		}
+	}
+	if feasible && w.Makespan > 1.5*resp2.Bounds.MakespanLB {
+		t.Errorf("winner %v misses the deadline despite a feasible candidate", *resp2.Winner)
+	}
+
+	// Auto inside a batch line works the same way.
+	var batch bytes.Buffer
+	json.NewEncoder(&batch).Encode(Request{ID: "auto", Tree: tr, Processors: 2, Heuristics: []sched.HeuristicID{sched.IDAuto}})
+	json.NewEncoder(&batch).Encode(Request{ID: "plain", Tree: tr, Processors: 2})
+	rec := post(t, h, "/v1/schedule/batch", batch.Bytes())
+	var out []Response
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var r Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d batch lines", len(out))
+	}
+	if out[0].Winner == nil || len(out[0].Frontier) == 0 {
+		t.Errorf("batch Auto line missing portfolio fields: %+v", out[0])
+	}
+	if out[1].Winner != nil || out[1].Frontier != nil {
+		t.Errorf("plain batch line grew portfolio fields: %+v", out[1])
 	}
 }
 

@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
 
+	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -30,12 +30,22 @@ type Request struct {
 	// Heuristics names the schedulers to run, in output order: any of
 	// ParSubtrees, ParSubtreesOptim, ParInnerFirst, ParDeepestFirst,
 	// ParInnerFirstArbitrary, Sequential, OptimalSequential, MemCapped,
-	// MemCappedBooking. Empty means the paper's four heuristics.
-	Heuristics []string `json:"heuristics,omitempty"`
+	// MemCappedBooking, and the pseudo-heuristic Auto (race the portfolio
+	// and select by Objective). Empty means the paper's four heuristics —
+	// or the default portfolio set when Objective is set or the request
+	// arrived on /v1/portfolio.
+	Heuristics []sched.HeuristicID `json:"heuristics,omitempty"`
 	// MemCapFactor sets the cap of MemCapped/MemCappedBooking to
 	// MemCapFactor × M_seq. Required (>= 1) iff a capped heuristic is
 	// selected.
 	MemCapFactor float64 `json:"mem_cap_factor,omitempty"`
+	// Objective switches the request into portfolio mode: the selected
+	// heuristics race concurrently and the response carries the Pareto
+	// frontier plus the winner under this objective ("min_makespan",
+	// "min_memory", "makespan_under_memcap:F", "memory_under_deadline:D",
+	// "weighted:A"). Optional on /v1/schedule and batch lines; defaults to
+	// min_makespan on /v1/portfolio and when Auto is selected.
+	Objective *portfolio.Objective `json:"objective,omitempty"`
 }
 
 // Bounds carries the paper's bi-objective lower bounds for one instance.
@@ -51,9 +61,9 @@ type Bounds struct {
 
 // HeuristicResult is the outcome of one heuristic on one tree.
 type HeuristicResult struct {
-	Heuristic  string  `json:"heuristic"`
-	Makespan   float64 `json:"makespan"`
-	PeakMemory int64   `json:"peak_memory"`
+	Heuristic  sched.HeuristicID `json:"heuristic"`
+	Makespan   float64           `json:"makespan"`
+	PeakMemory int64             `json:"peak_memory"`
 	// MakespanRatio is Makespan / Bounds.MakespanLB (0 if the bound is 0).
 	MakespanRatio float64 `json:"makespan_ratio"`
 	// MemoryRatio is PeakMemory / Bounds.MemorySeq (0 if M_seq is 0).
@@ -72,6 +82,13 @@ type Response struct {
 	Processors int               `json:"p,omitempty"`
 	Bounds     *Bounds           `json:"bounds,omitempty"`
 	Results    []HeuristicResult `json:"results,omitempty"`
+	// Objective, Frontier and Winner are set in portfolio mode: Frontier
+	// lists the Pareto-optimal heuristics in ascending-makespan order and
+	// Winner is the candidate Objective selected (absent when every
+	// candidate failed).
+	Objective *portfolio.Objective `json:"objective,omitempty"`
+	Frontier  []sched.HeuristicID  `json:"frontier,omitempty"`
+	Winner    *sched.HeuristicID   `json:"winner,omitempty"`
 	// Cached reports that the response was served from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
 	// Error is set instead of the result fields when the request itself
@@ -92,18 +109,22 @@ func badRequest(format string, args ...any) *requestError {
 }
 
 // job is a validated, runnable request: the parsed tree plus the resolved
-// scheduling options and the cache key identifying the result.
+// scheduling options and the cache key identifying the result. A non-nil
+// objective marks a portfolio job (heuristics race concurrently; the
+// response carries the frontier and the winner).
 type job struct {
-	req      Request
-	tree     *tree.Tree
-	treeHash string
-	opts     sched.Options
-	cacheKey string
+	req       Request
+	tree      *tree.Tree
+	treeHash  string
+	opts      sched.Options
+	objective *portfolio.Objective
+	cacheKey  string
 }
 
 // prepare validates req against the server limits and resolves it into a
-// runnable job.
-func (s *Server) prepare(req Request) (*job, error) {
+// runnable job. forcePortfolio puts the job in portfolio mode even without
+// an explicit objective (the /v1/portfolio endpoint).
+func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
 	var t *tree.Tree
 	switch {
 	case req.Tree != nil && req.TreeText != "":
@@ -139,14 +160,9 @@ func (s *Server) prepare(req Request) (*job, error) {
 	if req.Processors > s.cfg.MaxProcs {
 		return nil, badRequest("p=%d exceeds limit %d", req.Processors, s.cfg.MaxProcs)
 	}
-	ids := make([]sched.HeuristicID, 0, len(req.Heuristics))
-	for _, name := range req.Heuristics {
-		id, ok := sched.ParseHeuristic(name)
-		if !ok {
-			return nil, badRequest("unknown heuristic %q (known: %s)",
-				name, strings.Join(sortedHeuristicNames(), ", "))
-		}
-		ids = append(ids, id)
+	ids, obj, err := resolveSelection(req.Heuristics, req.Objective, forcePortfolio)
+	if err != nil {
+		return nil, err
 	}
 	opts := sched.Options{
 		Processors:   req.Processors,
@@ -156,14 +172,63 @@ func (s *Server) prepare(req Request) (*job, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, badRequest("%v", err)
 	}
-	j := &job{req: req, tree: t, treeHash: t.CanonicalHash(), opts: opts}
-	j.cacheKey = cacheKey(j.treeHash, opts)
+	j := &job{req: req, tree: t, treeHash: t.CanonicalHash(), opts: opts, objective: obj}
+	j.cacheKey = cacheKey(j.treeHash, opts, obj)
 	return j, nil
 }
 
-// cacheKey identifies a (tree, options) pair. Heuristic order matters for
-// the Results order, so the selection is included in request order.
-func cacheKey(treeHash string, opts sched.Options) string {
+// resolveSelection turns the wire-level heuristic selection into a
+// runnable one: the Auto pseudo-heuristic expands in place into the
+// default portfolio candidates (deduplicated), and an objective — explicit,
+// implied by Auto, or forced by the /v1/portfolio endpoint — switches the
+// job into portfolio mode with min_makespan as the default policy.
+func resolveSelection(ids []sched.HeuristicID, obj *portfolio.Objective, forcePortfolio bool) ([]sched.HeuristicID, *portfolio.Objective, error) {
+	hasAuto := false
+	for _, id := range ids {
+		if id == sched.IDAuto {
+			hasAuto = true
+			break
+		}
+	}
+	if hasAuto {
+		seen := make(map[sched.HeuristicID]bool, len(ids)+len(portfolio.DefaultCandidates()))
+		expanded := make([]sched.HeuristicID, 0, len(ids)+len(portfolio.DefaultCandidates()))
+		add := func(id sched.HeuristicID) {
+			if !seen[id] {
+				seen[id] = true
+				expanded = append(expanded, id)
+			}
+		}
+		for _, id := range ids {
+			if id == sched.IDAuto {
+				for _, d := range portfolio.DefaultCandidates() {
+					add(d)
+				}
+			} else {
+				add(id)
+			}
+		}
+		ids = expanded
+	}
+	if obj != nil {
+		if err := obj.Validate(); err != nil {
+			return nil, nil, badRequest("%v", err)
+		}
+	} else if hasAuto || forcePortfolio {
+		def := portfolio.MinMakespan()
+		obj = &def
+	}
+	if obj != nil && len(ids) == 0 {
+		ids = portfolio.DefaultCandidates()
+	}
+	return ids, obj, nil
+}
+
+// cacheKey identifies a (tree, options, objective) triple. Heuristic order
+// matters for the Results order, so the selection is included in request
+// order; the objective changes Frontier/Winner, so portfolio responses
+// never alias plain ones.
+func cacheKey(treeHash string, opts sched.Options, obj *portfolio.Objective) string {
 	var b strings.Builder
 	b.WriteString(treeHash)
 	fmt.Fprintf(&b, "|p=%d", opts.Processors)
@@ -181,6 +246,10 @@ func cacheKey(treeHash string, opts sched.Options) string {
 	if needsCapFactor(ids) {
 		fmt.Fprintf(&b, "|cap=%g", opts.MemCapFactor)
 	}
+	if obj != nil {
+		b.WriteString("|obj=")
+		b.WriteString(obj.String())
+	}
 	return b.String()
 }
 
@@ -197,19 +266,21 @@ func needsCapFactor(ids []sched.HeuristicID) bool {
 // net/http limits a panic's blast radius to one connection, but pool
 // workers have no such net, so a latent panic in the scheduling code must
 // not take the whole daemon down with every in-flight request.
-func safeRun(j *job) (resp *Response) {
+func (s *Server) safeRun(ctx context.Context, j *job) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{ID: j.req.ID, Error: fmt.Sprintf("internal error: panic during scheduling: %v", r)}
 		}
 	}()
-	return run(j)
+	return s.run(ctx, j)
 }
 
-// run schedules the job's tree with every selected heuristic. It is a pure
-// function of the job and always produces results in selection order, so
-// responses are deterministic.
-func run(j *job) *Response {
+// run schedules the job's tree with every selected heuristic. It always
+// produces results in selection order, so responses are deterministic.
+func (s *Server) run(ctx context.Context, j *job) *Response {
+	if j.objective != nil {
+		return s.runPortfolio(ctx, j)
+	}
 	t, p := j.tree, j.opts.Processors
 	// SelectFor computes the best postorder once; its peak is M_seq and the
 	// sequential/capped heuristics reuse the traversal instead of
@@ -231,7 +302,7 @@ func run(j *job) *Response {
 		Results:    make([]HeuristicResult, 0, len(hs)),
 	}
 	for _, h := range hs {
-		hr := HeuristicResult{Heuristic: h.Name}
+		hr := HeuristicResult{Heuristic: h.ID}
 		sc, err := h.Run(t, p)
 		if err == nil {
 			err = sc.Validate(t)
@@ -249,6 +320,68 @@ func run(j *job) *Response {
 			}
 		}
 		resp.Results = append(resp.Results, hr)
+	}
+	return resp
+}
+
+// runPortfolio answers a portfolio-mode job: the selected heuristics race
+// concurrently, and the response carries every candidate, the Pareto
+// frontier and the objective-selected winner. Racing adds goroutines
+// beyond the calling pool worker — that is the endpoint's latency win —
+// but the extra width comes from the server-wide raceSlots budget
+// (GOMAXPROCS slots shared by all portfolio jobs), so concurrent
+// portfolio requests on a saturated pool degrade toward sequential
+// sweeps instead of stacking GOMAXPROCS goroutines per worker.
+func (s *Server) runPortfolio(ctx context.Context, j *job) *Response {
+	// Non-blocking grab of up to candidates-1 extra slots: the pool worker
+	// itself is the first lane of the race.
+	lanes := 1
+acquire:
+	for lanes < len(j.opts.Heuristics) {
+		select {
+		case s.raceSlots <- struct{}{}:
+			lanes++
+		default:
+			break acquire
+		}
+	}
+	defer func() {
+		for i := 1; i < lanes; i++ {
+			<-s.raceSlots
+		}
+	}()
+	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{Options: j.opts, Parallelism: lanes})
+	if err != nil {
+		return &Response{ID: j.req.ID, Error: err.Error()}
+	}
+	resp := &Response{
+		ID:         j.req.ID,
+		TreeHash:   j.treeHash,
+		Nodes:      j.tree.Len(),
+		Processors: j.opts.Processors,
+		Bounds:     &Bounds{MakespanLB: res.MakespanLB, MemorySeq: res.MemorySeq},
+		Objective:  j.objective,
+		Results:    make([]HeuristicResult, 0, len(res.Candidates)),
+		Frontier:   make([]sched.HeuristicID, 0, len(res.Frontier)),
+	}
+	for _, c := range res.Candidates {
+		hr := HeuristicResult{Heuristic: c.ID}
+		if c.Err != nil {
+			hr.Error = c.Err.Error()
+		} else {
+			hr.Makespan = c.Makespan
+			hr.PeakMemory = c.PeakMemory
+			hr.MakespanRatio = c.MakespanRatio
+			hr.MemoryRatio = c.MemoryRatio
+		}
+		resp.Results = append(resp.Results, hr)
+	}
+	for _, i := range res.Frontier {
+		resp.Frontier = append(resp.Frontier, res.Candidates[i].ID)
+	}
+	if w, ok := res.WinnerCandidate(); ok {
+		id := w.ID
+		resp.Winner = &id
 	}
 	return resp
 }
@@ -289,23 +422,10 @@ func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 			return &resp
 		}
 	}
-	resp := safeRun(j)
+	resp := s.safeRun(ctx, j)
 	s.metrics.trees.Add(1)
 	if s.cache != nil && resp.Error == "" {
 		s.cache.add(j.cacheKey, resp)
 	}
 	return resp
-}
-
-// sortedHeuristicNames returns all canonical wire names, for error texts.
-func sortedHeuristicNames() []string {
-	var names []string
-	for id := sched.HeuristicID(0); ; id++ {
-		if !id.Valid() {
-			break
-		}
-		names = append(names, id.String())
-	}
-	sort.Strings(names)
-	return names
 }

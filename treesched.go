@@ -1,12 +1,14 @@
 package treesched
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"treesched/internal/dataset"
 	"treesched/internal/frontal"
 	"treesched/internal/pebble"
+	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/service"
 	"treesched/internal/spm"
@@ -62,6 +64,18 @@ type (
 	HeuristicResult = service.HeuristicResult
 	// ScheduleBounds carries the bi-objective lower bounds of an instance.
 	ScheduleBounds = service.Bounds
+	// Objective is a typed selection policy for portfolio runs; build one
+	// with MinMakespan, MinMemory, MakespanUnderMemCap, MemoryUnderDeadline,
+	// Weighted or ParseObjective.
+	Objective = portfolio.Objective
+	// PortfolioOptions parameterizes RunPortfolio (machine size, candidate
+	// heuristics, memory-cap factor, racing parallelism).
+	PortfolioOptions = portfolio.Options
+	// PortfolioCandidate is one heuristic's outcome in a portfolio race.
+	PortfolioCandidate = portfolio.Candidate
+	// PortfolioResult is the outcome of a portfolio race: all candidates,
+	// the Pareto frontier and the objective-selected winner.
+	PortfolioResult = portfolio.Result
 )
 
 // None marks the absence of a node (the parent of a root).
@@ -167,6 +181,51 @@ func HeuristicByName(name string) (Heuristic, bool) { return sched.ByName(name) 
 // ScheduleOptions; it additionally recognizes the memory-capped
 // schedulers ("MemCapped", "MemCappedBooking").
 func ParseHeuristic(name string) (HeuristicID, bool) { return sched.ParseHeuristic(name) }
+
+// Portfolio scheduling (see internal/portfolio): race heuristics
+// concurrently, compute the Pareto frontier, select by objective.
+
+// RunPortfolio races the candidate heuristics of opts (default: the
+// paper's four plus the Sequential baseline) concurrently over t and
+// selects a winner under obj. The shared precomputation (the
+// memory-optimal postorder and M_seq) runs once; each candidate is
+// individually panic-contained; ctx cancellation abandons unstarted
+// candidates.
+func RunPortfolio(ctx context.Context, t *Tree, obj Objective, opts PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Run(ctx, t, obj, opts)
+}
+
+// ParetoFrontier returns the indices of the Pareto-optimal candidates for
+// the (makespan, peak memory) bi-criteria minimization, in ascending
+// makespan order with deterministic ID tie-breaking.
+func ParetoFrontier(cands []PortfolioCandidate) []int { return portfolio.Frontier(cands) }
+
+// DefaultPortfolioCandidates returns the default racing set: the paper's
+// four heuristics plus the Sequential baseline.
+func DefaultPortfolioCandidates() []HeuristicID { return portfolio.DefaultCandidates() }
+
+// MinMakespan selects the fastest candidate.
+func MinMakespan() Objective { return portfolio.MinMakespan() }
+
+// MinMemory selects the most memory-frugal candidate.
+func MinMemory() Objective { return portfolio.MinMemory() }
+
+// MakespanUnderMemCap selects the fastest candidate with peak memory at
+// most factor × M_seq.
+func MakespanUnderMemCap(factor float64) Objective { return portfolio.MakespanUnderMemCap(factor) }
+
+// MemoryUnderDeadline selects the most memory-frugal candidate with
+// makespan at most d × the makespan lower bound.
+func MemoryUnderDeadline(d float64) Objective { return portfolio.MemoryUnderDeadline(d) }
+
+// Weighted minimizes alpha·(makespan/LB) + (1−alpha)·(memory/M_seq).
+func Weighted(alpha float64) Objective { return portfolio.Weighted(alpha) }
+
+// ParseObjective parses the objective wire syntax ("min_makespan",
+// "min_memory", "makespan_under_memcap:F", "memory_under_deadline:D",
+// "weighted:A"), as accepted by the service's "objective" field and the
+// CLI's -objective flag.
+func ParseObjective(s string) (Objective, error) { return portfolio.ParseObjective(s) }
 
 // Scheduling service (see cmd/treeschedd and internal/service).
 
