@@ -1,18 +1,25 @@
-// Command treebench benchmarks the portfolio scheduler over generated
-// tree suites and writes a machine-readable report, seeding the repo's
-// performance trajectory: per-run latency percentiles, scheduling
-// throughput, Pareto-frontier sizes, the racing speedup, and which
-// heuristic wins under each objective.
+// Command treebench benchmarks the scheduling engines over generated
+// suites and writes machine-readable reports, seeding the repo's
+// performance trajectory.
+//
+// The portfolio suite (default) measures per-run latency percentiles,
+// scheduling throughput, Pareto-frontier sizes, the racing speedup, and
+// which heuristic wins under each objective. The forest suite simulates
+// one generated job trace under every admission policy and reports
+// per-policy latency/stretch/utilization plus the simulation throughput.
 //
 // Usage:
 //
 //	treebench -quick                                  # CI scale, writes BENCH_portfolio.json
 //	treebench -scale standard -out bench.json
 //	treebench -quick -baseline BENCH_portfolio.json   # regression gate: fail on >2× slowdown
+//	treebench -suite forest -quick                    # writes BENCH_forest.json
+//	treebench -suite forest -quick -baseline BENCH_forest.json
 //
-// The regression gate compares p50 latency and schedules/sec against a
-// previously written report and exits non-zero when either degrades by
-// more than -maxratio.
+// The regression gate compares the suite's key metrics (p50 latency and
+// schedules/sec for portfolio; simulated jobs/sec and per-policy
+// completions for forest) against a previously written report and exits
+// non-zero on a >-maxratio degradation.
 package main
 
 import (
@@ -70,17 +77,29 @@ type Report struct {
 
 func main() {
 	var (
+		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio or forest")
 		quick    = flag.Bool("quick", false, "shorthand for -scale quick (the CI scale)")
 		scale    = flag.String("scale", "standard", "suite scale: quick or standard")
 		seed     = flag.Int64("seed", 42, "suite seed")
-		plist    = flag.String("p", "2,8", "comma-separated processor counts")
-		out      = flag.String("out", "BENCH_portfolio.json", "output report path ('' to skip writing)")
+		plist    = flag.String("p", "2,8", "comma-separated processor counts (portfolio suite)")
+		out      = flag.String("out", "auto", "output report path ('auto': BENCH_<suite>.json; '' to skip writing)")
 		baseline = flag.String("baseline", "", "prior report to regression-check against")
-		maxratio = flag.Float64("maxratio", 2, "fail when p50 latency or throughput regresses by more than this factor")
+		maxratio = flag.Float64("maxratio", 2, "fail when the suite's gated metrics regress by more than this factor")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = "quick"
+	}
+	if *out == "auto" {
+		*out = "BENCH_" + *suiteName + ".json"
+	}
+	switch *suiteName {
+	case "forest":
+		forestMain(*scale, *seed, *out, *baseline, *maxratio)
+		return
+	case "portfolio":
+	default:
+		fatal(fmt.Errorf("unknown suite %q (portfolio or forest)", *suiteName))
 	}
 	ps, err := parsePList(*plist)
 	if err != nil {

@@ -1,20 +1,27 @@
 // Command treegen generates tree-shaped task graphs in the textual format
 // consumed by cmd/treesched: random families, the paper's complexity
 // gadgets, and assembly trees synthesized from sparse-matrix patterns.
+// With -forest it instead emits an NDJSON job trace (trees plus arrival
+// times, weights and widths) for the forest scheduler (`treesched
+// -forest`, the daemon's /v1/forest endpoint, `treebench -suite forest`).
 //
 // Usage examples:
 //
 //	treegen -kind attachment -n 1000 -seed 7 -fmax 100 > tree.txt
 //	treegen -kind grid2d -nx 30 -ny 30 -order nd -eta 4 > assembly.txt
 //	treegen -kind joinchain -p 4 -k 20 > fig4.txt
+//	treegen -forest -jobs 200 -arrivals poisson -rate 0.05 -seed 7 > trace.ndjson
+//	treegen -forest -jobs 100 -arrivals bursty -burst 10 -dataset -objective weighted:0.5 > trace.ndjson
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"treesched/internal/forest"
 	"treesched/internal/pebble"
 	"treesched/internal/spm"
 	"treesched/internal/tree"
@@ -49,8 +56,41 @@ func main() {
 		delta = flag.Int("delta", 6, "inapprox gadget δ")
 		spine = flag.Int("spine", 10, "caterpillar spine length")
 		legs  = flag.Int("legs", 4, "caterpillar legs per spine node")
+
+		forestMode = flag.Bool("forest", false, "emit an NDJSON forest job trace instead of a single tree")
+		jobs       = flag.Int("jobs", 100, "forest: number of trace jobs")
+		arrivals   = flag.String("arrivals", "poisson", "forest: arrival process: poisson|bursty")
+		rate       = flag.Float64("rate", 0.05, "forest: mean job arrivals per unit time")
+		burst      = flag.Int("burst", 8, "forest: jobs per burst (bursty arrivals)")
+		minNodes   = flag.Int("minnodes", 50, "forest: min tree size per job")
+		maxNodes   = flag.Int("maxnodes", 400, "forest: max tree size per job")
+		objective  = flag.String("objective", "", "forest: objective stamped on every job (portfolio-plans each job)")
+		useDataset = flag.Bool("dataset", false, "forest: mix in quick-scale assembly trees from the evaluation dataset")
 	)
 	flag.Parse()
+
+	if *forestMode {
+		trace, err := forest.GenTrace(forest.GenConfig{
+			Jobs:      *jobs,
+			Seed:      *seed,
+			Arrivals:  *arrivals,
+			Rate:      *rate,
+			Burst:     *burst,
+			MinNodes:  *minNodes,
+			MaxNodes:  *maxNodes,
+			Objective: *objective,
+			Dataset:   *useDataset,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		if err := writeOut(*out, func(w io.Writer) error { return forest.EncodeTrace(w, trace) }); err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	ws := tree.WeightSpec{WMin: *wmin, WMax: *wmax, NMin: *nmin, NMax: *nmax, FMin: *fmin, FMax: *fmax}
@@ -64,20 +104,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "treegen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := t.Encode(w); err != nil {
+	if err := writeOut(*out, t.Encode); err != nil {
 		fmt.Fprintln(os.Stderr, "treegen:", err)
 		os.Exit(1)
 	}
+}
+
+// writeOut streams write to the -out file, or stdout when empty.
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type buildParams struct {

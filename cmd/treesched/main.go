@@ -9,6 +9,12 @@
 //	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
 //	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
 //	treesched -in tree.txt -p 8 -objective makespan_under_memcap:1.5
+//	treesched -forest trace.ndjson -p 8 -policy sjf -capfactor 2
+//
+// The -forest mode simulates an NDJSON job trace (see `treegen -forest`)
+// on one shared p-processor machine under a global memory cap, with
+// cross-tree memory booking and the selected admission policy; it prints
+// per-job latency/stretch and the run summary.
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
+	"treesched/internal/forest"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/traversal"
@@ -33,10 +41,19 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
 		runPort   = flag.Bool("portfolio", false, "race the paper's four heuristics + Sequential concurrently; print the Pareto frontier and the -objective winner")
 		objective = flag.String("objective", "", "portfolio selection objective (min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A); implies -portfolio")
+
+		forestIn  = flag.String("forest", "", "NDJSON forest trace to simulate on the shared machine (see treegen -forest)")
+		policy    = flag.String("policy", "fifo", "forest admission policy: fifo|sjf|smallest_mseq|weighted_fair")
+		mem       = flag.Int64("mem", 0, "forest absolute global memory cap (0: use -capfactor)")
+		capFactor = flag.Float64("capfactor", 2, "forest memory cap as a multiple of the trace's largest M_seq (when -mem is 0)")
 	)
 	flag.Parse()
+	if *forestIn != "" {
+		runForest(*forestIn, *p, *policy, *mem, *capFactor)
+		return
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "treesched: -in is required")
+		fmt.Fprintln(os.Stderr, "treesched: one of -in and -forest is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -69,7 +86,8 @@ func main() {
 	} else {
 		h, ok := sched.ByName(*name)
 		if !ok {
-			fatal(fmt.Errorf("unknown heuristic %q", *name))
+			fatal(fmt.Errorf("unknown heuristic %q (known: %s; MemCapped/MemCappedBooking need -memcap, Auto needs -portfolio)",
+				*name, strings.Join(sched.HeuristicNames(), ", ")))
 		}
 		hs = []sched.Heuristic{h}
 	}
@@ -160,6 +178,52 @@ func runPortfolio(t *tree.Tree, p int, objSpec string, memcap float64) {
 	} else {
 		fmt.Println("\nno winner: every candidate failed")
 	}
+}
+
+// runForest simulates an NDJSON job trace on one shared machine and
+// prints per-job results plus the run summary.
+func runForest(path string, p int, policyName string, mem int64, capFactor float64) {
+	pol, err := forest.ParsePolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := forest.DecodeTrace(f, forest.DecodeLimits{})
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := forest.Run(context.Background(), jobs, forest.Config{
+		Processors:   p,
+		MemCap:       mem,
+		MemCapFactor: capFactor,
+		Policy:       pol,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	s := res.Summary
+	fmt.Printf("forest: %d jobs on p=%d, policy %s, memory cap %d\n", s.Jobs, s.Processors, s.Policy, s.MemCap)
+	fmt.Printf("completed %d  rejected %d  makespan %.6g  utilization %.3f  peak resident %d (%.1f%% of cap)\n",
+		s.Completed, s.Rejected, s.Makespan, s.Utilization, s.PeakResident, 100*float64(s.PeakResident)/float64(s.MemCap))
+	fmt.Printf("latency mean %.6g p50 %.6g p99 %.6g  |  stretch mean %.3f max %.3f  |  wait mean %.6g\n",
+		s.MeanLatency, s.P50Latency, s.P99Latency, s.MeanStretch, s.MaxStretch, s.MeanWait)
+	fmt.Printf("tasks executed %d  max queued %d  max running %d\n\n", s.TasksExecuted, s.MaxQueued, s.MaxRunning)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "job\tstatus\tnodes\tplanned_by\tarrival\tstart\tfinish\twait\tlatency\tstretch")
+	for _, jr := range res.Jobs {
+		if jr.Status != forest.StatusCompleted {
+			fmt.Fprintf(w, "%s\t%s: %s\t%d\t\t%.6g\t\t\t\t\t\n", jr.ID, jr.Status, jr.Reason, jr.Nodes, jr.Arrival)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.3f\n",
+			jr.ID, jr.Status, jr.Nodes, jr.PlannedBy, jr.Arrival, jr.Start, jr.Finish, jr.Wait, jr.Latency, jr.Stretch)
+	}
+	w.Flush()
 }
 
 func report(w *tabwriter.Writer, name string, t *tree.Tree, s *sched.Schedule, msLB float64, memLB int64) {

@@ -40,6 +40,13 @@
 //     an HTTP JSON API with a worker pool, an LRU result cache keyed by a
 //     canonical tree hash, a streaming NDJSON batch endpoint, and a
 //     /v1/portfolio endpoint exposing the portfolio scheduler.
+//   - An online multi-tenant forest scheduler (internal/forest): a
+//     discrete-event engine that streams tree-jobs from a trace onto one
+//     shared machine under a global memory cap, planning each job with
+//     the heuristics or the portfolio and interleaving jobs with
+//     cross-tree memory booking (no overcap, no deadlock) under pluggable
+//     admission policies; exposed as /v1/forest, treesched -forest and
+//     treegen -forest.
 //
 // See the examples directory for runnable entry points, EXPERIMENTS.md
 // for the reproduction results, and README.md for CLI and API usage.

@@ -1,0 +1,487 @@
+package forest
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+
+	"treesched/internal/stats"
+	"treesched/internal/tree"
+)
+
+// Run simulates the trace on one shared machine under cfg and returns
+// per-job results in trace order plus the aggregate summary. The run is
+// deterministic for a fixed (trace, config): planning races select
+// deterministically and every event-loop tie breaks by job admission
+// order and plan rank.
+func Run(ctx context.Context, jobs []Job, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	states := planJobs(ctx, jobs, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var maxMemSeq int64
+	for _, js := range states {
+		if js.rejectReason == "" && js.memSeq > maxMemSeq {
+			maxMemSeq = js.memSeq
+		}
+	}
+	cap := cfg.resolveCap(maxMemSeq)
+	for _, js := range states {
+		if js.rejectReason == "" && js.memSeq > cap {
+			js.rejectReason = fmt.Sprintf("sequential peak %d exceeds memory cap %d", js.memSeq, cap)
+		}
+	}
+	e := &engine{cfg: cfg, cap: cap, states: states}
+	if err := e.simulate(ctx); err != nil {
+		return nil, err
+	}
+	return e.collect(), nil
+}
+
+// readyItem is one startable task in the global ready queue. Priority is
+// (job admission order, plan rank): earlier-admitted jobs get processors
+// first, and within a job tasks follow the standalone plan's order.
+type readyItem struct {
+	seq  int
+	rank int
+	js   *jobState
+	node int
+}
+
+// readyHeap is an indexed heap: every mutation maintains
+// jobState.heapPos[node], so the σ-front fallback can remove a specific
+// task in O(log n) instead of scanning the heap.
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].rank < h[j].rank
+}
+func (h readyHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].js.heapPos[h[i].node] = i
+	h[j].js.heapPos[h[j].node] = j
+}
+func (h *readyHeap) Push(x any) {
+	it := x.(readyItem)
+	it.js.heapPos[it.node] = len(*h)
+	*h = append(*h, it)
+}
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	x.js.heapPos[x.node] = -1
+	*h = old[:n-1]
+	return x
+}
+
+// finEvent is a scheduled task completion.
+type finEvent struct {
+	at   float64
+	seq  int
+	rank int
+	js   *jobState
+	node int
+	proc int
+}
+
+type finHeap []finEvent
+
+func (h finHeap) Len() int { return len(h) }
+func (h finHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].rank < h[j].rank
+}
+func (h finHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *finHeap) Push(x any)   { *h = append(*h, x.(finEvent)) }
+func (h *finHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// admissionWindow bounds the per-event scan of the ready queue, exactly as
+// in sched.MemCappedBooking: every admitted job's σ-front is retried by
+// the fallback pass, so the window only trades scheduling quality for
+// speed, never progress.
+const admissionWindow = 256
+
+// engine is the discrete-event state of one forest run.
+type engine struct {
+	cfg    Config
+	cap    int64
+	states []*jobState
+
+	now       float64
+	queue     []*jobState // arrived, not yet admitted
+	active    []*jobState // admitted, not yet finished, admission order
+	ready     readyHeap
+	fin       finHeap
+	freeProcs []int
+
+	mem       int64 // resident memory right now (all tenants)
+	bookedSeq int64 // Σ over active jobs of futurePeak[next]
+	extraUsed int64 // budget charged by out-of-σ-order tasks
+	peak      int64
+
+	admitted   int
+	tasks      int
+	maxQueued  int
+	maxRunning int
+}
+
+func (e *engine) simulate(ctx context.Context) error {
+	// Arrival order: (arrival, trace index).
+	arrivals := make([]*jobState, 0, len(e.states))
+	for _, js := range e.states {
+		if js.rejectReason == "" {
+			arrivals = append(arrivals, js)
+		}
+	}
+	sort.SliceStable(arrivals, func(a, b int) bool {
+		if arrivals[a].arrival != arrivals[b].arrival {
+			return arrivals[a].arrival < arrivals[b].arrival
+		}
+		return arrivals[a].idx < arrivals[b].idx
+	})
+	e.freeProcs = make([]int, 0, e.cfg.Processors)
+	for i := e.cfg.Processors - 1; i >= 0; i-- {
+		e.freeProcs = append(e.freeProcs, i)
+	}
+
+	ai := 0
+	for rounds := 0; ; rounds++ {
+		// A disconnected client must not pin a pool worker for the whole
+		// simulation; checking every so many events keeps the overhead
+		// off the hot path.
+		if rounds%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		next, ok := e.nextEventTime(arrivals, ai)
+		if !ok {
+			break
+		}
+		e.now = next
+		// Completions release memory and processors before arrivals and
+		// admissions allocate — the same tie-break as the single-tree
+		// simulator's evEnd < evStart.
+		for len(e.fin) > 0 && e.fin[0].at <= e.now {
+			ev := heap.Pop(&e.fin).(finEvent)
+			e.completeTask(ev.js, ev.node, ev.proc)
+		}
+		for ai < len(arrivals) && arrivals[ai].arrival <= e.now {
+			e.queue = append(e.queue, arrivals[ai])
+			ai++
+		}
+		if len(e.queue) > e.maxQueued {
+			e.maxQueued = len(e.queue)
+		}
+		e.admitJobs()
+		e.assign()
+		if e.mem > e.cap {
+			return fmt.Errorf("forest: internal error: resident memory %d exceeds cap %d at t=%g", e.mem, e.cap, e.now)
+		}
+	}
+	// Every feasible job must have completed: the booking invariant
+	// guarantees progress, so anything left is an engine bug.
+	for _, js := range e.states {
+		if js.rejectReason == "" && js.done != js.t.Len() {
+			return fmt.Errorf("forest: internal error: job %s stalled with %d of %d tasks done", js.id, js.done, js.t.Len())
+		}
+	}
+	if e.mem != 0 || e.bookedSeq != 0 || e.extraUsed != 0 {
+		return fmt.Errorf("forest: internal error: leaked accounting at end (mem=%d booked=%d extra=%d)", e.mem, e.bookedSeq, e.extraUsed)
+	}
+	return nil
+}
+
+// nextEventTime returns the earliest pending event time: a task
+// completion or the next arrival.
+func (e *engine) nextEventTime(arrivals []*jobState, ai int) (float64, bool) {
+	have := false
+	var t float64
+	if len(e.fin) > 0 {
+		t, have = e.fin[0].at, true
+	}
+	if ai < len(arrivals) && (!have || arrivals[ai].arrival < t) {
+		t, have = arrivals[ai].arrival, true
+	}
+	return t, have
+}
+
+// fits reports whether admitting js preserves the cross-tree booking
+// invariant: all residual sequential peaks plus the charged extras plus
+// the newcomer's full sequential peak must fit under the cap.
+func (e *engine) fits(js *jobState) bool {
+	return e.bookedSeq+e.extraUsed+js.futurePeak[0] <= e.cap
+}
+
+// admitJobs dispatches queued jobs in policy order. At most one job per
+// currently free processor is admitted per event — each admission should
+// translate into immediate progress, and deferring the rest keeps the
+// policy's choice as late (and as informed) as possible. Non-backfill
+// policies (FIFO) stop at the first job that does not fit.
+func (e *engine) admitJobs() {
+	if len(e.queue) == 0 || len(e.freeProcs) == 0 {
+		return
+	}
+	pol := e.cfg.Policy
+	sort.SliceStable(e.queue, func(a, b int) bool { return pol.less(e.queue[a], e.queue[b]) })
+	budget := len(e.freeProcs)
+	kept := e.queue[:0]
+	for qi, js := range e.queue {
+		if budget > 0 && e.fits(js) {
+			e.admit(js)
+			budget--
+			continue
+		}
+		kept = append(kept, js)
+		if !pol.backfill() {
+			kept = append(kept, e.queue[qi+1:]...)
+			break
+		}
+	}
+	e.queue = kept
+}
+
+func (e *engine) admit(js *jobState) {
+	js.admitSeq = e.admitted
+	e.admitted++
+	js.startTime = e.now
+	e.bookedSeq += js.futurePeak[0]
+	e.active = append(e.active, js)
+	if len(e.active) > e.maxRunning {
+		e.maxRunning = len(e.active)
+	}
+	for v := 0; v < js.t.Len(); v++ {
+		if js.remaining[v] == 0 {
+			heap.Push(&e.ready, readyItem{js.admitSeq, js.rank[v], js, v})
+		}
+	}
+}
+
+// admissible reports whether task v of job js may start now. A task on
+// its job's σ-front rides the job's sequential reservation; any other
+// task charges its footprint against the unbooked budget.
+func (e *engine) admissible(js *jobState, v int) bool {
+	if js.runningTasks >= js.width {
+		return false
+	}
+	foot := js.t.N(v) + js.t.F(v)
+	if e.mem+foot > e.cap {
+		return false
+	}
+	if js.pos[v] == js.next {
+		return true
+	}
+	return e.extraUsed+foot <= e.cap-e.bookedSeq
+}
+
+// assign fills free processors from the global ready queue in (admission
+// order, plan rank) priority, then retries every active job's σ-front —
+// the task the booking invariant guarantees admissible once memory
+// drains — so the admission window can never stall progress.
+func (e *engine) assign() {
+	skipped := make([]readyItem, 0, 16)
+	scanned := 0
+	for len(e.freeProcs) > 0 && len(e.ready) > 0 && scanned < admissionWindow {
+		it := heap.Pop(&e.ready).(readyItem)
+		scanned++
+		if !e.admissible(it.js, it.node) {
+			skipped = append(skipped, it)
+			continue
+		}
+		e.startTask(it.js, it.node, e.takeProc())
+	}
+	for _, it := range skipped {
+		heap.Push(&e.ready, it)
+	}
+	for len(e.freeProcs) > 0 {
+		progressed := false
+		for _, js := range e.active {
+			if len(e.freeProcs) == 0 {
+				break
+			}
+			if js.next >= js.t.Len() {
+				continue
+			}
+			v := js.order[js.next]
+			if js.started[v] || js.remaining[v] != 0 || !e.admissible(js, v) {
+				continue
+			}
+			if i := js.heapPos[v]; i >= 0 {
+				heap.Remove(&e.ready, i)
+				e.startTask(js, v, e.takeProc())
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}
+
+func (e *engine) takeProc() int {
+	p := e.freeProcs[len(e.freeProcs)-1]
+	e.freeProcs = e.freeProcs[:len(e.freeProcs)-1]
+	return p
+}
+
+func (e *engine) startTask(js *jobState, v, proc int) {
+	t := js.t
+	js.started[v] = true
+	js.runningTasks++
+	e.mem += t.N(v) + t.F(v)
+	if e.mem > e.peak {
+		e.peak = e.mem
+	}
+	if js.pos[v] > js.next {
+		js.outOfOrder[v] = true
+		e.extraUsed += t.N(v) + t.F(v)
+	}
+	old := js.next
+	for js.next < t.Len() && js.started[js.order[js.next]] {
+		js.next++
+	}
+	if js.next != old {
+		e.bookedSeq += js.futurePeak[js.next] - js.futurePeak[old]
+	}
+	heap.Push(&e.fin, finEvent{e.now + t.W(v), js.admitSeq, js.rank[v], js, v, proc})
+	e.tasks++
+}
+
+func (e *engine) completeTask(js *jobState, v, proc int) {
+	t := js.t
+	js.runningTasks--
+	e.mem -= t.N(v) + t.InSize(v)
+	if js.outOfOrder[v] {
+		e.extraUsed -= t.N(v)
+	}
+	for _, c := range t.Children(v) {
+		if js.outOfOrder[c] {
+			e.extraUsed -= t.F(c)
+			js.outOfOrder[c] = false
+		}
+	}
+	e.freeProcs = append(e.freeProcs, proc)
+	js.done++
+	if pa := t.Parent(v); pa != tree.None {
+		js.remaining[pa]--
+		if js.remaining[pa] == 0 {
+			heap.Push(&e.ready, readyItem{js.admitSeq, js.rank[pa], js, pa})
+		}
+		return
+	}
+	// The root is every other node's ancestor, so its completion is the
+	// job's completion. Its output file leaves the machine (the result is
+	// shipped to the tenant, not parked in shared memory).
+	e.mem -= t.F(v)
+	if js.outOfOrder[v] {
+		e.extraUsed -= t.F(v)
+		js.outOfOrder[v] = false
+	}
+	js.finishTime = e.now
+	for i, a := range e.active {
+		if a == js {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// collect builds the per-job results and the summary.
+func (e *engine) collect() *Result {
+	res := &Result{Jobs: make([]JobResult, len(e.states))}
+	var (
+		latencies, stretches, waits []float64
+		completedWork               float64
+		makespan                    float64
+	)
+	for i, js := range e.states {
+		jr := JobResult{
+			ID:      js.id,
+			Index:   js.idx,
+			Arrival: js.arrival,
+			Weight:  js.weight,
+		}
+		if js.rejectReason != "" {
+			jr.Status = StatusRejected
+			jr.Reason = js.rejectReason
+			if js.t != nil {
+				jr.Nodes = js.t.Len()
+				jr.Work = js.totalW
+				jr.MemSeq = js.memSeq
+			}
+			res.Jobs[i] = jr
+			continue
+		}
+		jr.Status = StatusCompleted
+		jr.Nodes = js.t.Len()
+		jr.Work = js.totalW
+		jr.Width = js.width
+		jr.PlannedBy = js.plannedBy.String()
+		jr.MemSeq = js.memSeq
+		jr.PlanMakespan = js.planMakespan
+		jr.PlanPeakMemory = js.planPeak
+		jr.Start = js.startTime
+		jr.Finish = js.finishTime
+		jr.Wait = js.startTime - js.arrival
+		jr.Latency = js.finishTime - js.arrival
+		if js.planMakespan > 0 {
+			jr.Stretch = jr.Latency / js.planMakespan
+		}
+		latencies = append(latencies, jr.Latency)
+		waits = append(waits, jr.Wait)
+		if jr.Stretch > 0 {
+			stretches = append(stretches, jr.Stretch)
+		}
+		completedWork += js.totalW
+		if js.finishTime > makespan {
+			makespan = js.finishTime
+		}
+		res.Jobs[i] = jr
+	}
+	s := &res.Summary
+	s.Jobs = len(e.states)
+	s.Rejected = s.Jobs - len(latencies)
+	s.Completed = len(latencies)
+	s.Processors = e.cfg.Processors
+	s.MemCap = e.cap
+	s.Policy = e.cfg.Policy
+	s.Makespan = makespan
+	if makespan > 0 {
+		s.Utilization = completedWork / (float64(e.cfg.Processors) * makespan)
+	}
+	s.PeakResident = e.peak
+	s.TasksExecuted = e.tasks
+	s.MaxQueued = e.maxQueued
+	s.MaxRunning = e.maxRunning
+	s.MeanLatency = stats.Mean(latencies)
+	s.P50Latency = stats.Percentile(latencies, 50)
+	s.P99Latency = stats.Percentile(latencies, 99)
+	s.MeanStretch = stats.Mean(stretches)
+	for _, st := range stretches {
+		if st > s.MaxStretch {
+			s.MaxStretch = st
+		}
+	}
+	s.MeanWait = stats.Mean(waits)
+	return res
+}

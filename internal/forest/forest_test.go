@@ -1,0 +1,345 @@
+package forest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treesched/internal/portfolio"
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// job returns a trace job over a fresh random tree.
+func testJob(rng *rand.Rand, id string, arrival float64, n int) Job {
+	ws := tree.WeightSpec{WMin: 1, WMax: 5, NMin: 0, NMax: 3, FMin: 1, FMax: 10}
+	return Job{ID: id, Arrival: arrival, Tree: tree.RandomAttachment(rng, n, ws)}
+}
+
+func TestRunSingleJob(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := []Job{testJob(rng, "solo", 0, 60)}
+	res, err := Run(context.Background(), jobs, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Completed != 1 || res.Summary.Rejected != 0 {
+		t.Fatalf("summary = %+v, want 1 completed", res.Summary)
+	}
+	jr := res.Jobs[0]
+	if jr.Status != StatusCompleted || jr.ID != "solo" {
+		t.Fatalf("job result = %+v", jr)
+	}
+	if jr.Finish <= 0 || jr.Latency != jr.Finish || jr.Wait != 0 {
+		t.Errorf("solo job timing off: %+v", jr)
+	}
+	if jr.Stretch <= 0 {
+		t.Errorf("stretch = %g, want > 0", jr.Stretch)
+	}
+	if res.Summary.PeakResident > res.Summary.MemCap {
+		t.Errorf("peak %d exceeds cap %d", res.Summary.PeakResident, res.Summary.MemCap)
+	}
+	if res.Summary.Utilization <= 0 || res.Summary.Utilization > 1+1e-9 {
+		t.Errorf("utilization = %g", res.Summary.Utilization)
+	}
+	if res.Summary.TasksExecuted != jr.Nodes {
+		t.Errorf("tasks executed = %d, want %d", res.Summary.TasksExecuted, jr.Nodes)
+	}
+}
+
+func TestRunRejectsInfeasibleJob(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	big := testJob(rng, "big", 0, 80)
+	small := testJob(rng, "small", 0, 30)
+	// Cap sized for the small job only.
+	smallSeq := mustMemSeq(t, small.Tree)
+	bigSeq := mustMemSeq(t, big.Tree)
+	if bigSeq <= smallSeq {
+		t.Skip("random draw did not order the sequential peaks") // deterministic seeds: never happens
+	}
+	res, err := Run(context.Background(), []Job{big, small}, Config{Processors: 2, MemCap: smallSeq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Status != StatusRejected || !strings.Contains(res.Jobs[0].Reason, "exceeds memory cap") {
+		t.Fatalf("big job = %+v, want rejected", res.Jobs[0])
+	}
+	if res.Jobs[1].Status != StatusCompleted {
+		t.Fatalf("small job = %+v, want completed", res.Jobs[1])
+	}
+	if res.Summary.Rejected != 1 || res.Summary.Completed != 1 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+}
+
+func mustMemSeq(t *testing.T, tr *tree.Tree) int64 {
+	t.Helper()
+	return sched.MemoryLowerBound(tr)
+}
+
+func TestRunRejectsBadJobs(t *testing.T) {
+	res, err := Run(context.Background(), []Job{
+		{ID: "no-tree", Arrival: 0},
+		{ID: "neg-arrival", Arrival: -1, Tree: tree.MustNew([]int{-1}, []float64{1}, []int64{0}, []int64{1})},
+		{ID: "empty", Arrival: 0, Tree: &tree.Tree{}},
+	}, Config{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range res.Jobs {
+		if jr.Status != StatusRejected || jr.Reason == "" {
+			t.Errorf("job %d = %+v, want rejected with reason", i, jr)
+		}
+	}
+	if res.Summary.Makespan != 0 || res.Summary.Completed != 0 {
+		t.Errorf("summary = %+v", res.Summary)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Config{}); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := Run(context.Background(), nil, Config{Processors: 2, MemCapFactor: -1}); err == nil {
+		t.Error("negative cap factor accepted")
+	}
+	if _, err := Run(context.Background(), nil, Config{Processors: 2, DefaultHeuristic: -3}); err == nil {
+		t.Error("invalid default heuristic accepted")
+	}
+}
+
+// TestDeterministicAcrossRepeats re-runs the same generated trace under
+// every policy and requires bit-identical results — the engine's central
+// contract.
+func TestDeterministicAcrossRepeats(t *testing.T) {
+	jobs, err := GenTrace(GenConfig{Jobs: 30, Seed: 7, MaxNodes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range Policies() {
+		cfg := Config{Processors: 4, MemCapFactor: 1.5, Policy: pol}
+		a, err := Run(context.Background(), jobs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		b, err := Run(context.Background(), jobs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("policy %s: two runs of the same trace differ", pol)
+		}
+	}
+}
+
+// TestSJFAdmitsShortJobFirst queues a long and a short job behind a
+// blocker that holds the whole cap, and checks the policies order them as
+// promised: FIFO by arrival, SJF by work.
+func TestSJFAdmitsShortJobFirst(t *testing.T) {
+	// A chain executes strictly sequentially, so one chain job whose
+	// sequential peak equals the cap blocks everything while it runs.
+	chain := func(n int) *tree.Tree {
+		var b tree.Builder
+		prev := b.Add(tree.None, 1, 0, 1)
+		for i := 1; i < n; i++ {
+			prev = b.Add(prev, 1, 0, 1)
+		}
+		return b.MustBuild()
+	}
+	blocker := Job{ID: "blocker", Arrival: 0, Tree: chain(20)}
+	long := Job{ID: "long", Arrival: 1, Tree: chain(10)}
+	short := Job{ID: "short", Arrival: 2, Tree: chain(4)}
+	cap := mustMemSeq(t, blocker.Tree)
+
+	for _, tc := range []struct {
+		pol   Policy
+		first string // of the two queued jobs
+	}{
+		{FIFO(), "long"},       // arrival order
+		{SJFByWork(), "short"}, // least work first
+	} {
+		res, err := Run(context.Background(), []Job{blocker, long, short},
+			Config{Processors: 2, MemCap: cap, Policy: tc.pol})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pol, err)
+		}
+		byID := map[string]JobResult{}
+		for _, jr := range res.Jobs {
+			if jr.Status != StatusCompleted {
+				t.Fatalf("%s: job %s not completed: %+v", tc.pol, jr.ID, jr)
+			}
+			byID[jr.ID] = jr
+		}
+		second := "short"
+		if tc.first == "short" {
+			second = "long"
+		}
+		if !(byID[tc.first].Start < byID[second].Start) {
+			t.Errorf("%s: want %s admitted before %s (starts %g vs %g)",
+				tc.pol, tc.first, second, byID[tc.first].Start, byID[second].Start)
+		}
+	}
+}
+
+// TestWeightedFairPrefersHeavierJob queues two equal-work jobs with
+// different weights; the heavier one must be admitted first.
+func TestWeightedFairPrefersHeavierJob(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	blocker := testJob(rng, "blocker", 0, 40)
+	light := testJob(rng, "light", 1, 40)
+	heavy := testJob(rng, "heavy", 1, 40)
+	light.Weight, heavy.Weight = 1, 8
+	cap := mustMemSeq(t, blocker.Tree)
+	if s := mustMemSeq(t, light.Tree); s > cap {
+		cap = s
+	}
+	if s := mustMemSeq(t, heavy.Tree); s > cap {
+		cap = s
+	}
+	res, err := Run(context.Background(), []Job{blocker, light, heavy},
+		Config{Processors: 1, MemCap: cap, Policy: WeightedFair()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]JobResult{}
+	for _, jr := range res.Jobs {
+		byID[jr.ID] = jr
+	}
+	if !(byID["heavy"].Start <= byID["light"].Start) {
+		t.Errorf("weighted_fair admitted light (start %g) before heavy (start %g)",
+			byID["light"].Start, byID["heavy"].Start)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	jobs, err := GenTrace(GenConfig{Jobs: 12, Seed: 3, MaxNodes: 80, Objective: "weighted:0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrace(&buf, DecodeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip: %d jobs, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if back[i].ID != jobs[i].ID || back[i].Arrival != jobs[i].Arrival {
+			t.Fatalf("job %d header changed: %+v vs %+v", i, back[i], jobs[i])
+		}
+		if back[i].Tree.CanonicalHash() != jobs[i].Tree.CanonicalHash() {
+			t.Fatalf("job %d tree changed through the codec", i)
+		}
+		if back[i].Objective == nil || back[i].Objective.String() != "weighted:0.5" {
+			t.Fatalf("job %d objective lost: %+v", i, back[i].Objective)
+		}
+	}
+}
+
+func TestDecodeTraceLimits(t *testing.T) {
+	jobs, err := GenTrace(GenConfig{Jobs: 5, Seed: 4, MinNodes: 20, MaxNodes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrace(bytes.NewReader(buf.Bytes()), DecodeLimits{MaxJobs: 3}); !errors.Is(err, ErrTraceTooLarge) {
+		t.Errorf("MaxJobs: got %v, want ErrTraceTooLarge", err)
+	}
+	if _, err := DecodeTrace(bytes.NewReader(buf.Bytes()), DecodeLimits{MaxNodes: 5}); !errors.Is(err, tree.ErrTooLarge) {
+		t.Errorf("MaxNodes: got %v, want tree.ErrTooLarge", err)
+	}
+	if _, err := DecodeTrace(bytes.NewReader(buf.Bytes()), DecodeLimits{MaxLineBytes: 40}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds 40 bytes") {
+		t.Errorf("MaxLineBytes: got %v", err)
+	}
+	if _, err := DecodeTrace(strings.NewReader("{\"arrival\":0,\"tree\":{\"parent\":[-1],\"w\":[1]}}\nnot json\n"), DecodeLimits{}); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("bad line: got %v", err)
+	}
+	// Comments and blank lines are skipped.
+	got, err := DecodeTrace(strings.NewReader("# trace\n\n{\"id\":\"a\",\"arrival\":1,\"tree\":{\"parent\":[-1],\"w\":[1]}}\n"), DecodeLimits{})
+	if err != nil || len(got) != 1 || got[0].ID != "a" {
+		t.Errorf("comment handling: %v, %+v", err, got)
+	}
+}
+
+func TestPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), back, err)
+		}
+	}
+	_, err := ParsePolicy("round_robin")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("policy parse error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+func TestGenTraceDeterministicAndSorted(t *testing.T) {
+	a, err := GenTrace(GenConfig{Jobs: 20, Seed: 11, Arrivals: "bursty", MaxNodes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrace(GenConfig{Jobs: 20, Seed: 11, Arrivals: "bursty", MaxNodes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Tree.CanonicalHash() != b[i].Tree.CanonicalHash() {
+			t.Fatalf("job %d differs across identical configs", i)
+		}
+		if i > 0 && a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals not non-decreasing at %d", i)
+		}
+	}
+	if _, err := GenTrace(GenConfig{Jobs: 2, Arrivals: "warp"}); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	// Contradictory size bounds are an error, not a silent override.
+	if _, err := GenTrace(GenConfig{Jobs: 2, MaxNodes: 30}); err == nil || !strings.Contains(err.Error(), "below min nodes") {
+		t.Errorf("MaxNodes below default MinNodes: got %v", err)
+	}
+}
+
+// TestPerJobHeuristicAndObjective checks that planning honors explicit
+// per-job directives: a named heuristic is used as-is, an objective
+// triggers a portfolio race whose winner is reported.
+func TestPerJobHeuristicAndObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	deep := sched.IDParDeepestFirst
+	obj, err := portfolio.ParseObjective("min_memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := testJob(rng, "named", 0, 50)
+	j1.Heuristic = &deep
+	j2 := testJob(rng, "raced", 0, 50)
+	j2.Objective = &obj
+	res, err := Run(context.Background(), []Job{j1, j2}, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].PlannedBy != "ParDeepestFirst" {
+		t.Errorf("named job planned by %q", res.Jobs[0].PlannedBy)
+	}
+	if _, err := sched.ParseHeuristic(res.Jobs[1].PlannedBy); err != nil {
+		t.Errorf("raced job planned by %q, want a valid winner: %v", res.Jobs[1].PlannedBy, err)
+	}
+}

@@ -1,0 +1,136 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesched/internal/dataset"
+	"treesched/internal/portfolio"
+	"treesched/internal/tree"
+)
+
+// GenConfig parameterizes the deterministic trace generator: the same
+// config always yields an identical trace.
+type GenConfig struct {
+	// Jobs is the number of trace jobs. Required, >= 1.
+	Jobs int
+	// Seed drives every random choice.
+	Seed int64
+	// Arrivals is the arrival process: "poisson" (default) draws
+	// exponential interarrival gaps; "bursty" releases Burst jobs at once
+	// with exponential gaps between bursts (same mean rate).
+	Arrivals string
+	// Rate is the mean number of job arrivals per unit of (tree work)
+	// time. Default 0.05.
+	Rate float64
+	// Burst is the burst size for "bursty" arrivals. Default 8.
+	Burst int
+	// MinNodes and MaxNodes bound the random trees' sizes. Defaults 50
+	// and MinNodes+350; MaxNodes below MinNodes is an error, not a
+	// silent override.
+	MinNodes, MaxNodes int
+	// Objective, when non-empty, is parsed and stamped on every job, so
+	// each job is planned by a portfolio race under it.
+	Objective string
+	// Dataset mixes quick-scale assembly trees from internal/dataset into
+	// the random families (about one job in four).
+	Dataset bool
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Arrivals == "" {
+		c.Arrivals = "poisson"
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.05
+	}
+	if c.Burst <= 0 {
+		c.Burst = 8
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = 50
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = c.MinNodes + 350
+	}
+	return c
+}
+
+// GenTrace synthesizes an NDJSON-able job trace: Poisson or bursty
+// arrivals over mixed tree families (random attachment/Prüfer/binary
+// trees, chains, forks, caterpillars, and optionally assembly trees from
+// the evaluation dataset), with weights drawn from {1, 2, 4} and per-job
+// widths from {1, 2, 4}. Deterministic for a fixed config.
+func GenTrace(cfg GenConfig) ([]Job, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Jobs < 1 {
+		return nil, fmt.Errorf("forest: gen: jobs must be >= 1, got %d", cfg.Jobs)
+	}
+	if cfg.MaxNodes < cfg.MinNodes {
+		return nil, fmt.Errorf("forest: gen: max nodes %d below min nodes %d (set both explicitly)",
+			cfg.MaxNodes, cfg.MinNodes)
+	}
+	switch cfg.Arrivals {
+	case "poisson", "bursty":
+	default:
+		return nil, fmt.Errorf("forest: gen: unknown arrival process %q (known: bursty, poisson)", cfg.Arrivals)
+	}
+	var obj *portfolio.Objective
+	if cfg.Objective != "" {
+		o, err := portfolio.ParseObjective(cfg.Objective)
+		if err != nil {
+			return nil, err
+		}
+		obj = &o
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var insts []dataset.Instance
+	if cfg.Dataset {
+		var err error
+		insts, err = dataset.Collection(dataset.Quick, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ws := tree.WeightSpec{WMin: 1, WMax: 10, NMin: 0, NMax: 5, FMin: 1, FMax: 20}
+	families := []func(n int) *tree.Tree{
+		func(n int) *tree.Tree { return tree.RandomAttachment(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.RandomPrufer(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.RandomBinary(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.Chain(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.Fork(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.Caterpillar(rng, max(n/4, 2), 3, ws) },
+	}
+
+	jobs := make([]Job, 0, cfg.Jobs)
+	now := 0.0
+	exp := func(rate float64) float64 { return -math.Log(1-rng.Float64()) / rate }
+	for i := 0; i < cfg.Jobs; i++ {
+		switch cfg.Arrivals {
+		case "poisson":
+			now += exp(cfg.Rate)
+		case "bursty":
+			if i%cfg.Burst == 0 && i > 0 {
+				now += exp(cfg.Rate / float64(cfg.Burst))
+			}
+		}
+		var t *tree.Tree
+		if len(insts) > 0 && rng.Intn(4) == 0 {
+			t = insts[rng.Intn(len(insts))].Tree
+		} else {
+			n := cfg.MinNodes + rng.Intn(cfg.MaxNodes-cfg.MinNodes+1)
+			t = families[rng.Intn(len(families))](n)
+		}
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("job-%04d", i),
+			Arrival:   now,
+			Weight:    float64(int64(1) << rng.Intn(3)),
+			Procs:     1 << rng.Intn(3),
+			Objective: obj,
+			Tree:      t,
+		})
+	}
+	return jobs, nil
+}

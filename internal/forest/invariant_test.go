@@ -1,0 +1,99 @@
+package forest
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/tree"
+)
+
+// TestGlobalCapInvariantRandomTraces is the booking-invariant stress test:
+// on randomized traces, under every admission policy and tight caps, the
+// machine's resident memory must never exceed the global cap, every
+// feasible job must complete (no deadlock — the engine errors out if any
+// admitted job stalls), and the internal accounting must drain to zero
+// (Run errors otherwise). CI runs this under -race, so the concurrent
+// planning fan-out is exercised too.
+func TestGlobalCapInvariantRandomTraces(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3, 4} {
+		for _, factor := range []float64{1.0, 1.3, 2.5} {
+			jobs := randomTrace(seed, 25)
+			for _, pol := range Policies() {
+				cfg := Config{Processors: 3, MemCapFactor: factor, Policy: pol}
+				res, err := Run(ctx, jobs, cfg)
+				if err != nil {
+					t.Fatalf("seed %d factor %g policy %s: %v", seed, factor, pol, err)
+				}
+				s := res.Summary
+				if s.PeakResident > s.MemCap {
+					t.Errorf("seed %d factor %g policy %s: peak resident %d exceeds cap %d",
+						seed, factor, pol, s.PeakResident, s.MemCap)
+				}
+				if s.Completed+s.Rejected != s.Jobs {
+					t.Errorf("seed %d factor %g policy %s: %d completed + %d rejected != %d jobs",
+						seed, factor, pol, s.Completed, s.Rejected, s.Jobs)
+				}
+				for _, jr := range res.Jobs {
+					switch jr.Status {
+					case StatusCompleted:
+						if jr.Finish < jr.Start || jr.Start < jr.Arrival {
+							t.Errorf("policy %s job %s: inconsistent times %+v", pol, jr.ID, jr)
+						}
+					case StatusRejected:
+						if jr.Reason == "" {
+							t.Errorf("policy %s job %s: rejected without reason", pol, jr.ID)
+						}
+					default:
+						t.Errorf("policy %s job %s: unknown status %q", pol, jr.ID, jr.Status)
+					}
+				}
+				// At factor 1 the cap equals the largest M_seq: only one
+				// large job can hold the machine at a time, yet nothing may
+				// deadlock or be rejected (every job fits alone by
+				// construction of the cap).
+				if factor == 1.0 && s.Rejected != 0 {
+					t.Errorf("seed %d policy %s: %d rejections at factor 1", seed, pol, s.Rejected)
+				}
+			}
+		}
+	}
+}
+
+// randomTrace builds an adversarial mix: bursty arrivals, heterogeneous
+// families (including chains and wide forks, the memory extremes), zero
+// processing times, and occasional objective-planned jobs.
+func randomTrace(seed int64, n int) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	ws := tree.WeightSpec{WMin: 0, WMax: 4, NMin: 0, NMax: 3, FMin: 1, FMax: 25}
+	jobs := make([]Job, 0, n)
+	now := 0.0
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			now += rng.Float64() * 40
+		}
+		size := 10 + rng.Intn(70)
+		var tr *tree.Tree
+		switch rng.Intn(5) {
+		case 0:
+			tr = tree.Chain(rng, size, ws)
+		case 1:
+			tr = tree.Fork(rng, size, ws)
+		case 2:
+			tr = tree.RandomBinary(rng, size, ws)
+		case 3:
+			tr = tree.Caterpillar(rng, size/4+2, 3, ws)
+		default:
+			tr = tree.RandomAttachment(rng, size, ws)
+		}
+		j := Job{
+			Arrival: now,
+			Weight:  float64(1 + rng.Intn(4)),
+			Procs:   1 + rng.Intn(3),
+			Tree:    tr,
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}

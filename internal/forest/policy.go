@@ -1,0 +1,135 @@
+package forest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type policyID int
+
+const (
+	policyFIFO policyID = iota
+	policySJF
+	policySmallestMem
+	policyWeightedFair
+	numPolicies
+)
+
+var policyNames = [numPolicies]string{
+	policyFIFO:         "fifo",
+	policySJF:          "sjf",
+	policySmallestMem:  "smallest_mseq",
+	policyWeightedFair: "weighted_fair",
+}
+
+// Policy decides which queued job is admitted when machine capacity frees.
+// The zero value is FIFO. Build one with the constructors or ParsePolicy.
+type Policy struct {
+	id policyID
+}
+
+// FIFO admits jobs strictly in arrival order: the queue head blocks until
+// it fits (no backfilling), making head-of-line blocking visible in the
+// latency numbers — the baseline every other policy is compared against.
+func FIFO() Policy { return Policy{policyFIFO} }
+
+// SJFByWork admits the queued job with the least total work first,
+// skipping over jobs that do not currently fit (backfill). Minimizes mean
+// latency at the price of delaying large jobs under sustained load.
+func SJFByWork() Policy { return Policy{policySJF} }
+
+// SmallestMemFirst admits the queued job with the smallest sequential
+// peak (M_seq) first, with backfill: the memory-frugal analogue of SJF,
+// packing as many tenants as the cap allows.
+func SmallestMemFirst() Policy { return Policy{policySmallestMem} }
+
+// WeightedFair admits by weighted finish tag arrival + work/weight (an
+// SFQ-style approximation of weighted fair sharing: a weight-2 job is
+// served as if it were half as long), with backfill.
+func WeightedFair() Policy { return Policy{policyWeightedFair} }
+
+// Policies returns all admission policies in canonical order, for
+// benchmarks and policy-comparison experiments.
+func Policies() []Policy {
+	return []Policy{FIFO(), SJFByWork(), SmallestMemFirst(), WeightedFair()}
+}
+
+// PolicyNames returns every policy wire name in sorted order, for error
+// texts and documentation.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyNames))
+	for _, n := range policyNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String returns the canonical wire name ("fifo", "sjf", "smallest_mseq",
+// "weighted_fair").
+func (p Policy) String() string {
+	if p.id < 0 || p.id >= numPolicies {
+		return fmt.Sprintf("policy(%d)", int(p.id))
+	}
+	return policyNames[p.id]
+}
+
+// ParsePolicy resolves a wire name to its policy.
+func ParsePolicy(s string) (Policy, error) {
+	for id, n := range policyNames {
+		if n == s {
+			return Policy{policyID(id)}, nil
+		}
+	}
+	return Policy{}, fmt.Errorf("forest: unknown policy %q (known: %s)",
+		s, strings.Join(PolicyNames(), ", "))
+}
+
+// MarshalText encodes the wire name, so Policy fields serialize as JSON
+// strings.
+func (p Policy) MarshalText() ([]byte, error) {
+	if p.id < 0 || p.id >= numPolicies {
+		return nil, fmt.Errorf("forest: cannot marshal invalid policy %d", int(p.id))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText decodes a wire name.
+func (p *Policy) UnmarshalText(text []byte) error {
+	got, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = got
+	return nil
+}
+
+// backfill reports whether the policy may admit jobs past a queued job
+// that does not currently fit. FIFO is strict: its whole point is arrival
+// order, so its head blocks the queue until admissible.
+func (p Policy) backfill() bool { return p.id != policyFIFO }
+
+// less orders the admission queue. Every comparator ends on (arrival,
+// trace index) so the order — and therefore the whole simulation — is
+// deterministic.
+func (p Policy) less(a, b *jobState) bool {
+	switch p.id {
+	case policySJF:
+		if a.totalW != b.totalW {
+			return a.totalW < b.totalW
+		}
+	case policySmallestMem:
+		if a.memSeq != b.memSeq {
+			return a.memSeq < b.memSeq
+		}
+	case policyWeightedFair:
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.idx < b.idx
+}

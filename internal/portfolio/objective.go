@@ -3,6 +3,7 @@ package portfolio
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -101,6 +102,27 @@ var kindNames = map[Kind]string{
 	KindWeighted:            "weighted",
 }
 
+// paramHints names the parameter of each parameterized kind in error
+// texts and documentation.
+var paramHints = map[Kind]string{
+	KindMakespanUnderMemCap: ":F",
+	KindMemoryUnderDeadline: ":D",
+	KindWeighted:            ":A",
+}
+
+// ObjectiveSyntaxes returns every objective wire syntax in sorted order,
+// parameterized kinds with their parameter hint ("weighted:A"), for error
+// texts and documentation. Derived from the kind table, so it can never
+// drift from what ParseObjective accepts.
+func ObjectiveSyntaxes() []string {
+	out := make([]string, 0, len(kindNames))
+	for k, n := range kindNames {
+		out = append(out, n+paramHints[k])
+	}
+	sort.Strings(out)
+	return out
+}
+
 // String renders the wire syntax: "min_makespan", "min_memory",
 // "makespan_under_memcap:F", "memory_under_deadline:D", "weighted:A".
 func (o Objective) String() string {
@@ -128,7 +150,8 @@ func ParseObjective(s string) (Objective, error) {
 		}
 	}
 	if kind < 0 {
-		return Objective{}, fmt.Errorf("portfolio: unknown objective %q (known: min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A)", s)
+		return Objective{}, fmt.Errorf("portfolio: unknown objective %q (known: %s)",
+			s, strings.Join(ObjectiveSyntaxes(), ", "))
 	}
 	o := Objective{kind: kind}
 	switch kind {

@@ -3,6 +3,8 @@ package portfolio
 import (
 	"encoding/json"
 	"math"
+	"slices"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +54,30 @@ func TestParseObjectiveRejections(t *testing.T) {
 	}
 	if err := (Objective{kind: Kind(99)}).Validate(); err == nil {
 		t.Error("unknown kind validated")
+	}
+}
+
+// TestParseObjectiveErrorEnumeratesSyntaxes pins the unknown-name error
+// to the derived syntax list: every objective kind must appear, with its
+// parameter hint, so trace authors see the whole menu.
+func TestParseObjectiveErrorEnumeratesSyntaxes(t *testing.T) {
+	_, err := ParseObjective("no_such_objective")
+	if err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	syntaxes := ObjectiveSyntaxes()
+	if len(syntaxes) != len(kindNames) {
+		t.Fatalf("ObjectiveSyntaxes() has %d entries, want %d", len(syntaxes), len(kindNames))
+	}
+	for _, s := range syntaxes {
+		if !strings.Contains(err.Error(), s) {
+			t.Errorf("error %q does not enumerate %q", err, s)
+		}
+	}
+	for _, want := range []string{"makespan_under_memcap:F", "memory_under_deadline:D", "weighted:A", "min_makespan", "min_memory"} {
+		if !slices.Contains(syntaxes, want) {
+			t.Errorf("ObjectiveSyntaxes() = %v, missing %q", syntaxes, want)
+		}
 	}
 }
 

@@ -31,8 +31,8 @@ func Heuristics() []Heuristic {
 // parameter and are only reachable through Options; the portfolio
 // pseudo-heuristic "Auto" is only reachable through internal/portfolio.
 func ByName(name string) (Heuristic, bool) {
-	id, ok := ParseHeuristic(name)
-	if !ok || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto {
+	id, err := ParseHeuristic(name)
+	if err != nil || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto {
 		return Heuristic{}, false
 	}
 	return Options{}.heuristic(id, traversal.BestPostOrder), true

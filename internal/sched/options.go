@@ -78,13 +78,16 @@ func (id HeuristicID) String() string {
 // Valid reports whether id names an actual heuristic.
 func (id HeuristicID) Valid() bool { return id >= 0 && id < numHeuristicIDs }
 
-// ParseHeuristic resolves a canonical wire name to its ID.
-func ParseHeuristic(name string) (HeuristicID, bool) {
+// ParseHeuristic resolves a canonical wire name to its ID. Unknown names
+// yield an error enumerating every valid name, so trace and request
+// authors see the whole menu instead of guessing.
+func ParseHeuristic(name string) (HeuristicID, error) {
 	id, ok := heuristicIDs[name]
 	if !ok {
-		return -1, false
+		return -1, fmt.Errorf("sched: unknown heuristic %q (known: %s)",
+			name, strings.Join(HeuristicNames(), ", "))
 	}
-	return id, true
+	return id, nil
 }
 
 // MarshalText encodes the ID as its canonical wire name, so wire structs
@@ -98,10 +101,9 @@ func (id HeuristicID) MarshalText() ([]byte, error) {
 
 // UnmarshalText decodes a canonical wire name.
 func (id *HeuristicID) UnmarshalText(text []byte) error {
-	got, ok := heuristicIDs[string(text)]
-	if !ok {
-		return fmt.Errorf("unknown heuristic %q (known: %s)",
-			text, strings.Join(HeuristicNames(), ", "))
+	got, err := ParseHeuristic(string(text))
+	if err != nil {
+		return err
 	}
 	*id = got
 	return nil

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"treesched/internal/traversal"
@@ -18,13 +19,21 @@ func optionsTestTree(tb testing.TB) *tree.Tree {
 
 func TestParseHeuristicRoundTrip(t *testing.T) {
 	for id := HeuristicID(0); id.Valid(); id++ {
-		got, ok := ParseHeuristic(id.String())
-		if !ok || got != id {
-			t.Errorf("ParseHeuristic(%q) = %v, %v", id.String(), got, ok)
+		got, err := ParseHeuristic(id.String())
+		if err != nil || got != id {
+			t.Errorf("ParseHeuristic(%q) = %v, %v", id.String(), got, err)
 		}
 	}
-	if _, ok := ParseHeuristic("NoSuchHeuristic"); ok {
-		t.Error("parsed an unknown name")
+	_, err := ParseHeuristic("NoSuchHeuristic")
+	if err == nil {
+		t.Fatal("parsed an unknown name")
+	}
+	// The error must enumerate every valid name, so trace authors see the
+	// whole menu.
+	for _, n := range HeuristicNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("ParseHeuristic error %q does not enumerate %q", err, n)
+		}
 	}
 	if HeuristicID(-1).Valid() || HeuristicID(int(numHeuristicIDs)).Valid() {
 		t.Error("out-of-range IDs report valid")
@@ -66,8 +75,8 @@ func TestHeuristicNamesSortedAndComplete(t *testing.T) {
 		t.Errorf("names not sorted: %v", names)
 	}
 	for _, n := range names {
-		if _, ok := ParseHeuristic(n); !ok {
-			t.Errorf("listed name %q does not parse", n)
+		if _, err := ParseHeuristic(n); err != nil {
+			t.Errorf("listed name %q does not parse: %v", n, err)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"treesched/internal/forest"
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// DefaultMaxForestJobs bounds the number of jobs in one /v1/forest trace.
+const DefaultMaxForestJobs = 10_000
+
+// handleForest answers POST /v1/forest: an NDJSON job trace in the body
+// (one forest.Job per line; blank lines and #-comments skipped), the
+// machine configuration in query parameters, and an NDJSON response — one
+// JobResult per trace job, in trace order, followed by a final
+// {"summary":...} line. The whole trace is one simulation, so unlike
+// /v1/schedule/batch the body is decoded strictly: a malformed line fails
+// the request.
+//
+// Query parameters:
+//
+//   - p: shared machine size (default 4, capped by the server's MaxProcs)
+//   - policy: admission policy — fifo (default), sjf, smallest_mseq,
+//     weighted_fair
+//   - mem_cap: absolute global memory cap
+//   - mem_cap_factor: cap as a multiple of the trace's largest M_seq
+//     (default 2), ignored when mem_cap is set
+//   - default_heuristic: plans jobs that carry neither a heuristic nor an
+//     objective (default ParSubtrees; Auto races the portfolio per job)
+func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.forestRequests.Add(1)
+	cfg, err := forestConfigFromQuery(r.URL.Query(), s.cfg.MaxProcs)
+	if err != nil {
+		s.rejectJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	type outcome struct {
+		status int
+		errMsg string
+		res    *forest.Result
+	}
+	ch := make(chan outcome, 1)
+	s.metrics.inflight.Add(1)
+	// The pool worker does all CPU work — trace decode, per-job planning,
+	// the whole simulation — so forest runs respect the same CPU budget
+	// as every other endpoint. The handler goroutine only does I/O.
+	s.pool.submit(func() {
+		defer s.metrics.inflight.Add(-1)
+		ch <- func() (out outcome) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.metrics.errors.Add(1)
+					out = outcome{status: http.StatusInternalServerError,
+						errMsg: fmt.Sprintf("internal error: panic during forest run: %v", rec)}
+				}
+			}()
+			// MaxBodyBytes bounds the whole trace (like /v1/schedule's
+			// body) as well as each line, so a trace cannot demand
+			// MaxForestJobs × MaxNodes of memory regardless of how the
+			// per-job limits multiply out.
+			body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			jobs, err := forest.DecodeTrace(body, forest.DecodeLimits{
+				MaxJobs:      s.cfg.MaxForestJobs,
+				MaxNodes:     s.cfg.MaxNodes,
+				MaxLineBytes: s.cfg.MaxBodyBytes,
+			})
+			if err != nil {
+				s.metrics.errors.Add(1)
+				status := http.StatusBadRequest
+				var tooLarge *http.MaxBytesError
+				if errors.Is(err, forest.ErrTraceTooLarge) || errors.Is(err, tree.ErrTooLarge) || errors.As(err, &tooLarge) {
+					status = http.StatusRequestEntityTooLarge
+				}
+				return outcome{status: status, errMsg: err.Error()}
+			}
+			res, err := forest.Run(r.Context(), jobs, cfg)
+			if err != nil {
+				s.metrics.errors.Add(1)
+				status := http.StatusInternalServerError
+				if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+					status = http.StatusBadRequest
+				}
+				return outcome{status: status, errMsg: err.Error()}
+			}
+			s.metrics.forestJobs.Add(int64(res.Summary.Jobs))
+			s.metrics.forestRejected.Add(int64(res.Summary.Rejected))
+			return outcome{status: http.StatusOK, res: res}
+		}()
+	})
+	out := <-ch
+	if out.errMsg != "" {
+		writeJSON(w, out.status, Response{Error: out.errMsg})
+		return
+	}
+	writeForestNDJSON(w, out.res)
+}
+
+// writeForestNDJSON streams the per-job results and the trailing summary
+// line. Results are bounded by MaxForestJobs, so they are encoded from
+// the materialized Result rather than pipelined.
+func writeForestNDJSON(w http.ResponseWriter, res *forest.Result) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range res.Jobs {
+		if err := enc.Encode(&res.Jobs[i]); err != nil {
+			return // client gone; nothing sensible to do mid-stream
+		}
+	}
+	enc.Encode(struct {
+		Summary *forest.Summary `json:"summary"`
+	}{&res.Summary})
+}
+
+// forestConfigFromQuery builds the engine config from the request's query
+// parameters, rejecting unknown names and out-of-range values.
+func forestConfigFromQuery(q url.Values, maxProcs int) (forest.Config, error) {
+	cfg := forest.Config{Processors: 4}
+	if v := q.Get("p"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			return cfg, fmt.Errorf("bad p %q (want an integer >= 1)", v)
+		}
+		cfg.Processors = p
+	}
+	if cfg.Processors > maxProcs {
+		return cfg, fmt.Errorf("p=%d exceeds limit %d", cfg.Processors, maxProcs)
+	}
+	if v := q.Get("policy"); v != "" {
+		pol, err := forest.ParsePolicy(v)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Policy = pol
+	}
+	if v := q.Get("mem_cap"); v != "" {
+		m, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || m < 1 {
+			return cfg, fmt.Errorf("bad mem_cap %q (want an integer >= 1)", v)
+		}
+		cfg.MemCap = m
+	}
+	if v := q.Get("mem_cap_factor"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(f > 0) {
+			return cfg, fmt.Errorf("bad mem_cap_factor %q (want a number > 0)", v)
+		}
+		cfg.MemCapFactor = f
+	}
+	if v := q.Get("default_heuristic"); v != "" {
+		id, err := sched.ParseHeuristic(v)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.DefaultHeuristic = id
+	}
+	return cfg, nil
+}

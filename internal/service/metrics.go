@@ -12,6 +12,9 @@ type metrics struct {
 	scheduleRequests  atomic.Int64 // POST /v1/schedule
 	batchRequests     atomic.Int64 // POST /v1/schedule/batch
 	portfolioRequests atomic.Int64 // POST /v1/portfolio
+	forestRequests    atomic.Int64 // POST /v1/forest
+	forestJobs        atomic.Int64 // jobs simulated by forest runs
+	forestRejected    atomic.Int64 // forest jobs rejected by admission
 	trees             atomic.Int64 // trees actually scheduled (cache misses)
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
@@ -31,6 +34,13 @@ func (m *metrics) write(w io.Writer, cacheLen int, uptimeSeconds float64) {
 	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule\"} %d\n", m.scheduleRequests.Load())
 	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule/batch\"} %d\n", m.batchRequests.Load())
 	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/portfolio\"} %d\n", m.portfolioRequests.Load())
+	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/forest\"} %d\n", m.forestRequests.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_forest_jobs_total Jobs simulated by forest runs.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_forest_jobs_total counter\n")
+	fmt.Fprintf(w, "treeschedd_forest_jobs_total %d\n", m.forestJobs.Load())
+	fmt.Fprintf(w, "# HELP treeschedd_forest_rejected_total Forest jobs rejected by admission.\n")
+	fmt.Fprintf(w, "# TYPE treeschedd_forest_rejected_total counter\n")
+	fmt.Fprintf(w, "treeschedd_forest_rejected_total %d\n", m.forestRejected.Load())
 	fmt.Fprintf(w, "# HELP treeschedd_trees_scheduled_total Trees scheduled (cache misses that ran the heuristics).\n")
 	fmt.Fprintf(w, "# TYPE treeschedd_trees_scheduled_total counter\n")
 	fmt.Fprintf(w, "treeschedd_trees_scheduled_total %d\n", m.trees.Load())

@@ -21,6 +21,11 @@
 //     objective (default min_makespan). The same portfolio semantics are
 //     reachable on /v1/schedule and batch lines via the "objective" field
 //     or the "Auto" pseudo-heuristic.
+//   - POST /v1/forest — an NDJSON job trace (tree + arrival + weight +
+//     per-job objective per line) simulated on one shared machine under a
+//     global memory cap by the internal/forest engine: per-job results in
+//     trace order followed by a {"summary":...} line. Machine size,
+//     admission policy and cap come from query parameters.
 //   - GET /healthz — liveness probe with uptime and pool size.
 //   - GET /metrics — Prometheus-style text metrics: request counts per
 //     endpoint, scheduled-tree count, cache hits/misses and hit ratio,
@@ -63,13 +68,17 @@ type Config struct {
 	// CacheSize is the number of LRU-cached responses. 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
-	// MaxBodyBytes limits the size of a single request body, and of each
-	// line of a batch. Default: DefaultMaxBodyBytes.
+	// MaxBodyBytes limits the size of a single request body, of each
+	// line of a batch, and of a whole /v1/forest trace.
+	// Default: DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// MaxNodes rejects trees larger than this. Default: DefaultMaxNodes.
 	MaxNodes int
 	// MaxProcs rejects requests with p above this. Default: DefaultMaxProcs.
 	MaxProcs int
+	// MaxForestJobs rejects /v1/forest traces with more jobs than this.
+	// Default: DefaultMaxForestJobs.
+	MaxForestJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxProcs <= 0 {
 		c.MaxProcs = DefaultMaxProcs
+	}
+	if c.MaxForestJobs <= 0 {
+		c.MaxForestJobs = DefaultMaxForestJobs
 	}
 	return c
 }
@@ -125,6 +137,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/portfolio", s.handlePortfolio)
+	s.mux.HandleFunc("POST /v1/forest", s.handleForest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -2,6 +2,8 @@ package tree
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -30,6 +32,56 @@ func FuzzDecode(f *testing.F) {
 		}
 		if back.Len() != tr.Len() {
 			t.Fatalf("round trip size %d != %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzTreeJSON hardens the JSON codec the service and the forest trace
+// format ride on: arbitrary input must never panic; any input that
+// decodes must re-encode and decode back to a canonically identical tree;
+// and the textual codec's DecodeMax cap must hold exactly at the tree's
+// size and reject one below it.
+func FuzzTreeJSON(f *testing.F) {
+	f.Add([]byte(`{"parent":[-1,0,0],"w":[1,2,3],"n":[0,1,0],"f":[1,2,3]}`))
+	f.Add([]byte(`{"parent":[-1],"w":[0.5]}`)) // n and f default to zero
+	f.Add([]byte(`{"parent":[2,0,-1],"w":[1,1,1],"f":[9223372036854775807,1,1]}`))
+	f.Add([]byte(`{"parent":[0],"w":[1]}`)) // self-parent
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var tr Tree
+		if err := json.Unmarshal(in, &tr); err != nil {
+			return
+		}
+		b, err := json.Marshal(&tr)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded tree failed: %v", err)
+		}
+		var back Tree
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("json round trip failed: %v", err)
+		}
+		if back.CanonicalHash() != tr.CanonicalHash() {
+			t.Fatalf("json round trip changed the canonical hash")
+		}
+		// Cross-codec: the textual encoding must round-trip under a
+		// DecodeMax cap of exactly Len, and fail one below it.
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("text encode failed: %v", err)
+		}
+		text := buf.Bytes()
+		viaText, err := DecodeMax(bytes.NewReader(text), tr.Len())
+		if err != nil {
+			t.Fatalf("DecodeMax at exact size failed: %v", err)
+		}
+		if viaText.CanonicalHash() != tr.CanonicalHash() {
+			t.Fatalf("text round trip changed the canonical hash")
+		}
+		if tr.Len() > 0 {
+			if _, err := DecodeMax(bytes.NewReader(text), tr.Len()-1); !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("DecodeMax below size: got %v, want ErrTooLarge", err)
+			}
 		}
 	})
 }

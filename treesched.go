@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"treesched/internal/dataset"
+	"treesched/internal/forest"
 	"treesched/internal/frontal"
 	"treesched/internal/pebble"
 	"treesched/internal/portfolio"
@@ -76,6 +77,26 @@ type (
 	// PortfolioResult is the outcome of a portfolio race: all candidates,
 	// the Pareto frontier and the objective-selected winner.
 	PortfolioResult = portfolio.Result
+	// ForestJob is one line of a forest trace: a tree arriving at a point
+	// in time with an optional per-job planning directive.
+	ForestJob = forest.Job
+	// ForestConfig parameterizes a forest run (machine size, global
+	// memory cap, admission policy, default planning heuristic).
+	ForestConfig = forest.Config
+	// ForestPolicy orders the forest admission queue; build one with
+	// FIFO, SJFByWork, SmallestMemFirst, WeightedFair or ParsePolicy.
+	ForestPolicy = forest.Policy
+	// ForestResult is the outcome of a forest run: per-job results in
+	// trace order plus the aggregate summary.
+	ForestResult = forest.Result
+	// ForestJobResult is one job's outcome within a ForestResult.
+	ForestJobResult = forest.JobResult
+	// ForestSummary aggregates one forest run (makespan, utilization,
+	// peak resident memory, latency/stretch statistics).
+	ForestSummary = forest.Summary
+	// ForestGenConfig parameterizes the deterministic forest trace
+	// generator.
+	ForestGenConfig = forest.GenConfig
 )
 
 // None marks the absence of a node (the parent of a root).
@@ -179,8 +200,9 @@ func HeuristicByName(name string) (Heuristic, bool) { return sched.ByName(name) 
 
 // ParseHeuristic resolves a heuristic wire name to its typed ID for use in
 // ScheduleOptions; it additionally recognizes the memory-capped
-// schedulers ("MemCapped", "MemCappedBooking").
-func ParseHeuristic(name string) (HeuristicID, bool) { return sched.ParseHeuristic(name) }
+// schedulers ("MemCapped", "MemCappedBooking"). Unknown names yield an
+// error enumerating every valid name.
+func ParseHeuristic(name string) (HeuristicID, error) { return sched.ParseHeuristic(name) }
 
 // Portfolio scheduling (see internal/portfolio): race heuristics
 // concurrently, compute the Pareto frontier, select by objective.
@@ -226,6 +248,52 @@ func Weighted(alpha float64) Objective { return portfolio.Weighted(alpha) }
 // "weighted:A"), as accepted by the service's "objective" field and the
 // CLI's -objective flag.
 func ParseObjective(s string) (Objective, error) { return portfolio.ParseObjective(s) }
+
+// Online multi-tenant forest scheduling (see internal/forest): stream
+// tree-jobs onto one shared machine under a global memory cap.
+
+// RunForest simulates a job trace on one shared machine: each job is
+// planned standalone (heuristic or portfolio race per job), and the
+// discrete-event engine interleaves all admitted jobs at task granularity
+// under cross-tree memory booking, so resident memory never exceeds the
+// cap and admission never deadlocks. Deterministic for a fixed (trace,
+// config).
+func RunForest(ctx context.Context, jobs []ForestJob, cfg ForestConfig) (*ForestResult, error) {
+	return forest.Run(ctx, jobs, cfg)
+}
+
+// FIFO admits forest jobs strictly in arrival order (no backfilling).
+func FIFO() ForestPolicy { return forest.FIFO() }
+
+// SJFByWork admits the queued job with the least total work first.
+func SJFByWork() ForestPolicy { return forest.SJFByWork() }
+
+// SmallestMemFirst admits the queued job with the smallest sequential
+// peak (M_seq) first.
+func SmallestMemFirst() ForestPolicy { return forest.SmallestMemFirst() }
+
+// WeightedFair admits by weighted finish tag arrival + work/weight.
+func WeightedFair() ForestPolicy { return forest.WeightedFair() }
+
+// ParsePolicy resolves an admission-policy wire name ("fifo", "sjf",
+// "smallest_mseq", "weighted_fair").
+func ParsePolicy(s string) (ForestPolicy, error) { return forest.ParsePolicy(s) }
+
+// DecodeForestTrace parses an NDJSON forest trace (one ForestJob per
+// line) with everything unlimited; servers should bound inputs with
+// forest.DecodeLimits instead.
+func DecodeForestTrace(r io.Reader) ([]ForestJob, error) {
+	return forest.DecodeTrace(r, forest.DecodeLimits{})
+}
+
+// EncodeForestTrace writes jobs as an NDJSON trace readable by
+// DecodeForestTrace and by the service's /v1/forest endpoint.
+func EncodeForestTrace(w io.Writer, jobs []ForestJob) error { return forest.EncodeTrace(w, jobs) }
+
+// GenForestTrace synthesizes a deterministic job trace (Poisson or bursty
+// arrivals over mixed tree families), as used by `treegen -forest` and
+// the forest benchmark suite.
+func GenForestTrace(cfg ForestGenConfig) ([]ForestJob, error) { return forest.GenTrace(cfg) }
 
 // Scheduling service (see cmd/treeschedd and internal/service).
 
