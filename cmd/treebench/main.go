@@ -15,11 +15,16 @@
 //	treebench -quick -baseline BENCH_portfolio.json   # regression gate: fail on >2× slowdown
 //	treebench -suite forest -quick                    # writes BENCH_forest.json
 //	treebench -suite forest -quick -baseline BENCH_forest.json
+//	treebench -suite core -quick -baseline BENCH_core.json
+//	treebench -quick -cpuprofile cpu.prof -memprofile mem.prof
 //
-// The regression gate compares the suite's key metrics (p50 latency and
+// The core suite microbenchmarks the scheduling primitives (ns/op,
+// allocs/op, ops/sec per heuristic × tree family × size). The
+// regression gate compares the suite's key metrics (p50 latency and
 // schedules/sec for portfolio; simulated jobs/sec and per-policy
-// completions for forest) against a previously written report and exits
-// non-zero on a >-maxratio degradation.
+// completions for forest; per-bench geomean ns/op and allocs/op for
+// core) against a previously written report and exits non-zero on a
+// >-maxratio degradation.
 package main
 
 import (
@@ -29,6 +34,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"sort"
 	"strconv"
@@ -77,14 +84,16 @@ type Report struct {
 
 func main() {
 	var (
-		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio or forest")
-		quick    = flag.Bool("quick", false, "shorthand for -scale quick (the CI scale)")
-		scale    = flag.String("scale", "standard", "suite scale: quick or standard")
-		seed     = flag.Int64("seed", 42, "suite seed")
-		plist    = flag.String("p", "2,8", "comma-separated processor counts (portfolio suite)")
-		out      = flag.String("out", "auto", "output report path ('auto': BENCH_<suite>.json; '' to skip writing)")
-		baseline = flag.String("baseline", "", "prior report to regression-check against")
-		maxratio = flag.Float64("maxratio", 2, "fail when the suite's gated metrics regress by more than this factor")
+		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio, forest or core")
+		quick     = flag.Bool("quick", false, "shorthand for -scale quick (the CI scale)")
+		scale     = flag.String("scale", "standard", "suite scale: quick or standard")
+		seed      = flag.Int64("seed", 42, "suite seed")
+		plist     = flag.String("p", "2,8", "comma-separated processor counts (portfolio suite)")
+		out       = flag.String("out", "auto", "output report path ('auto': BENCH_<suite>.json; '' to skip writing)")
+		baseline  = flag.String("baseline", "", "prior report to regression-check against")
+		maxratio  = flag.Float64("maxratio", 2, "fail when the suite's gated metrics regress by more than this factor")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile at suite end to this file")
 	)
 	flag.Parse()
 	if *quick {
@@ -93,13 +102,39 @@ func main() {
 	if *out == "auto" {
 		*out = "BENCH_" + *suiteName + ".json"
 	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	switch *suiteName {
 	case "forest":
 		forestMain(*scale, *seed, *out, *baseline, *maxratio)
 		return
+	case "core":
+		coreMain(*scale, *seed, *out, *baseline, *maxratio)
+		return
 	case "portfolio":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (portfolio or forest)", *suiteName))
+		fatal(fmt.Errorf("unknown suite %q (portfolio, forest or core)", *suiteName))
 	}
 	ps, err := parsePList(*plist)
 	if err != nil {

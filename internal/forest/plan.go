@@ -9,7 +9,6 @@ import (
 	"treesched/internal/par"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
-	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
 
@@ -108,33 +107,19 @@ func planJob(ctx context.Context, idx int, j *Job, cfg Config) *jobState {
 		js.width = j.Procs
 	}
 
-	// Booking reference: σ and the suffix maxima of its step peaks,
-	// exactly as in sched.MemCappedBooking.
-	ref := traversal.BestPostOrder(t)
+	// One scheduling precompute serves the whole job: the booking
+	// reference (σ, its inverse, the futurePeak suffix maxima — exactly
+	// the invariants of sched.MemCappedBooking), the planning heuristic,
+	// and every candidate of a portfolio race. Liu's traversal runs once
+	// per job, not once per consumer.
+	pc := sched.NewPrecompute(t)
 	n := t.Len()
-	js.order = ref.Order
-	js.pos = make([]int, n)
-	for k, v := range ref.Order {
-		js.pos[v] = k
-	}
-	js.futurePeak = make([]int64, n+1)
-	{
-		var m int64
-		absPeak := make([]int64, n)
-		for k, v := range ref.Order {
-			absPeak[k] = m + t.N(v) + t.F(v)
-			m += t.F(v) - t.InSize(v)
-		}
-		for k := n - 1; k >= 0; k-- {
-			js.futurePeak[k] = absPeak[k]
-			if js.futurePeak[k+1] > js.futurePeak[k] {
-				js.futurePeak[k] = js.futurePeak[k+1]
-			}
-		}
-	}
-	js.memSeq = js.futurePeak[0]
+	js.order = pc.Order()
+	js.pos = pc.Pos()
+	js.futurePeak = pc.FuturePeak()
+	js.memSeq = pc.MSeq()
 
-	sc, by, err := planSchedule(ctx, t, j, js.width, cfg.DefaultHeuristic)
+	sc, by, err := planSchedule(ctx, pc, j, js.width, cfg.DefaultHeuristic)
 	if err != nil {
 		js.rejectReason = fmt.Sprintf("planning failed: %v", err)
 		return js
@@ -158,8 +143,8 @@ func planJob(ctx context.Context, idx int, j *Job, cfg Config) *jobState {
 // planSchedule produces the job's standalone plan: a portfolio race when
 // the job carries an objective or names Auto (the winner is re-run to
 // obtain its schedule — candidate racing only keeps metrics), a single
-// heuristic otherwise.
-func planSchedule(ctx context.Context, t *tree.Tree, j *Job, width int, def sched.HeuristicID) (*sched.Schedule, sched.HeuristicID, error) {
+// heuristic otherwise. Everything runs off the job's shared precompute.
+func planSchedule(ctx context.Context, pc *sched.Precompute, j *Job, width int, def sched.HeuristicID) (*sched.Schedule, sched.HeuristicID, error) {
 	id := def
 	if j.Heuristic != nil {
 		id = *j.Heuristic
@@ -171,7 +156,7 @@ func planSchedule(ctx context.Context, t *tree.Tree, j *Job, width int, def sche
 		}
 		// Parallelism 1: forest planning already fans out across jobs, so
 		// racing each job's candidates concurrently too would oversubscribe.
-		res, err := portfolio.Run(ctx, t, obj, portfolio.Options{
+		res, err := portfolio.RunPre(ctx, pc, obj, portfolio.Options{
 			Options:     sched.Options{Processors: width, MemCapFactor: j.MemCapFactor},
 			Parallelism: 1,
 		})
@@ -189,11 +174,11 @@ func planSchedule(ctx context.Context, t *tree.Tree, j *Job, width int, def sche
 		Heuristics:   []sched.HeuristicID{id},
 		MemCapFactor: j.MemCapFactor,
 	}
-	hs, _, err := opts.SelectFor(t)
+	hs, _, err := opts.SelectPre(pc)
 	if err != nil {
 		return nil, 0, err
 	}
-	sc, err := hs[0].Run(t, width)
+	sc, err := hs[0].Run(pc.Tree(), width)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -105,13 +105,25 @@ func (r *Result) OnFrontier(i int) bool {
 }
 
 // Run races the candidate heuristics of opts over t and selects a winner
-// under obj. The memory-optimal postorder shared by the Sequential
-// baseline and the capped candidates is computed once, before the
-// fan-out. A candidate that fails or panics costs only its own entry;
-// cancellation of ctx abandons candidates that have not started and
+// under obj. The scheduling precompute (Liu's best postorder, M_seq,
+// depths, priority rankings) shared by all candidates is computed once,
+// before the fan-out. A candidate that fails or panics costs only its own
+// entry; cancellation of ctx abandons candidates that have not started and
 // returns ctx.Err() (running candidates are pure CPU and finish their
 // tree first).
 func Run(ctx context.Context, t *tree.Tree, obj Objective, opts Options) (*Result, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, errors.New("portfolio: tree is empty")
+	}
+	return RunPre(ctx, sched.NewPrecompute(t), obj, opts)
+}
+
+// RunPre is Run for callers that already hold the tree's sched.Precompute
+// (the forest planner, repeated races over one tree): the race shares the
+// caller's context instead of traversing the tree again. The precompute is
+// safe for the concurrent candidate fan-out.
+func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Options) (*Result, error) {
+	t := pc.Tree()
 	if t == nil || t.Len() == 0 {
 		return nil, errors.New("portfolio: tree is empty")
 	}
@@ -121,9 +133,9 @@ func Run(ctx context.Context, t *tree.Tree, obj Objective, opts Options) (*Resul
 	if len(opts.Heuristics) == 0 {
 		opts.Heuristics = DefaultCandidates()
 	}
-	// SelectFor validates the options and precomputes the best postorder
-	// once; its peak is M_seq.
-	hs, memSeq, err := opts.Options.SelectFor(t)
+	// SelectPre validates the options and binds every candidate to the
+	// shared precompute; M_seq comes for free.
+	hs, memSeq, err := opts.Options.SelectPre(pc)
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +181,22 @@ func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parall
 		parallelism = 1
 	}
 	cands := make([]Candidate, n)
+	if parallelism == 1 {
+		// A one-slot race (single-core machine, or an already-saturated
+		// caller) is a plain loop: same candidate order, same ctx checks,
+		// none of the goroutine/semaphore overhead.
+		for i := range hs {
+			cands[i].ID = hs[i].ID
+			if err := ctx.Err(); err != nil {
+				cands[i].Err = err
+				continue
+			}
+			start := time.Now()
+			runOne(t, p, hs[i], &cands[i])
+			cands[i].Elapsed = time.Since(start)
+		}
+		return cands
+	}
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i := range hs {
@@ -197,6 +225,7 @@ func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parall
 }
 
 // runOne executes and measures a single candidate, containing panics.
+// Validation, makespan and peak memory come from one sched.Evaluate pass.
 func runOne(t *tree.Tree, p int, h sched.Heuristic, c *Candidate) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -204,13 +233,15 @@ func runOne(t *tree.Tree, p int, h sched.Heuristic, c *Candidate) {
 		}
 	}()
 	s, err := h.Run(t, p)
-	if err == nil {
-		err = s.Validate(t)
-	}
 	if err != nil {
 		c.Err = err
 		return
 	}
-	c.Makespan = s.Makespan(t)
-	c.PeakMemory = sched.PeakMemory(t, s)
+	mk, peak, err := sched.Evaluate(t, s)
+	if err != nil {
+		c.Err = err
+		return
+	}
+	c.Makespan = mk
+	c.PeakMemory = peak
 }

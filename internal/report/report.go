@@ -45,33 +45,37 @@ func Heuristics() []string {
 // independent, so they are evaluated by a pool of GOMAXPROCS workers; the
 // result order is deterministic (instances × procs, in input order).
 func Run(instances []dataset.Instance, procs []int) ([]Scenario, error) {
-	hs := sched.Heuristics()
+	ids := sched.PaperHeuristics()
 	out := make([]Scenario, len(instances)*len(procs))
-	memLB := make([]int64, len(instances))
+	// One shared Precompute per instance: Liu's DP, the priority rankings
+	// and M_seq are computed once and reused across every heuristic and
+	// every processor count (a Precompute is concurrency-safe).
+	pcs := make([]*sched.Precompute, len(instances))
 
 	var firstErr atomic.Value
 	par.ForEach(len(instances), func(i int) {
-		memLB[i] = sched.MemoryLowerBound(instances[i].Tree)
+		pcs[i] = sched.NewPrecompute(instances[i].Tree)
 	})
 	par.ForEach(len(out), func(k int) {
 		if firstErr.Load() != nil {
 			return
 		}
 		inst := instances[k/len(procs)]
+		pc := pcs[k/len(procs)]
 		p := procs[k%len(procs)]
 		sc := Scenario{
 			Instance: inst.Name,
 			Nodes:    inst.Tree.Len(),
 			P:        p,
-			MemLB:    memLB[k/len(procs)],
+			MemLB:    pc.MSeq(),
 			MsLB:     sched.MakespanLowerBound(inst.Tree, p),
-			Makespan: make([]float64, len(hs)),
-			Memory:   make([]int64, len(hs)),
+			Makespan: make([]float64, len(ids)),
+			Memory:   make([]int64, len(ids)),
 		}
-		for i, h := range hs {
-			s, err := h.Run(inst.Tree, p)
+		for i, id := range ids {
+			s, err := pc.Run(id, p, 0)
 			if err != nil {
-				firstErr.CompareAndSwap(nil, fmt.Errorf("report: %s on %s (p=%d): %w", h.Name, inst.Name, p, err))
+				firstErr.CompareAndSwap(nil, fmt.Errorf("report: %s on %s (p=%d): %w", id, inst.Name, p, err))
 				return
 			}
 			sc.Makespan[i] = s.Makespan(inst.Tree)

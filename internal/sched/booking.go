@@ -1,10 +1,8 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
-	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
 
@@ -25,86 +23,74 @@ import (
 //
 // It returns an error if cap is below the sequential requirement of σ.
 func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
+	return NewPrecompute(t).MemCappedBooking(p, cap)
+}
+
+// MemCappedBooking is the precompute-sharing form of the package-level
+// function: σ, its inverse, the booking suffix maxima and the admission
+// ranking all come from the shared context.
+func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
 	}
-	res := traversal.BestPostOrder(t)
+	t := pc.t
 	n := t.Len()
 	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
 	if n == 0 {
 		return s, nil
 	}
-	pos := make([]int, n)
-	for k, v := range res.Order {
-		pos[v] = k
-	}
-	// futurePeak[k] = max over j >= k of the memory during step j of the
-	// sequential execution of σ (suffix maximum of the step peaks).
-	futurePeak := make([]int64, n+1)
-	{
-		var m int64
-		absPeak := make([]int64, n)
-		for k, v := range res.Order {
-			absPeak[k] = m + t.N(v) + t.F(v)
-			m += t.F(v) - t.InSize(v)
-		}
-		for k := n - 1; k >= 0; k-- {
-			futurePeak[k] = absPeak[k]
-			if futurePeak[k+1] > futurePeak[k] {
-				futurePeak[k] = futurePeak[k+1]
-			}
-		}
-	}
+	order, pos, futurePeak := pc.Order(), pc.Pos(), pc.FuturePeak()
 	if futurePeak[0] > cap {
 		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, futurePeak[0])
 	}
+	rank := pc.rankBooking()
 
-	wdepth := t.WDepths()
-	ready := &nodeHeap{less: func(a, b int) bool {
-		if wdepth[a] != wdepth[b] {
-			return wdepth[a] > wdepth[b]
-		}
-		return pos[a] < pos[b]
-	}}
-	remaining := make([]int, n)
+	sc := getSchedScratch()
+	sc.ensureBase(n, p)
+	sc.ensureFlags(n)
+	remaining, ready, free := sc.remaining, sc.ready, sc.free
+	started, outOfOrder := sc.started, sc.extra
+	hasPulse := false
 	for v := 0; v < n; v++ {
-		remaining[v] = t.NumChildren(v)
+		remaining[v] = int32(t.NumChildren(v))
 		if remaining[v] == 0 {
-			ready.nodes = append(ready.nodes, v)
+			ready = append(ready, int32(v))
 		}
+		hasPulse = hasPulse || t.W(v) == 0
 	}
-	heap.Init(ready)
+	readyInit(ready, rank)
+	for i := p - 1; i >= 0; i-- {
+		free = append(free, int32(i))
+	}
+	fin := &sc.fin
 
 	var (
-		mem        int64 // resident memory right now
-		extraUsed  int64 // budget charged by out-of-order tasks
-		next       int   // first index of σ not yet started
-		now        float64
-		outOfOrder = make([]bool, n) // still charged against the budget
-		started    = make([]bool, n)
+		mem       int64 // resident memory right now
+		peak      int64 // running max of mem
+		extraUsed int64 // budget charged by out-of-order tasks
+		next      int   // first index of σ not yet started
+		now       float64
 	)
-	running := &finishHeap{}
-	freeProcs := make([]int, 0, p)
-	for i := p - 1; i >= 0; i-- {
-		freeProcs = append(freeProcs, i)
-	}
 
 	// admissionWindow bounds the per-event scan of the ready queue; σ[next]
 	// is always retried, so the window only trades scheduling quality for
 	// speed, never progress.
 	const admissionWindow = 256
 
-	start := func(v, proc int) {
+	start := func(v int, proc int32) {
 		s.Start[v] = now
-		s.Proc[v] = proc
+		s.Proc[v] = int(proc)
 		started[v] = true
 		mem += t.N(v) + t.F(v)
-		running.push3(now+t.W(v), v, proc)
+		if mem > peak {
+			peak = mem
+		}
+		fin.push(now+t.W(v), int32(v), proc)
 		if pos[v] > next {
 			outOfOrder[v] = true
 			extraUsed += t.N(v) + t.F(v)
 		}
-		for next < n && started[res.Order[next]] {
+		for next < n && started[order[next]] {
 			next++
 		}
 	}
@@ -120,33 +106,35 @@ func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
 	}
 	assign := func() {
 		// Scan the ready queue in priority order, admitting greedily.
-		skipped := make([]int, 0, 16)
+		skipped := sc.skipped[:0]
 		scanned := 0
-		for len(freeProcs) > 0 && ready.Len() > 0 && scanned < admissionWindow {
-			v := heap.Pop(ready).(int)
+		for len(free) > 0 && len(ready) > 0 && scanned < admissionWindow {
+			var v int32
+			v, ready = readyPop(ready, rank)
 			scanned++
-			if !admissible(v) {
+			if !admissible(int(v)) {
 				skipped = append(skipped, v)
 				continue
 			}
-			proc := freeProcs[len(freeProcs)-1]
-			freeProcs = freeProcs[:len(freeProcs)-1]
-			start(v, proc)
+			proc := free[len(free)-1]
+			free = free[:len(free)-1]
+			start(int(v), proc)
 		}
 		for _, v := range skipped {
-			heap.Push(ready, v)
+			ready = readyPush(ready, v, rank)
 		}
+		sc.skipped = skipped
 		// Fallback: σ[next] is admissible whenever the machine is idle;
 		// retry it even if the window missed it.
-		if len(freeProcs) > 0 && next < n {
-			v := res.Order[next]
+		if len(free) > 0 && next < n {
+			v := order[next]
 			if !started[v] && remaining[v] == 0 && admissible(v) {
 				// Remove v from the ready heap before starting it.
-				for i, u := range ready.nodes {
-					if u == v {
-						heap.Remove(ready, i)
-						proc := freeProcs[len(freeProcs)-1]
-						freeProcs = freeProcs[:len(freeProcs)-1]
+				for i, u := range ready {
+					if int(u) == v {
+						ready = readyRemove(ready, i, rank)
+						proc := free[len(free)-1]
+						free = free[:len(free)-1]
 						start(v, proc)
 						break
 					}
@@ -155,7 +143,7 @@ func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
 		}
 	}
 
-	complete := func(v, proc int) {
+	complete := func(v int, proc int32) {
 		mem -= t.N(v) + t.InSize(v)
 		if outOfOrder[v] {
 			extraUsed -= t.N(v) // f_v stays charged until the parent completes
@@ -166,31 +154,36 @@ func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
 				outOfOrder[c] = false
 			}
 		}
-		freeProcs = append(freeProcs, proc)
+		free = append(free, proc)
 		if pa := t.Parent(v); pa != tree.None {
 			remaining[pa]--
 			if remaining[pa] == 0 {
-				heap.Push(ready, pa)
+				ready = readyPush(ready, int32(pa), rank)
 			}
 		}
 	}
 
 	assign()
 	done := 0
-	for running.Len() > 0 {
-		at, v, proc := running.pop3()
+	for fin.Len() > 0 {
+		at, v, proc := fin.pop()
 		now = at
-		complete(v, proc)
+		complete(int(v), proc)
 		done++
-		for running.Len() > 0 && running.at[0] == now {
-			_, v2, proc2 := running.pop3()
-			complete(v2, proc2)
+		for fin.Len() > 0 && fin.at[0] == now {
+			_, v2, proc2 := fin.pop()
+			complete(int(v2), proc2)
 			done++
 		}
 		assign()
 	}
+	sc.ready, sc.free = ready, free
+	putSchedScratch(sc)
 	if done != n {
 		return nil, fmt.Errorf("sched: booking scheduler finished %d of %d tasks", done, n)
+	}
+	if !hasPulse {
+		s.setPeak(peak)
 	}
 	return s, nil
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
 
@@ -35,5 +34,5 @@ func ByName(name string) (Heuristic, bool) {
 	if err != nil || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto {
 		return Heuristic{}, false
 	}
-	return Options{}.heuristic(id, traversal.BestPostOrder), true
+	return Options{}.heuristic(id, nil), true
 }

@@ -1,76 +1,234 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
+	"sync"
 
 	"treesched/internal/tree"
 )
 
-// nodeHeap is a priority queue of ready nodes ordered by a caller-supplied
-// strict-weak-order comparator.
-type nodeHeap struct {
-	nodes []int
-	less  func(a, b int) bool
+// readyPush inserts v into the min-heap h ordered by rank and returns h.
+// rank is a total order, so every pop returns a unique minimum and the
+// heap's internal layout can never influence the schedule.
+func readyPush(h []int32, v int32, rank []uint64) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if rank[h[parent]] <= rank[h[i]] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
 }
 
-func (h *nodeHeap) Len() int           { return len(h.nodes) }
-func (h *nodeHeap) Less(i, j int) bool { return h.less(h.nodes[i], h.nodes[j]) }
-func (h *nodeHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
-func (h *nodeHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(int)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := h.nodes
-	n := len(old)
-	x := old[n-1]
-	h.nodes = old[:n-1]
-	return x
+// readyPop removes and returns the minimum of h.
+func readyPop(h []int32, rank []uint64) (int32, []int32) {
+	v := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	readySiftDown(h, 0, rank)
+	return v, h
+}
+
+// readyRemove removes the element at index i (used by the booking
+// scheduler's σ-front fallback).
+func readyRemove(h []int32, i int, rank []uint64) []int32 {
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h = h[:last]
+		// Sift whichever direction restores the invariant.
+		j := i
+		for j > 0 && rank[h[(j-1)/2]] > rank[h[j]] {
+			h[(j-1)/2], h[j] = h[j], h[(j-1)/2]
+			j = (j - 1) / 2
+		}
+		if j == i {
+			readySiftDown(h, i, rank)
+		}
+		return h
+	}
+	return h[:last]
+}
+
+func readyInit(h []int32, rank []uint64) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		readySiftDown(h, i, rank)
+	}
+}
+
+func readySiftDown(h []int32, i int, rank []uint64) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && rank[h[r]] < rank[h[l]] {
+			m = r
+		}
+		if rank[h[i]] <= rank[h[m]] {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // finishHeap orders pending completion events by time (ties by node id for
-// determinism).
+// determinism — a total order, so pops are layout-independent). The three
+// parallel slices live in the pooled scratch.
 type finishHeap struct {
 	at   []float64
-	node []int
-	proc []int
+	node []int32
+	proc []int32
 }
 
 func (h *finishHeap) Len() int { return len(h.at) }
-func (h *finishHeap) Less(i, j int) bool {
+
+func (h *finishHeap) less(i, j int) bool {
 	if h.at[i] != h.at[j] {
 		return h.at[i] < h.at[j]
 	}
 	return h.node[i] < h.node[j]
 }
-func (h *finishHeap) Swap(i, j int) {
+
+func (h *finishHeap) swap(i, j int) {
 	h.at[i], h.at[j] = h.at[j], h.at[i]
 	h.node[i], h.node[j] = h.node[j], h.node[i]
 	h.proc[i], h.proc[j] = h.proc[j], h.proc[i]
 }
-func (h *finishHeap) Push(x interface{}) { panic("use push3") }
-func (h *finishHeap) Pop() interface{}   { panic("use pop3") }
 
-func (h *finishHeap) push3(at float64, node, proc int) {
+func (h *finishHeap) push(at float64, node, proc int32) {
 	h.at = append(h.at, at)
 	h.node = append(h.node, node)
 	h.proc = append(h.proc, proc)
-	heap.Fix(h, h.Len()-1) // sift the new last element up
+	i := h.Len() - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
-func (h *finishHeap) pop3() (at float64, node, proc int) {
+func (h *finishHeap) pop() (at float64, node, proc int32) {
 	at, node, proc = h.at[0], h.node[0], h.proc[0]
 	last := h.Len() - 1
-	h.Swap(0, last)
+	h.swap(0, last)
 	h.at, h.node, h.proc = h.at[:last], h.node[:last], h.proc[:last]
-	if last > 0 {
-		heap.Fix(h, 0)
+	n := last
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h.swap(i, m)
+		i = m
 	}
 	return at, node, proc
+}
+
+func (h *finishHeap) reset() {
+	h.at = h.at[:0]
+	h.node = h.node[:0]
+	h.proc = h.proc[:0]
+}
+
+// schedScratch is the reusable working set of the event-driven schedulers
+// (ListSchedule, MemCapped, MemCappedBooking), recycled across requests
+// via schedPool. Only the returned Schedule is allocated per call.
+type schedScratch struct {
+	remaining []int32
+	ready     []int32
+	free      []int32
+	fin       finishHeap
+	started   []bool // booking / memcap flags
+	extra     []bool // booking out-of-order flags
+	skipped   []int32
+}
+
+var schedPool = sync.Pool{New: func() any { return new(schedScratch) }}
+
+func getSchedScratch() *schedScratch   { return schedPool.Get().(*schedScratch) }
+func putSchedScratch(sc *schedScratch) { schedPool.Put(sc) }
+
+// ensureBase sizes the buffers every scheduler needs.
+func (sc *schedScratch) ensureBase(n, p int) {
+	if cap(sc.remaining) < n {
+		sc.remaining = make([]int32, n)
+	}
+	sc.remaining = sc.remaining[:n]
+	sc.ready = sc.ready[:0]
+	if cap(sc.free) < p {
+		sc.free = make([]int32, 0, p)
+	}
+	sc.free = sc.free[:0]
+	sc.fin.reset()
+}
+
+// ensureFlags additionally sizes the boolean per-node flags (capped
+// schedulers).
+func (sc *schedScratch) ensureFlags(n int) {
+	if cap(sc.started) < n {
+		sc.started = make([]bool, n)
+		sc.extra = make([]bool, n)
+	}
+	sc.started = sc.started[:n]
+	sc.extra = sc.extra[:n]
+	clear(sc.started)
+	clear(sc.extra)
 }
 
 // ListSchedule runs the event-based list scheduling of paper Algorithm 3:
 // whenever a processor is available, it receives the head of the ready-node
 // priority queue defined by less. The returned schedule is always valid.
+//
+// less must be a strict weak order; when it is a total order the schedule
+// is independent of heap internals. This comparator form exists for ad-hoc
+// priorities; the package's own heuristics precompute a rank array per
+// tree (see Precompute) and go through listScheduleRank, which performs no
+// comparator calls and, on a warm pool, no allocations beyond the result.
 func ListSchedule(t *tree.Tree, p int, less func(a, b int) bool) (*Schedule, error) {
+	n := t.Len()
+	if n == 0 {
+		if p < 1 {
+			return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+		}
+		return &Schedule{Start: []float64{}, Proc: []int{}, P: p}, nil
+	}
+	// Reduce the comparator to its rank permutation once; the heap then
+	// compares integers.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	rank := make([]uint64, n)
+	for i, v := range idx {
+		rank[v] = uint64(i)
+	}
+	return listScheduleRank(t, p, rank)
+}
+
+// listScheduleRank is the rank-keyed core of Algorithm 3.
+func listScheduleRank(t *tree.Tree, p int, rank []uint64) (*Schedule, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
 	}
@@ -79,62 +237,76 @@ func ListSchedule(t *tree.Tree, p int, less func(a, b int) bool) (*Schedule, err
 	if n == 0 {
 		return s, nil
 	}
-	remaining := make([]int, n)
-	ready := &nodeHeap{less: less}
+	sc := getSchedScratch()
+	sc.ensureBase(n, p)
+	remaining, ready, free := sc.remaining, sc.ready, sc.free
+	hasPulse := false
 	for v := 0; v < n; v++ {
-		remaining[v] = t.NumChildren(v)
+		remaining[v] = int32(t.NumChildren(v))
 		if remaining[v] == 0 {
-			ready.nodes = append(ready.nodes, v)
+			ready = append(ready, int32(v))
 		}
+		hasPulse = hasPulse || t.W(v) == 0
 	}
-	heap.Init(ready)
-
-	freeProcs := make([]int, 0, p)
+	readyInit(ready, rank)
 	for i := p - 1; i >= 0; i-- {
-		freeProcs = append(freeProcs, i) // pop order: proc 0 first
+		free = append(free, int32(i)) // pop order: proc 0 first
 	}
-	running := &finishHeap{}
+	fin := &sc.fin
 	now := 0.0
 	scheduled := 0
+	// The event loop releases all memory freed at an instant before it
+	// allocates — the simulator's exact order on pulse-free trees — so the
+	// running resident maximum is the schedule's exact peak memory.
+	var mem, peak int64
 
 	assign := func() {
-		for len(freeProcs) > 0 && ready.Len() > 0 {
-			proc := freeProcs[len(freeProcs)-1]
-			freeProcs = freeProcs[:len(freeProcs)-1]
-			v := heap.Pop(ready).(int)
+		for len(free) > 0 && len(ready) > 0 {
+			proc := free[len(free)-1]
+			free = free[:len(free)-1]
+			var v int32
+			v, ready = readyPop(ready, rank)
 			s.Start[v] = now
-			s.Proc[v] = proc
-			running.push3(now+t.W(v), v, proc)
+			s.Proc[v] = int(proc)
+			mem += t.N(int(v)) + t.F(int(v))
+			fin.push(now+t.W(int(v)), v, proc)
 			scheduled++
+		}
+		if mem > peak {
+			peak = mem
+		}
+	}
+	complete := func(v int32) {
+		mem -= t.N(int(v)) + t.InSize(int(v))
+		if pa := t.Parent(int(v)); pa != tree.None {
+			remaining[pa]--
+			if remaining[pa] == 0 {
+				ready = readyPush(ready, int32(pa), rank)
+			}
 		}
 	}
 	assign()
-	for running.Len() > 0 {
-		at, v, proc := running.pop3()
+	for fin.Len() > 0 {
+		at, v, proc := fin.pop()
 		now = at
-		freeProcs = append(freeProcs, proc)
-		if pa := t.Parent(v); pa != tree.None {
-			remaining[pa]--
-			if remaining[pa] == 0 {
-				heap.Push(ready, pa)
-			}
-		}
+		free = append(free, proc)
+		complete(v)
 		// Drain all events at the same instant before assigning, so that a
 		// parent freed by several children sees all of them complete.
-		for running.Len() > 0 && running.at[0] == now {
-			_, v2, proc2 := running.pop3()
-			freeProcs = append(freeProcs, proc2)
-			if pa := t.Parent(v2); pa != tree.None {
-				remaining[pa]--
-				if remaining[pa] == 0 {
-					heap.Push(ready, pa)
-				}
-			}
+		for fin.Len() > 0 && fin.at[0] == now {
+			_, v2, proc2 := fin.pop()
+			free = append(free, proc2)
+			complete(v2)
 		}
 		assign()
 	}
+	sc.ready, sc.free = ready, free
+	putSchedScratch(sc)
 	if scheduled != n {
 		return nil, fmt.Errorf("sched: internal error: scheduled %d of %d nodes", scheduled, n)
+	}
+	if !hasPulse {
+		s.setPeak(peak)
 	}
 	return s, nil
 }

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 
-	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
 
@@ -22,69 +21,88 @@ import (
 // MemCapped returns an error if the cap is below the sequential requirement
 // M_seq of σ (no schedule following σ can respect it).
 func MemCapped(t *tree.Tree, p int, cap int64) (*Schedule, error) {
+	return NewPrecompute(t).MemCapped(p, cap)
+}
+
+// MemCapped is the precompute-sharing form of the package-level function:
+// σ and M_seq come from the shared context instead of a fresh traversal.
+func (pc *Precompute) MemCapped(p int, cap int64) (*Schedule, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
 	}
-	res := traversal.BestPostOrder(t)
-	if res.Peak > cap {
-		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, res.Peak)
+	t := pc.t
+	if pc.MSeq() > cap {
+		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, pc.MSeq())
 	}
 	n := t.Len()
 	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
 	if n == 0 {
 		return s, nil
 	}
-	done := make([]bool, n)
-	running := &finishHeap{}
-	freeProcs := make([]int, 0, p)
-	for i := p - 1; i >= 0; i-- {
-		freeProcs = append(freeProcs, i)
+	order := pc.Order()
+	sc := getSchedScratch()
+	sc.ensureBase(n, p)
+	remaining, free := sc.remaining, sc.free
+	hasPulse := false
+	for v := 0; v < n; v++ {
+		remaining[v] = int32(t.NumChildren(v))
+		hasPulse = hasPulse || t.W(v) == 0
 	}
-	var mem int64 // resident memory right now
+	for i := p - 1; i >= 0; i-- {
+		free = append(free, int32(i))
+	}
+	fin := &sc.fin
+	var mem, peak int64 // resident memory right now, and its running max
 	now := 0.0
 	next := 0 // index into σ of the next task to activate
 
-	childrenDone := func(v int) bool {
-		for _, c := range t.Children(v) {
-			if !done[c] {
-				return false
-			}
-		}
-		return true
-	}
-	// startNext activates σ[next] while admissible.
+	// startNext activates σ[next] while admissible: children done
+	// (remaining drops to zero as completions drain) and footprint within
+	// the cap.
 	startNext := func() {
-		for next < n && len(freeProcs) > 0 {
-			v := res.Order[next]
-			if !childrenDone(v) || mem+t.N(v)+t.F(v) > cap {
+		for next < n && len(free) > 0 {
+			v := order[next]
+			if remaining[v] != 0 || mem+t.N(v)+t.F(v) > cap {
 				return
 			}
-			proc := freeProcs[len(freeProcs)-1]
-			freeProcs = freeProcs[:len(freeProcs)-1]
+			proc := free[len(free)-1]
+			free = free[:len(free)-1]
 			s.Start[v] = now
-			s.Proc[v] = proc
+			s.Proc[v] = int(proc)
 			mem += t.N(v) + t.F(v)
-			running.push3(now+t.W(v), v, proc)
+			if mem > peak {
+				peak = mem
+			}
+			fin.push(now+t.W(v), int32(v), proc)
 			next++
 		}
 	}
+	complete := func(v int32) {
+		mem -= t.N(int(v)) + t.InSize(int(v))
+		if pa := t.Parent(int(v)); pa != tree.None {
+			remaining[pa]--
+		}
+	}
 	startNext()
-	for running.Len() > 0 {
-		at, v, proc := running.pop3()
+	for fin.Len() > 0 {
+		at, v, proc := fin.pop()
 		now = at
-		mem -= t.N(v) + t.InSize(v)
-		done[v] = true
-		freeProcs = append(freeProcs, proc)
-		for running.Len() > 0 && running.at[0] == now {
-			_, v2, proc2 := running.pop3()
-			mem -= t.N(v2) + t.InSize(v2)
-			done[v2] = true
-			freeProcs = append(freeProcs, proc2)
+		complete(v)
+		free = append(free, proc)
+		for fin.Len() > 0 && fin.at[0] == now {
+			_, v2, proc2 := fin.pop()
+			complete(v2)
+			free = append(free, proc2)
 		}
 		startNext()
 	}
+	sc.free = free
+	putSchedScratch(sc)
 	if next != n {
 		return nil, fmt.Errorf("sched: internal error: activated %d of %d tasks", next, n)
+	}
+	if !hasPulse {
+		s.setPeak(peak)
 	}
 	return s, nil
 }

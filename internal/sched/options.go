@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
 
@@ -160,72 +159,76 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// Select resolves o into runnable heuristics. Capped heuristics receive a
-// closure computing cap = MemCapFactor × MemoryLowerBound(t) per tree;
-// sequential baselines ignore Processors and run on one processor.
+// Select resolves o into runnable heuristics. Each heuristic builds its
+// per-tree Precompute on every Run call; callers scheduling one tree more
+// than once (or several heuristics on the same tree) should use SelectFor
+// or SelectPre so the precompute is shared.
 func (o Options) Select() ([]Heuristic, error) {
-	return o.selectWith(traversal.BestPostOrder)
-}
-
-// SelectFor is Select specialized to a single tree: the memory-optimal
-// postorder that the Sequential baseline and the capped heuristics need is
-// computed once here and shared by every returned closure, and its peak
-// (M_seq) is returned alongside. The returned heuristics must only be run
-// on t.
-func (o Options) SelectFor(t *tree.Tree) ([]Heuristic, int64, error) {
-	ref := traversal.BestPostOrder(t)
-	hs, err := o.selectWith(func(*tree.Tree) traversal.Result { return ref })
-	return hs, ref.Peak, err
-}
-
-func (o Options) selectWith(bestPostOrder func(*tree.Tree) traversal.Result) ([]Heuristic, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	ids := o.Heuristics
-	if len(ids) == 0 {
-		ids = PaperHeuristics()
-	}
+	ids := o.heuristicIDs()
 	hs := make([]Heuristic, 0, len(ids))
 	for _, id := range ids {
-		hs = append(hs, o.heuristic(id, bestPostOrder))
+		hs = append(hs, o.heuristic(id, nil))
 	}
 	return hs, nil
 }
 
-func (o Options) heuristic(id HeuristicID, bestPostOrder func(*tree.Tree) traversal.Result) Heuristic {
-	h := Heuristic{ID: id, Name: id.String()}
-	switch id {
-	case IDParSubtrees:
-		h.Run = ParSubtrees
-	case IDParSubtreesOptim:
-		h.Run = ParSubtreesOptim
-	case IDParInnerFirst:
-		h.Run = ParInnerFirst
-	case IDParDeepestFirst:
-		h.Run = ParDeepestFirst
-	case IDParInnerFirstArbitrary:
-		h.Run = ParInnerFirstArbitrary
-	case IDSequential:
-		h.Run = func(t *tree.Tree, _ int) (*Schedule, error) {
-			return SequentialSchedule(t, bestPostOrder(t).Order)
-		}
-	case IDOptimalSequential:
-		h.Run = func(t *tree.Tree, _ int) (*Schedule, error) {
-			return SequentialSchedule(t, traversal.Optimal(t).Order)
-		}
-	case IDMemCapped:
-		factor := o.MemCapFactor
-		h.Run = func(t *tree.Tree, p int) (*Schedule, error) {
-			return MemCapped(t, p, capFromFactor(factor, bestPostOrder(t).Peak))
-		}
-	case IDMemCappedBooking:
-		factor := o.MemCapFactor
-		h.Run = func(t *tree.Tree, p int) (*Schedule, error) {
-			return MemCappedBooking(t, p, capFromFactor(factor, bestPostOrder(t).Peak))
-		}
+// SelectFor is Select specialized to a single tree: one Precompute — the
+// memory-optimal postorder σ, M_seq, depths, priority rankings — is built
+// here and shared by every returned heuristic, across repeated Run calls
+// and processor counts. M_seq is returned alongside. The returned
+// heuristics must only be run on t.
+func (o Options) SelectFor(t *tree.Tree) ([]Heuristic, int64, error) {
+	return o.SelectPre(NewPrecompute(t))
+}
+
+// SelectPre is SelectFor for callers that already hold the tree's
+// Precompute (the portfolio racer, the forest planner), so the scheduling
+// core computes Liu's traversal exactly once per tree no matter how many
+// layers are stacked on top.
+func (o Options) SelectPre(pc *Precompute) ([]Heuristic, int64, error) {
+	if err := o.Validate(); err != nil {
+		return nil, 0, err
 	}
-	return h
+	ids := o.heuristicIDs()
+	hs := make([]Heuristic, 0, len(ids))
+	for _, id := range ids {
+		hs = append(hs, o.heuristic(id, pc))
+	}
+	return hs, pc.MSeq(), nil
+}
+
+func (o Options) heuristicIDs() []HeuristicID {
+	if len(o.Heuristics) == 0 {
+		return PaperHeuristics()
+	}
+	return o.Heuristics
+}
+
+// heuristic binds id to pc (nil: a fresh Precompute per Run call). The
+// contract of SelectFor/SelectPre is that the bound heuristics only run
+// on pc's tree; passing any other tree is rejected rather than silently
+// scheduling with the wrong precompute.
+func (o Options) heuristic(id HeuristicID, pc *Precompute) Heuristic {
+	factor := o.MemCapFactor
+	return Heuristic{ID: id, Name: id.String(), Run: func(t *tree.Tree, p int) (*Schedule, error) {
+		ctx := pc
+		if ctx == nil {
+			ctx = NewPrecompute(t)
+		} else if t != ctx.t {
+			return nil, fmt.Errorf("sched: heuristic %s was selected for a different tree (SelectFor binds its heuristics to one tree)", id)
+		}
+		return ctx.Run(id, p, factor)
+	}}
+}
+
+func errUnrunnable(id HeuristicID) error {
+	if id == IDAuto {
+		return fmt.Errorf("sched: Auto is a pseudo-heuristic; it must be resolved by the portfolio layer")
+	}
+	return fmt.Errorf("sched: heuristic id %d is not runnable", int(id))
 }
 
 // capFromFactor converts a cap expressed as a multiple of M_seq into an
@@ -257,9 +260,24 @@ func SequentialSchedule(t *tree.Tree, order []int) (*Schedule, error) {
 	}
 	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: 1}
 	var now float64
+	// One task at a time makes the running resident maximum exactly the
+	// simulator's peak — except around zero-duration tasks, whose
+	// same-instant replay order (topological, not σ) can differ, so their
+	// presence skips the cache like in every other scheduler.
+	var mem, peak int64
+	hasPulse := false
 	for _, v := range order {
 		s.Start[v] = now
 		now += t.W(v)
+		hasPulse = hasPulse || t.W(v) == 0
+		mem += t.N(v) + t.F(v)
+		if mem > peak {
+			peak = mem
+		}
+		mem -= t.N(v) + t.InSize(v)
+	}
+	if !hasPulse {
+		s.setPeak(peak)
 	}
 	return s, nil
 }

@@ -27,11 +27,15 @@ type Splitting struct {
 // returning the splitting whose predicted two-phase makespan is minimal
 // over all splitting ranks (optimal for ParSubtrees by paper Lemma 1).
 func SplitSubtrees(t *tree.Tree, p int) Splitting {
-	n := t.Len()
-	if n == 0 {
+	if t.Len() == 0 {
 		return Splitting{}
 	}
-	W := t.SubtreeW()
+	return splitSubtreesW(t, p, t.SubtreeW())
+}
+
+// splitSubtreesW is SplitSubtrees over a caller-provided subtree-weight
+// array (cached in Precompute across the two ParSubtrees variants).
+func splitSubtreesW(t *tree.Tree, p int, W []float64) Splitting {
 	key := func(v int) splitKey { return splitKey{W: W[v], w: t.W(v), id: v} }
 
 	// Pass 1: find the splitting rank with minimal cost.
@@ -58,6 +62,7 @@ func SplitSubtrees(t *tree.Tree, p int) Splitting {
 			bestRank = rank
 		}
 	}
+	q.release()
 
 	// Pass 2: replay to the selected rank.
 	q = newSplitQueue(p)
@@ -73,6 +78,7 @@ func SplitSubtrees(t *tree.Tree, p int) Splitting {
 	for _, k := range q.Drain() {
 		sp.SubtreeRoots = append(sp.SubtreeRoots, k.id)
 	}
+	q.release()
 	return sp
 }
 
@@ -108,6 +114,7 @@ func SplitSubtreesNaive(t *tree.Tree, p int) Splitting {
 	for _, k := range q.Drain() {
 		sp.SubtreeRoots = append(sp.SubtreeRoots, k.id)
 	}
+	q.release()
 	return sp
 }
 
@@ -119,7 +126,15 @@ func SplitSubtreesNaive(t *tree.Tree, p int) Splitting {
 // order. ParSubtrees is a (p+1)-approximation for peak memory and a
 // p-approximation for makespan.
 func ParSubtrees(t *tree.Tree, p int) (*Schedule, error) {
-	return parSubtrees(t, p, false)
+	return NewPrecompute(t).ParSubtrees(p)
+}
+
+// ParSubtrees is the precompute-sharing form of the package-level
+// function: each subtree's memory-optimal postorder is emitted straight
+// from the whole-tree postorder index (the child-ordering rule is
+// subtree-local), skipping the historical per-subtree extraction and DP.
+func (pc *Precompute) ParSubtrees(p int) (*Schedule, error) {
+	return parSubtrees(pc, p, false)
 }
 
 // ParSubtreesOptim is the makespan optimization of ParSubtrees (paper
@@ -128,19 +143,30 @@ func ParSubtrees(t *tree.Tree, p int) (*Schedule, error) {
 // least-loaded processor), and only the merge nodes run sequentially. It
 // typically improves the makespan at the price of some extra memory.
 func ParSubtreesOptim(t *tree.Tree, p int) (*Schedule, error) {
-	return parSubtrees(t, p, true)
+	return NewPrecompute(t).ParSubtreesOptim(p)
 }
 
-func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
+// ParSubtreesOptim is the precompute-sharing form of the package-level
+// function.
+func (pc *Precompute) ParSubtreesOptim(p int) (*Schedule, error) {
+	return parSubtrees(pc, p, true)
+}
+
+func parSubtrees(pc *Precompute, p int, optim bool) (*Schedule, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
 	}
+	t := pc.t
 	n := t.Len()
 	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
 	if n == 0 {
 		return s, nil
 	}
-	sp := SplitSubtrees(t, p)
+	sp := splitSubtreesW(t, p, pc.subtreeW())
+
+	// perProc records each processor's tasks in execution (time) order, so
+	// the peak can be computed afterwards by a sort-free P-way time sweep.
+	perProc := make([][]int32, p)
 
 	// Phase 1: process subtrees in parallel. Plain ParSubtrees runs only
 	// the p heaviest subtrees concurrently; the surplus joins the
@@ -151,6 +177,7 @@ func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
 		parallelRoots = parallelRoots[:p]
 	}
 	procFree := make([]float64, p)
+	var orderBuf []int
 	// LPT allocation: roots are already ordered heaviest-first; place each
 	// on the least-loaded processor. For plain ParSubtrees there are at most
 	// p roots, so each lands on its own processor.
@@ -161,15 +188,14 @@ func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
 				proc = q
 			}
 		}
-		sub, mapping := t.Subtree(r)
-		res := traversal.BestPostOrder(sub)
+		orderBuf = pc.ix.AppendSubtreeOrder(t, r, orderBuf[:0])
 		at := procFree[proc]
-		for _, v := range res.Order {
-			orig := mapping[v]
-			s.Start[orig] = at
-			s.Proc[orig] = proc
-			at += sub.W(v)
-			inParallel[orig] = true
+		for _, v := range orderBuf {
+			s.Start[v] = at
+			s.Proc[v] = proc
+			at += t.W(v)
+			inParallel[v] = true
+			perProc[proc] = append(perProc[proc], int32(v))
 		}
 		procFree[proc] = at
 	}
@@ -189,17 +215,76 @@ func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
 			remaining = append(remaining, v)
 		}
 	}
-	if len(remaining) == 0 {
-		return s, nil
+	if len(remaining) > 0 {
+		order := quotientOrder(t, remaining, inParallel)
+		at := phase1End
+		for _, v := range order {
+			s.Start[v] = at
+			s.Proc[v] = 0
+			at += t.W(v)
+			perProc[0] = append(perProc[0], int32(v))
+		}
 	}
-	order := quotientOrder(t, remaining, inParallel)
-	at := phase1End
-	for _, v := range order {
-		s.Start[v] = at
-		s.Proc[v] = 0
-		at += t.W(v)
-	}
+	setPeakFromStreams(t, s, perProc)
 	return s, nil
+}
+
+// setPeakFromStreams computes the schedule's exact simulated peak by a
+// P-way merge over per-processor task streams already in time order —
+// each processor's tasks run back to back, so its start/end events arrive
+// pre-sorted and no global event sort is needed. Ends are processed
+// before starts at equal instants (the simulator's tie rule); order
+// within a kind cannot change the peak. Zero-duration tasks would need
+// the simulator's pulse ordering, so their presence skips the cache
+// (matching the other schedulers).
+func setPeakFromStreams(t *tree.Tree, s *Schedule, perProc [][]int32) {
+	for v := 0; v < t.Len(); v++ {
+		if t.W(v) == 0 {
+			return
+		}
+	}
+	p := len(perProc)
+	// Cursor state per processor: index of the current task and whether
+	// its start has been emitted (its end is then pending).
+	idx := make([]int, p)
+	endPending := make([]bool, p)
+	var mem, peak int64
+	for {
+		// Pick the next event: smallest time, ends before starts.
+		best := -1
+		var bestAt float64
+		bestEnd := false
+		for q := 0; q < p; q++ {
+			if idx[q] >= len(perProc[q]) {
+				continue
+			}
+			v := int(perProc[q][idx[q]])
+			at := s.Start[v]
+			isEnd := endPending[q]
+			if isEnd {
+				at += t.W(v)
+			}
+			if best < 0 || at < bestAt || (at == bestAt && isEnd && !bestEnd) {
+				best, bestAt, bestEnd = q, at, isEnd
+			}
+		}
+		if best < 0 {
+			break
+		}
+		v := int(perProc[best][idx[best]])
+		if bestEnd {
+			mem -= t.N(v) + t.InSize(v)
+			idx[best]++
+			endPending[best] = false
+		} else {
+			mem += t.N(v) + t.F(v)
+			if mem > peak {
+				peak = mem
+			}
+			endPending[best] = true
+		}
+	}
+	s.setPeak(peak)
 }
 
 // quotientOrder returns a memory-minimizing sequential order of the
@@ -207,7 +292,8 @@ func parSubtrees(t *tree.Tree, p int, optim bool) (*Schedule, error) {
 // child already processed in phase 1 is replaced by a zero-work stub leaf
 // carrying its output file.
 func quotientOrder(t *tree.Tree, remaining []int, done []bool) []int {
-	toNew := make(map[int]int, len(remaining))
+	nq := len(remaining)
+	toNew := make([]int, t.Len())
 	for i, v := range remaining {
 		toNew[v] = i
 	}
@@ -222,12 +308,12 @@ func quotientOrder(t *tree.Tree, remaining []int, done []bool) []int {
 		}
 		b.Add(np, t.W(v), t.N(v), t.F(v))
 	}
-	stubOf := make(map[int]int) // new stub id -> original node
+	// Stub ids land past nq in append order, so id >= nq identifies them
+	// at emission time.
 	for _, v := range remaining {
 		for _, c := range t.Children(v) {
 			if done[c] {
-				id := b.Add(toNew[v], 0, 0, t.F(c))
-				stubOf[id] = c
+				b.Add(toNew[v], 0, 0, t.F(c))
 			}
 		}
 	}
@@ -237,9 +323,9 @@ func quotientOrder(t *tree.Tree, remaining []int, done []bool) []int {
 		panic(fmt.Sprintf("sched: quotient tree: %v", err))
 	}
 	res := traversal.BestPostOrder(q)
-	order := make([]int, 0, len(remaining))
+	order := make([]int, 0, nq)
 	for _, v := range res.Order {
-		if _, isStub := stubOf[v]; !isStub {
+		if v < nq { // stubs (ids >= nq) are not real work
 			order = append(order, remaining[v])
 		}
 	}

@@ -2,8 +2,6 @@ package sched
 
 import (
 	"treesched/internal/tree"
-
-	"treesched/internal/traversal"
 )
 
 // ParInnerFirst is the parallel-postorder heuristic of paper §5.2, built on
@@ -13,44 +11,30 @@ import (
 // (2-1/p)-approximation for the makespan; its memory use is unbounded
 // relative to M_seq (paper Fig. 4).
 func ParInnerFirst(t *tree.Tree, p int) (*Schedule, error) {
-	order := traversal.BestPostOrder(t).Order
-	return parInnerFirstWithOrder(t, p, order)
+	return NewPrecompute(t).ParInnerFirst(p)
+}
+
+// ParInnerFirst is the precompute-sharing form of the package-level
+// function: σ, the depths and the priority ranking are computed once per
+// tree and reused across calls and processor counts.
+func (pc *Precompute) ParInnerFirst(p int) (*Schedule, error) {
+	return listScheduleRank(pc.t, p, pc.rankInnerFirst())
 }
 
 // ParInnerFirstArbitrary is ParInnerFirst with an arbitrary (natural index)
 // leaf order instead of the optimal sequential postorder. It exists as the
-// ablation baseline for the role of the input order O in Algorithm 3.
+// ablation baseline for the role of the input order O in Algorithm 3 — its
+// ranking needs no traversal at all, so this entry point skips the
+// precompute's postorder DP entirely.
 func ParInnerFirstArbitrary(t *tree.Tree, p int) (*Schedule, error) {
-	order := make([]int, t.Len())
-	for i := range order {
-		order[i] = i
-	}
-	return parInnerFirstWithOrder(t, p, order)
+	depth, leaf := depthsAndLeaves(t)
+	return listScheduleRank(t, p, packInnerRank(depth, leaf, nil))
 }
 
-func parInnerFirstWithOrder(t *tree.Tree, p int, order []int) (*Schedule, error) {
-	pos := make([]int, t.Len())
-	for k, v := range order {
-		pos[v] = k
-	}
-	depth := t.Depths()
-	leaf := make([]bool, t.Len())
-	for v := 0; v < t.Len(); v++ {
-		leaf[v] = t.IsLeaf(v)
-	}
-	less := func(a, b int) bool {
-		if leaf[a] != leaf[b] {
-			return !leaf[a] // inner nodes first
-		}
-		if !leaf[a] { // both inner: deepest first
-			if depth[a] != depth[b] {
-				return depth[a] > depth[b]
-			}
-			return pos[a] < pos[b]
-		}
-		return pos[a] < pos[b] // both leaves: input order O
-	}
-	return ListSchedule(t, p, less)
+// ParInnerFirstArbitrary is the precompute-sharing form of the
+// package-level function.
+func (pc *Precompute) ParInnerFirstArbitrary(p int) (*Schedule, error) {
+	return listScheduleRank(pc.t, p, pc.rankInnerFirstArbitrary())
 }
 
 // ParDeepestFirst is the makespan-focused heuristic of paper §5.3: ready
@@ -60,24 +44,11 @@ func parInnerFirstWithOrder(t *tree.Tree, p int, order []int) (*Schedule, error)
 // remaining ties. Its memory use is unbounded relative to M_seq
 // (paper Fig. 5).
 func ParDeepestFirst(t *tree.Tree, p int) (*Schedule, error) {
-	order := traversal.BestPostOrder(t).Order
-	pos := make([]int, t.Len())
-	for k, v := range order {
-		pos[v] = k
-	}
-	wdepth := t.WDepths()
-	leaf := make([]bool, t.Len())
-	for v := 0; v < t.Len(); v++ {
-		leaf[v] = t.IsLeaf(v)
-	}
-	less := func(a, b int) bool {
-		if wdepth[a] != wdepth[b] {
-			return wdepth[a] > wdepth[b]
-		}
-		if leaf[a] != leaf[b] {
-			return !leaf[a] // inner nodes before leaves
-		}
-		return pos[a] < pos[b]
-	}
-	return ListSchedule(t, p, less)
+	return NewPrecompute(t).ParDeepestFirst(p)
+}
+
+// ParDeepestFirst is the precompute-sharing form of the package-level
+// function.
+func (pc *Precompute) ParDeepestFirst(p int) (*Schedule, error) {
+	return listScheduleRank(pc.t, p, pc.rankDeepestFirst())
 }

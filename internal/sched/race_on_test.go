@@ -1,0 +1,8 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports that the race detector is active; the allocation
+// tests skip, since the race runtime instruments sync.Pool and sorts with
+// extra allocations that say nothing about the production paths.
+const raceEnabled = true

@@ -9,7 +9,8 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"treesched/internal/tree"
 )
@@ -24,7 +25,30 @@ type Schedule struct {
 	Start []float64 // start time per node
 	Proc  []int     // processor per node, in [0, P)
 	P     int       // number of processors
+
+	// peak caches the exact simulated peak memory when the constructing
+	// scheduler tracked it inline (peakKnown). The package's event-driven
+	// schedulers process releases and allocations in exactly the
+	// simulator's order, so their running resident maximum equals
+	// PeakMemory's replay — except around zero-duration tasks, whose
+	// atomic allocate-peak-release the simulator orders before same-time
+	// starts; schedulers therefore only cache on trees without
+	// zero-duration tasks (sequential schedules cache always: one task at
+	// a time keeps both models identical). A cached schedule is also
+	// overlap-free by construction — a processor re-enters the free pool
+	// only at a completion, so Evaluate can skip the per-processor check.
+	// Callers that mutate Start/Proc/P must clear the cache with
+	// Invalidate.
+	peak      int64
+	peakKnown bool
 }
+
+// Invalidate drops the cached peak-memory/validity metadata; call it after
+// mutating Start, Proc or P by hand.
+func (s *Schedule) Invalidate() { s.peakKnown = false; s.peak = 0 }
+
+// setPeak records an inline-tracked exact peak (schedulers only).
+func (s *Schedule) setPeak(p int64) { s.peak = p; s.peakKnown = true }
 
 // Makespan returns the completion time of the last task.
 func (s *Schedule) Makespan(t *tree.Tree) float64 {
@@ -65,27 +89,54 @@ func (s *Schedule) Validate(t *tree.Tree) error {
 			}
 		}
 	}
-	// Per-processor non-overlap.
-	byProc := make([][]int, s.P)
-	for i := 0; i < n; i++ {
-		byProc[s.Proc[i]] = append(byProc[s.Proc[i]], i)
+	// Per-processor non-overlap: one sort by (processor, start, duration)
+	// over a pooled index buffer, then adjacency checks within each
+	// processor's run. Zero-duration tasks sort before longer ones sharing
+	// their start, so they do not trip the overlap check.
+	vs := validatePool.Get().(*validateScratch)
+	if cap(vs.idx) < n {
+		vs.idx = make([]int32, n)
 	}
-	for p, tasks := range byProc {
-		// Order by start time; zero-duration tasks sort before longer ones
-		// sharing their start, so they do not trip the overlap check.
-		sort.Slice(tasks, func(a, b int) bool {
-			sa, sb := s.Start[tasks[a]], s.Start[tasks[b]]
-			if sa != sb {
-				return sa < sb
+	idx := vs.idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		if s.Proc[a] != s.Proc[b] {
+			return s.Proc[a] - s.Proc[b]
+		}
+		if sa, sb := s.Start[a], s.Start[b]; sa != sb {
+			if sa < sb {
+				return -1
 			}
-			return t.W(tasks[a]) < t.W(tasks[b])
-		})
-		for k := 1; k < len(tasks); k++ {
-			prev, cur := tasks[k-1], tasks[k]
-			if s.Start[cur]+timeEps < s.Start[prev]+t.W(prev) {
-				return fmt.Errorf("sched: tasks %d and %d overlap on processor %d", prev, cur, p)
+			return 1
+		}
+		if wa, wb := t.W(int(a)), t.W(int(b)); wa != wb {
+			if wa < wb {
+				return -1
 			}
+			return 1
+		}
+		return int(a) - int(b)
+	})
+	var err error
+	for k := 1; k < n; k++ {
+		prev, cur := int(idx[k-1]), int(idx[k])
+		if s.Proc[prev] != s.Proc[cur] {
+			continue
+		}
+		if s.Start[cur]+timeEps < s.Start[prev]+t.W(prev) {
+			err = fmt.Errorf("sched: tasks %d and %d overlap on processor %d", prev, cur, s.Proc[prev])
+			break
 		}
 	}
-	return nil
+	validatePool.Put(vs)
+	return err
 }
+
+// validateScratch recycles Validate's sort buffer: validation runs on
+// every service response and every portfolio candidate, so it must not
+// allocate per call.
+type validateScratch struct{ idx []int32 }
+
+var validatePool = sync.Pool{New: func() any { return new(validateScratch) }}

@@ -1,6 +1,6 @@
 package sched
 
-import "container/heap"
+import "sync"
 
 // splitKey orders subtree roots in SplitSubtrees: by non-increasing subtree
 // weight W, ties by non-increasing node weight w (paper Alg. 2), final ties
@@ -20,39 +20,137 @@ func (a splitKey) greater(b splitKey) bool {
 	return a.id < b.id
 }
 
+// maxKeyHeap and minKeyHeap are typed binary heaps over splitKey. They
+// deliberately do not implement container/heap: every container/heap
+// Push/Pop boxes the 24-byte key into an interface{}, which made the split
+// queue the dominant allocation site of the whole scheduling core.
 type maxKeyHeap []splitKey
 
-func (h maxKeyHeap) Len() int            { return len(h) }
-func (h maxKeyHeap) Less(i, j int) bool  { return h[i].greater(h[j]) }
-func (h maxKeyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxKeyHeap) Push(x interface{}) { *h = append(*h, x.(splitKey)) }
-func (h *maxKeyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *maxKeyHeap) push(x splitKey) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].greater(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *maxKeyHeap) pop() splitKey {
+	s := *h
+	x := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && s[r].greater(s[l]) {
+			m = r
+		}
+		if !s[m].greater(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return x
 }
 
 type minKeyHeap []splitKey
 
-func (h minKeyHeap) Len() int            { return len(h) }
-func (h minKeyHeap) Less(i, j int) bool  { return h[j].greater(h[i]) }
-func (h minKeyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minKeyHeap) Push(x interface{}) { *h = append(*h, x.(splitKey)) }
-func (h *minKeyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *minKeyHeap) push(x splitKey) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[parent].greater(s[i]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// remove deletes and returns the element at index i, restoring the heap.
+func (h *minKeyHeap) remove(i int) splitKey {
+	s := *h
+	x := s[i]
+	last := len(s) - 1
+	s[i] = s[last]
+	s = s[:last]
+	*h = s
+	if i == last {
+		return x
+	}
+	// Sift whichever direction restores the invariant.
+	j := i
+	for j > 0 && s[(j-1)/2].greater(s[j]) {
+		s[(j-1)/2], s[j] = s[j], s[(j-1)/2]
+		j = (j - 1) / 2
+	}
+	if j != i {
+		return x
+	}
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && s[m].greater(s[r]) {
+			m = r
+		}
+		if !s[i].greater(s[m]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return x
+}
+
+func (h *minKeyHeap) pop() splitKey { return h.remove(0) }
+
+// siftDown restores the invariant after s[i] grew (heap.Fix equivalent for
+// a replaced root).
+func (h minKeyHeap) siftDown(i int) {
+	s := h
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[m].greater(s[r]) {
+			m = r
+		}
+		if !s[i].greater(s[m]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 }
 
 // splitQueue is the priority queue of SplitSubtrees augmented with O(1)
 // access to the sum of the k heaviest subtree weights, so that the cost
 // C_max(s) of every candidate splitting is evaluated in O(k + log n). It
 // maintains the k largest keys in a min-heap (`top`) and the remainder in a
-// max-heap (`rest`); PopMax always removes from `top`.
+// max-heap (`rest`); PopMax always removes from `top`. Queues are recycled
+// through a pool — SplitSubtrees runs twice per ParSubtrees call and the
+// portfolio race runs ParSubtrees twice per tree.
 type splitQueue struct {
 	k      int
 	top    minKeyHeap
@@ -61,7 +159,20 @@ type splitQueue struct {
 	sumAll float64 // sum of W over top and rest
 }
 
-func newSplitQueue(k int) *splitQueue { return &splitQueue{k: k} }
+var splitQueuePool = sync.Pool{New: func() any { return new(splitQueue) }}
+
+func newSplitQueue(k int) *splitQueue {
+	q := splitQueuePool.Get().(*splitQueue)
+	q.k = k
+	q.top = q.top[:0]
+	q.rest = q.rest[:0]
+	q.sumTop = 0
+	q.sumAll = 0
+	return q
+}
+
+// release returns the queue's buffers to the pool.
+func (q *splitQueue) release() { splitQueuePool.Put(q) }
 
 func (q *splitQueue) Len() int { return len(q.top) + len(q.rest) }
 
@@ -76,19 +187,19 @@ func (q *splitQueue) SumTop() float64 { return q.sumTop }
 func (q *splitQueue) Push(x splitKey) {
 	q.sumAll += x.W
 	if len(q.top) < q.k {
-		heap.Push(&q.top, x)
+		q.top.push(x)
 		q.sumTop += x.W
 		return
 	}
 	if x.greater(q.top[0]) {
 		evicted := q.top[0]
 		q.top[0] = x
-		heap.Fix(&q.top, 0)
+		q.top.siftDown(0)
 		q.sumTop += x.W - evicted.W
-		heap.Push(&q.rest, evicted)
+		q.rest.push(evicted)
 		return
 	}
-	heap.Push(&q.rest, x)
+	q.rest.push(x)
 }
 
 // Max returns the globally heaviest root without removing it.
@@ -112,12 +223,12 @@ func (q *splitQueue) PopMax() splitKey {
 			best = i
 		}
 	}
-	x := heap.Remove(&q.top, best).(splitKey)
+	x := q.top.remove(best)
 	q.sumTop -= x.W
 	q.sumAll -= x.W
 	if len(q.rest) > 0 {
-		y := heap.Pop(&q.rest).(splitKey)
-		heap.Push(&q.top, y)
+		y := q.rest.pop()
+		q.top.push(y)
 		q.sumTop += y.W
 	}
 	return x

@@ -282,9 +282,11 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 		return s.runPortfolio(ctx, j)
 	}
 	t, p := j.tree, j.opts.Processors
-	// SelectFor computes the best postorder once; its peak is M_seq and the
-	// sequential/capped heuristics reuse the traversal instead of
-	// recomputing it per heuristic.
+	// SelectFor builds the request's sched.Precompute once on this worker:
+	// every heuristic below shares the same traversal, depths and priority
+	// rankings (and the pooled scheduler scratch is recycled across
+	// requests), so per-request CPU is one Liu DP plus the schedules
+	// themselves.
 	hs, memSeq, err := j.opts.SelectFor(t)
 	if err != nil { // unreachable: prepare validated the options
 		return &Response{ID: j.req.ID, Error: err.Error()}
@@ -304,14 +306,17 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 	for _, h := range hs {
 		hr := HeuristicResult{Heuristic: h.ID}
 		sc, err := h.Run(t, p)
+		var mk float64
+		var peak int64
 		if err == nil {
-			err = sc.Validate(t)
+			// One pooled pass validates and measures the schedule.
+			mk, peak, err = sched.Evaluate(t, sc)
 		}
 		if err != nil {
 			hr.Error = err.Error()
 		} else {
-			hr.Makespan = sc.Makespan(t)
-			hr.PeakMemory = sched.PeakMemory(t, sc)
+			hr.Makespan = mk
+			hr.PeakMemory = peak
 			if bounds.MakespanLB > 0 {
 				hr.MakespanRatio = hr.Makespan / bounds.MakespanLB
 			}

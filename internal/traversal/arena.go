@@ -1,0 +1,45 @@
+package traversal
+
+// ropeArena backs the node lists of Liu segments. A segment's node list is
+// a rope: a binary concatenation tree whose leaves are task ids. References
+// are int32: ref >= 0 indexes an internal arena node (a concatenation of
+// two ropes), ref < 0 encodes the single task id ^ref. Concatenation is one
+// append — O(1) — instead of the O(#chunks) slice-header copy of the old
+// [][]int representation, and the arena is reset (not freed) between trees
+// so a pooled traversal performs no per-segment allocation in steady state.
+type ropeArena struct {
+	left, right []int32
+}
+
+// leafRef encodes task id v as a rope reference.
+func leafRef(v int) int32 { return ^int32(v) }
+
+// concat returns a reference to the rope "x followed by y".
+func (a *ropeArena) concat(x, y int32) int32 {
+	a.left = append(a.left, x)
+	a.right = append(a.right, y)
+	return int32(len(a.left) - 1)
+}
+
+// reset drops all ropes but keeps the arena's capacity.
+func (a *ropeArena) reset() {
+	a.left = a.left[:0]
+	a.right = a.right[:0]
+}
+
+// appendNodes appends the task ids of rope ref to dst in order, using
+// stack as scratch; it returns the grown dst and the (re-usable) stack.
+func (a *ropeArena) appendNodes(ref int32, stack []int32, dst []int) ([]int, []int32) {
+	stack = append(stack[:0], ref)
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r < 0 {
+			dst = append(dst, int(^r))
+			continue
+		}
+		// Push right first so the left sub-rope is emitted first.
+		stack = append(stack, a.right[r], a.left[r])
+	}
+	return dst, stack
+}

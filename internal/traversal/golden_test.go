@@ -1,0 +1,86 @@
+package traversal_test
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"treesched/internal/dataset"
+	"treesched/internal/traversal"
+)
+
+// -update regenerates testdata/golden_orders.json. The checked-in file
+// was produced by the pre-refactor segment machinery, so the test pins
+// the arena rewrite to the exact node orders of the original code.
+var updateGolden = flag.Bool("update", false, "rewrite golden traversal hashes")
+
+func orderHash(r traversal.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.Peak))
+	h.Write(buf[:])
+	for _, v := range r.Order {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestGoldenTraversalOrders locks BestPostOrder and Optimal to the exact
+// node orders (not just peaks) they emitted before the zero-allocation
+// rewrite.
+func TestGoldenTraversalOrders(t *testing.T) {
+	insts, err := dataset.Collection(dataset.Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string)
+	for _, inst := range insts {
+		got[inst.Name+"/best_postorder"] = orderHash(traversal.BestPostOrder(inst.Tree))
+		got[inst.Name+"/natural_postorder"] = orderHash(traversal.NaturalPostOrder(inst.Tree))
+		got[inst.Name+"/optimal"] = orderHash(traversal.Optimal(inst.Tree))
+	}
+
+	path := filepath.Join("testdata", "golden_orders.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden hashes to %s", len(got), path)
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, computed %d", len(want), len(got))
+	}
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if want[k] != got[k] {
+			t.Errorf("%s: traversal changed (golden %s, got %s)", k, want[k], got[k])
+		}
+	}
+}

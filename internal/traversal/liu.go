@@ -1,12 +1,14 @@
 package traversal
 
 import (
-	"sort"
+	"math"
+	"slices"
+	"sync"
 
 	"treesched/internal/tree"
 )
 
-// segment is one hill–valley segment of a traversal's memory profile,
+// lseg is one hill–valley segment of a traversal's memory profile,
 // relative to the memory level at the segment's start:
 //
 //	P = rise to the segment's internal peak (hill - start), P >= 0
@@ -14,38 +16,75 @@ import (
 //	    segments of a valley decomposition (the final segment of a subtree
 //	    may be produced with D < 0 before re-decomposition).
 //
-// chunks holds the nodes of the segment as a list of immutable slices, so
-// concatenation shares structure instead of copying nodes.
-type segment struct {
-	P, D   int64
-	chunks [][]int
+// rope references the segment's node list in the traversal's ropeArena, so
+// concatenation is O(1) instead of copying chunk headers.
+type lseg struct {
+	P, D int64
+	rope int32
 }
 
 // prio is the sort key of Liu's merge: segments are emitted in
 // non-increasing P-D.
-func (s segment) prio() int64 { return s.P - s.D }
+func (s lseg) prio() int64 { return s.P - s.D }
 
-// concat merges b after a into a single segment.
-func concat(a, b segment) segment {
+// lgroup is a run of consecutive atomic segments of one child that must be
+// emitted as a unit to keep priorities non-increasing within the child. It
+// references its atoms as the contiguous range [lo, hi) of the per-node
+// flat atoms buffer — groups only ever merge with their neighbours, so the
+// range stays contiguous and no atom is ever copied during grouping.
+type lgroup struct {
+	p, d   int64
+	lo, hi int32
+}
+
+func (g lgroup) prio() int64 { return g.p - g.d }
+
+// liuScratch is the pooled working set of one Optimal call.
+type liuScratch struct {
+	arena  ropeArena
+	segs   [][]lseg // valley decomposition per subtree, freed to free
+	free   [][]lseg // capacity recycled from consumed children
+	atoms  []lseg   // per-node flat buffer of the children's segments
+	groups []lgroup
+	merged []lseg
+	valley []int64
+	cut    []bool
+	rstack []int32 // rope emission stack
+}
+
+var liuPool = sync.Pool{New: func() any { return new(liuScratch) }}
+
+func (sc *liuScratch) reset(n int) {
+	sc.arena.reset()
+	if cap(sc.segs) < n {
+		sc.segs = make([][]lseg, n)
+	}
+	sc.segs = sc.segs[:n]
+	clear(sc.segs)
+	// sc.free is deliberately kept: the segment slices released by the
+	// previous traversal seed this one's allocations.
+	sc.atoms = sc.atoms[:0]
+}
+
+// grab returns an empty segment slice, reusing capacity released by a
+// consumed child when available.
+func (sc *liuScratch) grab() []lseg {
+	if k := len(sc.free); k > 0 {
+		s := sc.free[k-1]
+		sc.free = sc.free[:k-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// concatSeg merges b after a into a single segment (O(1) via the arena).
+func concatSeg(a, b lseg, ar *ropeArena) lseg {
 	p := a.P
 	if q := a.D + b.P; q > p {
 		p = q
 	}
-	return segment{
-		P:      p,
-		D:      a.D + b.D,
-		chunks: append(append(make([][]int, 0, len(a.chunks)+len(b.chunks)), a.chunks...), b.chunks...),
-	}
+	return lseg{P: p, D: a.D + b.D, rope: ar.concat(a.rope, b.rope)}
 }
-
-// group is a run of consecutive atomic segments of one child that must be
-// emitted as a unit to keep priorities non-increasing within the child.
-type group struct {
-	p, d  int64 // combined P and D of the run
-	atoms []segment
-}
-
-func (g group) prio() int64 { return g.p - g.d }
 
 // Optimal computes a peak-memory-optimal sequential traversal using Liu's
 // generalized pebbling algorithm (Liu 1987): the optimal traversal of a
@@ -54,40 +93,53 @@ func (g group) prio() int64 { return g.p - g.d }
 // segments and emitting segments in non-increasing (hill - valley). Runs of
 // segments whose priorities would increase within a child are grouped first
 // (the combined segment dominates). Worst-case O(n²), typically much less.
+// All working memory — segment lists, grouping buffers, the rope arena of
+// node lists — is pooled and recycled across calls.
 func Optimal(t *tree.Tree) Result {
 	n := t.Len()
 	if n == 0 {
 		return Result{}
 	}
-	segs := make([][]segment, n) // valley decomposition of each subtree
+	sc := liuPool.Get().(*liuScratch)
+	sc.reset(n)
 	for _, v := range t.TopOrder() {
 		cs := t.Children(v)
 		// The node's own step: memory rises by n_v+f_v above the level where
 		// all children outputs are resident, then settles to f_v.
-		own := segment{
-			P:      t.N(v) + t.F(v),
-			D:      t.F(v) - t.InSize(v),
-			chunks: [][]int{{v}},
-		}
+		own := lseg{P: t.N(v) + t.F(v), D: t.F(v) - t.InSize(v), rope: leafRef(v)}
 		if len(cs) == 0 {
-			segs[v] = redecompose([]segment{own})
+			sc.merged = append(sc.merged[:0], own)
+			sc.segs[v] = sc.redecompose(sc.merged, sc.grab())
 			continue
 		}
-		// Group each child's segments, collect, and sort by priority.
-		var groups []group
+		// Group each child's segments into the flat atoms buffer, then sort
+		// the groups by non-increasing priority (ascending lo breaks ties,
+		// which is exactly the old stable sort: lo increases in append
+		// order).
+		sc.atoms = sc.atoms[:0]
+		sc.groups = sc.groups[:0]
 		for _, c := range cs {
-			groups = appendGroups(groups, segs[c])
-			segs[c] = nil // release
+			sc.appendGroups(sc.segs[c])
+			sc.free = append(sc.free, sc.segs[c])
+			sc.segs[c] = nil // release
 		}
-		sort.SliceStable(groups, func(a, b int) bool { return groups[a].prio() > groups[b].prio() })
-		merged := make([]segment, 0, len(groups)+1)
-		for _, g := range groups {
-			merged = append(merged, g.atoms...)
+		slices.SortFunc(sc.groups, func(a, b lgroup) int {
+			if pa, pb := a.prio(), b.prio(); pa != pb {
+				if pa > pb {
+					return -1
+				}
+				return 1
+			}
+			return int(a.lo) - int(b.lo)
+		})
+		sc.merged = sc.merged[:0]
+		for _, g := range sc.groups {
+			sc.merged = append(sc.merged, sc.atoms[g.lo:g.hi]...)
 		}
-		merged = append(merged, own)
-		segs[v] = redecompose(merged)
+		sc.merged = append(sc.merged, own)
+		sc.segs[v] = sc.redecompose(sc.merged, sc.grab())
 	}
-	rootSegs := segs[t.Root()]
+	rootSegs := sc.segs[t.Root()]
 	order := make([]int, 0, n)
 	var base, peak int64
 	for _, s := range rootSegs {
@@ -95,24 +147,29 @@ func Optimal(t *tree.Tree) Result {
 			peak = q
 		}
 		base += s.D
-		for _, ch := range s.chunks {
-			order = append(order, ch...)
-		}
+		order, sc.rstack = sc.arena.appendNodes(s.rope, sc.rstack, order)
 	}
+	sc.free = append(sc.free, rootSegs)
+	sc.segs[t.Root()] = nil
+	liuPool.Put(sc)
 	return Result{Order: order, Peak: peak}
 }
 
-// appendGroups appends the grouping of one child's atomic segments to dst.
-// Within a child the emitted groups have non-increasing priority: whenever a
-// later segment has strictly higher priority than the group before it, the
-// two are merged (emitting the pair as a unit is never worse — the standard
-// chain-coarsening argument).
-func appendGroups(dst []group, atoms []segment) []group {
-	start := len(dst)
+// appendGroups appends one child's atomic segments to the atoms buffer and
+// their grouping to the groups buffer. Within a child the emitted groups
+// have non-increasing priority: whenever a later segment has strictly
+// higher priority than the group before it, the two are merged (emitting
+// the pair as a unit is never worse — the standard chain-coarsening
+// argument). Merged groups are adjacent, so every group stays a contiguous
+// [lo, hi) range of atoms.
+func (sc *liuScratch) appendGroups(atoms []lseg) {
+	start := len(sc.groups)
 	for _, s := range atoms {
-		dst = append(dst, group{p: s.P, d: s.D, atoms: []segment{s}})
-		for len(dst)-start >= 2 {
-			a, b := dst[len(dst)-2], dst[len(dst)-1]
+		i := int32(len(sc.atoms))
+		sc.atoms = append(sc.atoms, s)
+		sc.groups = append(sc.groups, lgroup{p: s.P, d: s.D, lo: i, hi: i + 1})
+		for len(sc.groups)-start >= 2 {
+			a, b := sc.groups[len(sc.groups)-2], sc.groups[len(sc.groups)-1]
 			if b.prio() <= a.prio() {
 				break
 			}
@@ -120,48 +177,52 @@ func appendGroups(dst []group, atoms []segment) []group {
 			if q := a.d + b.p; q > p {
 				p = q
 			}
-			dst = dst[:len(dst)-2]
-			dst = append(dst, group{p: p, d: a.d + b.d, atoms: append(append([]segment(nil), a.atoms...), b.atoms...)})
+			sc.groups = sc.groups[:len(sc.groups)-2]
+			sc.groups = append(sc.groups, lgroup{p: p, d: a.d + b.d, lo: a.lo, hi: b.hi})
 		}
 	}
-	return dst
 }
 
 // redecompose cuts a concatenation of segments at the successive minima of
 // its valley profile, producing atomic segments with strictly increasing
 // absolute valleys (hence D >= 0 everywhere). Valleys inside input segments
 // never need to be cut: within an atomic segment all interior levels are at
-// least the end level, and the inputs are atomic or end the profile.
-func redecompose(in []segment) []segment {
+// least the end level, and the inputs are atomic or end the profile. The
+// result is appended to out (whose capacity is recycled); in is not
+// retained.
+func (sc *liuScratch) redecompose(in []lseg, out []lseg) []lseg {
 	m := len(in)
+	if cap(sc.valley) < m {
+		sc.valley = make([]int64, m)
+		sc.cut = make([]bool, m)
+	}
+	valley := sc.valley[:m]
+	cut := sc.cut[:m]
 	// Absolute valley after each input segment.
-	valley := make([]int64, m)
 	var base int64
 	for i, s := range in {
 		base += s.D
 		valley[i] = base
 	}
-	// suffixMin[i] = min valley over [i, m).
-	suffixMin := make([]int64, m+1)
-	suffixMin[m] = int64(1) << 62
-	for i := m - 1; i >= 0; i-- {
-		suffixMin[i] = valley[i]
-		if suffixMin[i+1] < suffixMin[i] {
-			suffixMin[i] = suffixMin[i+1]
+	// Cut after segment i-1 iff its valley is strictly below everything
+	// that follows (the last occurrence of the running minimum). The
+	// running minimum starts at MaxInt64 — not 1<<62, which legal valleys
+	// near 2⁶² could undershoot.
+	runMin := int64(math.MaxInt64)
+	for i := m - 1; i >= 1; i-- {
+		if valley[i] < runMin {
+			runMin = valley[i]
 		}
+		cut[i] = valley[i-1] < runMin
 	}
-	out := make([]segment, 0, 4)
 	cur := in[0]
 	for i := 1; i < m; i++ {
-		// Cut after segment i-1 iff its valley is strictly below everything
-		// that follows (the last occurrence of the running minimum).
-		if valley[i-1] < suffixMin[i] {
+		if cut[i] {
 			out = append(out, cur)
 			cur = in[i]
 		} else {
-			cur = concat(cur, in[i])
+			cur = concatSeg(cur, in[i], &sc.arena)
 		}
 	}
-	out = append(out, cur)
-	return out
+	return append(out, cur)
 }

@@ -1,7 +1,8 @@
 package traversal
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"treesched/internal/tree"
 )
@@ -12,10 +13,126 @@ type Result struct {
 	Peak  int64 // peak memory of executing Order sequentially
 }
 
+// postScratch holds the per-call working set of the postorder DP: the flat
+// children arena (kids/off), the per-node peaks and sort keys, and the
+// emission stack. It is recycled through postPool so steady-state calls
+// allocate only their result.
+type postScratch struct {
+	peaks []int64 // per-node best-postorder subtree peak
+	key   []int64 // per-node sort key: peaks[v] - f_v
+	off   []int32 // off[v]..off[v+1] delimit v's children in kids
+	kids  []int32 // children in visit order, one flat arena
+	stack []int64 // emission frames, packed node<<32|kidIndex
+}
+
+var postPool = sync.Pool{New: func() any { return new(postScratch) }}
+
+func (sc *postScratch) ensure(n int) {
+	if cap(sc.peaks) < n {
+		sc.peaks = make([]int64, n)
+		sc.key = make([]int64, n)
+		sc.off = make([]int32, n+1)
+		sc.kids = make([]int32, n)
+	}
+	sc.peaks = sc.peaks[:n]
+	sc.key = sc.key[:n]
+	sc.off = sc.off[:n+1]
+	sc.kids = sc.kids[:n]
+}
+
+// fillChildren lays every node's children out contiguously in kids, in
+// ascending-id order (the construction order of tree.Tree).
+func fillChildren(t *tree.Tree, off, kids []int32) {
+	n := t.Len()
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		off[v] = pos
+		for _, c := range t.Children(v) {
+			kids[pos] = int32(c)
+			pos++
+		}
+	}
+	off[n] = pos
+}
+
+// sortKidsByKey orders one children range by non-increasing key, ascending
+// id on ties — exactly the strict weak order of Liu's child rule, with the
+// tie-break the old stable sort over ascending-id children produced.
+// Insertion sort handles the common small fan-out without function calls.
+func sortKidsByKey(rng []int32, key []int64) {
+	if len(rng) <= 20 {
+		for i := 1; i < len(rng); i++ {
+			c := rng[i]
+			k := key[c]
+			j := i - 1
+			for j >= 0 && (key[rng[j]] < k || (key[rng[j]] == k && rng[j] > c)) {
+				rng[j+1] = rng[j]
+				j--
+			}
+			rng[j+1] = c
+		}
+		return
+	}
+	slices.SortFunc(rng, func(a, b int32) int {
+		if ka, kb := key[a], key[b]; ka != kb {
+			if ka > kb {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b)
+	})
+}
+
+// fillPostDP runs Liu's best-postorder DP bottom-up: children of every node
+// are (optionally) reordered in place by non-increasing peak_j - f_j, and
+// peaks[v] becomes the postorder peak of the subtree rooted at v.
+func fillPostDP(t *tree.Tree, peaks, key []int64, off, kids []int32, sortChildren bool) {
+	for _, v := range t.TopOrder() { // children before parents
+		rng := kids[off[v]:off[v+1]]
+		if sortChildren && len(rng) > 1 {
+			sortKidsByKey(rng, key)
+		}
+		var resident, pk int64
+		for _, c := range rng {
+			if q := resident + peaks[c]; q > pk {
+				pk = q
+			}
+			resident += t.F(int(c))
+		}
+		if q := resident + t.N(v) + t.F(v); q > pk {
+			pk = q
+		}
+		peaks[v] = pk
+		key[v] = pk - t.F(v)
+	}
+}
+
+// emitAppend appends the postorder rooted at root (children visited in
+// kids order) to dst with an explicit stack (trees can be very deep).
+func emitAppend(root int, off, kids []int32, stack []int64, dst []int) ([]int, []int64) {
+	stack = append(stack[:0], int64(root)<<32|int64(off[root]))
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		v := int(fr >> 32)
+		k := int32(fr)
+		if k < off[v+1] {
+			stack[len(stack)-1] = fr + 1 // advance this frame's child cursor
+			c := kids[k]
+			stack = append(stack, int64(c)<<32|int64(off[c]))
+			continue
+		}
+		dst = append(dst, v)
+		stack = stack[:len(stack)-1]
+	}
+	return dst, stack
+}
+
 // BestPostOrder computes the memory-optimal postorder traversal (Liu 1986):
 // at every node, subtrees are visited in non-increasing (peak_j - f_j).
 // This is the reference sequential memory M_seq used throughout the paper's
-// evaluation (§6.1). O(n log n).
+// evaluation (§6.1). O(n log n). Steady state it allocates only the
+// returned order; all working memory is pooled.
 func BestPostOrder(t *tree.Tree) Result {
 	return postOrder(t, true)
 }
@@ -32,47 +149,16 @@ func postOrder(t *tree.Tree, sortChildren bool) Result {
 	if n == 0 {
 		return Result{}
 	}
-	peak := make([]int64, n)         // subtree postorder peak
-	sorted := make([][]int, n)       // children in visit order
-	for _, v := range t.TopOrder() { // children before parents
-		cs := t.Children(v)
-		vis := make([]int, len(cs))
-		copy(vis, cs)
-		if sortChildren && len(vis) > 1 {
-			sort.SliceStable(vis, func(a, b int) bool {
-				return peak[vis[a]]-t.F(vis[a]) > peak[vis[b]]-t.F(vis[b])
-			})
-		}
-		sorted[v] = vis
-		var resident, pk int64
-		for _, c := range vis {
-			if q := resident + peak[c]; q > pk {
-				pk = q
-			}
-			resident += t.F(c)
-		}
-		if q := resident + t.N(v) + t.F(v); q > pk {
-			pk = q
-		}
-		peak[v] = pk
-	}
-	// Emit the postorder with an explicit stack (trees can be very deep).
+	sc := postPool.Get().(*postScratch)
+	sc.ensure(n)
+	fillChildren(t, sc.off, sc.kids)
+	fillPostDP(t, sc.peaks, sc.key, sc.off, sc.kids, sortChildren)
 	order := make([]int, 0, n)
-	type frame struct{ v, next int }
-	stack := make([]frame, 0, 64)
-	stack = append(stack, frame{t.Root(), 0})
-	for len(stack) > 0 {
-		fr := &stack[len(stack)-1]
-		if fr.next < len(sorted[fr.v]) {
-			c := sorted[fr.v][fr.next]
-			fr.next++
-			stack = append(stack, frame{c, 0})
-			continue
-		}
-		order = append(order, fr.v)
-		stack = stack[:len(stack)-1]
-	}
-	return Result{Order: order, Peak: peak[t.Root()]}
+	order, stack := emitAppend(t.Root(), sc.off, sc.kids, sc.stack, order)
+	sc.stack = stack
+	peak := sc.peaks[t.Root()]
+	postPool.Put(sc)
+	return Result{Order: order, Peak: peak}
 }
 
 // PostOrderPeaks returns, for every node v, the peak memory of the best
@@ -80,28 +166,100 @@ func postOrder(t *tree.Tree, sortChildren bool) Result {
 // equals BestPostOrder(t).Peak.
 func PostOrderPeaks(t *tree.Tree) []int64 {
 	n := t.Len()
-	peak := make([]int64, n)
-	buf := make([]int, 0, 16)
-	for _, v := range t.TopOrder() {
-		cs := t.Children(v)
-		buf = buf[:0]
-		buf = append(buf, cs...)
-		if len(buf) > 1 {
-			sort.SliceStable(buf, func(a, b int) bool {
-				return peak[buf[a]]-t.F(buf[a]) > peak[buf[b]]-t.F(buf[b])
-			})
-		}
-		var resident, pk int64
-		for _, c := range buf {
-			if q := resident + peak[c]; q > pk {
-				pk = q
-			}
-			resident += t.F(c)
-		}
-		if q := resident + t.N(v) + t.F(v); q > pk {
-			pk = q
-		}
-		peak[v] = pk
+	out := make([]int64, n)
+	if n == 0 {
+		return out
 	}
-	return peak
+	sc := postPool.Get().(*postScratch)
+	sc.ensure(n)
+	fillChildren(t, sc.off, sc.kids)
+	fillPostDP(t, sc.peaks, sc.key, sc.off, sc.kids, true)
+	copy(out, sc.peaks)
+	postPool.Put(sc)
+	return out
+}
+
+// PostOrderIndex is the whole-tree product of the best-postorder DP, kept
+// for sharing across schedulers: the optimal postorder and its peak
+// (M_seq), the per-node subtree peaks, and the visit-ordered children
+// arena, from which the best postorder of ANY subtree can be emitted
+// without re-running the DP (the child rule is subtree-local).
+//
+// An index is immutable after construction and safe for concurrent use;
+// it is the backbone of sched.Precompute.
+type PostOrderIndex struct {
+	Order []int   // best postorder of the whole tree
+	Peak  int64   // M_seq, the sequential peak of Order
+	Peaks []int64 // per-node subtree postorder peaks
+
+	off  []int32 // children offsets, ascending-id tie-breaks
+	kids []int32 // children in visit order
+
+	// descKids is kids with every run of equal-key siblings reversed
+	// (descending-id tie-breaks), built lazily for subtree emission — see
+	// AppendSubtreeOrder.
+	descOnce sync.Once
+	descKids []int32
+}
+
+// NewPostOrderIndex runs the best-postorder DP once and retains its
+// products. Unlike BestPostOrder, the working arrays are owned by the
+// returned index (they must outlive the call), so only the ephemeral
+// emission stack is pooled.
+func NewPostOrderIndex(t *tree.Tree) *PostOrderIndex {
+	n := t.Len()
+	ix := &PostOrderIndex{}
+	if n == 0 {
+		return ix
+	}
+	ix.Peaks = make([]int64, n)
+	ix.off = make([]int32, n+1)
+	ix.kids = make([]int32, n)
+	fillChildren(t, ix.off, ix.kids)
+
+	sc := postPool.Get().(*postScratch)
+	sc.ensure(n)
+	fillPostDP(t, ix.Peaks, sc.key, ix.off, ix.kids, true)
+	ix.Order = make([]int, 0, n)
+	ix.Order, sc.stack = emitAppend(t.Root(), ix.off, ix.kids, sc.stack, ix.Order)
+	ix.Peak = ix.Peaks[t.Root()]
+	postPool.Put(sc)
+	return ix
+}
+
+// AppendSubtreeOrder appends the memory-optimal postorder of the subtree
+// rooted at r to dst and returns it. Equal-priority siblings are visited
+// in descending id: this reproduces, exactly, the order the historical
+// implementation obtained by extracting the subtree with tree.Subtree
+// (whose preorder relabeling reverses sibling order) and re-running
+// BestPostOrder on it — so ParSubtrees schedules stay byte-identical
+// while skipping the extraction and the per-subtree DP entirely.
+func (ix *PostOrderIndex) AppendSubtreeOrder(t *tree.Tree, r int, dst []int) []int {
+	ix.descOnce.Do(func() { ix.buildDescKids(t) })
+	sc := postPool.Get().(*postScratch)
+	dst, stack := emitAppend(r, ix.off, ix.descKids, sc.stack, dst)
+	sc.stack = stack
+	postPool.Put(sc)
+	return dst
+}
+
+func (ix *PostOrderIndex) buildDescKids(t *tree.Tree) {
+	desc := make([]int32, len(ix.kids))
+	copy(desc, ix.kids)
+	n := t.Len()
+	for v := 0; v < n; v++ {
+		rng := desc[ix.off[v]:ix.off[v+1]]
+		for i := 0; i < len(rng); {
+			ki := ix.Peaks[rng[i]] - t.F(int(rng[i]))
+			j := i + 1
+			for j < len(rng) && ix.Peaks[rng[j]]-t.F(int(rng[j])) == ki {
+				j++
+			}
+			for a, b := i, j-1; a < b; a, b = a+1, b-1 {
+				rng[a], rng[b] = rng[b], rng[a]
+			}
+			i = j
+		}
+	}
+	ix.descKids = desc
 }

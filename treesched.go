@@ -190,6 +190,27 @@ func MemCappedBooking(t *Tree, p int, cap int64) (*Schedule, error) {
 // ParSubtrees (paper Alg. 2, Lemma 1).
 func SplitSubtrees(t *Tree, p int) Splitting { return sched.SplitSubtrees(t, p) }
 
+// Precompute is the shared per-tree scheduling context: Liu's
+// memory-optimal postorder, M_seq, depths and the per-heuristic priority
+// rankings, computed once per tree and safe for concurrent use. Build one
+// with NewPrecompute when scheduling the same tree more than once (several
+// heuristics, repeated calls, different processor counts) and call its
+// methods (ParInnerFirst, MemCapped, Run, …) instead of the package-level
+// functions, which construct a throwaway context per call.
+type Precompute = sched.Precompute
+
+// NewPrecompute builds the shared scheduling context for t. O(n log n),
+// amortized across every schedule subsequently produced from it.
+func NewPrecompute(t *Tree) *Precompute { return sched.NewPrecompute(t) }
+
+// Evaluate validates s against t and returns its makespan and exact
+// simulated peak memory in one pooled pass — the cheapest way to measure
+// a schedule (schedules produced by this module's schedulers carry an
+// inline-tracked peak and evaluate in O(n) without the event replay).
+func Evaluate(t *Tree, s *Schedule) (makespan float64, peak int64, err error) {
+	return sched.Evaluate(t, s)
+}
+
 // Heuristics returns the paper's four heuristics in Table 1 order.
 func Heuristics() []Heuristic { return sched.Heuristics() }
 
