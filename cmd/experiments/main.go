@@ -6,6 +6,7 @@
 //	experiments -scale quick -table1               # just Table 1, fast
 //	experiments -ablation                          # E12: leaf-order ablation
 //	experiments -memcap                            # E13: memory-cap sweep
+//	experiments -hetero                            # E18: heterogeneous machines
 //
 // Outputs: human-readable summaries on stdout; per-figure CSV point clouds
 // and crosses under -out (if set).
@@ -34,10 +35,11 @@ func main() {
 		fig8   = flag.Bool("fig8", false, "run only Figure 8")
 		ablate = flag.Bool("ablation", false, "run only the leaf-order ablation (E12)")
 		memcap = flag.Bool("memcap", false, "run only the memory-cap sweep (E13)")
+		hetero = flag.Bool("hetero", false, "run only the heterogeneous-machine study (E18)")
 		byp    = flag.Bool("byp", false, "additionally break Table 1 down per processor count")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig6 || *fig7 || *fig8 || *ablate || *memcap)
+	all := !(*table1 || *fig6 || *fig7 || *fig8 || *ablate || *memcap || *hetero)
 
 	sc := dataset.Standard
 	switch *scale {
@@ -125,6 +127,9 @@ func main() {
 	}
 	if all || *memcap {
 		runMemCapSweep(insts)
+	}
+	if all || *hetero {
+		runHetero(insts)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"treesched/internal/machine"
 	"treesched/internal/sched"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
@@ -37,10 +38,14 @@ type CoreEntry struct {
 
 // CoreReport is the JSON document of the core suite.
 type CoreReport struct {
-	Scale      string      `json:"scale"`
-	Seed       int64       `json:"seed"`
-	Processors int         `json:"processors"`
-	Entries    []CoreEntry `json:"entries"`
+	Scale      string `json:"scale"`
+	Seed       int64  `json:"seed"`
+	Processors int    `json:"processors"`
+	// Machine is the canonical heterogeneous spec of the */het rows, which
+	// benchmark the speed-aware scheduler paths on a related-machines
+	// model of the same processor count.
+	Machine string      `json:"machine"`
+	Entries []CoreEntry `json:"entries"`
 	// SchedulesPerSec aggregates the scheduler benches (ParSubtrees,
 	// ParInnerFirst, ParDeepestFirst, Sequential, MemCappedBooking):
 	// schedules produced per second of pure scheduling time.
@@ -60,7 +65,7 @@ var schedulerBenches = map[string]bool{
 	"MemCappedBooking": true,
 }
 
-func coreMain(scale string, seed int64, out, baseline string, maxratio float64) {
+func coreMain(scale string, seed int64, machSpec, out, baseline string, maxratio float64) {
 	var sizes []int
 	var budget time.Duration
 	switch scale {
@@ -71,10 +76,18 @@ func coreMain(scale string, seed int64, out, baseline string, maxratio float64) 
 	default:
 		fatal(fmt.Errorf("unknown scale %q (quick or standard)", scale))
 	}
+	het, err := machine.ParseSpec(machSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if het.P() != coreProcs {
+		fatal(fmt.Errorf("core suite -machine must declare %d processors to compare against the uniform rows, got %d", coreProcs, het.P()))
+	}
 	rep := &CoreReport{
 		Scale:             scale,
 		Seed:              seed,
 		Processors:        coreProcs,
+		Machine:           het.Spec(),
 		MeanNsByBench:     make(map[string]float64),
 		MeanAllocsByBench: make(map[string]float64),
 	}
@@ -104,6 +117,10 @@ func coreMain(scale string, seed int64, out, baseline string, maxratio float64) 
 			}
 			sSim := cloneSchedule(sPeak)
 			sSim.Invalidate() // force the event-replay path of PeakMemory
+			sHet, err := pc.ParInnerFirstOn(het)
+			if err != nil {
+				fatal(err)
+			}
 			benches := []struct {
 				name string
 				run  func()
@@ -118,6 +135,14 @@ func coreMain(scale string, seed int64, out, baseline string, maxratio float64) 
 				{"MemCappedBooking", func() { mustRun(pc.MemCappedBooking(coreProcs, cap2)) }},
 				{"PeakMemory", func() { sched.PeakMemory(t, sSim) }},
 				{"Evaluate", func() { mustEval(t, sPeak) }},
+				// Heterogeneous rows: the same hot paths with speed-aware
+				// processor picks and scaled durations, gated alongside the
+				// uniform rows.
+				{"ParSubtrees/het", func() { mustRun(pc.ParSubtreesOn(het)) }},
+				{"ParInnerFirst/het", func() { mustRun(pc.ParInnerFirstOn(het)) }},
+				{"ParDeepestFirst/het", func() { mustRun(pc.ParDeepestFirstOn(het)) }},
+				{"MemCappedBooking/het", func() { mustRun(pc.MemCappedBookingOn(het, cap2)) }},
+				{"Evaluate/het", func() { mustEval(t, sHet) }},
 			}
 			for _, b := range benches {
 				nsOp, allocsOp := measure(b.run, budget)
@@ -254,6 +279,9 @@ func coreGate(rep *CoreReport, path string, maxratio float64) error {
 	if base.Scale != rep.Scale || base.Seed != rep.Seed || base.Processors != rep.Processors {
 		return fmt.Errorf("baseline %s is %s scale seed %d p%d; this run is %s scale seed %d p%d",
 			path, base.Scale, base.Seed, base.Processors, rep.Scale, rep.Seed, rep.Processors)
+	}
+	if base.Machine != "" && base.Machine != rep.Machine {
+		return fmt.Errorf("baseline %s benchmarks machine %q; this run used %q", path, base.Machine, rep.Machine)
 	}
 	for bench, baseNs := range base.MeanNsByBench {
 		if ns, ok := rep.MeanNsByBench[bench]; ok && baseNs > 0 && ns > maxratio*baseNs {

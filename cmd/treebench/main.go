@@ -94,6 +94,7 @@ func main() {
 		maxratio  = flag.Float64("maxratio", 2, "fail when the suite's gated metrics regress by more than this factor")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile at suite end to this file")
+		machSpec  = flag.String("machine", "4x1.0+4x0.5", "heterogeneous machine spec for the core suite's */het rows (same processor count as the uniform rows)")
 	)
 	flag.Parse()
 	if *quick {
@@ -130,7 +131,7 @@ func main() {
 		forestMain(*scale, *seed, *out, *baseline, *maxratio)
 		return
 	case "core":
-		coreMain(*scale, *seed, *out, *baseline, *maxratio)
+		coreMain(*scale, *seed, *machSpec, *out, *baseline, *maxratio)
 		return
 	case "portfolio":
 	default:

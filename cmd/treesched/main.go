@@ -6,10 +6,12 @@
 //
 //	treesched -in tree.txt -p 8                  # all four heuristics
 //	treesched -in tree.txt -p 8 -heuristic ParDeepestFirst
+//	treesched -in tree.txt -machine 2x1.0+2x0.5  # heterogeneous (related) processors
 //	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
 //	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
 //	treesched -in tree.txt -p 8 -objective makespan_under_memcap:1.5
 //	treesched -forest trace.ndjson -p 8 -policy sjf -capfactor 2
+//	treesched -forest trace.ndjson -machine 2x1.0+2x0.5 -policy sjf
 //
 // The -forest mode simulates an NDJSON job trace (see `treegen -forest`)
 // on one shared p-processor machine under a global memory cap, with
@@ -26,6 +28,7 @@ import (
 	"text/tabwriter"
 
 	"treesched/internal/forest"
+	"treesched/internal/machine"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/traversal"
@@ -36,6 +39,7 @@ func main() {
 	var (
 		in        = flag.String("in", "", "input tree file (treegen format); required")
 		p         = flag.Int("p", 2, "number of processors")
+		machSpec  = flag.String("machine", "", `machine spec ("4" or "2x1.0+2x0.5" for heterogeneous speeds); overrides -p`)
 		name      = flag.String("heuristic", "all", "heuristic name or 'all'")
 		memcap    = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
@@ -48,8 +52,22 @@ func main() {
 		capFactor = flag.Float64("capfactor", 2, "forest memory cap as a multiple of the trace's largest M_seq (when -mem is 0)")
 	)
 	flag.Parse()
+	var mach *machine.Model
+	if *machSpec != "" {
+		var err error
+		mach, err = machine.ParseSpec(*machSpec)
+		if err != nil {
+			fatal(err)
+		}
+		*p = mach.P()
+	} else {
+		if *p < 1 {
+			fatal(fmt.Errorf("p must be >= 1, got %d", *p))
+		}
+		mach = machine.Uniform(*p)
+	}
 	if *forestIn != "" {
-		runForest(*forestIn, *p, *policy, *mem, *capFactor)
+		runForest(*forestIn, mach, *policy, *mem, *capFactor)
 		return
 	}
 	if *in == "" {
@@ -67,16 +85,16 @@ func main() {
 		fatal(err)
 	}
 
-	msLB := sched.MakespanLowerBound(t, *p)
+	msLB := sched.MakespanLowerBoundOn(t, mach)
 	memLB := sched.MemoryLowerBound(t)
 	opt := traversal.Optimal(t)
 	fmt.Printf("tree: %d nodes, %d leaves, height %d, max degree %d\n",
 		t.Len(), t.NumLeaves(), t.Height(), t.MaxDegree())
-	fmt.Printf("p=%d  makespan LB %.6g  sequential postorder memory %d  optimal sequential memory %d\n\n",
-		*p, msLB, memLB, opt.Peak)
+	fmt.Printf("machine %s (p=%d)  makespan LB %.6g  sequential postorder memory %d  optimal sequential memory %d\n\n",
+		mach.Spec(), *p, msLB, memLB, opt.Peak)
 
 	if *runPort || *objective != "" {
-		runPortfolio(t, *p, *objective, *memcap)
+		runPortfolio(t, mach, *objective, *memcap)
 		return
 	}
 
@@ -96,7 +114,7 @@ func main() {
 	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
 	var charts []string
 	for _, h := range hs {
-		s, err := h.Run(t, *p)
+		s, err := h.RunOn(t, mach)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,13 +127,14 @@ func main() {
 		}
 	}
 	if *memcap > 0 {
+		pc := sched.NewPrecompute(t)
 		cap := int64(*memcap * float64(memLB))
-		s, err := sched.MemCapped(t, *p, cap)
+		s, err := pc.MemCappedOn(mach, cap)
 		if err != nil {
 			fatal(err)
 		}
 		report(w, fmt.Sprintf("MemCapped(%.2g×)", *memcap), t, s, msLB, memLB)
-		s, err = sched.MemCappedBooking(t, *p, cap)
+		s, err = pc.MemCappedBookingOn(mach, cap)
 		if err != nil {
 			fatal(err)
 		}
@@ -130,7 +149,7 @@ func main() {
 // runPortfolio races the default candidate set (plus the memory-capped
 // schedulers when -memcap is given) and reports every candidate with its
 // frontier membership and the objective-selected winner.
-func runPortfolio(t *tree.Tree, p int, objSpec string, memcap float64) {
+func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap float64) {
 	obj := portfolio.MinMakespan()
 	if objSpec != "" {
 		var err error
@@ -139,7 +158,7 @@ func runPortfolio(t *tree.Tree, p int, objSpec string, memcap float64) {
 			fatal(err)
 		}
 	}
-	opts := portfolio.Options{Options: sched.Options{Processors: p}}
+	opts := portfolio.Options{Options: sched.Options{Machine: mach}}
 	if memcap > 0 {
 		opts.Heuristics = append(portfolio.DefaultCandidates(), sched.IDMemCapped, sched.IDMemCappedBooking)
 		opts.MemCapFactor = memcap
@@ -182,7 +201,7 @@ func runPortfolio(t *tree.Tree, p int, objSpec string, memcap float64) {
 
 // runForest simulates an NDJSON job trace on one shared machine and
 // prints per-job results plus the run summary.
-func runForest(path string, p int, policyName string, mem int64, capFactor float64) {
+func runForest(path string, mach *machine.Model, policyName string, mem int64, capFactor float64) {
 	pol, err := forest.ParsePolicy(policyName)
 	if err != nil {
 		fatal(err)
@@ -197,7 +216,7 @@ func runForest(path string, p int, policyName string, mem int64, capFactor float
 		fatal(err)
 	}
 	res, err := forest.Run(context.Background(), jobs, forest.Config{
-		Processors:   p,
+		Machine:      mach,
 		MemCap:       mem,
 		MemCapFactor: capFactor,
 		Policy:       pol,
@@ -206,7 +225,8 @@ func runForest(path string, p int, policyName string, mem int64, capFactor float
 		fatal(err)
 	}
 	s := res.Summary
-	fmt.Printf("forest: %d jobs on p=%d, policy %s, memory cap %d\n", s.Jobs, s.Processors, s.Policy, s.MemCap)
+	fmt.Printf("forest: %d jobs on machine %s (p=%d), policy %s, memory cap %d\n",
+		s.Jobs, mach.Spec(), s.Processors, s.Policy, s.MemCap)
 	fmt.Printf("completed %d  rejected %d  makespan %.6g  utilization %.3f  peak resident %d (%.1f%% of cap)\n",
 		s.Completed, s.Rejected, s.Makespan, s.Utilization, s.PeakResident, 100*float64(s.PeakResident)/float64(s.MemCap))
 	fmt.Printf("latency mean %.6g p50 %.6g p99 %.6g  |  stretch mean %.3f max %.3f  |  wait mean %.6g\n",

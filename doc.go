@@ -47,6 +47,12 @@
 //     cross-tree memory booking (no overcap, no deadlock) under pluggable
 //     admission policies; exposed as /v1/forest, treesched -forest and
 //     treegen -forest.
+//   - An explicit machine model (internal/machine): per-processor speeds
+//     for heterogeneous (related-machines) scheduling — task i runs in
+//     w_i/s_k time on processor k — threaded through every scheduler,
+//     the portfolio, the forest engine and the service ("machine" field
+//     and query parameter, -machine CLI flags). Uniform machines (all
+//     speeds 1) reduce byte-for-byte to the paper's model.
 //
 // See the examples directory for runnable entry points, EXPERIMENTS.md
 // for the reproduction results, and README.md for CLI and API usage.

@@ -1,11 +1,11 @@
 package forest
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sort"
 
+	"treesched/internal/machine"
 	"treesched/internal/stats"
 	"treesched/internal/tree"
 )
@@ -19,6 +19,8 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	m := cfg.model()
+	cfg.Processors = m.P()
 	states := planJobs(ctx, jobs, cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -35,8 +37,13 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Result, error) {
 			js.rejectReason = fmt.Sprintf("sequential peak %d exceeds memory cap %d", js.memSeq, cap)
 		}
 	}
-	e := &engine{cfg: cfg, cap: cap, states: states}
-	if err := e.simulate(ctx); err != nil {
+	hp := getEngineHeaps()
+	e := &engine{cfg: cfg, m: m, cap: cap, states: states,
+		ready: hp.ready, fin: hp.fin, skipped: hp.skipped}
+	err := e.simulate(ctx)
+	hp.ready, hp.fin, hp.skipped = e.ready, e.fin, e.skipped
+	putEngineHeaps(hp)
+	if err != nil {
 		return nil, err
 	}
 	return e.collect(), nil
@@ -52,37 +59,6 @@ type readyItem struct {
 	node int
 }
 
-// readyHeap is an indexed heap: every mutation maintains
-// jobState.heapPos[node], so the σ-front fallback can remove a specific
-// task in O(log n) instead of scanning the heap.
-type readyHeap []readyItem
-
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].seq != h[j].seq {
-		return h[i].seq < h[j].seq
-	}
-	return h[i].rank < h[j].rank
-}
-func (h readyHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].js.heapPos[h[i].node] = i
-	h[j].js.heapPos[h[j].node] = j
-}
-func (h *readyHeap) Push(x any) {
-	it := x.(readyItem)
-	it.js.heapPos[it.node] = len(*h)
-	*h = append(*h, it)
-}
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	x.js.heapPos[x.node] = -1
-	*h = old[:n-1]
-	return x
-}
-
 // finEvent is a scheduled task completion.
 type finEvent struct {
 	at   float64
@@ -90,29 +66,7 @@ type finEvent struct {
 	rank int
 	js   *jobState
 	node int
-	proc int
-}
-
-type finHeap []finEvent
-
-func (h finHeap) Len() int { return len(h) }
-func (h finHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].seq != h[j].seq {
-		return h[i].seq < h[j].seq
-	}
-	return h[i].rank < h[j].rank
-}
-func (h finHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *finHeap) Push(x any)   { *h = append(*h, x.(finEvent)) }
-func (h *finHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	proc int32
 }
 
 // admissionWindow bounds the per-event scan of the ready queue, exactly as
@@ -124,15 +78,17 @@ const admissionWindow = 256
 // engine is the discrete-event state of one forest run.
 type engine struct {
 	cfg    Config
+	m      *machine.Model
 	cap    int64
 	states []*jobState
 
-	now       float64
-	queue     []*jobState // arrived, not yet admitted
-	active    []*jobState // admitted, not yet finished, admission order
-	ready     readyHeap
-	fin       finHeap
-	freeProcs []int
+	now     float64
+	queue   []*jobState // arrived, not yet admitted
+	active  []*jobState // admitted, not yet finished, admission order
+	ready   readyHeap
+	fin     finHeap
+	skipped []readyItem
+	procs   *machine.State
 
 	mem       int64 // resident memory right now (all tenants)
 	bookedSeq int64 // Σ over active jobs of futurePeak[next]
@@ -159,10 +115,8 @@ func (e *engine) simulate(ctx context.Context) error {
 		}
 		return arrivals[a].idx < arrivals[b].idx
 	})
-	e.freeProcs = make([]int, 0, e.cfg.Processors)
-	for i := e.cfg.Processors - 1; i >= 0; i-- {
-		e.freeProcs = append(e.freeProcs, i)
-	}
+	e.procs = machine.NewState(e.m)
+	defer func() { e.procs.Recycle(); e.procs = nil }()
 
 	ai := 0
 	for rounds := 0; ; rounds++ {
@@ -183,7 +137,7 @@ func (e *engine) simulate(ctx context.Context) error {
 		// admissions allocate — the same tie-break as the single-tree
 		// simulator's evEnd < evStart.
 		for len(e.fin) > 0 && e.fin[0].at <= e.now {
-			ev := heap.Pop(&e.fin).(finEvent)
+			ev := e.fin.pop()
 			e.completeTask(ev.js, ev.node, ev.proc)
 		}
 		for ai < len(arrivals) && arrivals[ai].arrival <= e.now {
@@ -239,12 +193,12 @@ func (e *engine) fits(js *jobState) bool {
 // policy's choice as late (and as informed) as possible. Non-backfill
 // policies (FIFO) stop at the first job that does not fit.
 func (e *engine) admitJobs() {
-	if len(e.queue) == 0 || len(e.freeProcs) == 0 {
+	if len(e.queue) == 0 || e.procs.Idle() == 0 {
 		return
 	}
 	pol := e.cfg.Policy
 	sort.SliceStable(e.queue, func(a, b int) bool { return pol.less(e.queue[a], e.queue[b]) })
-	budget := len(e.freeProcs)
+	budget := e.procs.Idle()
 	kept := e.queue[:0]
 	for qi, js := range e.queue {
 		if budget > 0 && e.fits(js) {
@@ -272,7 +226,7 @@ func (e *engine) admit(js *jobState) {
 	}
 	for v := 0; v < js.t.Len(); v++ {
 		if js.remaining[v] == 0 {
-			heap.Push(&e.ready, readyItem{js.admitSeq, js.rank[v], js, v})
+			e.ready.push(readyItem{js.admitSeq, js.rank[v], js, v})
 		}
 	}
 }
@@ -297,26 +251,29 @@ func (e *engine) admissible(js *jobState, v int) bool {
 // assign fills free processors from the global ready queue in (admission
 // order, plan rank) priority, then retries every active job's σ-front —
 // the task the booking invariant guarantees admissible once memory
-// drains — so the admission window can never stall progress.
+// drains — so the admission window can never stall progress. Processors
+// come from the machine state: fastest-first on a heterogeneous model,
+// the historical LIFO stack on a uniform one.
 func (e *engine) assign() {
-	skipped := make([]readyItem, 0, 16)
+	skipped := e.skipped[:0]
 	scanned := 0
-	for len(e.freeProcs) > 0 && len(e.ready) > 0 && scanned < admissionWindow {
-		it := heap.Pop(&e.ready).(readyItem)
+	for e.procs.Idle() > 0 && len(e.ready) > 0 && scanned < admissionWindow {
+		it := e.ready.pop()
 		scanned++
 		if !e.admissible(it.js, it.node) {
 			skipped = append(skipped, it)
 			continue
 		}
-		e.startTask(it.js, it.node, e.takeProc())
+		e.startTask(it.js, it.node, e.procs.Take())
 	}
 	for _, it := range skipped {
-		heap.Push(&e.ready, it)
+		e.ready.push(it)
 	}
-	for len(e.freeProcs) > 0 {
+	e.skipped = skipped
+	for e.procs.Idle() > 0 {
 		progressed := false
 		for _, js := range e.active {
-			if len(e.freeProcs) == 0 {
+			if e.procs.Idle() == 0 {
 				break
 			}
 			if js.next >= js.t.Len() {
@@ -327,8 +284,8 @@ func (e *engine) assign() {
 				continue
 			}
 			if i := js.heapPos[v]; i >= 0 {
-				heap.Remove(&e.ready, i)
-				e.startTask(js, v, e.takeProc())
+				e.ready.removeAt(i)
+				e.startTask(js, v, e.procs.Take())
 				progressed = true
 			}
 		}
@@ -338,13 +295,7 @@ func (e *engine) assign() {
 	}
 }
 
-func (e *engine) takeProc() int {
-	p := e.freeProcs[len(e.freeProcs)-1]
-	e.freeProcs = e.freeProcs[:len(e.freeProcs)-1]
-	return p
-}
-
-func (e *engine) startTask(js *jobState, v, proc int) {
+func (e *engine) startTask(js *jobState, v int, proc int32) {
 	t := js.t
 	js.started[v] = true
 	js.runningTasks++
@@ -363,11 +314,11 @@ func (e *engine) startTask(js *jobState, v, proc int) {
 	if js.next != old {
 		e.bookedSeq += js.futurePeak[js.next] - js.futurePeak[old]
 	}
-	heap.Push(&e.fin, finEvent{e.now + t.W(v), js.admitSeq, js.rank[v], js, v, proc})
+	e.fin.push(finEvent{e.now + e.m.ExecTime(t.W(v), int(proc)), js.admitSeq, js.rank[v], js, v, proc})
 	e.tasks++
 }
 
-func (e *engine) completeTask(js *jobState, v, proc int) {
+func (e *engine) completeTask(js *jobState, v int, proc int32) {
 	t := js.t
 	js.runningTasks--
 	e.mem -= t.N(v) + t.InSize(v)
@@ -380,12 +331,12 @@ func (e *engine) completeTask(js *jobState, v, proc int) {
 			js.outOfOrder[c] = false
 		}
 	}
-	e.freeProcs = append(e.freeProcs, proc)
+	e.procs.Put(proc)
 	js.done++
 	if pa := t.Parent(v); pa != tree.None {
 		js.remaining[pa]--
 		if js.remaining[pa] == 0 {
-			heap.Push(&e.ready, readyItem{js.admitSeq, js.rank[pa], js, pa})
+			e.ready.push(readyItem{js.admitSeq, js.rank[pa], js, pa})
 		}
 		return
 	}
@@ -463,11 +414,17 @@ func (e *engine) collect() *Result {
 	s.Rejected = s.Jobs - len(latencies)
 	s.Completed = len(latencies)
 	s.Processors = e.cfg.Processors
+	if !e.m.IsUniform() {
+		s.Machine = e.m.Spec()
+	}
 	s.MemCap = e.cap
 	s.Policy = e.cfg.Policy
 	s.Makespan = makespan
 	if makespan > 0 {
-		s.Utilization = completedWork / (float64(e.cfg.Processors) * makespan)
+		// Utilization normalizes by the machine's aggregate speed: work is
+		// measured in w units, and Σ speeds × time is the w-capacity of the
+		// machine over the run (= p × makespan on a uniform machine).
+		s.Utilization = completedWork / (e.m.SumSpeed() * makespan)
 	}
 	s.PeakResident = e.peak
 	s.TasksExecuted = e.tasks

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"math"
 
+	"treesched/internal/machine"
 	"treesched/internal/sched"
 )
 
@@ -61,8 +62,13 @@ const DefaultMemCapFactor = 2
 
 // Config parameterizes a forest run.
 type Config struct {
-	// Processors is the shared machine size p. Required, >= 1.
+	// Processors is the shared machine size p. Required (>= 1) unless
+	// Machine is set, in which case it must be 0 or equal to Machine.P().
 	Processors int
+	// Machine is the explicit machine model shared by all jobs:
+	// per-processor speeds for a heterogeneous (related-machines) cluster.
+	// nil means the uniform machine of Processors unit-speed processors.
+	Machine *machine.Model
 	// MemCap is the global resident-memory cap shared by all running
 	// jobs. 0 means MemCapFactor × max over jobs of M_seq.
 	MemCap int64
@@ -79,7 +85,12 @@ type Config struct {
 }
 
 func (c Config) validate() error {
-	if c.Processors < 1 {
+	if c.Machine != nil {
+		if c.Processors != 0 && c.Processors != c.Machine.P() {
+			return fmt.Errorf("forest: processors %d conflicts with machine %q (%d processors)",
+				c.Processors, c.Machine.Spec(), c.Machine.P())
+		}
+	} else if c.Processors < 1 {
 		return fmt.Errorf("forest: processors must be >= 1, got %d", c.Processors)
 	}
 	if c.MemCap < 0 {
@@ -92,6 +103,15 @@ func (c Config) validate() error {
 		return fmt.Errorf("forest: invalid default heuristic id %d", int(c.DefaultHeuristic))
 	}
 	return nil
+}
+
+// model resolves the effective machine: Machine when set, else the
+// uniform machine of size Processors. Only valid after validate.
+func (c Config) model() *machine.Model {
+	if c.Machine != nil {
+		return c.Machine
+	}
+	return machine.Uniform(c.Processors)
 }
 
 // Job statuses reported in JobResult.Status.
@@ -139,12 +159,15 @@ type JobResult struct {
 
 // Summary aggregates one forest run.
 type Summary struct {
-	Jobs       int    `json:"jobs"`
-	Completed  int    `json:"completed"`
-	Rejected   int    `json:"rejected"`
-	Processors int    `json:"p"`
-	MemCap     int64  `json:"mem_cap"`
-	Policy     Policy `json:"policy"`
+	Jobs       int `json:"jobs"`
+	Completed  int `json:"completed"`
+	Rejected   int `json:"rejected"`
+	Processors int `json:"p"`
+	// Machine is the canonical machine spec when the run used a
+	// heterogeneous model; empty on a uniform machine.
+	Machine string `json:"machine,omitempty"`
+	MemCap  int64  `json:"mem_cap"`
+	Policy  Policy `json:"policy"`
 	// Makespan is the completion time of the last job; Utilization is
 	// total completed work / (p × Makespan).
 	Makespan    float64 `json:"makespan"`

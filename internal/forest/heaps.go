@@ -1,0 +1,170 @@
+package forest
+
+import "sync"
+
+// Typed binary heaps for the engine's ready queue and completion events.
+// They deliberately do not implement container/heap: every container/heap
+// Push/Pop boxes the item into an interface{}, which made the event loop
+// the forest engine's dominant allocation site — the same treatment the
+// PR 4 split-queue heaps received in internal/sched.
+
+// readyHeap is an indexed min-heap over readyItem ordered by (admission
+// seq, plan rank): every mutation maintains jobState.heapPos[node], so
+// the σ-front fallback can remove a specific task in O(log n) instead of
+// scanning the heap.
+type readyHeap []readyItem
+
+func (h readyHeap) less(i, j int) bool {
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].rank < h[j].rank
+}
+
+func (h readyHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].js.heapPos[h[i].node] = i
+	h[j].js.heapPos[h[j].node] = j
+}
+
+func (h *readyHeap) push(it readyItem) {
+	it.js.heapPos[it.node] = len(*h)
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() readyItem { return h.removeAt(0) }
+
+// removeAt deletes and returns the element at index i, restoring the heap
+// and the heapPos index.
+func (h *readyHeap) removeAt(i int) readyItem {
+	s := *h
+	it := s[i]
+	it.js.heapPos[it.node] = -1
+	last := len(s) - 1
+	if i != last {
+		s[i] = s[last]
+		s[i].js.heapPos[s[i].node] = i
+	}
+	s = s[:last]
+	*h = s
+	if i == last {
+		return it
+	}
+	// Sift whichever direction restores the invariant.
+	j := i
+	for j > 0 && s.less(j, (j-1)/2) {
+		s.swap(j, (j-1)/2)
+		j = (j - 1) / 2
+	}
+	if j != i {
+		return it
+	}
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s.swap(i, m)
+		i = m
+	}
+	return it
+}
+
+// finHeap is a min-heap over finEvent ordered by (time, admission seq,
+// plan rank).
+type finHeap []finEvent
+
+func (h finHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].rank < h[j].rank
+}
+
+func (h *finHeap) push(ev finEvent) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *finHeap) pop() finEvent {
+	s := *h
+	ev := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return ev
+}
+
+// engineHeaps recycles the heap backing arrays (and the assignment
+// skip buffer) across forest runs.
+type engineHeaps struct {
+	ready   readyHeap
+	fin     finHeap
+	skipped []readyItem
+}
+
+var engineHeapPool = sync.Pool{New: func() any { return new(engineHeaps) }}
+
+func getEngineHeaps() *engineHeaps {
+	hp := engineHeapPool.Get().(*engineHeaps)
+	hp.ready = hp.ready[:0]
+	hp.fin = hp.fin[:0]
+	hp.skipped = hp.skipped[:0]
+	return hp
+}
+
+// putEngineHeaps zeroes the retained capacity — the items hold *jobState
+// pointers, which must not keep a finished run's job graph reachable from
+// the pool — and recycles the buffers.
+func putEngineHeaps(hp *engineHeaps) {
+	clear(hp.ready[:cap(hp.ready)])
+	clear(hp.fin[:cap(hp.fin)])
+	clear(hp.skipped[:cap(hp.skipped)])
+	engineHeapPool.Put(hp)
+}

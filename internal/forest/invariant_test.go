@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -58,6 +59,78 @@ func TestGlobalCapInvariantRandomTraces(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestGlobalCapInvariantHeterogeneousMachine reruns the booking-invariant
+// stress on a 2-speed machine: speeds stretch execution times (changing
+// every event interleaving) but must not affect the memory invariants —
+// resident ≤ cap, no deadlock, accounting drains. It also pins that the
+// summary reports the canonical machine spec and speed-normalized
+// utilization.
+func TestGlobalCapInvariantHeterogeneousMachine(t *testing.T) {
+	ctx := context.Background()
+	m, err := machine.ParseSpec("1x1.0+2x0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{5, 6} {
+		jobs := randomTrace(seed, 25)
+		for _, pol := range Policies() {
+			cfg := Config{Machine: m, MemCapFactor: 1.5, Policy: pol}
+			res, err := Run(ctx, jobs, cfg)
+			if err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, pol, err)
+			}
+			s := res.Summary
+			if s.Processors != 3 {
+				t.Errorf("seed %d policy %s: summary p=%d, want 3 (from machine)", seed, pol, s.Processors)
+			}
+			if s.Machine != "1+2x0.5" {
+				t.Errorf("seed %d policy %s: summary machine %q, want canonical 1+2x0.5", seed, pol, s.Machine)
+			}
+			if s.PeakResident > s.MemCap {
+				t.Errorf("seed %d policy %s: peak resident %d exceeds cap %d", seed, pol, s.PeakResident, s.MemCap)
+			}
+			if s.Utilization > 1+1e-9 {
+				t.Errorf("seed %d policy %s: utilization %v exceeds 1 (speed-normalized)", seed, pol, s.Utilization)
+			}
+			if s.Completed+s.Rejected != s.Jobs {
+				t.Errorf("seed %d policy %s: %d completed + %d rejected != %d jobs",
+					seed, pol, s.Completed, s.Rejected, s.Jobs)
+			}
+		}
+	}
+	// Conflicting explicit processor count is rejected.
+	if _, err := Run(ctx, nil, Config{Machine: m, Processors: 2}); err == nil {
+		t.Error("conflicting processors+machine accepted")
+	}
+}
+
+// TestUniformMachineConfigEquivalence pins that an explicit uniform
+// machine model reproduces the plain processor-count run exactly.
+func TestUniformMachineConfigEquivalence(t *testing.T) {
+	ctx := context.Background()
+	jobs := randomTrace(7, 20)
+	plain, err := Run(ctx, jobs, Config{Processors: 3, MemCapFactor: 1.5, Policy: SJFByWork()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaModel, err := Run(ctx, jobs, Config{Machine: machine.Uniform(3), MemCapFactor: 1.5, Policy: SJFByWork()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Jobs) != len(viaModel.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(plain.Jobs), len(viaModel.Jobs))
+	}
+	for i := range plain.Jobs {
+		a, b := plain.Jobs[i], viaModel.Jobs[i]
+		if a.Start != b.Start || a.Finish != b.Finish || a.Status != b.Status {
+			t.Errorf("job %d differs: plain %+v vs model %+v", i, a, b)
+		}
+	}
+	if plain.Summary.Makespan != viaModel.Summary.Makespan || plain.Summary.PeakResident != viaModel.Summary.PeakResident {
+		t.Errorf("summaries differ: %+v vs %+v", plain.Summary, viaModel.Summary)
 	}
 }
 

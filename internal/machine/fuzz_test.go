@@ -1,0 +1,54 @@
+package machine
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpec hardens the machine-spec codec: arbitrary input must never
+// panic, any spec that parses must canonicalize and re-parse to the same
+// machine (decode→encode→decode equality, text and JSON), and the
+// processor-count cap must hold.
+func FuzzSpec(f *testing.F) {
+	f.Add("4")
+	f.Add("2x1.0+2x0.5")
+	f.Add("1x2+1")
+	f.Add("0")
+	f.Add("2x-1")
+	f.Add("")
+	f.Add("99999999999999999999x1")
+	f.Add("1048576+1")
+	f.Add("1x1e309")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if m.P() < 1 || m.P() > MaxSpecProcs {
+			t.Fatalf("accepted spec %q declares %d processors (cap %d)", spec, m.P(), MaxSpecProcs)
+		}
+		for i := 0; i < m.P(); i++ {
+			if !(m.Speed(i) > 0) {
+				t.Fatalf("accepted spec %q has non-positive speed %v at %d", spec, m.Speed(i), i)
+			}
+		}
+		back, err := ParseSpec(m.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q of accepted %q does not re-parse: %v", m.Spec(), spec, err)
+		}
+		if !m.Equal(back) {
+			t.Fatalf("canonical round trip of %q changed the machine: %q", spec, m.Spec())
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal of accepted spec %q failed: %v", spec, err)
+		}
+		var viaJSON Model
+		if err := json.Unmarshal(b, &viaJSON); err != nil {
+			t.Fatalf("JSON round trip of %q failed: %v", spec, err)
+		}
+		if !m.Equal(&viaJSON) {
+			t.Fatalf("JSON round trip of %q changed the machine", spec)
+		}
+	})
+}

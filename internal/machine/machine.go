@@ -1,0 +1,196 @@
+// Package machine is the explicit machine model of the scheduling core:
+// p related (uniform-speed or heterogeneous) processors. The paper's model
+// (§2) assumes p identical processors; the follow-up "Parallel scheduling
+// of task trees with limited memory" (Eyraud-Dubois, Marchal, Sinnen,
+// Vivien, 2014) generalizes exactly this dimension. A Model carries the
+// per-processor speeds (task i runs on processor k in w_i/s_k time, the
+// classic related-machines Q|.|. setting); a State is the pooled,
+// allocation-free processor-availability bookkeeping every scheduler used
+// to reimplement privately.
+//
+// Uniform machines (all speeds 1) are the fast path everywhere: on a
+// uniform Model every scheduler in internal/sched reduces bit-for-bit to
+// the historical identical-processors behavior, which is what lets the
+// golden schedule hashes pin this refactor.
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Model is an immutable machine description: P processors with speeds
+// s_0..s_{P-1}. The zero value is not a valid machine; build one with
+// Uniform, New or ParseSpec.
+type Model struct {
+	p      int
+	speeds []float64 // nil iff uniform (all speeds exactly 1)
+	sum    float64   // Σ speeds
+	max    float64   // max speed
+	fast   int       // lowest index attaining max
+}
+
+// maxUniformCached bounds the eagerly cached uniform models; Uniform(p)
+// beyond it allocates. 256 covers every machine size the hot paths see
+// (the service caps p at 4096 but steady-state traffic is single-digit).
+const maxUniformCached = 256
+
+var uniformCache = func() []*Model {
+	ms := make([]*Model, maxUniformCached+1)
+	for p := 1; p <= maxUniformCached; p++ {
+		ms[p] = &Model{p: p, sum: float64(p), max: 1, fast: 0}
+	}
+	return ms
+}()
+
+// Uniform returns the paper's machine: p identical processors of speed 1.
+// Models for small p are cached, so hot paths may call this per schedule
+// without allocating. Panics if p < 1 (processor counts are validated at
+// the option/request layer).
+func Uniform(p int) *Model {
+	if p < 1 {
+		panic(fmt.Sprintf("machine: uniform machine needs p >= 1, got %d", p))
+	}
+	if p <= maxUniformCached {
+		return uniformCache[p]
+	}
+	return &Model{p: p, sum: float64(p), max: 1, fast: 0}
+}
+
+// New builds a model from per-processor speeds. Every speed must be a
+// positive finite number; a machine where all speeds are exactly 1
+// canonicalizes to Uniform(len(speeds)). The slice is copied.
+func New(speeds []float64) (*Model, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("machine: need at least one processor speed")
+	}
+	uniform := true
+	for i, s := range speeds {
+		if !(s > 0) || s > maxFiniteSpeed { // !(>0) also rejects NaN
+			return nil, fmt.Errorf("machine: processor %d has invalid speed %v (want a positive finite number)", i, s)
+		}
+		uniform = uniform && s == 1
+	}
+	if uniform {
+		return Uniform(len(speeds)), nil
+	}
+	m := &Model{p: len(speeds), speeds: append([]float64(nil), speeds...)}
+	for i, s := range m.speeds {
+		m.sum += s
+		if s > m.max {
+			m.max = s
+			m.fast = i
+		}
+	}
+	return m, nil
+}
+
+// maxFiniteSpeed rejects speeds (and therefore speed sums) that would
+// round to +Inf or drown every other processor; 1e18 is far beyond any
+// physical speed ratio.
+const maxFiniteSpeed = 1e18
+
+// P returns the processor count.
+func (m *Model) P() int { return m.p }
+
+// IsUniform reports whether every processor has speed exactly 1 — the
+// paper's model and the byte-identical fast path of every scheduler.
+func (m *Model) IsUniform() bool { return m.speeds == nil }
+
+// Speed returns the speed of processor i.
+func (m *Model) Speed(i int) float64 {
+	if m.speeds == nil {
+		return 1
+	}
+	return m.speeds[i]
+}
+
+// SumSpeed returns Σ_k s_k, the machine's aggregate speed (equals P on a
+// uniform machine). The speed-scaled area bound is total work / SumSpeed.
+func (m *Model) SumSpeed() float64 { return m.sum }
+
+// MaxSpeed returns the largest processor speed (1 on a uniform machine).
+func (m *Model) MaxSpeed() float64 { return m.max }
+
+// Fastest returns the lowest-index processor with the largest speed
+// (processor 0 on a uniform machine).
+func (m *Model) Fastest() int { return m.fast }
+
+// ExecTime returns the execution time of a task with work w on processor
+// proc: w/s_proc, exactly w on a uniform machine.
+func (m *Model) ExecTime(w float64, proc int) float64 {
+	if m.speeds == nil {
+		return w
+	}
+	return w / m.speeds[proc]
+}
+
+// String returns the canonical spec (see Spec).
+func (m *Model) String() string { return m.Spec() }
+
+// Spec returns the canonical textual form of the model, parseable by
+// ParseSpec: the bare processor count for a uniform machine ("4"), else
+// run-length groups over consecutive equal speeds joined by '+', speed-1
+// runs as bare counts ("2+2x0.5").
+func (m *Model) Spec() string {
+	if m.speeds == nil {
+		return strconv.Itoa(m.p)
+	}
+	var b []byte
+	for i := 0; i < m.p; {
+		j := i
+		for j < m.p && m.speeds[j] == m.speeds[i] {
+			j++
+		}
+		if i > 0 {
+			b = append(b, '+')
+		}
+		b = strconv.AppendInt(b, int64(j-i), 10)
+		if s := m.speeds[i]; s != 1 {
+			b = append(b, 'x')
+			b = strconv.AppendFloat(b, s, 'g', -1, 64)
+		}
+		i = j
+	}
+	// The 'g' format writes large speeds as "1e+06"; that '+' would read
+	// back as a group separator, so drop the redundant exponent sign
+	// ("1e06" parses to the same value).
+	return strings.ReplaceAll(string(b), "e+", "e")
+}
+
+// Equal reports whether the two models describe the same machine
+// (same processor count and identical per-processor speeds).
+func (m *Model) Equal(o *Model) bool {
+	if m.p != o.p || (m.speeds == nil) != (o.speeds == nil) {
+		return false
+	}
+	for i := range m.speeds {
+		if m.speeds[i] != o.speeds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON encodes the model as its canonical spec string.
+func (m *Model) MarshalJSON() ([]byte, error) { return strconv.AppendQuote(nil, m.Spec()), nil }
+
+// UnmarshalJSON decodes a spec string ("4", "2x1.0+2x0.5") or a bare
+// integer processor count (4).
+func (m *Model) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' {
+		var err error
+		s, err = strconv.Unquote(s)
+		if err != nil {
+			return fmt.Errorf("machine: invalid spec literal %s", string(b))
+		}
+	}
+	got, err := ParseSpec(s)
+	if err != nil {
+		return err
+	}
+	*m = *got
+	return nil
+}

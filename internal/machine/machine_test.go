@@ -1,0 +1,236 @@
+package machine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, spec string) *Model {
+	t.Helper()
+	m, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return m
+}
+
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		spec    string
+		speeds  []float64
+		uniform bool
+	}{
+		{"1", []float64{1}, true},
+		{"4", []float64{1, 1, 1, 1}, true},
+		{" 4 ", []float64{1, 1, 1, 1}, true},
+		{"2x1.0+2x0.5", []float64{1, 1, 0.5, 0.5}, false},
+		{"2+2x0.5", []float64{1, 1, 0.5, 0.5}, false},
+		{"1x2+1", []float64{2, 1}, false},
+		{"3x1", []float64{1, 1, 1}, true}, // explicit unit speed canonicalizes to uniform
+		{"1x0.25+1x0.75+1x0.25", []float64{0.25, 0.75, 0.25}, false},
+	}
+	for _, c := range cases {
+		m := mustParse(t, c.spec)
+		if m.P() != len(c.speeds) {
+			t.Errorf("ParseSpec(%q).P() = %d, want %d", c.spec, m.P(), len(c.speeds))
+		}
+		if m.IsUniform() != c.uniform {
+			t.Errorf("ParseSpec(%q).IsUniform() = %v, want %v", c.spec, m.IsUniform(), c.uniform)
+		}
+		for i, s := range c.speeds {
+			if m.Speed(i) != s {
+				t.Errorf("ParseSpec(%q).Speed(%d) = %v, want %v", c.spec, i, m.Speed(i), s)
+			}
+		}
+	}
+}
+
+func TestParseSpecMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"   ",
+		"0",
+		"-3",
+		"2x-1",
+		"2x0",
+		"2xNaN",
+		"2xInf",
+		"2x",
+		"x2",
+		"2x1x3",
+		"4+",
+		"+4",
+		"4 + 4",                  // spaces inside the spec are not part of the grammar
+		"2.5",                    // fractional count
+		"99999999999999999999",   // count overflows int
+		"99999999999999999999x1", // count overflows int, with speed
+		"1048577",                // exceeds MaxSpecProcs by one
+		"1048576+1",              // exceeds MaxSpecProcs across groups
+	} {
+		m, err := ParseSpec(spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) = %v, want error", spec, m)
+			continue
+		}
+		// The error is the manual: it must enumerate the accepted grammar.
+		if !strings.Contains(err.Error(), "COUNTxSPEED") || !strings.Contains(err.Error(), "2x1.0+2x0.5") {
+			t.Errorf("ParseSpec(%q) error does not enumerate the grammar: %v", spec, err)
+		}
+	}
+}
+
+func TestParseSpecAtCap(t *testing.T) {
+	m := mustParse(t, "1048576")
+	if m.P() != MaxSpecProcs || !m.IsUniform() {
+		t.Errorf("spec at the cap: P=%d uniform=%v", m.P(), m.IsUniform())
+	}
+}
+
+func TestSpecCanonicalRoundTrip(t *testing.T) {
+	for _, spec := range []string{"1", "4", "2x1.0+2x0.5", "1x2+1", "3x0.5", "1x0.25+1x0.75+1x0.25"} {
+		m := mustParse(t, spec)
+		back := mustParse(t, m.Spec())
+		if !m.Equal(back) {
+			t.Errorf("ParseSpec(%q).Spec() = %q re-parses to a different machine", spec, m.Spec())
+		}
+	}
+	if got := mustParse(t, "2x1.0+2x0.5").Spec(); got != "2+2x0.5" {
+		t.Errorf("canonical spec = %q, want 2+2x0.5", got)
+	}
+	if got := Uniform(8).Spec(); got != "8" {
+		t.Errorf("uniform spec = %q, want 8", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, in := range []string{`"2x1.0+2x0.5"`, `"4"`, `4`} {
+		var m Model
+		if err := json.Unmarshal([]byte(in), &m); err != nil {
+			t.Fatalf("unmarshal %s: %v", in, err)
+		}
+		b, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Model
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Equal(&back) {
+			t.Errorf("JSON round trip of %s changed the machine: %s", in, b)
+		}
+	}
+	var m Model
+	if err := json.Unmarshal([]byte(`"0"`), &m); err == nil {
+		t.Error("unmarshal of invalid spec succeeded")
+	}
+}
+
+func TestModelDerivedFields(t *testing.T) {
+	m := mustParse(t, "1x0.5+2x2+1")
+	if m.SumSpeed() != 5.5 {
+		t.Errorf("SumSpeed = %v, want 5.5", m.SumSpeed())
+	}
+	if m.MaxSpeed() != 2 {
+		t.Errorf("MaxSpeed = %v, want 2", m.MaxSpeed())
+	}
+	if m.Fastest() != 1 {
+		t.Errorf("Fastest = %d, want 1 (lowest index at max speed)", m.Fastest())
+	}
+	if got := m.ExecTime(3, 0); got != 6 {
+		t.Errorf("ExecTime(3, proc0@0.5) = %v, want 6", got)
+	}
+	if got := m.ExecTime(3, 1); got != 1.5 {
+		t.Errorf("ExecTime(3, proc1@2) = %v, want 1.5", got)
+	}
+	u := Uniform(4)
+	if u.SumSpeed() != 4 || u.MaxSpeed() != 1 || u.Fastest() != 0 || u.ExecTime(7, 3) != 7 {
+		t.Errorf("uniform derived fields wrong: sum=%v max=%v fast=%d exec=%v",
+			u.SumSpeed(), u.MaxSpeed(), u.Fastest(), u.ExecTime(7, 3))
+	}
+	if Uniform(2) != Uniform(2) {
+		t.Error("small uniform models are not cached")
+	}
+}
+
+// TestStateUniformLIFO pins the historical free-list discipline: processor
+// 0 first, then the most recently released processor.
+func TestStateUniformLIFO(t *testing.T) {
+	st := NewState(Uniform(3))
+	defer st.Recycle()
+	if a, b, c := st.Take(), st.Take(), st.Take(); a != 0 || b != 1 || c != 2 {
+		t.Fatalf("initial take order = %d,%d,%d, want 0,1,2", a, b, c)
+	}
+	if st.Idle() != 0 {
+		t.Fatalf("Idle = %d, want 0", st.Idle())
+	}
+	st.Put(2)
+	st.Put(1)
+	if got := st.Take(); got != 1 {
+		t.Errorf("after Put(2), Put(1): Take = %d, want 1 (LIFO)", got)
+	}
+}
+
+// TestStateHeterogeneousFastestFirst pins the related-machines pick: the
+// fastest free processor wins regardless of release order, ties by lowest
+// processor id.
+func TestStateHeterogeneousFastestFirst(t *testing.T) {
+	m := mustParse(t, "1x0.5+1x2+1x2+1x1") // speeds [0.5, 2, 2, 1]
+	st := NewState(m)
+	defer st.Recycle()
+	if got := st.Take(); got != 1 {
+		t.Fatalf("first Take = %d, want 1 (fastest, lowest id)", got)
+	}
+	if got := st.Take(); got != 2 {
+		t.Fatalf("second Take = %d, want 2", got)
+	}
+	if got := st.Take(); got != 3 {
+		t.Fatalf("third Take = %d, want 3 (speed 1 before 0.5)", got)
+	}
+	st.Put(3)
+	st.Put(1)
+	if got := st.Take(); got != 1 { // released order must not matter
+		t.Errorf("after releasing 3 then 1: Take = %d, want 1", got)
+	}
+}
+
+func TestPickEarliest(t *testing.T) {
+	m := mustParse(t, "1x1+1x0.5")
+	st := NewState(m)
+	defer st.Recycle()
+	// Equal loads: the fast processor finishes w sooner.
+	if got := st.PickEarliest(10); got != 0 {
+		t.Errorf("PickEarliest on idle machine = %d, want 0", got)
+	}
+	// Fast processor busy until 15: 15+10 vs 0+20 — the slow one wins.
+	st.Occupy(0, 15)
+	if got := st.PickEarliest(10); got != 1 {
+		t.Errorf("PickEarliest with busy fast proc = %d, want 1", got)
+	}
+	if st.MaxBusy() != 15 {
+		t.Errorf("MaxBusy = %v, want 15", st.MaxBusy())
+	}
+
+	// Uniform: least-loaded wins even where the finish-time sums would tie
+	// under floating-point rounding.
+	u := NewState(Uniform(2))
+	defer u.Recycle()
+	u.Occupy(0, 0)
+	u.Occupy(1, 1)
+	if got := u.PickEarliest(1e16); got != 0 {
+		t.Errorf("uniform PickEarliest = %d, want 0 (least loaded, not rounded sum)", got)
+	}
+}
+
+func TestStateReuse(t *testing.T) {
+	st := NewState(Uniform(2))
+	st.Take()
+	st.Occupy(1, 9)
+	st.Recycle()
+	st2 := NewState(Uniform(2))
+	defer st2.Recycle()
+	if st2.Idle() != 2 || st2.BusyUntil(1) != 0 {
+		t.Errorf("recycled state not reset: idle=%d busy1=%v", st2.Idle(), st2.BusyUntil(1))
+	}
+}

@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxSpecProcs caps the total processor count a spec may declare, so a
+// tiny hostile spec string ("999999999x2") cannot demand an arbitrarily
+// large speeds allocation. Service and CLI layers apply their own, much
+// lower limits on top.
+const MaxSpecProcs = 1 << 20
+
+// specGrammar is the accepted grammar, enumerated in every parse error
+// (the ParseHeuristic/ParseObjective convention: the error is the manual).
+const specGrammar = `want COUNT or COUNTxSPEED groups joined by '+' — e.g. "4" (4 unit-speed processors) or "2x1.0+2x0.5" (2 fast + 2 half-speed); counts are integers >= 1 summing to at most 1048576, speeds positive finite numbers`
+
+func specError(spec string, detail string) error {
+	return fmt.Errorf("machine: bad spec %q: %s (%s)", spec, detail, specGrammar)
+}
+
+// ParseSpec parses the textual machine spec:
+//
+//	spec  := group ('+' group)*
+//	group := COUNT | COUNT 'x' SPEED
+//
+// A bare COUNT declares that many unit-speed processors, COUNTxSPEED that
+// many processors of the given speed; groups concatenate in order, so
+// "2x1.0+2x0.5" is processors [1, 1, 0.5, 0.5]. The total processor count
+// is capped at MaxSpecProcs.
+func ParseSpec(spec string) (*Model, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, specError(spec, "empty spec")
+	}
+	// Parse the (few) groups first; the per-processor slice is only built
+	// for genuinely heterogeneous specs, so a bare "1048576" costs a
+	// handful of bytes, not a MaxSpecProcs-sized allocation.
+	type group struct {
+		count int
+		speed float64
+	}
+	groups := make([]group, 0, strings.Count(s, "+")+1)
+	total, uniform := 0, true
+	for _, g := range strings.Split(s, "+") {
+		countStr, speedStr, hasSpeed := strings.Cut(g, "x")
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return nil, specError(spec, fmt.Sprintf("bad processor count %q", countStr))
+		}
+		speed := 1.0
+		if hasSpeed {
+			speed, err = strconv.ParseFloat(speedStr, 64)
+			if err != nil || !(speed > 0) || speed > maxFiniteSpeed {
+				return nil, specError(spec, fmt.Sprintf("bad speed %q", speedStr))
+			}
+		}
+		if count > MaxSpecProcs-total {
+			return nil, specError(spec, fmt.Sprintf("more than %d processors", MaxSpecProcs))
+		}
+		total += count
+		uniform = uniform && speed == 1
+		groups = append(groups, group{count, speed})
+	}
+	if uniform {
+		return Uniform(total), nil
+	}
+	speeds := make([]float64, 0, total)
+	for _, g := range groups {
+		for i := 0; i < g.count; i++ {
+			speeds = append(speeds, g.speed)
+		}
+	}
+	return New(speeds)
+}

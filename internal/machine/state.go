@@ -1,0 +1,131 @@
+package machine
+
+import "sync"
+
+// State is the per-run processor-availability bookkeeping shared by every
+// scheduler: the set of currently free processors plus per-processor
+// next-free times for load-balancing placements. States are recycled
+// through a pool (the PR 4 scratch-struct treatment) — a warm NewState
+// performs no allocation.
+//
+// On a uniform model the free set is a LIFO stack seeded p-1..0, so Take
+// yields processor 0 first and thereafter the most recently released
+// processor — exactly the historical free-list discipline of the
+// schedulers, which keeps uniform schedules byte-identical. On a
+// heterogeneous model Take picks the fastest free processor (ties by
+// lowest processor id): a freed fast processor must grab the next ready
+// task even if a slow one freed up more recently.
+type State struct {
+	m    *Model
+	free []int32
+	busy []float64 // per-processor next-free time (placement primitives)
+}
+
+var statePool = sync.Pool{New: func() any { return new(State) }}
+
+// NewState returns a pooled, reset availability state for m: every
+// processor free, every next-free time 0.
+func NewState(m *Model) *State {
+	st := statePool.Get().(*State)
+	st.m = m
+	p := m.p
+	if cap(st.free) < p {
+		st.free = make([]int32, 0, p)
+	}
+	st.free = st.free[:0]
+	for i := p - 1; i >= 0; i-- {
+		st.free = append(st.free, int32(i))
+	}
+	if cap(st.busy) < p {
+		st.busy = make([]float64, p)
+	}
+	st.busy = st.busy[:p]
+	clear(st.busy)
+	return st
+}
+
+// Recycle returns the state's buffers to the pool; the state must not be
+// used afterwards.
+func (st *State) Recycle() {
+	st.m = nil
+	statePool.Put(st)
+}
+
+// Model returns the machine this state tracks.
+func (st *State) Model() *Model { return st.m }
+
+// Idle returns the number of free processors.
+func (st *State) Idle() int { return len(st.free) }
+
+// Take removes and returns a free processor: the top of the LIFO stack on
+// a uniform machine (the historical discipline), the fastest free
+// processor (ties by lowest id) on a heterogeneous one. The caller must
+// ensure Idle() > 0.
+func (st *State) Take() int32 {
+	last := len(st.free) - 1
+	if st.m.speeds == nil {
+		proc := st.free[last]
+		st.free = st.free[:last]
+		return proc
+	}
+	best := 0
+	for i := 1; i <= last; i++ {
+		pi, pb := st.free[i], st.free[best]
+		if st.m.speeds[pi] > st.m.speeds[pb] || (st.m.speeds[pi] == st.m.speeds[pb] && pi < pb) {
+			best = i
+		}
+	}
+	proc := st.free[best]
+	// Swap-remove: the (speed, id) argmax is independent of list order,
+	// so the pick stays deterministic regardless of removal history.
+	st.free[best] = st.free[last]
+	st.free = st.free[:last]
+	return proc
+}
+
+// Put returns a processor to the free set.
+func (st *State) Put(proc int32) { st.free = append(st.free, proc) }
+
+// PickEarliest returns the processor finishing a task of work w soonest
+// if it were appended to that processor's current load: argmin over q of
+// BusyUntil(q) + ExecTime(w, q), ties by lowest id. On a uniform machine
+// this reduces to the least-loaded processor — the historical LPT rule —
+// by comparing the next-free times directly (comparing the sums could tie
+// under floating-point rounding where the loads differ).
+func (st *State) PickEarliest(w float64) int {
+	if st.m.speeds == nil {
+		best := 0
+		for q := 1; q < st.m.p; q++ {
+			if st.busy[q] < st.busy[best] {
+				best = q
+			}
+		}
+		return best
+	}
+	best := 0
+	bestAt := st.busy[0] + w/st.m.speeds[0]
+	for q := 1; q < st.m.p; q++ {
+		if at := st.busy[q] + w/st.m.speeds[q]; at < bestAt {
+			best, bestAt = q, at
+		}
+	}
+	return best
+}
+
+// BusyUntil returns processor q's next-free time.
+func (st *State) BusyUntil(q int) float64 { return st.busy[q] }
+
+// Occupy records that processor q is busy until the given time.
+func (st *State) Occupy(q int, until float64) { st.busy[q] = until }
+
+// MaxBusy returns the latest next-free time over all processors (the end
+// of a placement phase).
+func (st *State) MaxBusy() float64 {
+	m := st.busy[0]
+	for _, b := range st.busy[1:] {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}

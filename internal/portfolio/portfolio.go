@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"treesched/internal/machine"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -65,11 +66,15 @@ type Candidate struct {
 type Result struct {
 	// Objective is the selection policy that produced Winner.
 	Objective Objective
-	// Processors is the machine size the candidates were scheduled for.
+	// Processors is the machine size the candidates were scheduled for;
+	// Machine is the heterogeneous machine model when one was set (nil on
+	// the paper's uniform machine).
 	Processors int
-	// MakespanLB is max(total work / p, critical path); MemorySeq is
-	// M_seq, the best-postorder sequential peak — the normalization
-	// baselines of the paper's evaluation.
+	Machine    *machine.Model
+	// MakespanLB is max(total work / Σ speeds, critical path / s_max)
+	// (with p and 1 as the uniform denominators); MemorySeq is M_seq, the
+	// best-postorder sequential peak — the normalization baselines of the
+	// paper's evaluation.
 	MakespanLB float64
 	MemorySeq  int64
 	// Candidates holds one entry per requested heuristic, in request
@@ -139,12 +144,15 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 	if err != nil {
 		return nil, err
 	}
+	// One shared machine model for the whole race: every candidate
+	// schedules for the same processors and speeds.
+	m := opts.Options.Model()
 	start := time.Now()
-	cands := race(ctx, t, opts.Processors, hs, opts.Parallelism)
+	cands := race(ctx, t, m, hs, opts.Parallelism)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	lb := sched.MakespanLowerBound(t, opts.Processors)
+	lb := sched.MakespanLowerBoundOn(t, m)
 	for i := range cands {
 		if cands[i].Err != nil {
 			continue
@@ -156,23 +164,27 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 			cands[i].MemoryRatio = float64(cands[i].PeakMemory) / float64(memSeq)
 		}
 	}
-	return &Result{
+	res := &Result{
 		Objective:  obj,
-		Processors: opts.Processors,
+		Processors: m.P(),
 		MakespanLB: lb,
 		MemorySeq:  memSeq,
 		Candidates: cands,
 		Frontier:   Frontier(cands),
 		Winner:     obj.Select(cands, lb, memSeq),
 		Elapsed:    time.Since(start),
-	}, nil
+	}
+	if !m.IsUniform() {
+		res.Machine = m
+	}
+	return res, nil
 }
 
 // race runs every heuristic over t with a bounded goroutine fan-out.
 // Candidate i corresponds to hs[i], so the output order never depends on
 // goroutine scheduling. Each candidate is individually recover-protected:
 // a panic in one heuristic costs one Err entry, not the race.
-func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parallelism int) []Candidate {
+func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuristic, parallelism int) []Candidate {
 	n := len(hs)
 	if parallelism <= 0 || parallelism > n {
 		parallelism = min(n, runtime.GOMAXPROCS(0))
@@ -192,7 +204,7 @@ func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parall
 				continue
 			}
 			start := time.Now()
-			runOne(t, p, hs[i], &cands[i])
+			runOne(t, m, hs[i], &cands[i])
 			cands[i].Elapsed = time.Since(start)
 		}
 		return cands
@@ -216,7 +228,7 @@ func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parall
 				return
 			}
 			start := time.Now()
-			runOne(t, p, hs[i], &cands[i])
+			runOne(t, m, hs[i], &cands[i])
 			cands[i].Elapsed = time.Since(start)
 		}(i)
 	}
@@ -226,13 +238,13 @@ func race(ctx context.Context, t *tree.Tree, p int, hs []sched.Heuristic, parall
 
 // runOne executes and measures a single candidate, containing panics.
 // Validation, makespan and peak memory come from one sched.Evaluate pass.
-func runOne(t *tree.Tree, p int, h sched.Heuristic, c *Candidate) {
+func runOne(t *tree.Tree, m *machine.Model, h sched.Heuristic, c *Candidate) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.Err = fmt.Errorf("portfolio: %s panicked: %v", h.Name, r)
 		}
 	}()
-	s, err := h.Run(t, p)
+	s, err := h.RunOn(t, m)
 	if err != nil {
 		c.Err = err
 		return

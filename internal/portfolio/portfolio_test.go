@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"treesched/internal/machine"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -20,6 +21,39 @@ func portfolioTestTree(tb testing.TB, seed int64, n int) *tree.Tree {
 	return tree.RandomAttachment(rng, n, tree.WeightSpec{
 		WMin: 1, WMax: 10, NMin: 0, NMax: 5, FMin: 1, FMax: 20,
 	})
+}
+
+// TestRunHeterogeneousMachine races the default candidates on a 2-speed
+// machine: every candidate must schedule for the model's processor count,
+// the lower bound must be speed-scaled, and a winner must emerge.
+func TestRunHeterogeneousMachine(t *testing.T) {
+	tr := portfolioTestTree(t, 9, 120)
+	m, err := machine.ParseSpec("2x1.0+2x0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tr, MinMakespan(), Options{Options: sched.Options{Machine: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processors != 4 || res.Machine != m {
+		t.Errorf("result machine = p%d %v, want p4 on the explicit model", res.Processors, res.Machine)
+	}
+	if want := sched.MakespanLowerBoundOn(tr, m); res.MakespanLB != want {
+		t.Errorf("MakespanLB = %v, want speed-scaled %v", res.MakespanLB, want)
+	}
+	w, ok := res.WinnerCandidate()
+	if !ok {
+		t.Fatal("no winner on the heterogeneous machine")
+	}
+	if w.Err != nil || w.Makespan <= 0 {
+		t.Errorf("winner not runnable: %+v", w)
+	}
+	for _, c := range res.Candidates {
+		if c.Err != nil {
+			t.Errorf("candidate %s failed on the heterogeneous machine: %v", c.ID, c.Err)
+		}
+	}
 }
 
 func TestRunDefaultPortfolio(t *testing.T) {
@@ -149,12 +183,14 @@ func TestRunCanceledContext(t *testing.T) {
 func TestRacePanicContainment(t *testing.T) {
 	tr := portfolioTestTree(t, 6, 30)
 	hs := []sched.Heuristic{
-		{ID: sched.IDParSubtrees, Name: "ParSubtrees", Run: sched.ParSubtrees},
-		{ID: sched.IDParDeepestFirst, Name: "boom", Run: func(*tree.Tree, int) (*sched.Schedule, error) {
+		{ID: sched.IDParSubtrees, Name: "ParSubtrees", RunOn: func(t *tree.Tree, m *machine.Model) (*sched.Schedule, error) {
+			return sched.ParSubtrees(t, m.P())
+		}},
+		{ID: sched.IDParDeepestFirst, Name: "boom", RunOn: func(*tree.Tree, *machine.Model) (*sched.Schedule, error) {
 			panic("synthetic heuristic panic")
 		}},
 	}
-	cands := race(context.Background(), tr, 2, hs, 2)
+	cands := race(context.Background(), tr, machine.Uniform(2), hs, 2)
 	if cands[0].Err != nil {
 		t.Errorf("healthy candidate infected: %v", cands[0].Err)
 	}
@@ -173,7 +209,7 @@ func TestRaceRunsConcurrently(t *testing.T) {
 	const naps = 4
 	const nap = 50 * time.Millisecond
 	var peak, cur atomic.Int32
-	stub := func(*tree.Tree, int) (*sched.Schedule, error) {
+	stub := func(*tree.Tree, *machine.Model) (*sched.Schedule, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -187,10 +223,10 @@ func TestRaceRunsConcurrently(t *testing.T) {
 	}
 	hs := make([]sched.Heuristic, naps)
 	for i := range hs {
-		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i), Name: "stub", Run: stub}
+		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i), Name: "stub", RunOn: stub}
 	}
 	start := time.Now()
-	cands := race(context.Background(), tr, 1, hs, naps)
+	cands := race(context.Background(), tr, machine.Uniform(1), hs, naps)
 	wall := time.Since(start)
 	var sum time.Duration
 	for _, c := range cands {
@@ -210,7 +246,7 @@ func TestRaceRunsConcurrently(t *testing.T) {
 func TestRaceRespectsParallelismBound(t *testing.T) {
 	tr := portfolioTestTree(t, 8, 5)
 	var peak, cur atomic.Int32
-	stub := func(*tree.Tree, int) (*sched.Schedule, error) {
+	stub := func(*tree.Tree, *machine.Model) (*sched.Schedule, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -224,9 +260,9 @@ func TestRaceRespectsParallelismBound(t *testing.T) {
 	}
 	hs := make([]sched.Heuristic, 8)
 	for i := range hs {
-		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i % 2), Name: "stub", Run: stub}
+		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i % 2), Name: "stub", RunOn: stub}
 	}
-	race(context.Background(), tr, 1, hs, 2)
+	race(context.Background(), tr, machine.Uniform(1), hs, 2)
 	if p := peak.Load(); p > 2 {
 		t.Errorf("peak concurrency %d exceeds parallelism bound 2", p)
 	}

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -30,12 +31,22 @@ func MemCappedBooking(t *tree.Tree, p int, cap int64) (*Schedule, error) {
 // function: σ, its inverse, the booking suffix maxima and the admission
 // ranking all come from the shared context.
 func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
 	}
+	return pc.MemCappedBookingOn(m, cap)
+}
+
+// MemCappedBookingOn is MemCappedBooking on an explicit machine model.
+// The booking invariant is purely about memory, so it is untouched by
+// speeds; the machine decides processor picks (fastest-first) and
+// execution times. On a uniform model it is byte-identical to the
+// processor-count form.
+func (pc *Precompute) MemCappedBookingOn(m *machine.Model, cap int64) (*Schedule, error) {
 	t := pc.t
 	n := t.Len()
-	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: m.P(), M: hetModel(m)}
 	if n == 0 {
 		return s, nil
 	}
@@ -46,9 +57,10 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 	rank := pc.rankBooking()
 
 	sc := getSchedScratch()
-	sc.ensureBase(n, p)
+	sc.ensureBase(n)
 	sc.ensureFlags(n)
-	remaining, ready, free := sc.remaining, sc.ready, sc.free
+	remaining, ready := sc.remaining, sc.ready
+	st := machine.NewState(m)
 	started, outOfOrder := sc.started, sc.extra
 	hasPulse := false
 	for v := 0; v < n; v++ {
@@ -59,9 +71,6 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 		hasPulse = hasPulse || t.W(v) == 0
 	}
 	readyInit(ready, rank)
-	for i := p - 1; i >= 0; i-- {
-		free = append(free, int32(i))
-	}
 	fin := &sc.fin
 
 	var (
@@ -85,7 +94,7 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 		if mem > peak {
 			peak = mem
 		}
-		fin.push(now+t.W(v), int32(v), proc)
+		fin.push(now+m.ExecTime(t.W(v), int(proc)), int32(v), proc)
 		if pos[v] > next {
 			outOfOrder[v] = true
 			extraUsed += t.N(v) + t.F(v)
@@ -108,7 +117,7 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 		// Scan the ready queue in priority order, admitting greedily.
 		skipped := sc.skipped[:0]
 		scanned := 0
-		for len(free) > 0 && len(ready) > 0 && scanned < admissionWindow {
+		for st.Idle() > 0 && len(ready) > 0 && scanned < admissionWindow {
 			var v int32
 			v, ready = readyPop(ready, rank)
 			scanned++
@@ -116,9 +125,7 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 				skipped = append(skipped, v)
 				continue
 			}
-			proc := free[len(free)-1]
-			free = free[:len(free)-1]
-			start(int(v), proc)
+			start(int(v), st.Take())
 		}
 		for _, v := range skipped {
 			ready = readyPush(ready, v, rank)
@@ -126,16 +133,14 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 		sc.skipped = skipped
 		// Fallback: σ[next] is admissible whenever the machine is idle;
 		// retry it even if the window missed it.
-		if len(free) > 0 && next < n {
+		if st.Idle() > 0 && next < n {
 			v := order[next]
 			if !started[v] && remaining[v] == 0 && admissible(v) {
 				// Remove v from the ready heap before starting it.
 				for i, u := range ready {
 					if int(u) == v {
 						ready = readyRemove(ready, i, rank)
-						proc := free[len(free)-1]
-						free = free[:len(free)-1]
-						start(v, proc)
+						start(v, st.Take())
 						break
 					}
 				}
@@ -154,7 +159,7 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 				outOfOrder[c] = false
 			}
 		}
-		free = append(free, proc)
+		st.Put(proc)
 		if pa := t.Parent(v); pa != tree.None {
 			remaining[pa]--
 			if remaining[pa] == 0 {
@@ -177,7 +182,8 @@ func (pc *Precompute) MemCappedBooking(p int, cap int64) (*Schedule, error) {
 		}
 		assign()
 	}
-	sc.ready, sc.free = ready, free
+	sc.ready = ready
+	st.Recycle()
 	putSchedScratch(sc)
 	if done != n {
 		return nil, fmt.Errorf("sched: booking scheduler finished %d of %d tasks", done, n)

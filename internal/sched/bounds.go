@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"treesched/internal/machine"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
@@ -14,6 +15,21 @@ func MakespanLowerBound(t *tree.Tree, p int) float64 {
 	}
 	lb := t.TotalW() / float64(p)
 	if cp := t.CriticalPath(); cp > lb {
+		lb = cp
+	}
+	return lb
+}
+
+// MakespanLowerBoundOn is the speed-scaled makespan lower bound on an
+// explicit machine model: max(ΣW / Σs, critical path / s_max) — the area
+// bound over the aggregate speed and the critical path at the fastest
+// processor. On a uniform model it equals MakespanLowerBound(t, p).
+func MakespanLowerBoundOn(t *tree.Tree, m *machine.Model) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	lb := t.TotalW() / m.SumSpeed()
+	if cp := t.CriticalPath() / m.MaxSpeed(); cp > lb {
 		lb = cp
 	}
 	return lb

@@ -37,7 +37,7 @@ func WriteGantt(w io.Writer, t *tree.Tree, s *Schedule, width int) error {
 		}
 		for _, v := range tasks {
 			lo := int(s.Start[v] * scale)
-			hi := int((s.Start[v] + t.W(v)) * scale)
+			hi := int((s.Start[v] + s.Dur(t, v)) * scale)
 			if hi >= width {
 				hi = width - 1
 			}
@@ -74,11 +74,18 @@ func GanttString(t *tree.Tree, s *Schedule, width int) string {
 }
 
 // Utilization returns the fraction of processor time spent busy between 0
-// and the makespan.
+// and the makespan (speed-scaled durations under a heterogeneous model).
 func Utilization(t *tree.Tree, s *Schedule) float64 {
 	ms := s.Makespan(t)
 	if ms <= 0 || s.P == 0 {
 		return 0
 	}
-	return t.TotalW() / (ms * float64(s.P))
+	busy := t.TotalW()
+	if s.M != nil {
+		busy = 0
+		for i := 0; i < t.Len(); i++ {
+			busy += s.Dur(t, i)
+		}
+	}
+	return busy / (ms * float64(s.P))
 }

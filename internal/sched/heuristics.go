@@ -1,25 +1,29 @@
 package sched
 
 import (
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
-// Heuristic is a named tree-scheduling algorithm.
+// Heuristic is a named tree-scheduling algorithm. Run schedules on the
+// paper's uniform machine of p processors; RunOn (when set — every
+// heuristic built by Options carries it) schedules on an explicit machine
+// model, reducing to Run on a uniform model.
 type Heuristic struct {
-	ID   HeuristicID
-	Name string
-	Run  func(t *tree.Tree, p int) (*Schedule, error)
+	ID    HeuristicID
+	Name  string
+	Run   func(t *tree.Tree, p int) (*Schedule, error)
+	RunOn func(t *tree.Tree, m *machine.Model) (*Schedule, error)
 }
 
 // Heuristics returns the four heuristics evaluated in the paper, in the
 // order of Table 1.
 func Heuristics() []Heuristic {
-	return []Heuristic{
-		{ID: IDParSubtrees, Name: "ParSubtrees", Run: ParSubtrees},
-		{ID: IDParSubtreesOptim, Name: "ParSubtreesOptim", Run: ParSubtreesOptim},
-		{ID: IDParInnerFirst, Name: "ParInnerFirst", Run: ParInnerFirst},
-		{ID: IDParDeepestFirst, Name: "ParDeepestFirst", Run: ParDeepestFirst},
+	hs := make([]Heuristic, 0, 4)
+	for _, id := range PaperHeuristics() {
+		hs = append(hs, Options{}.heuristic(id, nil))
 	}
+	return hs
 }
 
 // ByName returns the heuristic with the given name, or false if unknown.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -153,11 +154,11 @@ func (h *finishHeap) reset() {
 
 // schedScratch is the reusable working set of the event-driven schedulers
 // (ListSchedule, MemCapped, MemCappedBooking), recycled across requests
-// via schedPool. Only the returned Schedule is allocated per call.
+// via schedPool; the processor free-set lives in the machine.State pool.
+// Only the returned Schedule is allocated per call.
 type schedScratch struct {
 	remaining []int32
 	ready     []int32
-	free      []int32
 	fin       finishHeap
 	started   []bool // booking / memcap flags
 	extra     []bool // booking out-of-order flags
@@ -170,16 +171,12 @@ func getSchedScratch() *schedScratch   { return schedPool.Get().(*schedScratch) 
 func putSchedScratch(sc *schedScratch) { schedPool.Put(sc) }
 
 // ensureBase sizes the buffers every scheduler needs.
-func (sc *schedScratch) ensureBase(n, p int) {
+func (sc *schedScratch) ensureBase(n int) {
 	if cap(sc.remaining) < n {
 		sc.remaining = make([]int32, n)
 	}
 	sc.remaining = sc.remaining[:n]
 	sc.ready = sc.ready[:0]
-	if cap(sc.free) < p {
-		sc.free = make([]int32, 0, p)
-	}
-	sc.free = sc.free[:0]
 	sc.fin.reset()
 }
 
@@ -206,12 +203,20 @@ func (sc *schedScratch) ensureFlags(n int) {
 // tree (see Precompute) and go through listScheduleRank, which performs no
 // comparator calls and, on a warm pool, no allocations beyond the result.
 func ListSchedule(t *tree.Tree, p int, less func(a, b int) bool) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	}
+	return ListScheduleOn(t, machine.Uniform(p), less)
+}
+
+// ListScheduleOn is ListSchedule on an explicit machine model: on a
+// heterogeneous model a freed processor is picked fastest-first and every
+// task runs in w/s_proc time. On a uniform model it is byte-identical to
+// ListSchedule.
+func ListScheduleOn(t *tree.Tree, m *machine.Model, less func(a, b int) bool) (*Schedule, error) {
 	n := t.Len()
 	if n == 0 {
-		if p < 1 {
-			return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
-		}
-		return &Schedule{Start: []float64{}, Proc: []int{}, P: p}, nil
+		return &Schedule{Start: []float64{}, Proc: []int{}, P: m.P(), M: hetModel(m)}, nil
 	}
 	// Reduce the comparator to its rank permutation once; the heap then
 	// compares integers.
@@ -224,22 +229,30 @@ func ListSchedule(t *tree.Tree, p int, less func(a, b int) bool) (*Schedule, err
 	for i, v := range idx {
 		rank[v] = uint64(i)
 	}
-	return listScheduleRank(t, p, rank)
+	return listScheduleRank(t, m, rank)
+}
+
+// hetModel is the Schedule.M normalization: uniform machines are the
+// implicit default (nil), so uniform schedules stay bit-compatible with
+// every historical consumer.
+func hetModel(m *machine.Model) *machine.Model {
+	if m.IsUniform() {
+		return nil
+	}
+	return m
 }
 
 // listScheduleRank is the rank-keyed core of Algorithm 3.
-func listScheduleRank(t *tree.Tree, p int, rank []uint64) (*Schedule, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
-	}
+func listScheduleRank(t *tree.Tree, m *machine.Model, rank []uint64) (*Schedule, error) {
 	n := t.Len()
-	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: m.P(), M: hetModel(m)}
 	if n == 0 {
 		return s, nil
 	}
 	sc := getSchedScratch()
-	sc.ensureBase(n, p)
-	remaining, ready, free := sc.remaining, sc.ready, sc.free
+	sc.ensureBase(n)
+	remaining, ready := sc.remaining, sc.ready
+	st := machine.NewState(m)
 	hasPulse := false
 	for v := 0; v < n; v++ {
 		remaining[v] = int32(t.NumChildren(v))
@@ -249,9 +262,6 @@ func listScheduleRank(t *tree.Tree, p int, rank []uint64) (*Schedule, error) {
 		hasPulse = hasPulse || t.W(v) == 0
 	}
 	readyInit(ready, rank)
-	for i := p - 1; i >= 0; i-- {
-		free = append(free, int32(i)) // pop order: proc 0 first
-	}
 	fin := &sc.fin
 	now := 0.0
 	scheduled := 0
@@ -261,15 +271,14 @@ func listScheduleRank(t *tree.Tree, p int, rank []uint64) (*Schedule, error) {
 	var mem, peak int64
 
 	assign := func() {
-		for len(free) > 0 && len(ready) > 0 {
-			proc := free[len(free)-1]
-			free = free[:len(free)-1]
+		for st.Idle() > 0 && len(ready) > 0 {
+			proc := st.Take()
 			var v int32
 			v, ready = readyPop(ready, rank)
 			s.Start[v] = now
 			s.Proc[v] = int(proc)
 			mem += t.N(int(v)) + t.F(int(v))
-			fin.push(now+t.W(int(v)), v, proc)
+			fin.push(now+m.ExecTime(t.W(int(v)), int(proc)), v, proc)
 			scheduled++
 		}
 		if mem > peak {
@@ -289,18 +298,19 @@ func listScheduleRank(t *tree.Tree, p int, rank []uint64) (*Schedule, error) {
 	for fin.Len() > 0 {
 		at, v, proc := fin.pop()
 		now = at
-		free = append(free, proc)
+		st.Put(proc)
 		complete(v)
 		// Drain all events at the same instant before assigning, so that a
 		// parent freed by several children sees all of them complete.
 		for fin.Len() > 0 && fin.at[0] == now {
 			_, v2, proc2 := fin.pop()
-			free = append(free, proc2)
+			st.Put(proc2)
 			complete(v2)
 		}
 		assign()
 	}
-	sc.ready, sc.free = ready, free
+	sc.ready = ready
+	st.Recycle()
 	putSchedScratch(sc)
 	if scheduled != n {
 		return nil, fmt.Errorf("sched: internal error: scheduled %d of %d nodes", scheduled, n)

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -27,29 +28,36 @@ func MemCapped(t *tree.Tree, p int, cap int64) (*Schedule, error) {
 // MemCapped is the precompute-sharing form of the package-level function:
 // σ and M_seq come from the shared context instead of a fresh traversal.
 func (pc *Precompute) MemCapped(p int, cap int64) (*Schedule, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
 	}
+	return pc.MemCappedOn(m, cap)
+}
+
+// MemCappedOn is MemCapped on an explicit machine model: activation still
+// follows σ (the cap logic is speed-independent), while processors are
+// picked fastest-first and tasks run in w/s_proc time. On a uniform model
+// it is byte-identical to the processor-count form.
+func (pc *Precompute) MemCappedOn(m *machine.Model, cap int64) (*Schedule, error) {
 	t := pc.t
 	if pc.MSeq() > cap {
 		return nil, fmt.Errorf("sched: memory cap %d below sequential requirement %d", cap, pc.MSeq())
 	}
 	n := t.Len()
-	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: m.P(), M: hetModel(m)}
 	if n == 0 {
 		return s, nil
 	}
 	order := pc.Order()
 	sc := getSchedScratch()
-	sc.ensureBase(n, p)
-	remaining, free := sc.remaining, sc.free
+	sc.ensureBase(n)
+	remaining := sc.remaining
+	st := machine.NewState(m)
 	hasPulse := false
 	for v := 0; v < n; v++ {
 		remaining[v] = int32(t.NumChildren(v))
 		hasPulse = hasPulse || t.W(v) == 0
-	}
-	for i := p - 1; i >= 0; i-- {
-		free = append(free, int32(i))
 	}
 	fin := &sc.fin
 	var mem, peak int64 // resident memory right now, and its running max
@@ -60,20 +68,19 @@ func (pc *Precompute) MemCapped(p int, cap int64) (*Schedule, error) {
 	// (remaining drops to zero as completions drain) and footprint within
 	// the cap.
 	startNext := func() {
-		for next < n && len(free) > 0 {
+		for next < n && st.Idle() > 0 {
 			v := order[next]
 			if remaining[v] != 0 || mem+t.N(v)+t.F(v) > cap {
 				return
 			}
-			proc := free[len(free)-1]
-			free = free[:len(free)-1]
+			proc := st.Take()
 			s.Start[v] = now
 			s.Proc[v] = int(proc)
 			mem += t.N(v) + t.F(v)
 			if mem > peak {
 				peak = mem
 			}
-			fin.push(now+t.W(v), int32(v), proc)
+			fin.push(now+m.ExecTime(t.W(v), int(proc)), int32(v), proc)
 			next++
 		}
 	}
@@ -88,15 +95,15 @@ func (pc *Precompute) MemCapped(p int, cap int64) (*Schedule, error) {
 		at, v, proc := fin.pop()
 		now = at
 		complete(v)
-		free = append(free, proc)
+		st.Put(proc)
 		for fin.Len() > 0 && fin.at[0] == now {
 			_, v2, proc2 := fin.pop()
 			complete(v2)
-			free = append(free, proc2)
+			st.Put(proc2)
 		}
 		startNext()
 	}
-	sc.free = free
+	st.Recycle()
 	putSchedScratch(sc)
 	if next != n {
 		return nil, fmt.Errorf("sched: internal error: activated %d of %d tasks", next, n)

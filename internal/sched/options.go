@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -126,10 +127,16 @@ func PaperHeuristics() []HeuristicID {
 }
 
 // Options selects the schedulers to run on a tree and their shared
-// parameters. The zero value is not runnable: Processors must be >= 1.
+// parameters. The zero value is not runnable: Processors must be >= 1 (or
+// Machine set).
 type Options struct {
-	// Processors is the machine size p. Required, >= 1.
+	// Processors is the machine size p. Required (>= 1) unless Machine is
+	// set, in which case it must be 0 or equal to Machine.P().
 	Processors int
+	// Machine is the explicit machine model: per-processor speeds for
+	// heterogeneous (related-machines) scheduling. nil means the paper's
+	// uniform machine of Processors unit-speed processors.
+	Machine *machine.Model
 	// Heuristics lists the schedulers to run, in output order.
 	// Empty means the paper's four heuristics.
 	Heuristics []HeuristicID
@@ -139,9 +146,23 @@ type Options struct {
 	MemCapFactor float64
 }
 
+// Model resolves the effective machine: Machine when set, else the
+// uniform machine of size Processors. Only valid after Validate.
+func (o Options) Model() *machine.Model {
+	if o.Machine != nil {
+		return o.Machine
+	}
+	return machine.Uniform(o.Processors)
+}
+
 // Validate checks o without reference to a particular tree.
 func (o Options) Validate() error {
-	if o.Processors < 1 {
+	if o.Machine != nil {
+		if o.Processors != 0 && o.Processors != o.Machine.P() {
+			return fmt.Errorf("sched: options: processors %d conflicts with machine %q (%d processors)",
+				o.Processors, o.Machine.Spec(), o.Machine.P())
+		}
+	} else if o.Processors < 1 {
 		return fmt.Errorf("sched: options: processors must be >= 1, got %d", o.Processors)
 	}
 	for _, id := range o.Heuristics {
@@ -213,15 +234,25 @@ func (o Options) heuristicIDs() []HeuristicID {
 // scheduling with the wrong precompute.
 func (o Options) heuristic(id HeuristicID, pc *Precompute) Heuristic {
 	factor := o.MemCapFactor
-	return Heuristic{ID: id, Name: id.String(), Run: func(t *tree.Tree, p int) (*Schedule, error) {
+	runOn := func(t *tree.Tree, m *machine.Model) (*Schedule, error) {
 		ctx := pc
 		if ctx == nil {
 			ctx = NewPrecompute(t)
 		} else if t != ctx.t {
 			return nil, fmt.Errorf("sched: heuristic %s was selected for a different tree (SelectFor binds its heuristics to one tree)", id)
 		}
-		return ctx.Run(id, p, factor)
-	}}
+		return ctx.RunOn(id, m, factor)
+	}
+	return Heuristic{ID: id, Name: id.String(),
+		Run: func(t *tree.Tree, p int) (*Schedule, error) {
+			m, err := uniformChecked(p)
+			if err != nil {
+				return nil, err
+			}
+			return runOn(t, m)
+		},
+		RunOn: runOn,
+	}
 }
 
 func errUnrunnable(id HeuristicID) error {
@@ -259,16 +290,44 @@ func SequentialSchedule(t *tree.Tree, order []int) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: sequential: order covers %d of %d nodes", len(order), n)
 	}
 	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: 1}
+	sequentialFill(t, s, order)
+	return s, nil
+}
+
+// SequentialScheduleOn is the sequential baseline on an explicit machine
+// model: on a uniform model it is SequentialSchedule (the historical
+// one-processor schedule); on a heterogeneous model every task runs back
+// to back on the machine's fastest processor, speed-scaled.
+func SequentialScheduleOn(t *tree.Tree, m *machine.Model, order []int) (*Schedule, error) {
+	if m.IsUniform() {
+		return SequentialSchedule(t, order)
+	}
+	n := t.Len()
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: sequential: order covers %d of %d nodes", len(order), n)
+	}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: m.P(), M: m}
+	proc := m.Fastest()
+	for i := range s.Proc {
+		s.Proc[i] = proc
+	}
+	sequentialFill(t, s, order)
+	return s, nil
+}
+
+// sequentialFill lays order out back to back on the processor already
+// recorded in s.Proc, tracking the exact peak inline. One task at a time
+// makes the running resident maximum exactly the simulator's peak —
+// except around zero-duration tasks, whose same-instant replay order
+// (topological, not σ) can differ, so their presence skips the cache like
+// in every other scheduler.
+func sequentialFill(t *tree.Tree, s *Schedule, order []int) {
 	var now float64
-	// One task at a time makes the running resident maximum exactly the
-	// simulator's peak — except around zero-duration tasks, whose
-	// same-instant replay order (topological, not σ) can differ, so their
-	// presence skips the cache like in every other scheduler.
 	var mem, peak int64
 	hasPulse := false
 	for _, v := range order {
 		s.Start[v] = now
-		now += t.W(v)
+		now += s.Dur(t, v)
 		hasPulse = hasPulse || t.W(v) == 0
 		mem += t.N(v) + t.F(v)
 		if mem > peak {
@@ -279,5 +338,4 @@ func SequentialSchedule(t *tree.Tree, order []int) (*Schedule, error) {
 	if !hasPulse {
 		s.setPeak(peak)
 	}
-	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"treesched/internal/machine"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
@@ -134,7 +135,20 @@ func ParSubtrees(t *tree.Tree, p int) (*Schedule, error) {
 // from the whole-tree postorder index (the child-ordering rule is
 // subtree-local), skipping the historical per-subtree extraction and DP.
 func (pc *Precompute) ParSubtrees(p int) (*Schedule, error) {
-	return parSubtrees(pc, p, false)
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	return parSubtrees(pc, m, false)
+}
+
+// ParSubtreesOn is ParSubtrees on an explicit machine model: subtrees are
+// placed by speed-aware LPT (heaviest subtree onto the processor that
+// finishes it earliest) and the sequential phase runs on the fastest
+// processor. On a uniform model it is byte-identical to the
+// processor-count form.
+func (pc *Precompute) ParSubtreesOn(m *machine.Model) (*Schedule, error) {
+	return parSubtrees(pc, m, false)
 }
 
 // ParSubtreesOptim is the makespan optimization of ParSubtrees (paper
@@ -149,20 +163,31 @@ func ParSubtreesOptim(t *tree.Tree, p int) (*Schedule, error) {
 // ParSubtreesOptim is the precompute-sharing form of the package-level
 // function.
 func (pc *Precompute) ParSubtreesOptim(p int) (*Schedule, error) {
-	return parSubtrees(pc, p, true)
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	return parSubtrees(pc, m, true)
 }
 
-func parSubtrees(pc *Precompute, p int, optim bool) (*Schedule, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("sched: need at least one processor, got %d", p)
-	}
+// ParSubtreesOptimOn is ParSubtreesOptim on an explicit machine model
+// (see ParSubtreesOn).
+func (pc *Precompute) ParSubtreesOptimOn(m *machine.Model) (*Schedule, error) {
+	return parSubtrees(pc, m, true)
+}
+
+func parSubtrees(pc *Precompute, m *machine.Model, optim bool) (*Schedule, error) {
+	p := m.P()
 	t := pc.t
 	n := t.Len()
-	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p}
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p, M: hetModel(m)}
 	if n == 0 {
 		return s, nil
 	}
+	// The splitting targets p subtrees by total work; speeds enter at
+	// placement time, not in the decomposition.
 	sp := splitSubtreesW(t, p, pc.subtreeW())
+	W := pc.subtreeW()
 
 	// perProc records each processor's tasks in execution (time) order, so
 	// the peak can be computed afterwards by a sort-free P-way time sweep.
@@ -176,39 +201,31 @@ func parSubtrees(pc *Precompute, p int, optim bool) (*Schedule, error) {
 	if !optim && len(parallelRoots) > p {
 		parallelRoots = parallelRoots[:p]
 	}
-	procFree := make([]float64, p)
+	st := machine.NewState(m)
 	var orderBuf []int
 	// LPT allocation: roots are already ordered heaviest-first; place each
-	// on the least-loaded processor. For plain ParSubtrees there are at most
-	// p roots, so each lands on its own processor.
+	// where it finishes earliest (on a uniform machine: the least-loaded
+	// processor). For plain ParSubtrees there are at most p roots, so each
+	// lands on its own processor.
 	for _, r := range parallelRoots {
-		proc := 0
-		for q := 1; q < p; q++ {
-			if procFree[q] < procFree[proc] {
-				proc = q
-			}
-		}
+		proc := st.PickEarliest(W[r])
 		orderBuf = pc.ix.AppendSubtreeOrder(t, r, orderBuf[:0])
-		at := procFree[proc]
+		at := st.BusyUntil(proc)
 		for _, v := range orderBuf {
 			s.Start[v] = at
 			s.Proc[v] = proc
-			at += t.W(v)
+			at += m.ExecTime(t.W(v), proc)
 			inParallel[v] = true
 			perProc[proc] = append(perProc[proc], int32(v))
 		}
-		procFree[proc] = at
+		st.Occupy(proc, at)
 	}
-	phase1End := 0.0
-	for _, f := range procFree {
-		if f > phase1End {
-			phase1End = f
-		}
-	}
+	phase1End := st.MaxBusy()
 
-	// Phase 2: remaining nodes sequentially on processor 0, in the
-	// memory-minimizing order of the quotient tree (completed subtrees
-	// appear as zero-work stub leaves whose output files are resident).
+	// Phase 2: remaining nodes sequentially on the fastest processor
+	// (processor 0 on a uniform machine), in the memory-minimizing order
+	// of the quotient tree (completed subtrees appear as zero-work stub
+	// leaves whose output files are resident).
 	remaining := make([]int, 0, len(sp.SeqNodes)+8)
 	for v := 0; v < n; v++ {
 		if !inParallel[v] {
@@ -216,15 +233,17 @@ func parSubtrees(pc *Precompute, p int, optim bool) (*Schedule, error) {
 		}
 	}
 	if len(remaining) > 0 {
+		seqProc := m.Fastest()
 		order := quotientOrder(t, remaining, inParallel)
 		at := phase1End
 		for _, v := range order {
 			s.Start[v] = at
-			s.Proc[v] = 0
-			at += t.W(v)
-			perProc[0] = append(perProc[0], int32(v))
+			s.Proc[v] = seqProc
+			at += m.ExecTime(t.W(v), seqProc)
+			perProc[seqProc] = append(perProc[seqProc], int32(v))
 		}
 	}
+	st.Recycle()
 	setPeakFromStreams(t, s, perProc)
 	return s, nil
 }
@@ -262,7 +281,7 @@ func setPeakFromStreams(t *tree.Tree, s *Schedule, perProc [][]int32) {
 			at := s.Start[v]
 			isEnd := endPending[q]
 			if isEnd {
-				at += t.W(v)
+				at += s.Dur(t, v)
 			}
 			if best < 0 || at < bestAt || (at == bestAt && isEnd && !bestEnd) {
 				best, bestAt, bestEnd = q, at, isEnd

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 
+	"treesched/internal/machine"
 	"treesched/internal/traversal"
 	"treesched/internal/tree"
 )
@@ -248,29 +249,42 @@ func (pc *Precompute) rankBooking() []uint64 {
 	return pc.bookRank
 }
 
-// Run dispatches a heuristic by ID on this context's tree. memCapFactor
-// parameterizes the capped heuristics (cap = factor × M_seq) and is
-// ignored by the rest; sequential baselines ignore p.
+// Run dispatches a heuristic by ID on this context's tree and the paper's
+// uniform machine of p processors. memCapFactor parameterizes the capped
+// heuristics (cap = factor × M_seq) and is ignored by the rest;
+// sequential baselines ignore p.
 func (pc *Precompute) Run(id HeuristicID, p int, memCapFactor float64) (*Schedule, error) {
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	return pc.RunOn(id, m, memCapFactor)
+}
+
+// RunOn dispatches a heuristic by ID on an explicit machine model. On a
+// uniform model every heuristic is byte-identical to Run; on a
+// heterogeneous model processor picks and execution times are
+// speed-aware (the sequential baselines run on the fastest processor).
+func (pc *Precompute) RunOn(id HeuristicID, m *machine.Model, memCapFactor float64) (*Schedule, error) {
 	switch id {
 	case IDParSubtrees:
-		return pc.ParSubtrees(p)
+		return pc.ParSubtreesOn(m)
 	case IDParSubtreesOptim:
-		return pc.ParSubtreesOptim(p)
+		return pc.ParSubtreesOptimOn(m)
 	case IDParInnerFirst:
-		return pc.ParInnerFirst(p)
+		return pc.ParInnerFirstOn(m)
 	case IDParDeepestFirst:
-		return pc.ParDeepestFirst(p)
+		return pc.ParDeepestFirstOn(m)
 	case IDParInnerFirstArbitrary:
-		return pc.ParInnerFirstArbitrary(p)
+		return pc.ParInnerFirstArbitraryOn(m)
 	case IDSequential:
-		return SequentialSchedule(pc.t, pc.Order())
+		return SequentialScheduleOn(pc.t, m, pc.Order())
 	case IDOptimalSequential:
-		return SequentialSchedule(pc.t, traversal.Optimal(pc.t).Order)
+		return SequentialScheduleOn(pc.t, m, traversal.Optimal(pc.t).Order)
 	case IDMemCapped:
-		return pc.MemCapped(p, capFromFactor(memCapFactor, pc.MSeq()))
+		return pc.MemCappedOn(m, capFromFactor(memCapFactor, pc.MSeq()))
 	case IDMemCappedBooking:
-		return pc.MemCappedBooking(p, capFromFactor(memCapFactor, pc.MSeq()))
+		return pc.MemCappedBookingOn(m, capFromFactor(memCapFactor, pc.MSeq()))
 	}
 	return nil, errUnrunnable(id)
 }

@@ -12,6 +12,7 @@ import (
 	"slices"
 	"sync"
 
+	"treesched/internal/machine"
 	"treesched/internal/tree"
 )
 
@@ -20,11 +21,16 @@ const timeEps = 1e-9
 
 // Schedule assigns every node of a tree a start time and a processor.
 // Tasks are non-preemptive: node i occupies Proc[i] during
-// [Start[i], Start[i]+w_i).
+// [Start[i], Start[i]+Dur(t, i)) — w_i on a uniform machine, w_i/s_Proc[i]
+// under a heterogeneous machine model.
 type Schedule struct {
 	Start []float64 // start time per node
 	Proc  []int     // processor per node, in [0, P)
 	P     int       // number of processors
+	// M is the heterogeneous machine model the schedule was built for, or
+	// nil for the paper's uniform machine of P unit-speed processors.
+	// When set, M.P() == P and every duration is speed-scaled.
+	M *machine.Model
 
 	// peak caches the exact simulated peak memory when the constructing
 	// scheduler tracked it inline (peakKnown). The package's event-driven
@@ -44,17 +50,26 @@ type Schedule struct {
 }
 
 // Invalidate drops the cached peak-memory/validity metadata; call it after
-// mutating Start, Proc or P by hand.
+// mutating Start, Proc, P or M by hand.
 func (s *Schedule) Invalidate() { s.peakKnown = false; s.peak = 0 }
 
 // setPeak records an inline-tracked exact peak (schedulers only).
 func (s *Schedule) setPeak(p int64) { s.peak = p; s.peakKnown = true }
 
+// Dur returns the execution time of node i under the schedule's machine
+// model: w_i on a uniform machine, w_i/s_Proc[i] otherwise.
+func (s *Schedule) Dur(t *tree.Tree, i int) float64 {
+	if s.M == nil {
+		return t.W(i)
+	}
+	return s.M.ExecTime(t.W(i), s.Proc[i])
+}
+
 // Makespan returns the completion time of the last task.
 func (s *Schedule) Makespan(t *tree.Tree) float64 {
 	var m float64
 	for i, st := range s.Start {
-		if c := st + t.W(i); c > m {
+		if c := st + s.Dur(t, i); c > m {
 			m = c
 		}
 	}
@@ -62,7 +77,7 @@ func (s *Schedule) Makespan(t *tree.Tree) float64 {
 }
 
 // Finish returns the completion time of node i.
-func (s *Schedule) Finish(t *tree.Tree, i int) float64 { return s.Start[i] + t.W(i) }
+func (s *Schedule) Finish(t *tree.Tree, i int) float64 { return s.Start[i] + s.Dur(t, i) }
 
 // Validate checks that s is a feasible schedule of t: every node scheduled
 // exactly once on a valid processor, no task starts before its children
@@ -75,6 +90,9 @@ func (s *Schedule) Validate(t *tree.Tree) error {
 	if s.P < 1 {
 		return fmt.Errorf("sched: invalid processor count %d", s.P)
 	}
+	if s.M != nil && s.M.P() != s.P {
+		return fmt.Errorf("sched: machine model has %d processors, schedule says %d", s.M.P(), s.P)
+	}
 	for i := 0; i < n; i++ {
 		if s.Proc[i] < 0 || s.Proc[i] >= s.P {
 			return fmt.Errorf("sched: node %d on invalid processor %d", i, s.Proc[i])
@@ -83,9 +101,9 @@ func (s *Schedule) Validate(t *tree.Tree) error {
 			return fmt.Errorf("sched: node %d has invalid start time %v", i, s.Start[i])
 		}
 		if p := t.Parent(i); p != tree.None {
-			if s.Start[p]+timeEps < s.Start[i]+t.W(i) {
+			if s.Start[p]+timeEps < s.Start[i]+s.Dur(t, i) {
 				return fmt.Errorf("sched: node %d starts at %v before child %d completes at %v",
-					p, s.Start[p], i, s.Start[i]+t.W(i))
+					p, s.Start[p], i, s.Start[i]+s.Dur(t, i))
 			}
 		}
 	}
@@ -111,7 +129,7 @@ func (s *Schedule) Validate(t *tree.Tree) error {
 			}
 			return 1
 		}
-		if wa, wb := t.W(int(a)), t.W(int(b)); wa != wb {
+		if wa, wb := s.Dur(t, int(a)), s.Dur(t, int(b)); wa != wb {
 			if wa < wb {
 				return -1
 			}
@@ -125,7 +143,7 @@ func (s *Schedule) Validate(t *tree.Tree) error {
 		if s.Proc[prev] != s.Proc[cur] {
 			continue
 		}
-		if s.Start[cur]+timeEps < s.Start[prev]+t.W(prev) {
+		if s.Start[cur]+timeEps < s.Start[prev]+s.Dur(t, prev) {
 			err = fmt.Errorf("sched: tasks %d and %d overlap on processor %d", prev, cur, s.Proc[prev])
 			break
 		}

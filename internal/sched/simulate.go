@@ -52,7 +52,7 @@ func (e simEvent) kind(t *tree.Tree) int {
 func eventAt(t *tree.Tree, s *Schedule, e simEvent) float64 {
 	at := s.Start[e.node]
 	if e.key&1 == 0 {
-		at += t.W(int(e.node))
+		at += s.Dur(t, int(e.node))
 	}
 	return at
 }
@@ -81,10 +81,13 @@ func fillEvents(t *tree.Tree, s *Schedule, ev []simEvent) (out []simEvent, packa
 		}
 		ev = append(ev, simEvent{key: math.Float64bits(at)<<1 | class, node: int32(node)})
 	}
+	// Pulse classification follows t.W (matching simEvent.kind): a task is
+	// a pulse iff its work is zero, which under any positive finite speed
+	// coincides with zero duration.
 	for i := 0; i < n; i++ {
 		pack(s.Start[i], 1, i) // pulse or start: allocation class
-		if w := t.W(i); w != 0 {
-			pack(s.Start[i]+w, 0, i) // completion: release class
+		if t.W(i) != 0 {
+			pack(s.Start[i]+s.Dur(t, i), 0, i) // completion: release class
 		} else {
 			hasPulse = true
 		}
@@ -196,6 +199,9 @@ func Evaluate(t *tree.Tree, s *Schedule) (makespan float64, peak int64, err erro
 	if s.P < 1 {
 		return 0, 0, fmt.Errorf("sched: invalid processor count %d", s.P)
 	}
+	if s.M != nil && s.M.P() != s.P {
+		return 0, 0, fmt.Errorf("sched: machine model has %d processors, schedule says %d", s.M.P(), s.P)
+	}
 	for i := 0; i < n; i++ {
 		if s.Proc[i] < 0 || s.Proc[i] >= s.P {
 			return 0, 0, fmt.Errorf("sched: node %d on invalid processor %d", i, s.Proc[i])
@@ -204,12 +210,12 @@ func Evaluate(t *tree.Tree, s *Schedule) (makespan float64, peak int64, err erro
 			return 0, 0, fmt.Errorf("sched: node %d has invalid start time %v", i, s.Start[i])
 		}
 		if p := t.Parent(i); p != tree.None {
-			if s.Start[p]+timeEps < s.Start[i]+t.W(i) {
+			if s.Start[p]+timeEps < s.Start[i]+s.Dur(t, i) {
 				return 0, 0, fmt.Errorf("sched: node %d starts at %v before child %d completes at %v",
-					p, s.Start[p], i, s.Start[i]+t.W(i))
+					p, s.Start[p], i, s.Start[i]+s.Dur(t, i))
 			}
 		}
-		if c := s.Start[i] + t.W(i); c > makespan {
+		if c := s.Start[i] + s.Dur(t, i); c > makespan {
 			makespan = c
 		}
 	}
@@ -257,7 +263,7 @@ func Evaluate(t *tree.Tree, s *Schedule) (makespan float64, peak int64, err erro
 			if at+timeEps < procEnd[q] {
 				err = fmt.Errorf("sched: tasks %d and %d overlap on processor %d", procTop[q], v, q)
 			}
-			if end := at + t.W(v); end > procEnd[q] {
+			if end := at + s.Dur(t, v); end > procEnd[q] {
 				procEnd[q] = end
 				procTop[q] = e.node
 			}

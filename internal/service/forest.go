@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"treesched/internal/forest"
+	"treesched/internal/machine"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -27,6 +28,9 @@ const DefaultMaxForestJobs = 10_000
 // Query parameters:
 //
 //   - p: shared machine size (default 4, capped by the server's MaxProcs)
+//   - machine: explicit machine spec ("4", "2x1.0+2x0.5") for
+//     heterogeneous processor speeds; overrides p (they must agree when
+//     both are given)
 //   - policy: admission policy — fifo (default), sjf, smallest_mseq,
 //     weighted_fair
 //   - mem_cap: absolute global memory cap
@@ -129,6 +133,17 @@ func forestConfigFromQuery(q url.Values, maxProcs int) (forest.Config, error) {
 			return cfg, fmt.Errorf("bad p %q (want an integer >= 1)", v)
 		}
 		cfg.Processors = p
+	}
+	if v := q.Get("machine"); v != "" {
+		m, err := machine.ParseSpec(v)
+		if err != nil {
+			return cfg, err
+		}
+		if q.Get("p") != "" && cfg.Processors != m.P() {
+			return cfg, fmt.Errorf("p=%d conflicts with machine %q (%d processors)", cfg.Processors, v, m.P())
+		}
+		cfg.Machine = m
+		cfg.Processors = m.P()
 	}
 	if cfg.Processors > maxProcs {
 		return cfg, fmt.Errorf("p=%d exceeds limit %d", cfg.Processors, maxProcs)

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"treesched/internal/sched"
+)
+
+// TestScheduleMachineField drives a heterogeneous machine spec end to end
+// through /v1/schedule: request → scheduler → Evaluate → response. The
+// response must echo the canonical spec, report the model's processor
+// count, and produce valid results for every heuristic.
+func TestScheduleMachineField(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 31, 200)
+
+	rec := postJSON(t, h, "/v1/schedule", Request{ID: "het", Tree: tr, Machine: "2x1.0+2x0.5"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResponse(t, rec)
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if resp.Processors != 4 {
+		t.Errorf("p = %d, want 4 (from machine spec)", resp.Processors)
+	}
+	if resp.Machine != "2+2x0.5" {
+		t.Errorf("machine = %q, want canonical 2+2x0.5", resp.Machine)
+	}
+	if len(resp.Results) != len(sched.PaperHeuristics()) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(sched.PaperHeuristics()))
+	}
+	for _, r := range resp.Results {
+		if r.Error != "" {
+			t.Errorf("%s failed on heterogeneous machine: %s", r.Heuristic, r.Error)
+		}
+		if r.Makespan <= 0 || r.PeakMemory <= 0 {
+			t.Errorf("%s: degenerate metrics %+v", r.Heuristic, r)
+		}
+	}
+
+	// The same tree on the uniform 4-processor machine must be slower or
+	// equal for every heuristic: half the aggregate speed can't win.
+	uni := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{ID: "uni", Tree: tr, Processors: 4}))
+	if uni.Machine != "" {
+		t.Errorf("uniform response carries machine %q", uni.Machine)
+	}
+	for i, r := range resp.Results {
+		if r.Makespan < uni.Results[i].Makespan-1e-9 {
+			t.Errorf("%s: heterogeneous (slower) machine beat the uniform one: %v < %v",
+				r.Heuristic, r.Makespan, uni.Results[i].Makespan)
+		}
+	}
+
+	// A uniform machine spec folds into p: byte-identical to the plain
+	// request and served from its cache entry.
+	viaSpec := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{ID: "uni2", Tree: tr, Machine: "4"}))
+	if !viaSpec.Cached {
+		t.Error(`"machine":"4" did not hit the "p":4 cache entry`)
+	}
+	if viaSpec.Machine != "" || viaSpec.Processors != 4 {
+		t.Errorf("uniform-spec response: machine %q p %d", viaSpec.Machine, viaSpec.Processors)
+	}
+
+	// Distinct machines must not alias in the cache.
+	other := decodeResponse(t, postJSON(t, h, "/v1/schedule", Request{ID: "het2", Tree: tr, Machine: "1x1.0+3x0.5"}))
+	if other.Cached {
+		t.Error("different machine spec served from another machine's cache entry")
+	}
+}
+
+// TestPortfolioMachineField races the portfolio on a heterogeneous
+// machine via /v1/portfolio.
+func TestPortfolioMachineField(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	tr := testTree(t, 32, 150)
+	resp := decodeResponse(t, postJSON(t, s.Handler(), "/v1/portfolio", Request{Tree: tr, Machine: "2x1.0+2x0.5"}))
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if resp.Machine != "2+2x0.5" || resp.Processors != 4 {
+		t.Errorf("machine %q p %d, want 2+2x0.5 / 4", resp.Machine, resp.Processors)
+	}
+	if resp.Winner == nil {
+		t.Error("no winner on heterogeneous portfolio")
+	}
+	if len(resp.Frontier) == 0 {
+		t.Error("empty frontier on heterogeneous portfolio")
+	}
+}
+
+// TestScheduleMachineRejections pins the wire-level validation of the
+// machine field.
+func TestScheduleMachineRejections(t *testing.T) {
+	s := New(Config{MaxProcs: 8})
+	defer s.Close()
+	h := s.Handler()
+	tr := testTree(t, 33, 20)
+
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"malformed", Request{Tree: tr, Machine: "2x-1"}, "COUNTxSPEED"},
+		{"conflict", Request{Tree: tr, Machine: "2x1.0+2x0.5", Processors: 3}, "conflicts with machine"},
+		{"over maxprocs", Request{Tree: tr, Machine: "9x0.5"}, "exceeds limit"},
+		{"empty both", Request{Tree: tr}, "p must be >= 1"},
+	}
+	for _, c := range cases {
+		rec := postJSON(t, h, "/v1/schedule", c.req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, rec.Code)
+		}
+		if resp := decodeResponse(t, rec); !strings.Contains(resp.Error, c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, resp.Error, c.want)
+		}
+	}
+
+	// Consistent p + machine is fine.
+	rec := postJSON(t, h, "/v1/schedule", Request{Tree: tr, Machine: "2x1.0+2x0.5", Processors: 4})
+	if resp := decodeResponse(t, rec); resp.Error != "" {
+		t.Errorf("consistent p+machine rejected: %s", resp.Error)
+	}
+}
+
+// TestForestMachineQueryParam drives a heterogeneous forest run through
+// /v1/forest.
+func TestForestMachineQueryParam(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	trace := forestTraceBody(t, 6)
+	rec := post(t, h, "/v1/forest?machine=2x1.0%2b2x0.5&policy=sjf", trace)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"machine":"2+2x0.5"`) {
+		t.Errorf("summary does not carry the canonical machine spec:\n%s", body)
+	}
+	if !strings.Contains(body, `"p":4`) {
+		t.Errorf("summary p not derived from machine:\n%s", body)
+	}
+
+	// Conflicting p and machine.
+	rec = post(t, h, "/v1/forest?p=2&machine=2x1.0%2b2x0.5", forestTraceBody(t, 2))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("conflicting p+machine: status %d, want 400", rec.Code)
+	}
+	// Malformed machine spec.
+	rec = post(t, h, "/v1/forest?machine=0", forestTraceBody(t, 2))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed machine: status %d, want 400", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"treesched/internal/machine"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
@@ -25,8 +26,15 @@ type Request struct {
 	// TreeText is the task tree in the textual treegen format, as an
 	// alternative to Tree.
 	TreeText string `json:"tree_text,omitempty"`
-	// Processors is the machine size p (>= 1). Required.
+	// Processors is the machine size p (>= 1). Required unless Machine is
+	// set, in which case it must be absent or equal to the machine's
+	// processor count.
 	Processors int `json:"p"`
+	// Machine is an explicit machine spec: a bare processor count ("4")
+	// or heterogeneous speed groups ("2x1.0+2x0.5" — 2 unit-speed + 2
+	// half-speed processors, the related-machines model). A uniform spec
+	// is equivalent to setting p.
+	Machine string `json:"machine,omitempty"`
 	// Heuristics names the schedulers to run, in output order: any of
 	// ParSubtrees, ParSubtreesOptim, ParInnerFirst, ParDeepestFirst,
 	// ParInnerFirstArbitrary, Sequential, OptimalSequential, MemCapped,
@@ -76,12 +84,15 @@ type HeuristicResult struct {
 // Response is the answer to one Request. In batch mode a line-level
 // failure is reported as a Response with only ID and Error set.
 type Response struct {
-	ID         string            `json:"id,omitempty"`
-	TreeHash   string            `json:"tree_hash,omitempty"`
-	Nodes      int               `json:"nodes,omitempty"`
-	Processors int               `json:"p,omitempty"`
-	Bounds     *Bounds           `json:"bounds,omitempty"`
-	Results    []HeuristicResult `json:"results,omitempty"`
+	ID         string `json:"id,omitempty"`
+	TreeHash   string `json:"tree_hash,omitempty"`
+	Nodes      int    `json:"nodes,omitempty"`
+	Processors int    `json:"p,omitempty"`
+	// Machine echoes the canonical machine spec on heterogeneous requests
+	// (absent on the uniform machine).
+	Machine string            `json:"machine,omitempty"`
+	Bounds  *Bounds           `json:"bounds,omitempty"`
+	Results []HeuristicResult `json:"results,omitempty"`
 	// Objective, Frontier and Winner are set in portfolio mode: Frontier
 	// lists the Pareto-optimal heuristics in ascending-makespan order and
 	// Winner is the candidate Objective selected (absent when every
@@ -154,18 +165,38 @@ func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
 			msg:    fmt.Sprintf("tree has %d nodes, limit is %d", t.Len(), s.cfg.MaxNodes),
 		}
 	}
-	if req.Processors < 1 {
-		return nil, badRequest("p must be >= 1, got %d", req.Processors)
+	p := req.Processors
+	var mm *machine.Model
+	if req.Machine != "" {
+		var err error
+		mm, err = machine.ParseSpec(req.Machine)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		if p != 0 && p != mm.P() {
+			return nil, badRequest("p=%d conflicts with machine %q (%d processors)", p, req.Machine, mm.P())
+		}
+		p = mm.P()
+		if mm.IsUniform() {
+			// A uniform spec is just a processor count: fold it into p so
+			// "machine":"4" and "p":4 produce identical responses and share
+			// one cache entry.
+			mm = nil
+		}
 	}
-	if req.Processors > s.cfg.MaxProcs {
-		return nil, badRequest("p=%d exceeds limit %d", req.Processors, s.cfg.MaxProcs)
+	if p < 1 {
+		return nil, badRequest("p must be >= 1, got %d", p)
+	}
+	if p > s.cfg.MaxProcs {
+		return nil, badRequest("p=%d exceeds limit %d", p, s.cfg.MaxProcs)
 	}
 	ids, obj, err := resolveSelection(req.Heuristics, req.Objective, forcePortfolio)
 	if err != nil {
 		return nil, err
 	}
 	opts := sched.Options{
-		Processors:   req.Processors,
+		Processors:   p,
+		Machine:      mm,
 		Heuristics:   ids,
 		MemCapFactor: req.MemCapFactor,
 	}
@@ -232,6 +263,9 @@ func cacheKey(treeHash string, opts sched.Options, obj *portfolio.Objective) str
 	var b strings.Builder
 	b.WriteString(treeHash)
 	fmt.Fprintf(&b, "|p=%d", opts.Processors)
+	if opts.Machine != nil {
+		fmt.Fprintf(&b, "|m=%s", opts.Machine.Spec())
+	}
 	ids := opts.Heuristics
 	if len(ids) == 0 {
 		ids = sched.PaperHeuristics()
@@ -281,7 +315,7 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 	if j.objective != nil {
 		return s.runPortfolio(ctx, j)
 	}
-	t, p := j.tree, j.opts.Processors
+	t, m := j.tree, j.opts.Model()
 	// SelectFor builds the request's sched.Precompute once on this worker:
 	// every heuristic below shares the same traversal, depths and priority
 	// rankings (and the pooled scheduler scratch is recycled across
@@ -292,20 +326,23 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
 	bounds := Bounds{
-		MakespanLB: sched.MakespanLowerBound(t, p),
+		MakespanLB: sched.MakespanLowerBoundOn(t, m),
 		MemorySeq:  memSeq,
 	}
 	resp := &Response{
 		ID:         j.req.ID,
 		TreeHash:   j.treeHash,
 		Nodes:      t.Len(),
-		Processors: p,
+		Processors: m.P(),
 		Bounds:     &bounds,
 		Results:    make([]HeuristicResult, 0, len(hs)),
 	}
+	if !m.IsUniform() {
+		resp.Machine = m.Spec()
+	}
 	for _, h := range hs {
 		hr := HeuristicResult{Heuristic: h.ID}
-		sc, err := h.Run(t, p)
+		sc, err := h.RunOn(t, m)
 		var mk float64
 		var peak int64
 		if err == nil {
@@ -363,11 +400,14 @@ acquire:
 		ID:         j.req.ID,
 		TreeHash:   j.treeHash,
 		Nodes:      j.tree.Len(),
-		Processors: j.opts.Processors,
+		Processors: res.Processors,
 		Bounds:     &Bounds{MakespanLB: res.MakespanLB, MemorySeq: res.MemorySeq},
 		Objective:  j.objective,
 		Results:    make([]HeuristicResult, 0, len(res.Candidates)),
 		Frontier:   make([]sched.HeuristicID, 0, len(res.Frontier)),
+	}
+	if res.Machine != nil {
+		resp.Machine = res.Machine.Spec()
 	}
 	for _, c := range res.Candidates {
 		hr := HeuristicResult{Heuristic: c.ID}

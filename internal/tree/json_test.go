@@ -70,10 +70,10 @@ func TestCanonicalHash(t *testing.T) {
 
 	// The hash covers every component: perturb each one.
 	variants := []*Tree{
-		MustNew([]int{None, 0, 1}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 1, 1}), // parent
-		MustNew([]int{None, 0, 0}, []float64{1, 2, 4}, []int64{0, 0, 0}, []int64{1, 1, 1}), // w
-		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 1, 0}, []int64{1, 1, 1}), // n
-		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 2, 1}), // f
+		MustNew([]int{None, 0, 1}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 1, 1}),       // parent
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 4}, []int64{0, 0, 0}, []int64{1, 1, 1}),       // w
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 1, 0}, []int64{1, 1, 1}),       // n
+		MustNew([]int{None, 0, 0}, []float64{1, 2, 3}, []int64{0, 0, 0}, []int64{1, 2, 1}),       // f
 		MustNew([]int{None, 0, 0, 0}, []float64{1, 2, 3, 0}, make([]int64, 4), make([]int64, 4)), // size
 	}
 	for i, v := range variants {

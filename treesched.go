@@ -8,6 +8,7 @@ import (
 	"treesched/internal/dataset"
 	"treesched/internal/forest"
 	"treesched/internal/frontal"
+	"treesched/internal/machine"
 	"treesched/internal/pebble"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
@@ -50,6 +51,13 @@ type (
 	FactorResult = frontal.Result
 	// HeuristicID is the typed identifier of a scheduling heuristic.
 	HeuristicID = sched.HeuristicID
+	// MachineModel describes the machine to schedule on: p related
+	// processors with per-processor speeds (task i runs in w_i/s_k time on
+	// processor k). Build one with UniformMachine or ParseMachineSpec and
+	// pass it via ScheduleOptions.Machine, PortfolioOptions, or
+	// ForestConfig.Machine; the paper's identical-processor model is the
+	// uniform case.
+	MachineModel = machine.Model
 	// ScheduleOptions selects heuristics and parameters for a scheduling
 	// run (used by the service and batch callers).
 	ScheduleOptions = sched.Options
@@ -330,6 +338,30 @@ func PeakMemory(t *Tree, s *Schedule) int64 { return sched.PeakMemory(t, s) }
 
 // MakespanLowerBound returns max(total work / p, critical path).
 func MakespanLowerBound(t *Tree, p int) float64 { return sched.MakespanLowerBound(t, p) }
+
+// Machine models (heterogeneous / related processors).
+
+// UniformMachine returns the paper's machine: p identical unit-speed
+// processors. Every scheduler reduces byte-for-byte to its historical
+// behavior on a uniform machine.
+func UniformMachine(p int) *MachineModel { return machine.Uniform(p) }
+
+// NewMachine builds a machine model from per-processor speeds (every
+// speed a positive finite number).
+func NewMachine(speeds []float64) (*MachineModel, error) { return machine.New(speeds) }
+
+// ParseMachineSpec parses the textual machine spec accepted everywhere a
+// machine can be named (the service's "machine" field and query
+// parameter, the -machine CLI flags): a bare processor count ("4") or
+// COUNTxSPEED groups joined by '+' ("2x1.0+2x0.5" — 2 unit-speed plus 2
+// half-speed processors).
+func ParseMachineSpec(spec string) (*MachineModel, error) { return machine.ParseSpec(spec) }
+
+// MakespanLowerBoundOn is the speed-scaled makespan lower bound on an
+// explicit machine model: max(ΣW / Σ speeds, critical path / s_max).
+func MakespanLowerBoundOn(t *Tree, m *MachineModel) float64 {
+	return sched.MakespanLowerBoundOn(t, m)
+}
 
 // MemoryLowerBound returns the sequential memory reference M_seq (best
 // postorder peak).
