@@ -7,6 +7,7 @@
 //	experiments -ablation                          # E12: leaf-order ablation
 //	experiments -memcap                            # E13: memory-cap sweep
 //	experiments -hetero                            # E18: heterogeneous machines
+//	experiments -gap                               # E19: optimality-gap ledger
 //
 // Outputs: human-readable summaries on stdout; per-figure CSV point clouds
 // and crosses under -out (if set).
@@ -36,10 +37,11 @@ func main() {
 		ablate = flag.Bool("ablation", false, "run only the leaf-order ablation (E12)")
 		memcap = flag.Bool("memcap", false, "run only the memory-cap sweep (E13)")
 		hetero = flag.Bool("hetero", false, "run only the heterogeneous-machine study (E18)")
+		gap    = flag.Bool("gap", false, "run only the optimality-gap ledger (E19)")
 		byp    = flag.Bool("byp", false, "additionally break Table 1 down per processor count")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig6 || *fig7 || *fig8 || *ablate || *memcap || *hetero)
+	all := !(*table1 || *fig6 || *fig7 || *fig8 || *ablate || *memcap || *hetero || *gap)
 
 	sc := dataset.Standard
 	switch *scale {
@@ -130,6 +132,9 @@ func main() {
 	}
 	if all || *hetero {
 		runHetero(insts)
+	}
+	if all || *gap {
+		runGapStudy(*seed)
 	}
 }
 

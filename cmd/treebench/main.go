@@ -16,15 +16,19 @@
 //	treebench -suite forest -quick                    # writes BENCH_forest.json
 //	treebench -suite forest -quick -baseline BENCH_forest.json
 //	treebench -suite core -quick -baseline BENCH_core.json
+//	treebench -suite gap -quick -baseline BENCH_gap.json
 //	treebench -quick -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The core suite microbenchmarks the scheduling primitives (ns/op,
-// allocs/op, ops/sec per heuristic × tree family × size). The
-// regression gate compares the suite's key metrics (p50 latency and
-// schedules/sec for portfolio; simulated jobs/sec and per-policy
-// completions for forest; per-bench geomean ns/op and allocs/op for
-// core) against a previously written report and exits non-zero on a
-// >-maxratio degradation.
+// allocs/op, ops/sec per heuristic × tree family × size). The gap suite
+// is the optimality-gap ledger: it proves optima with the exact
+// branch-and-bound on small trees and reports every heuristic's worst
+// and mean makespan gap against them. The regression gate compares the
+// suite's key metrics (p50 latency and schedules/sec for portfolio;
+// simulated jobs/sec and per-policy completions for forest; per-bench
+// geomean ns/op and allocs/op for core; proved-instances/sec and
+// per-heuristic worst gap for gap) against a previously written report
+// and exits non-zero on a >-maxratio degradation.
 package main
 
 import (
@@ -84,7 +88,7 @@ type Report struct {
 
 func main() {
 	var (
-		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio, forest or core")
+		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio, forest, core or gap")
 		quick     = flag.Bool("quick", false, "shorthand for -scale quick (the CI scale)")
 		scale     = flag.String("scale", "standard", "suite scale: quick or standard")
 		seed      = flag.Int64("seed", 42, "suite seed")
@@ -133,9 +137,12 @@ func main() {
 	case "core":
 		coreMain(*scale, *seed, *machSpec, *out, *baseline, *maxratio)
 		return
+	case "gap":
+		gapMain(*scale, *seed, *out, *baseline, *maxratio)
+		return
 	case "portfolio":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (portfolio, forest or core)", *suiteName))
+		fatal(fmt.Errorf("unknown suite %q (portfolio, forest, core or gap)", *suiteName))
 	}
 	ps, err := parsePList(*plist)
 	if err != nil {

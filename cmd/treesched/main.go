@@ -6,6 +6,7 @@
 //
 //	treesched -in tree.txt -p 8                  # all four heuristics
 //	treesched -in tree.txt -p 8 -heuristic ParDeepestFirst
+//	treesched -in tree.txt -p 2 -heuristic Exact -budget 500k  # exact branch-and-bound (small trees)
 //	treesched -in tree.txt -machine 2x1.0+2x0.5  # heterogeneous (related) processors
 //	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
 //	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
@@ -27,6 +28,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"treesched/internal/exact"
 	"treesched/internal/forest"
 	"treesched/internal/machine"
 	"treesched/internal/portfolio"
@@ -40,8 +42,9 @@ func main() {
 		in        = flag.String("in", "", "input tree file (treegen format); required")
 		p         = flag.Int("p", 2, "number of processors")
 		machSpec  = flag.String("machine", "", `machine spec ("4" or "2x1.0+2x0.5" for heterogeneous speeds); overrides -p`)
-		name      = flag.String("heuristic", "all", "heuristic name or 'all'")
-		memcap    = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq")
+		name      = flag.String("heuristic", "all", "heuristic name, 'all', or 'Exact' for the branch-and-bound solver (small trees)")
+		memcap    = flag.Float64("memcap", 0, "if > 0, also run the memory-capped schedulers with cap = memcap × M_seq (with -heuristic Exact: the solver's cap; 0 = no cap)")
+		budget    = flag.String("budget", "", `exact-solver node budget, e.g. "500k" or "2M" (only with -heuristic Exact; empty = default)`)
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
 		runPort   = flag.Bool("portfolio", false, "race the paper's four heuristics + Sequential concurrently; print the Pareto frontier and the -objective winner")
 		objective = flag.String("objective", "", "portfolio selection objective (min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A); implies -portfolio")
@@ -97,6 +100,10 @@ func main() {
 		runPortfolio(t, mach, *objective, *memcap)
 		return
 	}
+	if *name == sched.IDExact.String() {
+		runExact(t, mach, *memcap, *budget, msLB, memLB)
+		return
+	}
 
 	var hs []sched.Heuristic
 	if *name == "all" {
@@ -143,6 +150,36 @@ func main() {
 	w.Flush()
 	for _, c := range charts {
 		fmt.Println("\n" + c)
+	}
+}
+
+// runExact runs the branch-and-bound solver: proven-optimal makespan
+// under the -memcap cap (a factor of M_seq; 0 = no cap) within the
+// -budget node budget, or the best schedule found when the budget runs
+// out first.
+func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec string, msLB float64, memLB int64) {
+	nodes := exact.DefaultNodeBudget
+	if budgetSpec != "" {
+		var err error
+		nodes, err = exact.ParseBudget(budgetSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	memCap := exact.CapFromFactor(memcap, memLB)
+	res, err := exact.Solve(t, mach, memCap, nodes)
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
+	report(w, "Exact", t, res.Schedule, msLB, memLB)
+	w.Flush()
+	if res.Proven {
+		fmt.Printf("\nexact: proven optimal (explored %d nodes, lower bound %.6g)\n", res.Explored, res.LowerBound)
+	} else {
+		fmt.Printf("\nexact: node budget %d exhausted — best schedule found, NOT proven optimal (lower bound %.6g)\n",
+			nodes, res.LowerBound)
 	}
 }
 

@@ -1,0 +1,117 @@
+package exact
+
+import (
+	"strings"
+	"testing"
+
+	"treesched/internal/machine"
+	"treesched/internal/sched"
+	"treesched/internal/traversal"
+	"treesched/internal/tree"
+)
+
+// FuzzExact drives the solver with trees, machines and caps decoded from
+// raw fuzz bytes, asserting the solve-level invariants on every feasible
+// instance: the schedule validates, replays to the reported measures,
+// respects the cap, and never beats the reported lower bound. The node
+// budget is small so the fuzzer also walks the anytime (unproven) path.
+func FuzzExact(f *testing.F) {
+	f.Add([]byte{3, 1, 1, 2, 1, 0, 1, 2, 0, 1})
+	f.Add([]byte{8, 0, 255, 7, 3, 9, 2, 2, 4, 4, 1, 1, 0, 0, 128, 5})
+	f.Add([]byte{1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		next := func() byte {
+			if len(in) == 0 {
+				return 0
+			}
+			b := in[0]
+			in = in[1:]
+			return b
+		}
+		// 1..10 nodes; parent[i] < i keeps every vector a valid tree.
+		n := 1 + int(next())%10
+		parent := make([]int, n)
+		w := make([]float64, n)
+		nn := make([]int64, n)
+		ff := make([]int64, n)
+		parent[0] = tree.None
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parent[i] = int(next()) % i
+			}
+			w[i] = float64(int(next()) % 5) // zero work allowed: pulses
+			nn[i] = int64(next() % 4)
+			ff[i] = int64(next() % 5)
+		}
+		tr, err := tree.New(parent, w, nn, ff)
+		if err != nil {
+			t.Fatalf("enumerated parent vector rejected: %v", err)
+		}
+
+		var m *machine.Model
+		switch next() % 3 {
+		case 0:
+			m = machine.Uniform(1 + int(next())%4)
+		case 1:
+			m, err = machine.New([]float64{1, 0.5})
+		default:
+			m, err = machine.New([]float64{1, 1, 0.25})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Cap between the provable floor and M_seq + slack; sometimes
+		// below the floor to exercise ErrInfeasible.
+		floor := traversal.Optimal(tr).Peak
+		mseq := traversal.BestPostOrder(tr).Peak
+		cap := floor + int64(next())%(mseq-floor+4)
+		if next()%8 == 0 {
+			cap = floor - 1 - int64(next())%3
+		}
+		budget := int64(1 + int(next())%64)
+
+		res, err := Solve(tr, m, cap, budget)
+		if cap < floor {
+			if err == nil {
+				t.Fatalf("cap %d below floor %d accepted", cap, floor)
+			}
+			return
+		}
+		if err != nil {
+			// On pulse trees a tight cap may legitimately defeat every
+			// seed and the budgeted search (see the package doc caveat).
+			if strings.Contains(err.Error(), "without finding") ||
+				strings.Contains(err.Error(), "no event-aligned schedule") {
+				return
+			}
+			t.Fatalf("Solve(cap=%d, budget=%d): %v", cap, budget, err)
+		}
+		if res.Schedule == nil {
+			t.Fatal("nil schedule on nil error")
+		}
+		if err := res.Schedule.Validate(tr); err != nil {
+			t.Fatalf("invalid schedule: %v", err)
+		}
+		fresh := &sched.Schedule{Start: res.Schedule.Start, Proc: res.Schedule.Proc,
+			P: res.Schedule.P, M: res.Schedule.M}
+		mk, peak, err := sched.Evaluate(tr, fresh)
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		if mk != res.Makespan || peak != res.Peak {
+			t.Fatalf("replay (%g, %d) != reported (%g, %d)", mk, peak, res.Makespan, res.Peak)
+		}
+		if peak > cap {
+			t.Fatalf("peak %d exceeds cap %d", peak, cap)
+		}
+		const eps = 1e-9 // lower bound involves divisions; allow rounding
+		if res.Makespan < res.LowerBound-eps {
+			t.Fatalf("makespan %g beats lower bound %g", res.Makespan, res.LowerBound)
+		}
+		if res.Explored > budget+1 {
+			t.Fatalf("explored %d nodes with budget %d", res.Explored, budget)
+		}
+	})
+}

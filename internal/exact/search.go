@@ -1,0 +1,460 @@
+package exact
+
+import (
+	"treesched/internal/machine"
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// solver is the mutable state of one branch-and-bound search. All slices
+// are preallocated in newSolver; dfs mutates and restores them, so the
+// search allocates only for memoization entries.
+type solver struct {
+	t      *tree.Tree
+	memCap int64
+	n      int
+	full   uint64
+
+	// static per-node facts
+	w       []float64 // work
+	nf      []int64   // n_v + f_v: allocated when v starts
+	rel     []int64   // n_v + InSize(v): released when v completes
+	topRank []int32   // rank in t.TopOrder (children before parents)
+	parent  []int32
+	pulses  []int32 // zero-work tasks in ascending topRank order
+
+	// machine, grouped into distinct speed classes for symmetry breaking
+	p         int
+	speed     []float64 // per processor
+	classOf   []int32   // processor -> speed class
+	classes   []float64 // distinct speeds
+	sumSpeed  float64
+	maxSpeed  float64
+	est       []float64 // scratch of the residual critical-path bound
+	finsBuf   []float64 // scratch for memo fin vectors
+	runningIx []int32   // scratch: running tasks in ascending id order
+
+	// search state
+	started, done uint64
+	remaining     []int32 // unfinished-children count per node
+	mem           int64
+	peak          int64
+	unstartedW    float64
+	procTask      []int32 // running task per processor, or -1
+	procFin       []float64
+	runningCount  int
+	start         []float64
+	proc          []int32
+
+	// incumbent
+	best      float64
+	bestStart []float64
+	bestProc  []int32
+	bestPeak  int64
+	improved  bool
+
+	// accounting
+	explored int64
+	budget   int64
+	aborted  bool
+
+	memoOK bool
+	memo   map[memoKey][]memoEntry
+}
+
+// memoKey identifies a family of comparable search states: which tasks
+// are done, which are running, and the speed class each running task
+// occupies (4 bits per running task, ascending task id). Which concrete
+// processor a task holds within its class is immaterial — equal-speed
+// processors are interchangeable.
+type memoKey struct {
+	started, done uint64
+	classSig      uint64
+}
+
+// memoEntry is one explored state's comparable coordinates: the clock,
+// the resident memory, and the running tasks' finish times in ascending
+// task-id order. An arriving state component-wise >= an entry is
+// dominated: every completion reachable from it is reachable from the
+// entry state at least as early, under no more memory.
+type memoEntry struct {
+	now  float64
+	mem  int64
+	fins []float64
+}
+
+// maxMemoEntries bounds each key's Pareto list; arrivals that fit a full
+// list are explored but not recorded (pruning stays sound, just weaker).
+const maxMemoEntries = 32
+
+func newSolver(t *tree.Tree, m *machine.Model, memCap, budget int64) *solver {
+	n := t.Len()
+	p := m.P()
+	s := &solver{
+		t: t, memCap: memCap, n: n, p: p, budget: budget,
+		full:      (uint64(1) << uint(n)) - 1,
+		w:         make([]float64, n),
+		nf:        make([]int64, n),
+		rel:       make([]int64, n),
+		topRank:   make([]int32, n),
+		parent:    make([]int32, n),
+		remaining: make([]int32, n),
+		speed:     make([]float64, p),
+		classOf:   make([]int32, p),
+		est:       make([]float64, n),
+		procTask:  make([]int32, p),
+		procFin:   make([]float64, p),
+		start:     make([]float64, n),
+		proc:      make([]int32, n),
+		bestStart: make([]float64, n),
+		bestProc:  make([]int32, n),
+		sumSpeed:  m.SumSpeed(),
+		maxSpeed:  m.MaxSpeed(),
+	}
+	for v := 0; v < n; v++ {
+		s.w[v] = t.W(v)
+		s.nf[v] = t.N(v) + t.F(v)
+		s.rel[v] = t.N(v) + t.InSize(v)
+		s.parent[v] = int32(t.Parent(v))
+		s.remaining[v] = int32(t.NumChildren(v))
+		s.unstartedW += s.w[v]
+		s.proc[v] = -1
+	}
+	for i, v := range t.TopOrder() {
+		s.topRank[v] = int32(i)
+		if s.w[v] == 0 {
+			s.pulses = append(s.pulses, int32(v)) // topRank order: causal pulse order
+		}
+	}
+	// Distinct speed classes in first-seen processor order: on a uniform
+	// machine there is exactly one, and a ready task branches onto one
+	// processor instead of p.
+	for q := 0; q < p; q++ {
+		s.speed[q] = m.Speed(q)
+		s.procTask[q] = -1
+		cls := int32(-1)
+		for c, sp := range s.classes {
+			if sp == s.speed[q] {
+				cls = int32(c)
+				break
+			}
+		}
+		if cls < 0 {
+			cls = int32(len(s.classes))
+			s.classes = append(s.classes, s.speed[q])
+		}
+		s.classOf[q] = cls
+	}
+	// The class signature packs 4 bits per running task; beyond 16
+	// processors (or classes) memoization is disabled, never wrong.
+	s.memoOK = p <= 16 && len(s.classes) <= 16
+	if s.memoOK {
+		s.memo = make(map[memoKey][]memoEntry)
+	}
+	s.finsBuf = make([]float64, 0, p)
+	s.runningIx = make([]int32, 0, p)
+	return s
+}
+
+func (s *solver) bit(v int) uint64 { return uint64(1) << uint(v) }
+
+func (s *solver) search() { s.dfs(0, 0, 0) }
+
+// dfs explores one decision point: the clock sits at `now` (time 0 or a
+// completion instant) and the same-instant cursors enforce one canonical
+// enumeration order per start set — pulses in ascending topological rank
+// (>= minPulse) strictly before real starts in ascending task id
+// (>= minReal). Every dfs call is one budgeted decision node.
+func (s *solver) dfs(now float64, minReal int, minPulse int32) {
+	if s.aborted {
+		return
+	}
+	s.explored++
+	if s.explored > s.budget {
+		s.aborted = true
+		return
+	}
+	if s.started == s.full {
+		// Everything has started; the makespan is the last running finish.
+		fin := now
+		for q := 0; q < s.p; q++ {
+			if s.procTask[q] >= 0 && s.procFin[q] > fin {
+				fin = s.procFin[q]
+			}
+		}
+		if fin < s.best {
+			s.best = fin
+			s.bestPeak = s.peak
+			copy(s.bestStart, s.start)
+			copy(s.bestProc, s.proc)
+			s.improved = true
+		}
+		return
+	}
+	if s.lowerBound(now) >= s.best {
+		return
+	}
+	if s.memoOK && minReal == 0 && minPulse == 0 && s.memoPrune(now) {
+		return
+	}
+
+	// Branch: start a zero-work pulse now. Pulses replay atomically
+	// (allocate n+f, peak, release n+InSize) and, at one instant, in
+	// topological-rank order before any real start — matching the
+	// canonical event order of sched.Evaluate exactly, so the peak
+	// tracked here is the simulator's.
+	if minReal == 0 {
+		if q := s.idleProc(); q >= 0 {
+			for _, v32 := range s.pulses {
+				v := int(v32)
+				if s.topRank[v] < minPulse || s.started&s.bit(v) != 0 || s.remaining[v] != 0 {
+					continue
+				}
+				if s.nf[v] > s.memCap-s.mem {
+					continue
+				}
+				s.start[v], s.proc[v] = now, int32(q)
+				s.started |= s.bit(v)
+				s.done |= s.bit(v)
+				savedPeak := s.peak
+				if m := s.mem + s.nf[v]; m > s.peak {
+					s.peak = m
+				}
+				s.mem += s.nf[v] - s.rel[v]
+				if p := s.parent[v]; p >= 0 {
+					s.remaining[p]--
+				}
+				s.dfs(now, 0, s.topRank[v]+1)
+				if p := s.parent[v]; p >= 0 {
+					s.remaining[p]++
+				}
+				s.mem -= s.nf[v] - s.rel[v]
+				s.peak = savedPeak
+				s.done &^= s.bit(v)
+				s.started &^= s.bit(v)
+				s.proc[v] = -1
+			}
+		}
+	}
+
+	// Branch: start a real task now, once per distinct speed class with
+	// an idle processor (always the lowest-index one — equal-speed
+	// processors are interchangeable).
+	for v := minReal; v < s.n; v++ {
+		if s.w[v] == 0 || s.started&s.bit(v) != 0 || s.remaining[v] != 0 {
+			continue
+		}
+		if s.nf[v] > s.memCap-s.mem {
+			continue
+		}
+		for c := range s.classes {
+			q := s.idleProcInClass(int32(c))
+			if q < 0 {
+				continue
+			}
+			s.start[v], s.proc[v] = now, int32(q)
+			s.started |= s.bit(v)
+			savedPeak := s.peak
+			if m := s.mem + s.nf[v]; m > s.peak {
+				s.peak = m
+			}
+			s.mem += s.nf[v]
+			s.unstartedW -= s.w[v]
+			s.procTask[q] = int32(v)
+			s.procFin[q] = now + s.w[v]/s.speed[q]
+			s.runningCount++
+			s.dfs(now, v+1, minPulse)
+			s.runningCount--
+			s.procTask[q] = -1
+			s.unstartedW += s.w[v]
+			s.mem -= s.nf[v]
+			s.peak = savedPeak
+			s.started &^= s.bit(v)
+			s.proc[v] = -1
+		}
+	}
+
+	// Branch: start nothing more at this instant; advance the clock to
+	// the earliest running finish and retire every completion there
+	// (releases happen before the next instant's allocations, as in the
+	// simulator). With nothing running this is a dead end — some ready
+	// task exists but none fits the cap — and the branch just ends.
+	if s.runningCount == 0 {
+		return
+	}
+	next := s.procFin[0]
+	first := true
+	for q := 0; q < s.p; q++ {
+		if s.procTask[q] < 0 {
+			continue
+		}
+		if first || s.procFin[q] < next {
+			next = s.procFin[q]
+			first = false
+		}
+	}
+	comp := make([]int32, 0, 8) // completed task ids; proc is s.proc[v]
+	for q := 0; q < s.p; q++ {
+		v := s.procTask[q]
+		if v < 0 || s.procFin[q] != next {
+			continue
+		}
+		comp = append(comp, v)
+		s.done |= s.bit(int(v))
+		s.mem -= s.rel[v]
+		if p := s.parent[v]; p >= 0 {
+			s.remaining[p]--
+		}
+		s.procTask[q] = -1
+		s.runningCount--
+	}
+	s.dfs(next, 0, 0)
+	for i := len(comp) - 1; i >= 0; i-- {
+		v := comp[i]
+		q := int(s.proc[v])
+		s.done &^= s.bit(int(v))
+		s.mem += s.rel[v]
+		if p := s.parent[v]; p >= 0 {
+			s.remaining[p]++
+		}
+		s.procTask[q] = v
+		// The explored subtree may have reused q after the retirement,
+		// leaving a stale finish behind; the retired task's true finish is
+		// exactly this instant (that is why it was retired here).
+		s.procFin[q] = next
+		s.runningCount++
+	}
+}
+
+// idleProc returns the lowest-index idle processor, or -1.
+func (s *solver) idleProc() int {
+	for q := 0; q < s.p; q++ {
+		if s.procTask[q] < 0 {
+			return q
+		}
+	}
+	return -1
+}
+
+// idleProcInClass returns the lowest-index idle processor of speed class
+// c, or -1.
+func (s *solver) idleProcInClass(c int32) int {
+	for q := 0; q < s.p; q++ {
+		if s.classOf[q] == c && s.procTask[q] < 0 {
+			return q
+		}
+	}
+	return -1
+}
+
+// lowerBound returns a proven floor on any completion reachable from the
+// current state: the latest running finish, the speed-scaled area bound
+// (unstarted work plus committed processor time over Σ speeds — every
+// processor is unavailable until max(now, its running finish), and the
+// makespan is never below any of those), and the residual critical-path
+// DP (earliest-completion estimates at full speed s_max through the
+// unfinished tree, seeded with the running tasks' real finishes).
+func (s *solver) lowerBound(now float64) float64 {
+	lb := now
+	area := s.unstartedW
+	for q := 0; q < s.p; q++ {
+		avail := now
+		if s.procTask[q] >= 0 {
+			if f := s.procFin[q]; f > avail {
+				avail = f
+			}
+			if avail > lb {
+				lb = avail
+			}
+		}
+		area += avail * s.speed[q]
+	}
+	if a := area / s.sumSpeed; a > lb {
+		lb = a
+	}
+	est := s.est
+	for _, v := range s.t.TopOrder() { // children before parents
+		switch {
+		case s.done&s.bit(v) != 0:
+			est[v] = now
+		case s.started&s.bit(v) != 0:
+			est[v] = s.procFin[s.proc[v]]
+		default:
+			at := now
+			for _, c := range s.t.Children(v) {
+				if s.done&s.bit(c) == 0 && est[c] > at {
+					at = est[c]
+				}
+			}
+			est[v] = at + s.w[v]/s.maxSpeed
+		}
+	}
+	if e := est[s.t.Root()]; e > lb {
+		lb = e
+	}
+	return lb
+}
+
+// memoPrune reports whether the current (clean) decision point is
+// dominated by an already-explored state, and records it otherwise.
+// Sound with the incumbent test: the incumbent only ever improves, so a
+// subtree pruned under an older (worse) incumbent had nothing better
+// than it — and so nothing better than the current one either.
+func (s *solver) memoPrune(now float64) bool {
+	var sig uint64
+	s.runningIx = s.runningIx[:0]
+	for v := 0; v < s.n; v++ {
+		if s.started&s.bit(v) != 0 && s.done&s.bit(v) == 0 {
+			sig = sig<<4 | uint64(s.classOf[s.proc[v]])
+			s.runningIx = append(s.runningIx, int32(v))
+		}
+	}
+	key := memoKey{started: s.started, done: s.done, classSig: sig}
+	fins := s.finsBuf[:0]
+	for _, v := range s.runningIx {
+		fins = append(fins, s.procFin[s.proc[v]])
+	}
+	entries := s.memo[key]
+	for i := range entries {
+		e := &entries[i]
+		if e.now <= now && e.mem <= s.mem && finsLE(e.fins, fins) {
+			return true
+		}
+	}
+	if len(entries) < maxMemoEntries {
+		// Drop stored entries the arrival dominates, then record it.
+		kept := entries[:0]
+		for i := range entries {
+			e := entries[i]
+			if now <= e.now && s.mem <= e.mem && finsLE(fins, e.fins) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		s.memo[key] = append(kept, memoEntry{now: now, mem: s.mem, fins: append([]float64(nil), fins...)})
+	}
+	return false
+}
+
+func finsLE(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSchedule materializes the incumbent found by the search.
+func (s *solver) bestSchedule(m *machine.Model) *sched.Schedule {
+	out := &sched.Schedule{
+		Start: append([]float64(nil), s.bestStart...),
+		Proc:  make([]int, s.n),
+		P:     s.p,
+		M:     hetOrNil(m),
+	}
+	for v := 0; v < s.n; v++ {
+		out.Proc[v] = int(s.bestProc[v])
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"treesched/internal/exact"
 	"treesched/internal/machine"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
@@ -35,6 +36,12 @@ type Options struct {
 	// min(len(candidates), GOMAXPROCS); 1 degenerates to a sequential
 	// sweep (useful under an already-saturated caller).
 	Parallelism int
+	// ExactNodes bounds the Exact candidate's branch-and-bound search in
+	// explored decision nodes — its anytime cutoff. Node counts, not
+	// wall-clock, keep the race deterministic: the same request always
+	// yields the same winner. 0 means exact.DefaultNodeBudget; ignored
+	// unless sched.IDExact is among the candidates.
+	ExactNodes int64
 }
 
 // DefaultCandidates returns the default racing set: the paper's four
@@ -60,6 +67,13 @@ type Candidate struct {
 	// over candidates with Result.Elapsed shows the racing speedup.
 	Elapsed time.Duration
 	Err     error
+	// Proven and Explored describe the Exact candidate's search: Proven
+	// reports that the branch-and-bound exhausted its space within the
+	// node budget (the schedule is optimal, not merely best-found) and
+	// Explored counts decision nodes. Zero-valued on every other
+	// candidate.
+	Proven   bool
+	Explored int64
 }
 
 // Result is the outcome of one portfolio run.
@@ -139,10 +153,54 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 		opts.Heuristics = DefaultCandidates()
 	}
 	// SelectPre validates the options and binds every candidate to the
-	// shared precompute; M_seq comes for free.
-	hs, memSeq, err := opts.Options.SelectPre(pc)
-	if err != nil {
-		return nil, err
+	// shared precompute; M_seq comes for free. The Exact pseudo-heuristic
+	// is this layer's to resolve, so it is stripped before selection and
+	// its solver candidate spliced back in at the requested position.
+	ids := opts.Heuristics
+	schedIDs := ids
+	exactStats := make([]exactStat, len(ids))
+	if hasExact(ids) {
+		schedIDs = make([]sched.HeuristicID, 0, len(ids)-1)
+		for _, id := range ids {
+			if id != sched.IDExact {
+				schedIDs = append(schedIDs, id)
+			}
+		}
+	}
+	var hs []sched.Heuristic
+	var memSeq int64
+	if len(schedIDs) > 0 {
+		o := opts.Options
+		o.Heuristics = schedIDs
+		var err error
+		hs, memSeq, err = o.SelectPre(pc)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Every candidate is Exact: validate the machine half of the
+		// options without letting an empty heuristic list default back
+		// to the paper four.
+		o := opts.Options
+		o.Heuristics = nil
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		memSeq = pc.MSeq()
+	}
+	if len(schedIDs) != len(ids) {
+		memCap := exact.CapFromFactor(opts.MemCapFactor, memSeq)
+		full := make([]sched.Heuristic, 0, len(ids))
+		j := 0
+		for i, id := range ids {
+			if id != sched.IDExact {
+				full = append(full, hs[j])
+				j++
+				continue
+			}
+			full = append(full, exactHeuristic(pc, memCap, opts.ExactNodes, &exactStats[i]))
+		}
+		hs = full
 	}
 	// One shared machine model for the whole race: every candidate
 	// schedules for the same processors and speeds.
@@ -154,6 +212,10 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 	}
 	lb := sched.MakespanLowerBoundOn(t, m)
 	for i := range cands {
+		if st := &exactStats[i]; st.set {
+			cands[i].Proven = st.proven
+			cands[i].Explored = st.explored
+		}
 		if cands[i].Err != nil {
 			continue
 		}
@@ -178,6 +240,49 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 		res.Machine = m
 	}
 	return res, nil
+}
+
+// exactStat carries the Exact candidate's search statistics out of its
+// closure. Each slot is written by at most one racing goroutine and read
+// only after the race's WaitGroup barrier, so no further synchronization
+// is needed.
+type exactStat struct {
+	set      bool
+	proven   bool
+	explored int64
+}
+
+func hasExact(ids []sched.HeuristicID) bool {
+	for _, id := range ids {
+		if id == sched.IDExact {
+			return true
+		}
+	}
+	return false
+}
+
+// exactHeuristic wraps the branch-and-bound solver as a racing candidate:
+// same cap as the capped heuristics (MemCapFactor × M_seq; no cap when
+// the factor is unset), anytime under a deterministic node budget.
+func exactHeuristic(pc *sched.Precompute, memCap, nodes int64, stat *exactStat) sched.Heuristic {
+	runOn := func(t *tree.Tree, m *machine.Model) (*sched.Schedule, error) {
+		if t != pc.Tree() {
+			return nil, errors.New("portfolio: Exact candidate was selected for a different tree")
+		}
+		res, err := exact.SolvePre(pc, m, memCap, nodes)
+		if err != nil {
+			return nil, err
+		}
+		stat.set, stat.proven, stat.explored = true, res.Proven, res.Explored
+		return res.Schedule, nil
+	}
+	return sched.Heuristic{
+		ID: sched.IDExact, Name: sched.IDExact.String(),
+		Run: func(t *tree.Tree, p int) (*sched.Schedule, error) {
+			return runOn(t, machine.Uniform(p))
+		},
+		RunOn: runOn,
+	}
 }
 
 // race runs every heuristic over t with a bounded goroutine fan-out.

@@ -31,11 +31,12 @@ func Heuristics() []Heuristic {
 // "ParInnerFirstArbitrary" and the sequential baselines "Sequential" (the
 // memory-optimal postorder on one processor) and "OptimalSequential"
 // (Liu's exact optimal traversal). The memory-capped schedulers need a cap
-// parameter and are only reachable through Options; the portfolio
-// pseudo-heuristic "Auto" is only reachable through internal/portfolio.
+// parameter and are only reachable through Options; the pseudo-heuristics
+// "Auto" and "Exact" are only reachable through internal/portfolio (and,
+// for Exact, internal/exact).
 func ByName(name string) (Heuristic, bool) {
 	id, err := ParseHeuristic(name)
-	if err != nil || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto {
+	if err != nil || id == IDMemCapped || id == IDMemCappedBooking || id == IDAuto || id == IDExact {
 		return Heuristic{}, false
 	}
 	return Options{}.heuristic(id, nil), true

@@ -33,6 +33,12 @@ const (
 	// (Options.MemCapFactor × M_seq).
 	IDMemCapped
 	IDMemCappedBooking
+	// IDExact is the exact-solver pseudo-heuristic: a valid wire name
+	// ("Exact") but not runnable by this package — the branch-and-bound
+	// lives in internal/exact (which builds on this package) and is
+	// surfaced as a portfolio candidate by internal/portfolio. Like
+	// IDAuto, Options.Validate rejects it in a plain selection.
+	IDExact
 	// IDAuto is the portfolio pseudo-heuristic: it is a valid wire name
 	// ("Auto") but not runnable by this package. The portfolio layer
 	// (internal/portfolio, the service's /v1/portfolio path) expands it
@@ -53,6 +59,7 @@ var heuristicNames = [numHeuristicIDs]string{
 	IDOptimalSequential:      "OptimalSequential",
 	IDMemCapped:              "MemCapped",
 	IDMemCappedBooking:       "MemCappedBooking",
+	IDExact:                  "Exact",
 	IDAuto:                   "Auto",
 }
 
@@ -172,6 +179,9 @@ func (o Options) Validate() error {
 		if id == IDAuto {
 			return fmt.Errorf("sched: options: Auto is a pseudo-heuristic; it must be resolved by the portfolio layer before selection")
 		}
+		if id == IDExact {
+			return fmt.Errorf("sched: options: Exact is a pseudo-heuristic; it runs through the portfolio layer or the exact solver, not a plain selection")
+		}
 		// !(>= 1) rather than (< 1) so NaN is rejected too.
 		if (id == IDMemCapped || id == IDMemCappedBooking) && !(o.MemCapFactor >= 1) {
 			return fmt.Errorf("sched: options: %s requires mem_cap_factor >= 1, got %g", id, o.MemCapFactor)
@@ -258,6 +268,9 @@ func (o Options) heuristic(id HeuristicID, pc *Precompute) Heuristic {
 func errUnrunnable(id HeuristicID) error {
 	if id == IDAuto {
 		return fmt.Errorf("sched: Auto is a pseudo-heuristic; it must be resolved by the portfolio layer")
+	}
+	if id == IDExact {
+		return fmt.Errorf("sched: Exact is a pseudo-heuristic; it is solved by internal/exact via the portfolio layer")
 	}
 	return fmt.Errorf("sched: heuristic id %d is not runnable", int(id))
 }

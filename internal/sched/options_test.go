@@ -100,6 +100,9 @@ func TestOptionsValidate(t *testing.T) {
 	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDAuto}}).Validate(); err == nil {
 		t.Error("Auto pseudo-heuristic accepted in a plain selection")
 	}
+	if err := (Options{Processors: 2, Heuristics: []HeuristicID{IDExact}}).Validate(); err == nil {
+		t.Error("Exact pseudo-heuristic accepted in a plain selection")
+	}
 }
 
 func TestOptionsSelectDefaultsToPaperFour(t *testing.T) {
@@ -208,7 +211,7 @@ func TestByNameStillResolvesEverything(t *testing.T) {
 			t.Errorf("ByName(%q) broken", name)
 		}
 	}
-	for _, name := range []string{"MemCapped", "MemCappedBooking", "Auto", "nope"} {
+	for _, name := range []string{"MemCapped", "MemCappedBooking", "Auto", "Exact", "nope"} {
 		if _, ok := ByName(name); ok {
 			t.Errorf("ByName(%q) should not resolve", name)
 		}

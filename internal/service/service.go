@@ -57,6 +57,11 @@ const (
 	DefaultMaxBodyBytes = 8 << 20 // 8 MiB per request (or per batch line)
 	DefaultMaxNodes     = 1_000_000
 	DefaultMaxProcs     = 4096
+	// DefaultExactNodes is the per-request node budget of the Exact
+	// portfolio candidate: large enough to prove optimality on
+	// oracle-sized trees, small enough that a pool worker answers in
+	// well under a second even when the proof does not close.
+	DefaultExactNodes = 200_000
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -79,6 +84,11 @@ type Config struct {
 	// MaxForestJobs rejects /v1/forest traces with more jobs than this.
 	// Default: DefaultMaxForestJobs.
 	MaxForestJobs int
+	// ExactNodes is the branch-and-bound node budget of the Exact
+	// portfolio candidate, per request. A server-side knob rather than a
+	// wire field: budgets shape response latency, and a fixed budget
+	// keeps the response cache coherent. Default: DefaultExactNodes.
+	ExactNodes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxForestJobs <= 0 {
 		c.MaxForestJobs = DefaultMaxForestJobs
+	}
+	if c.ExactNodes <= 0 {
+		c.ExactNodes = DefaultExactNodes
 	}
 	return c
 }

@@ -79,6 +79,12 @@ type HeuristicResult struct {
 	// Error is set when this heuristic failed on the instance (the other
 	// results are still valid).
 	Error string `json:"error,omitempty"`
+	// Proven and ExploredNodes report the Exact candidate's search: a
+	// proven-optimal makespan versus the best schedule its node budget
+	// reached, and how many branch-and-bound nodes it explored. Absent on
+	// heuristic results.
+	Proven        bool  `json:"proven,omitempty"`
+	ExploredNodes int64 `json:"explored_nodes,omitempty"`
 }
 
 // Response is the answer to one Request. In batch mode a line-level
@@ -200,7 +206,15 @@ func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
 		Heuristics:   ids,
 		MemCapFactor: req.MemCapFactor,
 	}
-	if err := opts.Validate(); err != nil {
+	// The Exact pseudo-heuristic is resolved by the portfolio layer, so
+	// validation sees the selection exactly as that layer will: with
+	// Exact stripped. resolveSelection guarantees obj != nil whenever
+	// Exact is selected, so the plain path never has to run it.
+	vopts := opts
+	if obj != nil {
+		vopts.Heuristics = withoutExact(opts.Heuristics)
+	}
+	if err := vopts.Validate(); err != nil {
 		return nil, badRequest("%v", err)
 	}
 	j := &job{req: req, tree: t, treeHash: t.CanonicalHash(), opts: opts, objective: obj}
@@ -214,11 +228,13 @@ func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
 // implied by Auto, or forced by the /v1/portfolio endpoint — switches the
 // job into portfolio mode with min_makespan as the default policy.
 func resolveSelection(ids []sched.HeuristicID, obj *portfolio.Objective, forcePortfolio bool) ([]sched.HeuristicID, *portfolio.Objective, error) {
-	hasAuto := false
+	hasAuto, hasExact := false, false
 	for _, id := range ids {
 		if id == sched.IDAuto {
 			hasAuto = true
-			break
+		}
+		if id == sched.IDExact {
+			hasExact = true
 		}
 	}
 	if hasAuto {
@@ -245,7 +261,9 @@ func resolveSelection(ids []sched.HeuristicID, obj *portfolio.Objective, forcePo
 		if err := obj.Validate(); err != nil {
 			return nil, nil, badRequest("%v", err)
 		}
-	} else if hasAuto || forcePortfolio {
+	} else if hasAuto || hasExact || forcePortfolio {
+		// Exact, like Auto, is the portfolio layer's to resolve: its
+		// presence switches the job into portfolio mode.
 		def := portfolio.MinMakespan()
 		obj = &def
 	}
@@ -289,11 +307,25 @@ func cacheKey(treeHash string, opts sched.Options, obj *portfolio.Objective) str
 
 func needsCapFactor(ids []sched.HeuristicID) bool {
 	for _, id := range ids {
-		if id == sched.IDMemCapped || id == sched.IDMemCappedBooking {
+		// The exact solver caps its search at MemCapFactor × M_seq too,
+		// so its responses must not alias across factors.
+		if id == sched.IDMemCapped || id == sched.IDMemCappedBooking || id == sched.IDExact {
 			return true
 		}
 	}
 	return false
+}
+
+// withoutExact strips the Exact pseudo-heuristic from a selection,
+// mirroring what portfolio.RunPre does before sched validation.
+func withoutExact(ids []sched.HeuristicID) []sched.HeuristicID {
+	out := make([]sched.HeuristicID, 0, len(ids))
+	for _, id := range ids {
+		if id != sched.IDExact {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // safeRun is run with panic containment: on HTTP handler goroutines
@@ -392,7 +424,9 @@ acquire:
 			<-s.raceSlots
 		}
 	}()
-	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{Options: j.opts, Parallelism: lanes})
+	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{
+		Options: j.opts, Parallelism: lanes, ExactNodes: s.cfg.ExactNodes,
+	})
 	if err != nil {
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
@@ -410,7 +444,7 @@ acquire:
 		resp.Machine = res.Machine.Spec()
 	}
 	for _, c := range res.Candidates {
-		hr := HeuristicResult{Heuristic: c.ID}
+		hr := HeuristicResult{Heuristic: c.ID, Proven: c.Proven, ExploredNodes: c.Explored}
 		if c.Err != nil {
 			hr.Error = c.Err.Error()
 		} else {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"treesched/internal/dataset"
+	"treesched/internal/exact"
 	"treesched/internal/forest"
 	"treesched/internal/frontal"
 	"treesched/internal/machine"
@@ -277,6 +278,43 @@ func Weighted(alpha float64) Objective { return portfolio.Weighted(alpha) }
 // "weighted:A"), as accepted by the service's "objective" field and the
 // CLI's -objective flag.
 func ParseObjective(s string) (Objective, error) { return portfolio.ParseObjective(s) }
+
+// Exact solving (see internal/exact): branch-and-bound to proven
+// optimality on small trees — the ground-truth oracle the heuristics are
+// differentially tested against, and an anytime portfolio candidate
+// (HeuristicID "Exact").
+
+// ExactResult is the outcome of an exact solve: the best schedule found,
+// its measures, whether optimality was proven within the node budget, and
+// the search statistics.
+type ExactResult = exact.Result
+
+// MaxExactNodes is the largest tree the exact solver accepts.
+const MaxExactNodes = exact.MaxSolveNodes
+
+// DefaultExactNodeBudget is the search budget used when SolveExact is
+// called with budget 0, in explored branch-and-bound decision nodes
+// (never wall-clock time, so solves are reproducible everywhere).
+const DefaultExactNodeBudget = exact.DefaultNodeBudget
+
+// ErrExactInfeasible is wrapped by SolveExact when no schedule of any
+// kind can respect the memory cap (the cap is below the optimal
+// sequential traversal's peak, the provable floor).
+var ErrExactInfeasible = exact.ErrInfeasible
+
+// SolveExact computes a minimum-makespan schedule of t on m under the
+// global memory cap (math.MaxInt64 for none), proving optimality when the
+// branch-and-bound completes within budget nodes (0 means
+// DefaultExactNodeBudget) and returning the best schedule found
+// otherwise. Trees above MaxExactNodes are rejected.
+func SolveExact(t *Tree, m *MachineModel, cap int64, budget int64) (*ExactResult, error) {
+	return exact.Solve(t, m, cap, budget)
+}
+
+// ParseExactBudget parses a node-budget spec: a positive integer with an
+// optional k/M/G suffix ("500k", "2M"), as accepted by the treesched
+// CLI's -budget flag.
+func ParseExactBudget(s string) (int64, error) { return exact.ParseBudget(s) }
 
 // Online multi-tenant forest scheduling (see internal/forest): stream
 // tree-jobs onto one shared machine under a global memory cap.
