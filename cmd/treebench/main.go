@@ -88,7 +88,7 @@ type Report struct {
 
 func main() {
 	var (
-		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio, forest, core or gap")
+		suiteName = flag.String("suite", "portfolio", "benchmark suite: portfolio, forest, core, gap or obs")
 		quick     = flag.Bool("quick", false, "shorthand for -scale quick (the CI scale)")
 		scale     = flag.String("scale", "standard", "suite scale: quick or standard")
 		seed      = flag.Int64("seed", 42, "suite seed")
@@ -105,7 +105,13 @@ func main() {
 		*scale = "quick"
 	}
 	if *out == "auto" {
-		*out = "BENCH_" + *suiteName + ".json"
+		// The obs rows live inside BENCH_core.json; the standalone obs
+		// suite writes no report of its own unless -out names one.
+		if *suiteName == "obs" {
+			*out = ""
+		} else {
+			*out = "BENCH_" + *suiteName + ".json"
+		}
 	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -140,9 +146,12 @@ func main() {
 	case "gap":
 		gapMain(*scale, *seed, *out, *baseline, *maxratio)
 		return
+	case "obs":
+		obsMain(*scale, *seed, *machSpec, *out, *baseline, *maxratio)
+		return
 	case "portfolio":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (portfolio, forest, core or gap)", *suiteName))
+		fatal(fmt.Errorf("unknown suite %q (portfolio, forest, core, gap or obs)", *suiteName))
 	}
 	ps, err := parsePList(*plist)
 	if err != nil {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"treesched/internal/machine"
+	"treesched/internal/obs"
+)
+
+// The obs rows microbenchmark the observability record paths the service
+// puts on every request — histogram observe, counter increments, labeled
+// child lookup, the span lifecycle — plus the /metrics exposition write.
+// They ride in BENCH_core.json next to the scheduler rows (family "obs"),
+// so the same CI gate ratchets them; `-suite obs` measures and gates just
+// these rows for a fast local check.
+
+// obsBench is one observability micro-row.
+type obsBench struct {
+	name string
+	run  func()
+}
+
+// obsBenches builds the observability benches over a private registry
+// shaped like the service's: a 16-bucket latency histogram, plain and
+// labeled counters, and a trace drawn from the shared span pool per op.
+func obsBenches() []obsBench {
+	h := obs.NewHistogram("bench_latency", "", 1e-9, obs.ExpBuckets(100_000, 4, 16))
+	c := obs.NewCounter("bench_counter", "")
+	vec := obs.NewCounterVec("bench_vec", "", "k", false)
+	child := vec.With("warm")
+	reg := obs.NewRegistry()
+	reg.Register(h, c, vec)
+	var tick int64
+	return []obsBench{
+		{"Obs/HistogramObserve", func() {
+			tick += 1_000_003
+			h.Observe(tick % 100_000_000)
+		}},
+		{"Obs/CounterInc", func() { c.Inc() }},
+		{"Obs/CounterVecWith", func() { vec.With("warm").Inc() }},
+		{"Obs/CounterChildAdd", func() { child.Add(2) }},
+		{"Obs/SpanLifecycle", func() {
+			tr := obs.AcquireTrace()
+			id := tr.Start("stage", obs.RootSpan)
+			tr.End(id)
+			tr.Release()
+		}},
+		{"Obs/Exposition", func() { reg.WriteText(io.Discard) }},
+	}
+}
+
+// measureObsRows runs every obs bench under the budget and returns the
+// report rows (family "obs"; Nodes 0 — these are not tree-sized).
+func measureObsRows(budget time.Duration) []CoreEntry {
+	var out []CoreEntry
+	for _, b := range obsBenches() {
+		nsOp, allocsOp := measure(b.run, budget)
+		e := CoreEntry{Bench: b.name, Family: "obs", NsOp: nsOp, AllocsOp: allocsOp}
+		if nsOp > 0 {
+			e.OpsPerSec = 1e9 / nsOp
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// obsMain is `-suite obs`: just the observability rows, gated against the
+// Obs/* keys of a core baseline (normally BENCH_core.json — the rows live
+// there, so there is no separate BENCH_obs.json to drift out of date).
+func obsMain(scale string, seed int64, machSpec, out, baseline string, maxratio float64) {
+	var budget time.Duration
+	switch scale {
+	case "quick":
+		budget = 25 * time.Millisecond
+	case "standard":
+		budget = 100 * time.Millisecond
+	default:
+		fatal(fmt.Errorf("unknown scale %q (quick or standard)", scale))
+	}
+	het, err := machine.ParseSpec(machSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rep := &CoreReport{
+		Scale:             scale,
+		Seed:              seed,
+		Processors:        coreProcs,
+		Machine:           het.Spec(),
+		Entries:           measureObsRows(budget),
+		MeanNsByBench:     make(map[string]float64),
+		MeanAllocsByBench: make(map[string]float64),
+	}
+	fillCoreMeans(rep)
+	printCoreReport(rep)
+	if out != "" {
+		writeReport(rep, out)
+	}
+	if baseline != "" {
+		if err := coreGate(rep, baseline, maxratio); err != nil {
+			fmt.Fprintln(os.Stderr, "treebench: REGRESSION:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("regression gate vs %s passed (maxratio %g)\n", baseline, maxratio)
+	}
+}

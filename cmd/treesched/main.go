@@ -11,6 +11,7 @@
 //	treesched -in tree.txt -p 8 -memcap 2.0      # + memory-capped run at 2×M_seq
 //	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
 //	treesched -in tree.txt -p 8 -objective makespan_under_memcap:1.5
+//	treesched -in tree.txt -p 8 -portfolio -trace  # print the stage span tree
 //	treesched -forest trace.ndjson -p 8 -policy sjf -capfactor 2
 //	treesched -forest trace.ndjson -machine 2x1.0+2x0.5 -policy sjf
 //
@@ -31,6 +32,7 @@ import (
 	"treesched/internal/exact"
 	"treesched/internal/forest"
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/traversal"
@@ -48,6 +50,7 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart per heuristic (small trees)")
 		runPort   = flag.Bool("portfolio", false, "race the paper's four heuristics + Sequential concurrently; print the Pareto frontier and the -objective winner")
 		objective = flag.String("objective", "", "portfolio selection objective (min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A); implies -portfolio")
+		doTrace   = flag.Bool("trace", false, "record stage spans (schedule, evaluate, per candidate) and print the span tree after the results")
 
 		forestIn  = flag.String("forest", "", "NDJSON forest trace to simulate on the shared machine (see treegen -forest)")
 		policy    = flag.String("policy", "fifo", "forest admission policy: fifo|sjf|smallest_mseq|weighted_fair")
@@ -96,12 +99,17 @@ func main() {
 	fmt.Printf("machine %s (p=%d)  makespan LB %.6g  sequential postorder memory %d  optimal sequential memory %d\n\n",
 		mach.Spec(), *p, msLB, memLB, opt.Peak)
 
+	var tr *obs.Trace
+	if *doTrace {
+		tr = obs.AcquireTrace()
+		defer tr.Release()
+	}
 	if *runPort || *objective != "" {
-		runPortfolio(t, mach, *objective, *memcap)
+		runPortfolio(t, mach, *objective, *memcap, tr)
 		return
 	}
 	if *name == sched.IDExact.String() {
-		runExact(t, mach, *memcap, *budget, msLB, memLB)
+		runExact(t, mach, *memcap, *budget, msLB, memLB, tr)
 		return
 	}
 
@@ -121,14 +129,23 @@ func main() {
 	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
 	var charts []string
 	for _, h := range hs {
+		cid := obs.RootSpan
+		if tr != nil {
+			cid = tr.Start("candidate:"+h.Name, obs.RootSpan)
+		}
+		sid := tr.Start("schedule", cid)
 		s, err := h.RunOn(t, mach)
+		tr.End(sid)
 		if err != nil {
 			fatal(err)
 		}
+		eid := tr.Start("evaluate", cid)
 		if err := s.Validate(t); err != nil {
 			fatal(fmt.Errorf("%s produced an invalid schedule: %w", h.Name, err))
 		}
 		report(w, h.Name, t, s, msLB, memLB)
+		tr.End(eid)
+		tr.End(cid)
 		if *gantt {
 			charts = append(charts, h.Name+"\n"+sched.GanttString(t, s, 100))
 		}
@@ -151,13 +168,35 @@ func main() {
 	for _, c := range charts {
 		fmt.Println("\n" + c)
 	}
+	printTrace(tr)
+}
+
+// printTrace prints the recorded span tree, indented by depth, with per-
+// span duration and the span value (the exact solver's explored-node
+// count) when one was recorded. No-op without -trace.
+func printTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	root := tr.Tree()
+	if root == nil {
+		return
+	}
+	fmt.Println("\ntrace:")
+	root.Walk(func(n *obs.SpanNode, depth int) {
+		fmt.Printf("%s%s %.1fµs", strings.Repeat("  ", depth+1), n.Name, n.DurUS)
+		if n.Value != 0 {
+			fmt.Printf(" (value %d)", n.Value)
+		}
+		fmt.Println()
+	})
 }
 
 // runExact runs the branch-and-bound solver: proven-optimal makespan
 // under the -memcap cap (a factor of M_seq; 0 = no cap) within the
 // -budget node budget, or the best schedule found when the budget runs
 // out first.
-func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec string, msLB float64, memLB int64) {
+func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec string, msLB float64, memLB int64, tr *obs.Trace) {
 	nodes := exact.DefaultNodeBudget
 	if budgetSpec != "" {
 		var err error
@@ -167,26 +206,31 @@ func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec stri
 		}
 	}
 	memCap := exact.CapFromFactor(memcap, memLB)
+	sid := tr.Start("solve", obs.RootSpan)
 	res, err := exact.Solve(t, mach, memCap, nodes)
+	tr.End(sid)
 	if err != nil {
 		fatal(err)
 	}
+	tr.SetValue(sid, res.Explored)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
 	report(w, "Exact", t, res.Schedule, msLB, memLB)
 	w.Flush()
 	if res.Proven {
-		fmt.Printf("\nexact: proven optimal (explored %d nodes, lower bound %.6g)\n", res.Explored, res.LowerBound)
+		fmt.Printf("\nexact: proven optimal (explored %d nodes, pruned %d, memo hits %d, lower bound %.6g)\n",
+			res.Explored, res.Pruned, res.MemoHits, res.LowerBound)
 	} else {
-		fmt.Printf("\nexact: node budget %d exhausted — best schedule found, NOT proven optimal (lower bound %.6g)\n",
-			nodes, res.LowerBound)
+		fmt.Printf("\nexact: node budget %d exhausted — best schedule found, NOT proven optimal (explored %d, pruned %d, memo hits %d, lower bound %.6g)\n",
+			nodes, res.Explored, res.Pruned, res.MemoHits, res.LowerBound)
 	}
+	printTrace(tr)
 }
 
 // runPortfolio races the default candidate set (plus the memory-capped
 // schedulers when -memcap is given) and reports every candidate with its
 // frontier membership and the objective-selected winner.
-func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap float64) {
+func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap float64, tr *obs.Trace) {
 	obj := portfolio.MinMakespan()
 	if objSpec != "" {
 		var err error
@@ -195,7 +239,8 @@ func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap floa
 			fatal(err)
 		}
 	}
-	opts := portfolio.Options{Options: sched.Options{Machine: mach}}
+	opts := portfolio.Options{Options: sched.Options{Machine: mach},
+		Trace: tr, TraceParent: obs.RootSpan}
 	if memcap > 0 {
 		opts.Heuristics = append(portfolio.DefaultCandidates(), sched.IDMemCapped, sched.IDMemCappedBooking)
 		opts.MemCapFactor = memcap
@@ -234,6 +279,7 @@ func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap floa
 	} else {
 		fmt.Println("\nno winner: every candidate failed")
 	}
+	printTrace(tr)
 }
 
 // runForest simulates an NDJSON job trace on one shared machine and

@@ -7,6 +7,8 @@
 //
 //	treeschedd -addr :8080
 //	treeschedd -addr :8080 -workers 16 -cache 4096 -max-body 16777216
+//	treeschedd -addr :8080 -log json                   # structured request logs on stderr
+//	treeschedd -addr :8080 -debug-addr 127.0.0.1:6060  # net/http/pprof, loopback only
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,8 +39,22 @@ func main() {
 		maxNodes  = flag.Int("max-nodes", service.DefaultMaxNodes, "max tree size in nodes")
 		maxProcs  = flag.Int("max-procs", service.DefaultMaxProcs, "max processor count per request")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		logMode   = flag.String("log", "text", "per-request structured logs on stderr: text|json|off")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for the debug mux (net/http/pprof); keep it loopback-only")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "treeschedd: bad -log %q (want text, json or off)\n", *logMode)
+		os.Exit(2)
+	}
 
 	svc := service.New(service.Config{
 		Workers:      *workers,
@@ -45,6 +62,7 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		MaxNodes:     *maxNodes,
 		MaxProcs:     *maxProcs,
+		Logger:       logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -58,6 +76,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("treeschedd: listening on %s (workers=%d cache=%d)", *addr, svc.Workers(), *cacheSize)
+
+	// The debug mux is a separate server so profiling can stay bound to
+	// loopback while the service address faces traffic. A debug-server
+	// failure is logged, not fatal: the daemon serves without profiling.
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           service.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("treeschedd: debug mux (pprof) on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("treeschedd: debug server: %v", err)
+			}
+		}()
+		defer dsrv.Close()
+	}
 
 	select {
 	case err := <-errc:

@@ -89,8 +89,13 @@ type Result struct {
 	// the best schedule found.
 	Proven bool
 	// Explored counts branch-and-bound decision nodes (0 when the p=1
-	// fast path answered without searching).
+	// fast path answered without searching). Pruned counts decision nodes
+	// cut by the lower bound, MemoHits those cut by dominance
+	// memoization; together they say where the search's leverage came
+	// from.
 	Explored int64
+	Pruned   int64
+	MemoHits int64
 	// LowerBound is the root relaxation: max of the speed-scaled area
 	// bound and the critical path at full speed. Makespan >= LowerBound
 	// always; equality does not imply Proven (nor vice versa).
@@ -174,6 +179,8 @@ func SolvePre(pc *sched.Precompute, m *machine.Model, cap int64, nodeBudget int6
 		Schedule:   seed,
 		Proven:     !sv.aborted,
 		Explored:   sv.explored,
+		Pruned:     sv.pruned,
+		MemoHits:   sv.memoHits,
 		LowerBound: rootLB,
 	}
 	if sv.improved {

@@ -55,6 +55,8 @@ type solver struct {
 
 	// accounting
 	explored int64
+	pruned   int64 // decision nodes cut by the lower bound
+	memoHits int64 // decision nodes cut by dominance memoization
 	budget   int64
 	aborted  bool
 
@@ -192,9 +194,11 @@ func (s *solver) dfs(now float64, minReal int, minPulse int32) {
 		return
 	}
 	if s.lowerBound(now) >= s.best {
+		s.pruned++
 		return
 	}
 	if s.memoOK && minReal == 0 && minPulse == 0 && s.memoPrune(now) {
+		s.memoHits++
 		return
 	}
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/stats"
 	"treesched/internal/tree"
 )
@@ -95,10 +96,12 @@ type engine struct {
 	extraUsed int64 // budget charged by out-of-σ-order tasks
 	peak      int64
 
-	admitted   int
-	tasks      int
-	maxQueued  int
-	maxRunning int
+	admitted    int
+	tasks       int
+	maxQueued   int
+	maxRunning  int
+	rounds      int
+	bookRejects int
 }
 
 func (e *engine) simulate(ctx context.Context) error {
@@ -132,6 +135,7 @@ func (e *engine) simulate(ctx context.Context) error {
 		if !ok {
 			break
 		}
+		e.rounds++
 		e.now = next
 		// Completions release memory and processors before arrivals and
 		// admissions allocate — the same tie-break as the single-tree
@@ -201,10 +205,13 @@ func (e *engine) admitJobs() {
 	budget := e.procs.Idle()
 	kept := e.queue[:0]
 	for qi, js := range e.queue {
-		if budget > 0 && e.fits(js) {
-			e.admit(js)
-			budget--
-			continue
+		if budget > 0 {
+			if e.fits(js) {
+				e.admit(js)
+				budget--
+				continue
+			}
+			e.bookRejects++
 		}
 		kept = append(kept, js)
 		if !pol.backfill() {
@@ -440,5 +447,17 @@ func (e *engine) collect() *Result {
 		}
 	}
 	s.MeanWait = stats.Mean(waits)
+	s.Rounds = e.rounds
+	s.BookingRejections = e.bookRejects
+	if len(waits) > 0 {
+		// Waits are simulation-time floats; record them in micro-units on
+		// exponential buckets so the snapshot's bounds come back out in
+		// plain time units spanning 1e-6 .. 1e5.
+		h := obs.NewHistogram("forest_wait", "", 1e-6, obs.ExpBuckets(1, 10, 12))
+		for _, w := range waits {
+			h.Observe(int64(w * 1e6))
+		}
+		s.WaitHistogram = h.Snapshot()
+	}
 	return res
 }

@@ -52,6 +52,7 @@ import (
 	"math"
 
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/sched"
 )
 
@@ -184,6 +185,17 @@ type Summary struct {
 	MeanStretch   float64 `json:"mean_stretch"`
 	MaxStretch    float64 `json:"max_stretch"`
 	MeanWait      float64 `json:"mean_wait"`
+	// Rounds counts event-loop iterations (distinct event instants the
+	// engine advanced through); BookingRejections counts admission
+	// attempts deferred because the cross-tree booking invariant would
+	// not hold — how often the memory cap, not the processors, was the
+	// reason a queued job kept waiting.
+	Rounds            int `json:"rounds"`
+	BookingRejections int `json:"booking_rejections"`
+	// WaitHistogram is the distribution of completed jobs' admission
+	// waits (Start − Arrival, simulation time units) under this run's
+	// policy — the summary's per-policy queueing picture beyond MeanWait.
+	WaitHistogram *obs.Snapshot `json:"wait_histogram,omitempty"`
 }
 
 // Result is the outcome of one forest run: per-job results in trace order

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// TestAllocsHistogramObserve pins the zero-allocation contract of the
+// metrics record path: observing a sample and bumping counters allocate
+// nothing.
+func TestAllocsHistogramObserve(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	h := NewHistogram("h", "help", 1e-9, ExpBuckets(1000, 4, 16))
+	c := NewCounter("c", "help")
+	v := NewCounterVec("v", "help", "kind", true)
+	child := v.With("decode") // resolved once, as handlers do
+	got := testing.AllocsPerRun(100, func() {
+		h.Observe(123_456)
+		c.Inc()
+		child.Add(2)
+	})
+	if got != 0 {
+		t.Errorf("metric record path allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestAllocsTraceSpans pins the span pool contract: on a warm pool an
+// entire acquire → start/end → release cycle allocates nothing, so
+// tracing adds zero warm allocations to the schedule path.
+func TestAllocsTraceSpans(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	AcquireTrace().Release() // warm the pool
+	got := testing.AllocsPerRun(100, func() {
+		tr := AcquireTrace()
+		a := tr.Start("decode", RootSpan)
+		tr.End(a)
+		b := tr.Start("schedule", RootSpan)
+		c := tr.Start("candidate:liu", b)
+		tr.SetValue(c, 42)
+		tr.End(c)
+		tr.End(b)
+		tr.Release()
+	})
+	if got != 0 {
+		t.Errorf("warm trace cycle allocates %.1f/op, want 0", got)
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram on atomic arrays. Observing a
+// sample is a bounded binary search over the precomputed upper bounds
+// plus two atomic adds — no locks, no allocation, safe for concurrent
+// use. Samples are int64 in the histogram's native unit (nanoseconds for
+// durations, nodes or bytes for sizes); the scale factor converts native
+// units to the exposition unit (1e-9 turns nanoseconds into the seconds
+// Prometheus conventions expect).
+type Histogram struct {
+	name, help string
+	bounds     []int64 // ascending upper bounds, inclusive (v <= bound)
+	scale      float64 // native unit -> exposed unit
+	counts     []atomic.Int64
+	sum        atomic.Int64
+}
+
+// NewHistogram returns a histogram family with the given inclusive upper
+// bounds (ascending, in the native unit) plus an implicit +Inf bucket.
+// scale converts native units to the exposed unit (use 1 for counts,
+// 1e-9 for nanosecond durations exposed as seconds).
+func NewHistogram(name, help string, scale float64, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name: name, help: help,
+		bounds: bounds,
+		scale:  scale,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample. Zero-allocation and wait-free.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observed samples.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed samples in the native unit.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// FamilyName implements Metric.
+func (h *Histogram) FamilyName() string { return h.name }
+
+func (h *Histogram) expose(w io.Writer) {
+	header(w, h.name, h.help, "histogram")
+	h.exposeSamples(w, "")
+}
+
+// exposeSamples writes the _bucket/_sum/_count samples with an optional
+// pre-rendered label prefix like `endpoint="/v1/schedule"`.
+func (h *Histogram) exposeSamples(w io.Writer, label string) {
+	comma := ""
+	if label != "" {
+		comma = ","
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+			h.name, label+comma, formatFloat(float64(b)*h.scale), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, label+comma, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, braced(label), formatFloat(float64(h.sum.Load())*h.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, braced(label), cum)
+}
+
+func braced(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+// Snapshot is a point-in-time copy of a histogram in exposition units,
+// JSON-encodable for embedding in result summaries (e.g. the forest
+// run's per-policy wait histogram).
+type Snapshot struct {
+	// UpperBounds are the bucket upper bounds in exposed units; Counts
+	// are the cumulative counts per bound, le-style. The final entries of
+	// both describe the +Inf bucket (bound reported as 0-length: Counts
+	// has exactly one more entry than UpperBounds, the total).
+	UpperBounds []float64 `json:"le"`
+	Counts      []int64   `json:"counts"`
+	Count       int64     `json:"count"`
+	Sum         float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		UpperBounds: make([]float64, len(h.bounds)),
+		Counts:      make([]int64, len(h.bounds)+1),
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		s.UpperBounds[i] = float64(b) * h.scale
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Counts[len(h.bounds)] = cum
+	s.Count = cum
+	s.Sum = float64(h.sum.Load()) * h.scale
+	return s
+}
+
+// HistogramVec is a histogram family labeled by one label name. Children
+// share bounds and scale; resolve them once with With and hold the
+// pointer to keep the record path map-free.
+type HistogramVec struct {
+	name, help, label string
+	scale             float64
+	bounds            []int64
+	mu                sync.RWMutex
+	children          map[string]*Histogram
+}
+
+// NewHistogramVec returns a histogram family labeled by label.
+func NewHistogramVec(name, help, label string, scale float64, bounds []int64) *HistogramVec {
+	// Child construction validates the bounds once here rather than per
+	// label value.
+	NewHistogram(name, help, scale, bounds)
+	return &HistogramVec{name: name, help: help, label: label,
+		scale: scale, bounds: bounds, children: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.children[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[value]; h == nil {
+		h = NewHistogram(v.name, v.help, v.scale, v.bounds)
+		v.children[value] = h
+	}
+	return h
+}
+
+// FamilyName implements Metric.
+func (v *HistogramVec) FamilyName() string { return v.name }
+
+func (v *HistogramVec) expose(w io.Writer) {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	hs := make([]*Histogram, len(values))
+	for i, val := range values {
+		hs[i] = v.children[val]
+	}
+	v.mu.RUnlock()
+	header(w, v.name, v.help, "histogram")
+	for i, val := range values {
+		hs[i].exposeSamples(w, v.label+"="+strconv.Quote(val))
+	}
+}
+
+// ExpBuckets returns n strictly ascending bucket bounds starting at start
+// and growing by factor (rounded to int64, deduplicated upward so small
+// starts with fractional factors stay monotonic).
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	if start < 1 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start >= 1, factor > 1, n >= 1")
+	}
+	bounds := make([]int64, 0, n)
+	v := float64(start)
+	last := int64(0)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if b <= last {
+			b = last + 1
+		}
+		bounds = append(bounds, b)
+		last = b
+		v *= factor
+	}
+	return bounds
+}

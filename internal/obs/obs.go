@@ -1,0 +1,268 @@
+// Package obs is the dependency-free observability core of treesched: a
+// metrics registry with atomic counters, callback gauges and fixed
+// log-bucket histograms exposed in Prometheus text format, plus a pooled
+// request-scoped span tracer.
+//
+// The package exists to make the bicriteria trade-off this repository is
+// about — makespan versus peak memory — visible in a running system
+// without touching the zero-allocation contract of the scheduling core:
+//
+//   - The record path of every metric is wait-free arithmetic on
+//     atomic.Int64 fields. Observing a histogram sample is a bounded
+//     binary search over precomputed bucket bounds plus two atomic adds;
+//     no locks, no maps, no allocation. Handlers resolve labeled children
+//     (*Counter, *Histogram) once at startup and hold the pointers.
+//   - The exposition path (scrape time) takes the allocations instead:
+//     families are formatted on demand, each emitting its # HELP and
+//     # TYPE header exactly once followed by its samples, so the whole
+//     /metrics page comes from one writer with one format.
+//   - Spans are recorded into a pooled, mutex-guarded buffer that is
+//     reused across requests; a nil *Trace turns every method into a
+//     no-op, so untraced requests pay a single nil check per stage.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// A Metric is one exposition family: a named group of samples sharing a
+// HELP string and a TYPE. Implementations are Counter, CounterVec,
+// GaugeFunc, FuncCounter, ConstGauge, Histogram and HistogramVec.
+type Metric interface {
+	// FamilyName is the metric family name (without _bucket/_sum/_count
+	// suffixes for histograms).
+	FamilyName() string
+	// expose writes the family's HELP/TYPE header and all its samples.
+	expose(w io.Writer)
+}
+
+// Registry is an ordered collection of metric families with a Prometheus
+// text exposition writer. Registration happens at startup; WriteText may
+// be called concurrently with the record paths.
+type Registry struct {
+	mu       sync.Mutex
+	families []Metric
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Register adds metric families to the registry in exposition order.
+// Registering two families with the same name panics: one family must own
+// each name so HELP/TYPE headers are emitted exactly once per family.
+func (r *Registry) Register(ms ...Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		name := m.FamilyName()
+		if r.names[name] {
+			panic("obs: duplicate metric family " + name)
+		}
+		r.names[name] = true
+		r.families = append(r.families, m)
+	}
+}
+
+// WriteText writes every registered family in Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := r.families
+	r.mu.Unlock()
+	for _, m := range fams {
+		m.expose(w)
+	}
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use when constructed via NewCounter (which carries name/help); bare
+// counters inside a CounterVec are exposed by their parent.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// NewCounter returns a registrable counter family with a single unlabeled
+// sample.
+func NewCounter(name, help string) *Counter {
+	return &Counter{name: name, help: help}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the family to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FamilyName implements Metric.
+func (c *Counter) FamilyName() string { return c.name }
+
+func (c *Counter) expose(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// CounterVec is a counter family labeled by one label name. Children are
+// created on first use and never removed; resolve them once with With and
+// hold the pointer to keep the record path map-free.
+type CounterVec struct {
+	name, help, label string
+	// emitTotal additionally exposes an unlabeled sample equal to the sum
+	// of all children — the dashboard-continuity form of labeling a
+	// previously unlabeled counter.
+	emitTotal bool
+	mu        sync.RWMutex
+	children  map[string]*Counter
+}
+
+// NewCounterVec returns a counter family labeled by label. When withTotal
+// is true the family also exposes an unlabeled sample holding the sum of
+// all children, so existing dashboards keyed on the bare name keep
+// working after the family gains labels.
+func NewCounterVec(name, help, label string, withTotal bool) *CounterVec {
+	return &CounterVec{name: name, help: help, label: label,
+		emitTotal: withTotal, children: make(map[string]*Counter)}
+}
+
+// With returns the child counter for the label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.children[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[value]; c == nil {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// FamilyName implements Metric.
+func (v *CounterVec) FamilyName() string { return v.name }
+
+func (v *CounterVec) expose(w io.Writer) {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	counts := make([]int64, len(values))
+	var total int64
+	for i, val := range values {
+		counts[i] = v.children[val].Value()
+		total += counts[i]
+	}
+	v.mu.RUnlock()
+	header(w, v.name, v.help, "counter")
+	if v.emitTotal {
+		fmt.Fprintf(w, "%s %d\n", v.name, total)
+	}
+	for i, val := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, counts[i])
+	}
+}
+
+// GaugeFunc is a gauge whose value is computed at scrape time.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc returns a callback gauge family.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return &GaugeFunc{name: name, help: help, fn: fn}
+}
+
+// FamilyName implements Metric.
+func (g *GaugeFunc) FamilyName() string { return g.name }
+
+func (g *GaugeFunc) expose(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// FuncCounter is a monotonic counter whose value is computed at scrape
+// time (e.g. cumulative GC pause seconds read from the runtime).
+type FuncCounter struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewFuncCounter returns a callback counter family. fn must be
+// monotonically non-decreasing.
+func NewFuncCounter(name, help string, fn func() float64) *FuncCounter {
+	return &FuncCounter{name: name, help: help, fn: fn}
+}
+
+// FamilyName implements Metric.
+func (c *FuncCounter) FamilyName() string { return c.name }
+
+func (c *FuncCounter) expose(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.fn()))
+}
+
+// ConstGauge is a gauge with a constant value and a fixed label set — the
+// build_info idiom: the labels carry the information, the value is 1.
+type ConstGauge struct {
+	name, help string
+	labels     [][2]string
+	value      float64
+}
+
+// NewConstGauge returns a constant labeled gauge family. Labels are
+// emitted in the given order.
+func NewConstGauge(name, help string, labels [][2]string, value float64) *ConstGauge {
+	return &ConstGauge{name: name, help: help, labels: labels, value: value}
+}
+
+// FamilyName implements Metric.
+func (g *ConstGauge) FamilyName() string { return g.name }
+
+func (g *ConstGauge) expose(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s%s %s\n", g.name, formatLabels(g.labels), formatFloat(g.value))
+}
+
+func formatLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, kv := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += kv[0] + "=" + strconv.Quote(kv[1])
+	}
+	return s + "}"
+}
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, integral values without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

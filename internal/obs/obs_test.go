@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("test_hist", "help", 1, []int64{10, 100, 1000})
+	for _, v := range []int64{0, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive: 0 and 10 land in le=10; 11 and 100 in le=100;
+	// 500 in le=1000; 5000 in +Inf.
+	wantCum := []int64{2, 4, 5, 6}
+	for i, want := range wantCum {
+		if s.Counts[i] != want {
+			t.Errorf("cumulative count[%d] = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 5621 {
+		t.Errorf("Sum = %v, want 5621", s.Sum)
+	}
+	if h.Count() != 6 || h.Sum() != 5621 {
+		t.Errorf("Count/Sum = %d/%d, want 6/5621", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramScale(t *testing.T) {
+	h := NewHistogram("dur_seconds", "help", 1e-9, []int64{1_000_000}) // 1ms bound
+	h.Observe(500_000)
+	var b bytes.Buffer
+	h.expose(&b)
+	out := b.String()
+	for _, want := range []string{
+		`dur_seconds_bucket{le="0.001"} 1`,
+		`dur_seconds_bucket{le="+Inf"} 1`,
+		"dur_seconds_sum 0.0005\n",
+		"dur_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", "help", 1, ExpBuckets(1, 2, 12))
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Observe(seed*31 + i%4096)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("Count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec("errs_total", "help", "kind", true)
+	v.With("decode").Add(3)
+	v.With("internal").Inc()
+	if v.With("decode") != v.With("decode") {
+		t.Error("With not idempotent")
+	}
+	var b bytes.Buffer
+	v.expose(&b)
+	out := b.String()
+	for _, want := range []string{
+		"errs_total 4\n", // unlabeled total first
+		"errs_total{kind=\"decode\"} 3\n",
+		"errs_total{kind=\"internal\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "errs_total 4") > strings.Index(out, `kind="decode"`) {
+		t.Error("unlabeled total must precede labeled samples")
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	v := NewCounterVec("cc_total", "help", "k", false)
+	kinds := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With(kinds[(w+i)%len(kinds)]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, k := range kinds {
+		total += v.With(k).Value()
+	}
+	if total != 8000 {
+		t.Errorf("total = %d, want 8000", total)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register(NewCounter("dup", "help"))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family name did not panic")
+		}
+	}()
+	r.Register(NewCounter("dup", "help"))
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?(?:[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?|\+Inf|-Inf|NaN))$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// ParseExposition machine-checks a Prometheus text page: every line is a
+// HELP, TYPE or sample line; each family has exactly one HELP and one TYPE
+// (in that order, adjacent); no (name, labels) sample appears twice.
+// Returns the set of family names and sample lines keyed by name+labels.
+func parseExposition(t *testing.T, page string) (families map[string]string, samples map[string]string) {
+	t.Helper()
+	families = make(map[string]string) // family -> type
+	samples = make(map[string]string)  // name{labels} -> value
+	var pendingHelp string
+	sc := bufio.NewScanner(strings.NewReader(page))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			if _, dup := families[m[1]]; dup {
+				t.Errorf("duplicate # HELP for family %s", m[1])
+			}
+			if pendingHelp != "" {
+				t.Errorf("HELP for %s not followed by TYPE (saw HELP %s)", pendingHelp, m[1])
+			}
+			pendingHelp = m[1]
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			if pendingHelp != m[1] {
+				t.Errorf("TYPE %s not preceded by its HELP (pending %q)", m[1], pendingHelp)
+			}
+			families[m[1]] = m[2]
+			pendingHelp = ""
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unparseable comment line: %q", line)
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line: %q", line)
+			continue
+		}
+		name := m[1]
+		fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := families[fam]; !ok {
+			if _, ok := families[name]; !ok {
+				t.Errorf("sample %s has no HELP/TYPE family header", name)
+			}
+		}
+		key := name + m[2]
+		if _, dup := samples[key]; dup {
+			t.Errorf("duplicate sample %s", key)
+		}
+		samples[key] = m[3]
+	}
+	return families, samples
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("app_requests_total", "Total requests.")
+	c.Add(7)
+	ev := NewCounterVec("app_errors_total", "Errors by kind.", "kind", true)
+	ev.With("decode").Add(2)
+	ev.With("internal").Inc()
+	g := NewGaugeFunc("app_goroutines", "Goroutines.", func() float64 { return 12 })
+	fc := NewFuncCounter("app_gc_seconds_total", "GC pause seconds.", func() float64 { return 0.25 })
+	bi := NewConstGauge("app_build_info", "Build info.",
+		[][2]string{{"version", "v1.2"}, {"go", "go1.x"}}, 1)
+	h := NewHistogram("app_latency_seconds", "Latency.", 1e-9, ExpBuckets(100_000, 10, 4))
+	h.Observe(50_000)
+	h.Observe(5_000_000_000)
+	hv := NewHistogramVec("app_size_nodes", "Tree size.", "endpoint", 1, []int64{10, 100})
+	hv.With("/v1/schedule").Observe(42)
+	r.Register(c, ev, g, fc, bi, h, hv)
+
+	var b bytes.Buffer
+	r.WriteText(&b)
+	page := b.String()
+	families, samples := parseExposition(t, page)
+
+	wantType := map[string]string{
+		"app_requests_total":   "counter",
+		"app_errors_total":     "counter",
+		"app_goroutines":       "gauge",
+		"app_gc_seconds_total": "counter",
+		"app_build_info":       "gauge",
+		"app_latency_seconds":  "histogram",
+		"app_size_nodes":       "histogram",
+	}
+	for fam, typ := range wantType {
+		if families[fam] != typ {
+			t.Errorf("family %s type = %q, want %q", fam, families[fam], typ)
+		}
+	}
+	wantSamples := map[string]string{
+		"app_requests_total":                                      "7",
+		"app_errors_total":                                        "3",
+		`app_errors_total{kind="decode"}`:                         "2",
+		`app_errors_total{kind="internal"}`:                       "1",
+		"app_goroutines":                                          "12",
+		"app_gc_seconds_total":                                    "0.25",
+		`app_build_info{version="v1.2",go="go1.x"}`:               "1",
+		`app_latency_seconds_bucket{le="+Inf"}`:                   "2",
+		"app_latency_seconds_count":                               "2",
+		`app_size_nodes_bucket{endpoint="/v1/schedule",le="100"}`: "1",
+		`app_size_nodes_count{endpoint="/v1/schedule"}`:           "1",
+	}
+	for key, want := range wantSamples {
+		if samples[key] != want {
+			t.Errorf("sample %s = %q, want %q\npage:\n%s", key, samples[key], want, page)
+		}
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := AcquireTrace()
+	defer tr.Release()
+	a := tr.Start("decode", RootSpan)
+	tr.End(a)
+	b := tr.Start("schedule", RootSpan)
+	c1 := tr.Start("candidate:liu", b)
+	tr.SetValue(c1, 99)
+	tr.End(c1)
+	tr.End(b)
+	open := tr.Start("encode", RootSpan)
+	_ = open // left open on purpose: Tree must close it
+
+	root := tr.Tree()
+	if root == nil || root.Name != "request" {
+		t.Fatalf("root = %+v, want request", root)
+	}
+	if len(root.Spans) != 3 {
+		t.Fatalf("root children = %d, want 3", len(root.Spans))
+	}
+	names := []string{root.Spans[0].Name, root.Spans[1].Name, root.Spans[2].Name}
+	if names[0] != "decode" || names[1] != "schedule" || names[2] != "encode" {
+		t.Errorf("child names = %v", names)
+	}
+	sched := root.Spans[1]
+	if len(sched.Spans) != 1 || sched.Spans[0].Name != "candidate:liu" {
+		t.Fatalf("schedule children = %+v", sched.Spans)
+	}
+	if sched.Spans[0].Value != 99 {
+		t.Errorf("candidate value = %d, want 99", sched.Spans[0].Value)
+	}
+	root.Walk(func(n *SpanNode, depth int) {
+		if n.DurUS < 0 || n.StartUS < 0 {
+			t.Errorf("span %s at depth %d has negative time: start=%v dur=%v", n.Name, depth, n.StartUS, n.DurUS)
+		}
+	})
+	if _, err := json.Marshal(root); err != nil {
+		t.Errorf("span tree not JSON-encodable: %v", err)
+	}
+}
+
+func TestTraceNilNoop(t *testing.T) {
+	var tr *Trace
+	id := tr.Start("x", RootSpan)
+	if id != -1 {
+		t.Errorf("nil Start = %d, want -1", id)
+	}
+	tr.End(id)
+	tr.SetValue(id, 5)
+	if tr.Tree() != nil {
+		t.Error("nil Tree != nil")
+	}
+	tr.Release()
+}
+
+func TestTraceEmpty(t *testing.T) {
+	tr := AcquireTrace()
+	defer tr.Release()
+	if tr.Tree() != nil {
+		t.Error("empty trace Tree != nil")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := AcquireTrace()
+	defer tr.Release()
+	parent := tr.Start("schedule", RootSpan)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Start(fmt.Sprintf("candidate:%d", w), parent)
+				tr.SetValue(id, int64(i))
+				tr.End(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(parent)
+	root := tr.Tree()
+	sched := root.Spans[0]
+	if len(sched.Spans) != 800 {
+		t.Errorf("schedule children = %d, want 800", len(sched.Spans))
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 1.5, 8)
+	if len(b) != 8 {
+		t.Fatalf("len = %d, want 8", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("bounds not strictly ascending at %d: %v", i, b)
+		}
+	}
+	b2 := ExpBuckets(1000, 10, 4)
+	want := []int64{1000, 10000, 100000, 1000000}
+	for i := range want {
+		if b2[i] != want[i] {
+			t.Errorf("ExpBuckets(1000,10,4)[%d] = %d, want %d", i, b2[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is active; the allocation
+// pins skip, since the race runtime instruments sync.Pool and atomics
+// with extra allocations that say nothing about the production paths.
+const raceEnabled = true

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is a request-scoped span recorder. Spans form a tree via explicit
+// parent ids (so concurrent recorders — the portfolio race's candidate
+// goroutines — never race on an implicit stack), live in one pooled
+// buffer reused across requests, and materialize into a JSON-encodable
+// SpanNode tree on demand.
+//
+// A nil *Trace is the disabled tracer: every method is a no-op, so
+// untraced requests pay exactly one nil check per instrumented stage.
+// On a warm pool, Start/End/SetValue allocate nothing.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []span
+}
+
+type span struct {
+	name       string
+	parent     int32
+	start, end int64 // ns since t0; end < 0 while the span is open
+	value      int64
+}
+
+var tracePool = sync.Pool{New: func() any {
+	return &Trace{spans: make([]span, 0, 16)}
+}}
+
+// AcquireTrace returns an empty trace from the pool with its clock
+// started. Release it when the span tree has been materialized.
+func AcquireTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	t.t0 = time.Now()
+	t.spans = t.spans[:0]
+	return t
+}
+
+// Release returns the trace to the pool. The caller must not touch the
+// trace afterwards. Safe on nil.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	tracePool.Put(t)
+}
+
+// Start opens a span under parent (RootSpan for a top-level span) and
+// returns its id. Safe on nil (returns a no-op id).
+func (t *Trace) Start(name string, parent int) int {
+	if t == nil {
+		return -1
+	}
+	now := time.Since(t.t0).Nanoseconds()
+	t.mu.Lock()
+	id := len(t.spans)
+	t.spans = append(t.spans, span{name: name, parent: int32(parent), start: now, end: -1})
+	t.mu.Unlock()
+	return id
+}
+
+// RootSpan is the parent id of top-level spans.
+const RootSpan = -1
+
+// End closes the span. Safe on nil and on a no-op id.
+func (t *Trace) End(id int) {
+	if t == nil || id < 0 {
+		return
+	}
+	now := time.Since(t.t0).Nanoseconds()
+	t.mu.Lock()
+	if id < len(t.spans) {
+		t.spans[id].end = now
+	}
+	t.mu.Unlock()
+}
+
+// SetValue attaches an int64 attribute to the span (an explored-node
+// count, a peak memory). Safe on nil and on a no-op id; may be called
+// after End.
+func (t *Trace) SetValue(id int, v int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	if id < len(t.spans) {
+		t.spans[id].value = v
+	}
+	t.mu.Unlock()
+}
+
+// SpanNode is the wire form of one span: offsets and durations in
+// microseconds from the start of the trace, nested children in recording
+// order.
+type SpanNode struct {
+	Name    string      `json:"name"`
+	StartUS float64     `json:"start_us"`
+	DurUS   float64     `json:"dur_us"`
+	Value   int64       `json:"value,omitempty"`
+	Spans   []*SpanNode `json:"spans,omitempty"`
+}
+
+// Tree materializes the recorded spans into a tree rooted at a synthetic
+// "request" span covering the whole trace. Returns nil when nothing was
+// recorded. Spans still open are closed at the current instant, so
+// durations are always non-negative.
+func (t *Trace) Tree() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.t0).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	nodes := make([]*SpanNode, len(t.spans))
+	var total int64
+	for i := range t.spans {
+		sp := &t.spans[i]
+		end := sp.end
+		if end < 0 {
+			end = now
+		}
+		if end > total {
+			total = end
+		}
+		nodes[i] = &SpanNode{
+			Name:    sp.name,
+			StartUS: float64(sp.start) / 1e3,
+			DurUS:   float64(end-sp.start) / 1e3,
+			Value:   sp.value,
+		}
+	}
+	root := &SpanNode{Name: "request", DurUS: float64(total) / 1e3}
+	for i := range t.spans {
+		parent := root
+		if p := t.spans[i].parent; p >= 0 && int(p) < len(nodes) && int(p) != i {
+			parent = nodes[p]
+		}
+		parent.Spans = append(parent.Spans, nodes[i])
+	}
+	return root
+}
+
+// Walk visits the node and its descendants depth-first, passing each
+// node's depth (0 for the receiver). Used by CLI trace printers.
+func (n *SpanNode) Walk(visit func(node *SpanNode, depth int)) {
+	if n == nil {
+		return
+	}
+	var rec func(m *SpanNode, d int)
+	rec = func(m *SpanNode, d int) {
+		visit(m, d)
+		for _, c := range m.Spans {
+			rec(c, d+1)
+		}
+	}
+	rec(n, 0)
+}

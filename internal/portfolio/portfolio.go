@@ -23,6 +23,7 @@ import (
 
 	"treesched/internal/exact"
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -42,6 +43,12 @@ type Options struct {
 	// yields the same winner. 0 means exact.DefaultNodeBudget; ignored
 	// unless sched.IDExact is among the candidates.
 	ExactNodes int64
+	// Trace, when non-nil, records one "candidate:<id>" span per racing
+	// heuristic under TraceParent (obs.RootSpan for top-level spans). The
+	// Exact candidate's span carries its explored-node count as the span
+	// value. A nil Trace costs one nil check per candidate.
+	Trace       *obs.Trace
+	TraceParent int
 }
 
 // DefaultCandidates returns the default racing set: the paper's four
@@ -67,13 +74,16 @@ type Candidate struct {
 	// over candidates with Result.Elapsed shows the racing speedup.
 	Elapsed time.Duration
 	Err     error
-	// Proven and Explored describe the Exact candidate's search: Proven
-	// reports that the branch-and-bound exhausted its space within the
-	// node budget (the schedule is optimal, not merely best-found) and
-	// Explored counts decision nodes. Zero-valued on every other
-	// candidate.
+	// Proven, Explored, Pruned and MemoHits describe the Exact
+	// candidate's search: Proven reports that the branch-and-bound
+	// exhausted its space within the node budget (the schedule is
+	// optimal, not merely best-found), Explored counts decision nodes,
+	// Pruned those cut by the lower bound, and MemoHits those cut by
+	// dominance memoization. Zero-valued on every other candidate.
 	Proven   bool
 	Explored int64
+	Pruned   int64
+	MemoHits int64
 }
 
 // Result is the outcome of one portfolio run.
@@ -206,7 +216,7 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 	// schedules for the same processors and speeds.
 	m := opts.Options.Model()
 	start := time.Now()
-	cands := race(ctx, t, m, hs, opts.Parallelism)
+	cands, spans := race(ctx, t, m, hs, opts.Parallelism, opts.Trace, opts.TraceParent)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -215,6 +225,13 @@ func RunPre(ctx context.Context, pc *sched.Precompute, obj Objective, opts Optio
 		if st := &exactStats[i]; st.set {
 			cands[i].Proven = st.proven
 			cands[i].Explored = st.explored
+			cands[i].Pruned = st.pruned
+			cands[i].MemoHits = st.memoHits
+			if spans != nil {
+				// Safe after End: the race barrier has passed, so the span
+				// exists and only its value is written.
+				opts.Trace.SetValue(spans[i], st.explored)
+			}
 		}
 		if cands[i].Err != nil {
 			continue
@@ -250,6 +267,8 @@ type exactStat struct {
 	set      bool
 	proven   bool
 	explored int64
+	pruned   int64
+	memoHits int64
 }
 
 func hasExact(ids []sched.HeuristicID) bool {
@@ -274,6 +293,7 @@ func exactHeuristic(pc *sched.Precompute, memCap, nodes int64, stat *exactStat) 
 			return nil, err
 		}
 		stat.set, stat.proven, stat.explored = true, res.Proven, res.Explored
+		stat.pruned, stat.memoHits = res.Pruned, res.MemoHits
 		return res.Schedule, nil
 	}
 	return sched.Heuristic{
@@ -288,8 +308,11 @@ func exactHeuristic(pc *sched.Precompute, memCap, nodes int64, stat *exactStat) 
 // race runs every heuristic over t with a bounded goroutine fan-out.
 // Candidate i corresponds to hs[i], so the output order never depends on
 // goroutine scheduling. Each candidate is individually recover-protected:
-// a panic in one heuristic costs one Err entry, not the race.
-func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuristic, parallelism int) []Candidate {
+// a panic in one heuristic costs one Err entry, not the race. With a
+// non-nil trace, each candidate records a "candidate:<id>" span under
+// parent; the returned span ids parallel the candidates (nil without a
+// trace, so untraced races allocate nothing extra).
+func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuristic, parallelism int, tr *obs.Trace, parent int) ([]Candidate, []int) {
 	n := len(hs)
 	if parallelism <= 0 || parallelism > n {
 		parallelism = min(n, runtime.GOMAXPROCS(0))
@@ -298,6 +321,17 @@ func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuris
 		parallelism = 1
 	}
 	cands := make([]Candidate, n)
+	var spans []int
+	if tr != nil {
+		spans = make([]int, n)
+	}
+	span := func(i int) int {
+		if tr == nil {
+			return obs.RootSpan
+		}
+		spans[i] = tr.Start("candidate:"+hs[i].ID.String(), parent)
+		return spans[i]
+	}
 	if parallelism == 1 {
 		// A one-slot race (single-core machine, or an already-saturated
 		// caller) is a plain loop: same candidate order, same ctx checks,
@@ -308,11 +342,13 @@ func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuris
 				cands[i].Err = err
 				continue
 			}
+			id := span(i)
 			start := time.Now()
 			runOne(t, m, hs[i], &cands[i])
 			cands[i].Elapsed = time.Since(start)
+			tr.End(id)
 		}
-		return cands
+		return cands, spans
 	}
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
@@ -332,13 +368,15 @@ func race(ctx context.Context, t *tree.Tree, m *machine.Model, hs []sched.Heuris
 				cands[i].Err = err
 				return
 			}
+			id := span(i)
 			start := time.Now()
 			runOne(t, m, hs[i], &cands[i])
 			cands[i].Elapsed = time.Since(start)
+			tr.End(id)
 		}(i)
 	}
 	wg.Wait()
-	return cands
+	return cands, spans
 }
 
 // runOne executes and measures a single candidate, containing panics.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -190,7 +191,7 @@ func TestRacePanicContainment(t *testing.T) {
 			panic("synthetic heuristic panic")
 		}},
 	}
-	cands := race(context.Background(), tr, machine.Uniform(2), hs, 2)
+	cands, _ := race(context.Background(), tr, machine.Uniform(2), hs, 2, nil, obs.RootSpan)
 	if cands[0].Err != nil {
 		t.Errorf("healthy candidate infected: %v", cands[0].Err)
 	}
@@ -226,7 +227,7 @@ func TestRaceRunsConcurrently(t *testing.T) {
 		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i), Name: "stub", RunOn: stub}
 	}
 	start := time.Now()
-	cands := race(context.Background(), tr, machine.Uniform(1), hs, naps)
+	cands, _ := race(context.Background(), tr, machine.Uniform(1), hs, naps, nil, obs.RootSpan)
 	wall := time.Since(start)
 	var sum time.Duration
 	for _, c := range cands {
@@ -262,7 +263,7 @@ func TestRaceRespectsParallelismBound(t *testing.T) {
 	for i := range hs {
 		hs[i] = sched.Heuristic{ID: sched.HeuristicID(i % 2), Name: "stub", RunOn: stub}
 	}
-	race(context.Background(), tr, machine.Uniform(1), hs, 2)
+	race(context.Background(), tr, machine.Uniform(1), hs, 2, nil, obs.RootSpan)
 	if p := peak.Load(); p > 2 {
 		t.Errorf("peak concurrency %d exceeds parallelism bound 2", p)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"treesched/internal/forest"
 	"treesched/internal/machine"
@@ -39,10 +40,15 @@ const DefaultMaxForestJobs = 10_000
 //   - default_heuristic: plans jobs that carry neither a heuristic nor an
 //     objective (default ParSubtrees; Auto races the portfolio per job)
 func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
-	s.metrics.forestRequests.Add(1)
+	start := time.Now()
+	rid := s.requestID()
+	s.metrics.reqForest.Inc()
+	w.Header().Set("X-Request-Id", rid)
 	cfg, err := forestConfigFromQuery(r.URL.Query(), s.cfg.MaxProcs)
 	if err != nil {
-		s.rejectJSON(w, http.StatusBadRequest, err.Error())
+		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, err.Error())
+		s.metrics.latForest.Observe(time.Since(start).Nanoseconds())
+		s.logRequest(rid, epForest, http.StatusBadRequest, time.Since(start), err.Error())
 		return
 	}
 	type outcome struct {
@@ -51,16 +57,14 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 		res    *forest.Result
 	}
 	ch := make(chan outcome, 1)
-	s.metrics.inflight.Add(1)
 	// The pool worker does all CPU work — trace decode, per-job planning,
 	// the whole simulation — so forest runs respect the same CPU budget
 	// as every other endpoint. The handler goroutine only does I/O.
-	s.pool.submit(func() {
-		defer s.metrics.inflight.Add(-1)
+	s.submit(func() {
 		ch <- func() (out outcome) {
 			defer func() {
 				if rec := recover(); rec != nil {
-					s.metrics.errors.Add(1)
+					s.metrics.errInternal.Inc()
 					out = outcome{status: http.StatusInternalServerError,
 						errMsg: fmt.Sprintf("internal error: panic during forest run: %v", rec)}
 				}
@@ -76,34 +80,43 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 				MaxLineBytes: s.cfg.MaxBodyBytes,
 			})
 			if err != nil {
-				s.metrics.errors.Add(1)
 				status := http.StatusBadRequest
 				var tooLarge *http.MaxBytesError
 				if errors.Is(err, forest.ErrTraceTooLarge) || errors.Is(err, tree.ErrTooLarge) || errors.As(err, &tooLarge) {
 					status = http.StatusRequestEntityTooLarge
+					s.metrics.errLimit.Inc()
+				} else {
+					s.metrics.errDecode.Inc()
 				}
 				return outcome{status: status, errMsg: err.Error()}
 			}
 			res, err := forest.Run(r.Context(), jobs, cfg)
 			if err != nil {
-				s.metrics.errors.Add(1)
 				status := http.StatusInternalServerError
 				if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 					status = http.StatusBadRequest
+					s.metrics.errCancelled.Inc()
+				} else {
+					s.metrics.errInternal.Inc()
 				}
 				return outcome{status: status, errMsg: err.Error()}
 			}
 			s.metrics.forestJobs.Add(int64(res.Summary.Jobs))
 			s.metrics.forestRejected.Add(int64(res.Summary.Rejected))
+			s.metrics.forestRounds.Add(int64(res.Summary.Rounds))
+			s.metrics.forestBookRej.Add(int64(res.Summary.BookingRejections))
 			return outcome{status: http.StatusOK, res: res}
 		}()
 	})
 	out := <-ch
 	if out.errMsg != "" {
 		writeJSON(w, out.status, Response{Error: out.errMsg})
-		return
+	} else {
+		writeForestNDJSON(w, out.res)
 	}
-	writeForestNDJSON(w, out.res)
+	elapsed := time.Since(start)
+	s.metrics.latForest.Observe(elapsed.Nanoseconds())
+	s.logRequest(rid, epForest, out.status, elapsed, out.errMsg)
 }
 
 // writeForestNDJSON streams the per-job results and the trailing summary

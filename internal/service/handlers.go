@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"treesched/internal/obs"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -19,9 +21,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) rejectJSON(w http.ResponseWriter, status int, msg string) {
-	s.metrics.errors.Add(1)
+// rejectJSON rejects a request before it reaches the worker pool; kind is
+// the pre-resolved errors_total{kind} child the rejection counts against.
+func (s *Server) rejectJSON(w http.ResponseWriter, status int, kind *obs.Counter, msg string) {
+	kind.Inc()
 	writeJSON(w, status, Response{Error: msg})
+}
+
+// traceWanted reports whether the request opted into span tracing via
+// ?trace=1.
+func traceWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
 }
 
 // handleSchedule answers POST /v1/schedule: one JSON Request in, one JSON
@@ -31,8 +42,8 @@ func (s *Server) rejectJSON(w http.ResponseWriter, status int, msg string) {
 // endpoint, so per-connection goroutines cannot oversubscribe the CPU the
 // pool is meant to bound.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	s.metrics.scheduleRequests.Add(1)
-	s.handleOne(w, r, false)
+	s.metrics.reqSchedule.Inc()
+	s.handleOne(w, r, false, epSchedule, s.metrics.latSchedule)
 }
 
 // handlePortfolio answers POST /v1/portfolio: the same Request shape as
@@ -41,37 +52,51 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // the Pareto frontier and the objective-selected winner. An absent
 // objective defaults to min_makespan.
 func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
-	s.metrics.portfolioRequests.Add(1)
-	s.handleOne(w, r, true)
+	s.metrics.reqPortfolio.Inc()
+	s.handleOne(w, r, true, epPortfolio, s.metrics.latPortfolio)
 }
 
 // handleOne is the shared single-request path: the handler goroutine only
 // does I/O; parsing, validation, hashing and scheduling run on the bounded
-// worker pool.
-func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfolio bool) {
+// worker pool. With ?trace=1 the response carries the request's span tree
+// in the trace field.
+func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfolio bool, endpoint string, lat *obs.Histogram) {
+	start := time.Now()
+	rid := s.requestID()
+	w.Header().Set("X-Request-Id", rid)
+	finish := func(status int, errMsg string) {
+		elapsed := time.Since(start)
+		lat.Observe(elapsed.Nanoseconds())
+		s.logRequest(rid, endpoint, status, elapsed, errMsg)
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.rejectJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+			s.rejectJSON(w, http.StatusRequestEntityTooLarge, s.metrics.errLimit, "request body exceeds limit")
+			finish(http.StatusRequestEntityTooLarge, "request body exceeds limit")
 			return
 		}
-		s.rejectJSON(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, "reading request body: "+err.Error())
+		finish(http.StatusBadRequest, err.Error())
 		return
+	}
+	var tr *obs.Trace
+	if traceWanted(r) {
+		tr = obs.AcquireTrace()
 	}
 	type outcome struct {
 		status int
 		resp   *Response
 	}
 	ch := make(chan outcome, 1)
-	s.metrics.inflight.Add(1)
-	s.pool.submit(func() {
-		defer s.metrics.inflight.Add(-1)
-		status, resp := s.answerBytes(r.Context(), body, forcePortfolio)
+	s.submit(func() {
+		status, resp := s.answerBytes(r.Context(), body, forcePortfolio, tr)
 		ch <- outcome{status, resp}
 	})
 	out := <-ch
 	writeJSON(w, out.status, out.resp)
+	finish(out.status, out.resp.Error)
 }
 
 // handleBatch answers POST /v1/schedule/batch: NDJSON in, NDJSON out, one
@@ -83,7 +108,10 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfoli
 // The reader stays at most 2×Workers lines ahead of the writer (the
 // `results` buffer), bounding memory for arbitrarily long batches.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.metrics.batchRequests.Add(1)
+	start := time.Now()
+	rid := s.requestID()
+	s.metrics.reqBatch.Inc()
+	w.Header().Set("X-Request-Id", rid)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 
@@ -92,6 +120,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var clientGone atomic.Bool
 	ctx := r.Context()
 
+	var lines atomic.Int64
 	results := make(chan chan *Response, 2*s.cfg.Workers)
 	go func() {
 		defer close(results)
@@ -117,9 +146,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case <-ctx.Done(): // client disconnected while we waited
 				return
 			}
-			s.metrics.inflight.Add(1)
-			s.pool.submit(func() {
-				defer s.metrics.inflight.Add(-1)
+			lines.Add(1)
+			s.submit(func() {
 				ch <- s.answerLine(ctx, line)
 			})
 		}
@@ -127,7 +155,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// Line framing cannot resync past an oversized or unreadable
 			// line, so the remainder of the batch is dropped; the final
 			// error line says so for clients correlating by position.
-			s.metrics.errors.Add(1)
+			if errors.Is(err, bufio.ErrTooLong) {
+				s.metrics.errLimit.Inc()
+			} else {
+				s.metrics.errDecode.Inc()
+			}
 			ch := make(chan *Response, 1)
 			ch <- &Response{Error: "batch read: " + err.Error() + " (remaining batch lines dropped)"}
 			results <- ch
@@ -154,6 +186,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	elapsed := time.Since(start)
+	s.metrics.latBatch.Observe(elapsed.Nanoseconds())
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("request",
+			"request_id", rid, "endpoint", epBatch, "status", http.StatusOK,
+			"duration", elapsed, "lines", lines.Load())
+	}
 }
 
 // batchWriteTimeout is the per-response-line write deadline of the batch
@@ -166,7 +205,7 @@ const batchWriteTimeout = 2 * time.Minute
 // Portfolio mode is per-line: a line with an objective (or Auto) races,
 // plain lines schedule sequentially.
 func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
-	_, resp := s.answerBytes(ctx, line, false)
+	_, resp := s.answerBytes(ctx, line, false, nil)
 	return resp
 }
 
@@ -176,36 +215,66 @@ func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
 // workers have no net/http panic net, so the whole path — decode included
 // — is recover-protected here; a panic must cost one request, not the
 // daemon.
-func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool) (status int, resp *Response) {
+//
+// A non-nil tr records the request's stage spans; the deferred block
+// attaches the materialized span tree to a shallow copy of the response
+// (never to the response itself — the cache shares response objects
+// across requests, and a trace belongs to exactly one) and returns the
+// trace to the pool.
+func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool, tr *obs.Trace) (status int, resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.metrics.errors.Add(1)
+			s.metrics.errInternal.Inc()
 			status = http.StatusInternalServerError
 			resp = &Response{Error: fmt.Sprintf("internal error: panic handling request: %v", r)}
 		}
+		if tr != nil {
+			if resp != nil {
+				// Left open on purpose: Tree() closes it at materialization
+				// time, so the encode span covers building the wire response.
+				tr.Start("encode", obs.RootSpan)
+				r2 := *resp
+				r2.Trace = tr.Tree()
+				resp = &r2
+			}
+			tr.Release()
+		}
 	}()
 	if ctx.Err() != nil {
+		s.metrics.errCancelled.Inc()
 		return http.StatusBadRequest, &Response{Error: "request canceled"}
 	}
 	var req Request
-	if err := json.Unmarshal(raw, &req); err != nil {
-		s.metrics.errors.Add(1)
+	did := tr.Start("decode", obs.RootSpan)
+	err := json.Unmarshal(raw, &req)
+	tr.End(did)
+	if err != nil {
+		s.metrics.errDecode.Inc()
 		// req.ID is echoed best-effort: it is populated whenever the id
 		// field was decoded before the failure.
 		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error()}
 	}
-	j, err := s.prepare(req, forcePortfolio)
+	j, err := s.prepare(req, forcePortfolio, tr)
 	if err != nil {
-		s.metrics.errors.Add(1)
 		st := http.StatusBadRequest
 		var re *requestError
 		if errors.As(err, &re) {
 			st = re.status
 		}
+		if st == http.StatusRequestEntityTooLarge {
+			s.metrics.errLimit.Inc()
+		} else {
+			s.metrics.errDecode.Inc()
+		}
 		return st, &Response{ID: req.ID, Error: err.Error()}
 	}
-	if resp, ok := s.cached(j); ok {
-		return http.StatusOK, resp
+	s.metrics.treeNodes.Observe(int64(j.tree.Len()))
+	j.trace = tr
+	cid := tr.Start("cache", obs.RootSpan)
+	cresp, ok := s.cached(j)
+	tr.End(cid)
+	if ok {
+		return http.StatusOK, cresp
 	}
 	return http.StatusOK, s.answerJob(ctx, j)
 }
@@ -219,12 +288,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics answers GET /metrics in Prometheus text format.
+// handleMetrics answers GET /metrics: every family — counters, gauges,
+// histograms — flows through the one obs registry writer, so each family
+// has exactly one HELP/TYPE header and one format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	cacheLen := 0
-	if s.cache != nil {
-		cacheLen = s.cache.len()
-	}
-	s.metrics.write(w, cacheLen, time.Since(s.started).Seconds())
+	s.metrics.reg.WriteText(w)
 }

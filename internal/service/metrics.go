@@ -1,68 +1,179 @@
 package service
 
 import (
-	"fmt"
-	"io"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
+
+	"treesched/internal/obs"
 )
 
-// metrics is the server's counter set, exposed in Prometheus text format
-// on /metrics. All fields are monotonic counters except inflight.
-type metrics struct {
-	scheduleRequests  atomic.Int64 // POST /v1/schedule
-	batchRequests     atomic.Int64 // POST /v1/schedule/batch
-	portfolioRequests atomic.Int64 // POST /v1/portfolio
-	forestRequests    atomic.Int64 // POST /v1/forest
-	forestJobs        atomic.Int64 // jobs simulated by forest runs
-	forestRejected    atomic.Int64 // forest jobs rejected by admission
-	trees             atomic.Int64 // trees actually scheduled (cache misses)
-	cacheHits         atomic.Int64
-	cacheMisses       atomic.Int64
-	errors            atomic.Int64 // rejected requests and batch lines
-	inflight          atomic.Int64 // jobs currently on or waiting for the pool
+// Error kinds for the treeschedd_errors_total{kind} family. The unlabeled
+// total is still exposed (sum of all kinds), so dashboards keyed on the
+// bare counter keep working.
+const (
+	errKindDecode    = "decode"    // malformed JSON, invalid trees, bad parameters
+	errKindLimit     = "limit"     // body/tree/trace size limits exceeded
+	errKindCancelled = "cancelled" // client gone before or during scheduling
+	errKindInternal  = "internal"  // panics and engine invariant failures
+)
+
+// serverMetrics is the service's metric set, built on the obs registry so
+// every family reaches /metrics through one exposition writer. The record
+// paths touch only pre-resolved children — atomic arithmetic, no maps, no
+// allocation; per-heuristic children (wins, candidate durations) resolve
+// through an RWMutex read lock on the portfolio path only.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests                                       *obs.CounterVec
+	reqSchedule, reqBatch, reqPortfolio, reqForest *obs.Counter
+
+	forestJobs, forestRejected    *obs.Counter
+	forestRounds, forestBookRej   *obs.Counter
+	trees, cacheHits, cacheMisses *obs.Counter
+
+	errors                                         *obs.CounterVec
+	errDecode, errLimit, errCancelled, errInternal *obs.Counter
+
+	inflight atomic.Int64
+
+	latency                                        *obs.HistogramVec
+	latSchedule, latBatch, latPortfolio, latForest *obs.Histogram
+	treeNodes, peakMemory, queueWait               *obs.Histogram
+
+	wins    *obs.CounterVec
+	candDur *obs.HistogramVec
 }
 
-// write emits the metrics in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cacheLen int, uptimeSeconds float64) {
-	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
-	ratio := 0.0
-	if hits+misses > 0 {
-		ratio = float64(hits) / float64(hits+misses)
+// Endpoint paths, used as the label values of per-endpoint families.
+const (
+	epSchedule  = "/v1/schedule"
+	epBatch     = "/v1/schedule/batch"
+	epPortfolio = "/v1/portfolio"
+	epForest    = "/v1/forest"
+)
+
+// newServerMetrics builds and registers every family. Registration order
+// is exposition order: the families of the original flat-counter /metrics
+// page come first (preserving their names and sample shapes exactly),
+// then the histogram, portfolio and runtime families this layer added.
+func newServerMetrics(s *Server) *serverMetrics {
+	m := &serverMetrics{reg: obs.NewRegistry()}
+
+	m.requests = obs.NewCounterVec("treeschedd_requests_total",
+		"Requests received per endpoint.", "endpoint", false)
+	m.reqSchedule = m.requests.With(epSchedule)
+	m.reqBatch = m.requests.With(epBatch)
+	m.reqPortfolio = m.requests.With(epPortfolio)
+	m.reqForest = m.requests.With(epForest)
+
+	m.forestJobs = obs.NewCounter("treeschedd_forest_jobs_total",
+		"Jobs simulated by forest runs.")
+	m.forestRejected = obs.NewCounter("treeschedd_forest_rejected_total",
+		"Forest jobs rejected by admission.")
+	m.trees = obs.NewCounter("treeschedd_trees_scheduled_total",
+		"Trees scheduled (cache misses that ran the heuristics).")
+	m.cacheHits = obs.NewCounter("treeschedd_cache_hits_total",
+		"Responses served from the LRU cache.")
+	m.cacheMisses = obs.NewCounter("treeschedd_cache_misses_total",
+		"Cache lookups that missed.")
+	cacheRatio := obs.NewGaugeFunc("treeschedd_cache_hit_ratio",
+		"Hits / (hits + misses) since start.", func() float64 {
+			hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
+	cacheEntries := obs.NewGaugeFunc("treeschedd_cache_entries",
+		"Responses currently cached.", func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.len())
+		})
+	inflight := obs.NewGaugeFunc("treeschedd_inflight_jobs",
+		"Scheduling jobs running or queued on the pool.", func() float64 {
+			return float64(m.inflight.Load())
+		})
+
+	m.errors = obs.NewCounterVec("treeschedd_errors_total",
+		"Rejected requests and failed batch lines, by kind.", "kind", true)
+	m.errDecode = m.errors.With(errKindDecode)
+	m.errLimit = m.errors.With(errKindLimit)
+	m.errCancelled = m.errors.With(errKindCancelled)
+	m.errInternal = m.errors.With(errKindInternal)
+
+	uptime := obs.NewGaugeFunc("treeschedd_uptime_seconds",
+		"Seconds since the server started.", func() float64 {
+			return time.Since(s.started).Seconds()
+		})
+
+	// Durations are recorded in nanoseconds and exposed in seconds:
+	// 16 exponential buckets from 100µs to ~107s.
+	durBounds := obs.ExpBuckets(100_000, 4, 16)
+	m.latency = obs.NewHistogramVec("treeschedd_request_duration_seconds",
+		"Request latency per endpoint.", "endpoint", 1e-9, durBounds)
+	m.latSchedule = m.latency.With(epSchedule)
+	m.latBatch = m.latency.With(epBatch)
+	m.latPortfolio = m.latency.With(epPortfolio)
+	m.latForest = m.latency.With(epForest)
+	m.queueWait = obs.NewHistogram("treeschedd_queue_wait_seconds",
+		"Time jobs wait for a pool worker.", 1e-9, durBounds)
+	m.treeNodes = obs.NewHistogram("treeschedd_tree_nodes",
+		"Tree sizes of prepared requests, in nodes.", 1, obs.ExpBuckets(1, 4, 12))
+	m.peakMemory = obs.NewHistogram("treeschedd_peak_memory_units",
+		"Simulated peak memory of produced schedules, in task-graph memory units.",
+		1, obs.ExpBuckets(1, 8, 14))
+
+	m.wins = obs.NewCounterVec("treeschedd_portfolio_wins_total",
+		"Portfolio races won, per heuristic.", "heuristic", false)
+	m.candDur = obs.NewHistogramVec("treeschedd_candidate_duration_seconds",
+		"Per-candidate scheduling time inside portfolio races.", "heuristic",
+		1e-9, obs.ExpBuckets(10_000, 4, 14))
+	m.forestRounds = obs.NewCounter("treeschedd_forest_rounds_total",
+		"Event-loop rounds executed by forest runs.")
+	m.forestBookRej = obs.NewCounter("treeschedd_forest_booking_rejections_total",
+		"Forest admission attempts deferred by the cross-tree booking invariant.")
+
+	goroutines := obs.NewGaugeFunc("treeschedd_goroutines",
+		"Goroutines at scrape time.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	heap := obs.NewGaugeFunc("treeschedd_heap_alloc_bytes",
+		"Heap bytes allocated and in use at scrape time.", func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	gcPause := obs.NewFuncCounter("treeschedd_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.", func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	buildInfo := obs.NewConstGauge("treeschedd_build_info",
+		"Build information; the labels carry the values.",
+		[][2]string{{"version", buildVersion()}, {"go", runtime.Version()}}, 1)
+
+	m.reg.Register(
+		m.requests, m.forestJobs, m.forestRejected, m.trees,
+		m.cacheHits, m.cacheMisses, cacheRatio, cacheEntries, inflight,
+		m.errors, uptime,
+		m.latency, m.queueWait, m.treeNodes, m.peakMemory,
+		m.wins, m.candDur, m.forestRounds, m.forestBookRej,
+		goroutines, heap, gcPause, buildInfo,
+	)
+	return m
+}
+
+// buildVersion resolves the module version baked into the binary;
+// unversioned source builds report "dev".
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
 	}
-	fmt.Fprintf(w, "# HELP treeschedd_requests_total Requests received per endpoint.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_requests_total counter\n")
-	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule\"} %d\n", m.scheduleRequests.Load())
-	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/schedule/batch\"} %d\n", m.batchRequests.Load())
-	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/portfolio\"} %d\n", m.portfolioRequests.Load())
-	fmt.Fprintf(w, "treeschedd_requests_total{endpoint=\"/v1/forest\"} %d\n", m.forestRequests.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_forest_jobs_total Jobs simulated by forest runs.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_forest_jobs_total counter\n")
-	fmt.Fprintf(w, "treeschedd_forest_jobs_total %d\n", m.forestJobs.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_forest_rejected_total Forest jobs rejected by admission.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_forest_rejected_total counter\n")
-	fmt.Fprintf(w, "treeschedd_forest_rejected_total %d\n", m.forestRejected.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_trees_scheduled_total Trees scheduled (cache misses that ran the heuristics).\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_trees_scheduled_total counter\n")
-	fmt.Fprintf(w, "treeschedd_trees_scheduled_total %d\n", m.trees.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_cache_hits_total Responses served from the LRU cache.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_cache_hits_total counter\n")
-	fmt.Fprintf(w, "treeschedd_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# HELP treeschedd_cache_misses_total Cache lookups that missed.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_cache_misses_total counter\n")
-	fmt.Fprintf(w, "treeschedd_cache_misses_total %d\n", misses)
-	fmt.Fprintf(w, "# HELP treeschedd_cache_hit_ratio Hits / (hits + misses) since start.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_cache_hit_ratio gauge\n")
-	fmt.Fprintf(w, "treeschedd_cache_hit_ratio %g\n", ratio)
-	fmt.Fprintf(w, "# HELP treeschedd_cache_entries Responses currently cached.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_cache_entries gauge\n")
-	fmt.Fprintf(w, "treeschedd_cache_entries %d\n", cacheLen)
-	fmt.Fprintf(w, "# HELP treeschedd_inflight_jobs Scheduling jobs running or queued on the pool.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_inflight_jobs gauge\n")
-	fmt.Fprintf(w, "treeschedd_inflight_jobs %d\n", m.inflight.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_errors_total Rejected requests and failed batch lines.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_errors_total counter\n")
-	fmt.Fprintf(w, "treeschedd_errors_total %d\n", m.errors.Load())
-	fmt.Fprintf(w, "# HELP treeschedd_uptime_seconds Seconds since the server started.\n")
-	fmt.Fprintf(w, "# TYPE treeschedd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "treeschedd_uptime_seconds %g\n", uptimeSeconds)
+	return "dev"
 }

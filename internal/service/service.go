@@ -46,8 +46,12 @@
 package service
 
 import (
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -89,6 +93,9 @@ type Config struct {
 	// wire field: budgets shape response latency, and a fixed budget
 	// keeps the response cache coherent. Default: DefaultExactNodes.
 	ExactNodes int64
+	// Logger receives one structured record per request (request id,
+	// endpoint, status, duration, error). nil disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -123,9 +130,10 @@ type Server struct {
 	cfg     Config
 	pool    *pool
 	cache   *lruCache
-	metrics metrics
+	metrics *serverMetrics
 	mux     *http.ServeMux
 	started time.Time
+	reqSeq  atomic.Uint64 // request-id source
 	// raceSlots is the process-wide budget of extra goroutines portfolio
 	// races may add on top of their pool worker. Each portfolio job grabs
 	// as many free slots as it can use without blocking, so an idle server
@@ -146,6 +154,7 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
 	}
+	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
@@ -165,3 +174,52 @@ func (s *Server) Close() { s.pool.close() }
 
 // Workers returns the size of the scheduling pool.
 func (s *Server) Workers() int { return s.cfg.Workers }
+
+// submit hands f to the worker pool with the standard accounting: the job
+// counts as in-flight from enqueue to completion, and the time it spent
+// waiting for a worker lands in the queue-wait histogram.
+func (s *Server) submit(f func()) {
+	s.metrics.inflight.Add(1)
+	enqueued := time.Now()
+	s.pool.submit(func() {
+		s.metrics.queueWait.Observe(time.Since(enqueued).Nanoseconds())
+		defer s.metrics.inflight.Add(-1)
+		f()
+	})
+}
+
+// requestID returns a new process-unique request id for log correlation;
+// it is also echoed to the client in the X-Request-Id header.
+func (s *Server) requestID() string {
+	return "r" + strconv.FormatUint(s.reqSeq.Add(1), 36)
+}
+
+// logRequest emits one structured record per request when a logger is
+// configured.
+func (s *Server) logRequest(rid, endpoint string, status int, elapsed time.Duration, errMsg string) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	if errMsg != "" {
+		s.cfg.Logger.Warn("request",
+			"request_id", rid, "endpoint", endpoint, "status", status,
+			"duration", elapsed, "error", errMsg)
+		return
+	}
+	s.cfg.Logger.Info("request",
+		"request_id", rid, "endpoint", endpoint, "status", status,
+		"duration", elapsed)
+}
+
+// DebugHandler returns the opt-in debug mux: the net/http/pprof endpoints
+// (/debug/pprof/...). It is a separate handler so profiling can be bound
+// to a loopback-only listener while the service handler faces traffic.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

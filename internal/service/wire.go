@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/portfolio"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
@@ -82,9 +83,12 @@ type HeuristicResult struct {
 	// Proven and ExploredNodes report the Exact candidate's search: a
 	// proven-optimal makespan versus the best schedule its node budget
 	// reached, and how many branch-and-bound nodes it explored. Absent on
-	// heuristic results.
+	// heuristic results. PrunedNodes counts decision nodes cut by the
+	// lower bound and MemoHits those cut by dominance memoization.
 	Proven        bool  `json:"proven,omitempty"`
 	ExploredNodes int64 `json:"explored_nodes,omitempty"`
+	PrunedNodes   int64 `json:"pruned_nodes,omitempty"`
+	MemoHits      int64 `json:"memo_hits,omitempty"`
 }
 
 // Response is the answer to one Request. In batch mode a line-level
@@ -108,6 +112,10 @@ type Response struct {
 	Winner    *sched.HeuristicID   `json:"winner,omitempty"`
 	// Cached reports that the response was served from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
+	// Trace is the request's stage span tree, present only when the
+	// request opted in via ?trace=1 (or treesched -trace). Traces are
+	// never cached: a cache hit reports the hit's own spans.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 	// Error is set instead of the result fields when the request itself
 	// was invalid.
 	Error string `json:"error,omitempty"`
@@ -136,12 +144,16 @@ type job struct {
 	opts      sched.Options
 	objective *portfolio.Objective
 	cacheKey  string
+	// trace is the request's span recorder; nil on untraced requests and
+	// every batch line.
+	trace *obs.Trace
 }
 
 // prepare validates req against the server limits and resolves it into a
 // runnable job. forcePortfolio puts the job in portfolio mode even without
-// an explicit objective (the /v1/portfolio endpoint).
-func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
+// an explicit objective (the /v1/portfolio endpoint). A non-nil tr records
+// the canonical-hash stage.
+func (s *Server) prepare(req Request, forcePortfolio bool, tr *obs.Trace) (*job, error) {
 	var t *tree.Tree
 	switch {
 	case req.Tree != nil && req.TreeText != "":
@@ -217,7 +229,10 @@ func (s *Server) prepare(req Request, forcePortfolio bool) (*job, error) {
 	if err := vopts.Validate(); err != nil {
 		return nil, badRequest("%v", err)
 	}
-	j := &job{req: req, tree: t, treeHash: t.CanonicalHash(), opts: opts, objective: obj}
+	hid := tr.Start("hash", obs.RootSpan)
+	treeHash := t.CanonicalHash()
+	tr.End(hid)
+	j := &job{req: req, tree: t, treeHash: treeHash, opts: opts, objective: obj}
 	j.cacheKey = cacheKey(j.treeHash, opts, obj)
 	return j, nil
 }
@@ -335,6 +350,7 @@ func withoutExact(ids []sched.HeuristicID) []sched.HeuristicID {
 func (s *Server) safeRun(ctx context.Context, j *job) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.metrics.errInternal.Inc()
 			resp = &Response{ID: j.req.ID, Error: fmt.Sprintf("internal error: panic during scheduling: %v", r)}
 		}
 	}()
@@ -348,12 +364,15 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 		return s.runPortfolio(ctx, j)
 	}
 	t, m := j.tree, j.opts.Model()
+	tr := j.trace
 	// SelectFor builds the request's sched.Precompute once on this worker:
 	// every heuristic below shares the same traversal, depths and priority
 	// rankings (and the pooled scheduler scratch is recycled across
 	// requests), so per-request CPU is one Liu DP plus the schedules
 	// themselves.
+	pid := tr.Start("precompute", obs.RootSpan)
 	hs, memSeq, err := j.opts.SelectFor(t)
+	tr.End(pid)
 	if err != nil { // unreachable: prepare validated the options
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
@@ -374,18 +393,28 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 	}
 	for _, h := range hs {
 		hr := HeuristicResult{Heuristic: h.ID}
+		cid := obs.RootSpan
+		if tr != nil {
+			cid = tr.Start("candidate:"+h.ID.String(), obs.RootSpan)
+		}
+		sid := tr.Start("schedule", cid)
 		sc, err := h.RunOn(t, m)
+		tr.End(sid)
 		var mk float64
 		var peak int64
 		if err == nil {
 			// One pooled pass validates and measures the schedule.
+			eid := tr.Start("evaluate", cid)
 			mk, peak, err = sched.Evaluate(t, sc)
+			tr.End(eid)
 		}
+		tr.End(cid)
 		if err != nil {
 			hr.Error = err.Error()
 		} else {
 			hr.Makespan = mk
 			hr.PeakMemory = peak
+			s.metrics.peakMemory.Observe(peak)
 			if bounds.MakespanLB > 0 {
 				hr.MakespanRatio = hr.Makespan / bounds.MakespanLB
 			}
@@ -424,9 +453,13 @@ acquire:
 			<-s.raceSlots
 		}
 	}()
+	tr := j.trace
+	sid := tr.Start("schedule", obs.RootSpan)
 	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{
 		Options: j.opts, Parallelism: lanes, ExactNodes: s.cfg.ExactNodes,
+		Trace: tr, TraceParent: sid,
 	})
+	tr.End(sid)
 	if err != nil {
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
@@ -444,7 +477,8 @@ acquire:
 		resp.Machine = res.Machine.Spec()
 	}
 	for _, c := range res.Candidates {
-		hr := HeuristicResult{Heuristic: c.ID, Proven: c.Proven, ExploredNodes: c.Explored}
+		hr := HeuristicResult{Heuristic: c.ID, Proven: c.Proven,
+			ExploredNodes: c.Explored, PrunedNodes: c.Pruned, MemoHits: c.MemoHits}
 		if c.Err != nil {
 			hr.Error = c.Err.Error()
 		} else {
@@ -452,6 +486,8 @@ acquire:
 			hr.PeakMemory = c.PeakMemory
 			hr.MakespanRatio = c.MakespanRatio
 			hr.MemoryRatio = c.MemoryRatio
+			s.metrics.peakMemory.Observe(c.PeakMemory)
+			s.metrics.candDur.With(c.ID.String()).Observe(c.Elapsed.Nanoseconds())
 		}
 		resp.Results = append(resp.Results, hr)
 	}
@@ -461,6 +497,7 @@ acquire:
 	if w, ok := res.WinnerCandidate(); ok {
 		id := w.ID
 		resp.Winner = &id
+		s.metrics.wins.With(id.String()).Inc()
 	}
 	return resp
 }
@@ -473,10 +510,10 @@ func (s *Server) cached(j *job) (*Response, bool) {
 	}
 	c, ok := s.cache.get(j.cacheKey)
 	if !ok {
-		s.metrics.cacheMisses.Add(1)
+		s.metrics.cacheMisses.Inc()
 		return nil, false
 	}
-	s.metrics.cacheHits.Add(1)
+	s.metrics.cacheHits.Inc()
 	resp := *c // shallow copy; Results are shared and read-only
 	resp.ID = j.req.ID
 	resp.Cached = true
@@ -488,6 +525,7 @@ func (s *Server) cached(j *job) (*Response, bool) {
 // time a worker picks them up are skipped rather than computed for nobody.
 func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 	if ctx.Err() != nil {
+		s.metrics.errCancelled.Inc()
 		return &Response{ID: j.req.ID, Error: "request canceled"}
 	}
 	// Dedup re-check: a concurrent identical request may have finished
@@ -502,7 +540,7 @@ func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 		}
 	}
 	resp := s.safeRun(ctx, j)
-	s.metrics.trees.Add(1)
+	s.metrics.trees.Inc()
 	if s.cache != nil && resp.Error == "" {
 		s.cache.add(j.cacheKey, resp)
 	}
