@@ -28,16 +28,27 @@ type obsBench struct {
 // labeled counters, and a trace drawn from the shared span pool per op.
 func obsBenches() []obsBench {
 	h := obs.NewHistogram("bench_latency", "", 1e-9, obs.ExpBuckets(100_000, 4, 16))
+	hx := obs.NewHistogram("bench_latency_ex", "", 1e-9, obs.ExpBuckets(100_000, 4, 16))
+	hx.EnableExemplars(obs.DefaultExemplarWindow)
 	c := obs.NewCounter("bench_counter", "")
 	vec := obs.NewCounterVec("bench_vec", "", "k", false)
 	child := vec.With("warm")
 	reg := obs.NewRegistry()
 	reg.Register(h, c, vec)
+	flight := obs.NewFlightRecorder(256, 0, 1)
+	ftr := obs.AcquireTrace()
+	fid := ftr.Start("stage", obs.RootSpan)
+	ftr.End(fid)
+	var fseq int
 	var tick int64
 	return []obsBench{
 		{"Obs/HistogramObserve", func() {
 			tick += 1_000_003
 			h.Observe(tick % 100_000_000)
+		}},
+		{"Obs/ExemplarObserve", func() {
+			tick += 1_000_003
+			hx.ObserveExemplar(tick%100_000_000, "r1")
 		}},
 		{"Obs/CounterInc", func() { c.Inc() }},
 		{"Obs/CounterVecWith", func() { vec.With("warm").Inc() }},
@@ -48,9 +59,22 @@ func obsBenches() []obsBench {
 			tr.End(id)
 			tr.Release()
 		}},
+		{"Obs/FlightRecord", func() {
+			// Every record is kept (sampleEvery 1), so the bench covers the
+			// slot-claim + span-copy path, rotating request ids from a fixed
+			// set to stay allocation-free.
+			flight.Record(obs.FlightInfo{
+				RequestID: flightRIDs[fseq&3], Endpoint: "/bench", Status: 200,
+			}, ftr)
+			fseq++
+		}},
 		{"Obs/Exposition", func() { reg.WriteText(io.Discard) }},
 	}
 }
+
+// flightRIDs are the pre-built request ids Obs/FlightRecord rotates
+// through (building one per op would allocate).
+var flightRIDs = [4]string{"r1", "r2", "r3", "r4"}
 
 // measureObsRows runs every obs bench under the budget and returns the
 // report rows (family "obs"; Nodes 0 — these are not tree-sized).

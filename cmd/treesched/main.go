@@ -12,7 +12,9 @@
 //	treesched -in tree.txt -p 8 -portfolio       # race the portfolio, pick min_makespan
 //	treesched -in tree.txt -p 8 -objective makespan_under_memcap:1.5
 //	treesched -in tree.txt -p 8 -portfolio -trace  # print the stage span tree
+//	treesched -in tree.txt -p 8 -timeline out.json # schedule as a Perfetto timeline
 //	treesched -forest trace.ndjson -p 8 -policy sjf -capfactor 2
+//	treesched -forest trace.ndjson -p 8 -timeline out.json  # one Perfetto track per job
 //	treesched -forest trace.ndjson -machine 2x1.0+2x0.5 -policy sjf
 //
 // The -forest mode simulates an NDJSON job trace (see `treegen -forest`)
@@ -51,6 +53,7 @@ func main() {
 		runPort   = flag.Bool("portfolio", false, "race the paper's four heuristics + Sequential concurrently; print the Pareto frontier and the -objective winner")
 		objective = flag.String("objective", "", "portfolio selection objective (min_makespan, min_memory, makespan_under_memcap:F, memory_under_deadline:D, weighted:A); implies -portfolio")
 		doTrace   = flag.Bool("trace", false, "record stage spans (schedule, evaluate, per candidate) and print the span tree after the results")
+		timeline  = flag.String("timeline", "", "write the executed schedule as Chrome Trace Event Format JSON to this file (open in ui.perfetto.dev); in portfolio mode the winner's schedule, in forest mode one track per job")
 
 		forestIn  = flag.String("forest", "", "NDJSON forest trace to simulate on the shared machine (see treegen -forest)")
 		policy    = flag.String("policy", "fifo", "forest admission policy: fifo|sjf|smallest_mseq|weighted_fair")
@@ -73,7 +76,7 @@ func main() {
 		mach = machine.Uniform(*p)
 	}
 	if *forestIn != "" {
-		runForest(*forestIn, mach, *policy, *mem, *capFactor)
+		runForest(*forestIn, mach, *policy, *mem, *capFactor, *timeline)
 		return
 	}
 	if *in == "" {
@@ -105,11 +108,11 @@ func main() {
 		defer tr.Release()
 	}
 	if *runPort || *objective != "" {
-		runPortfolio(t, mach, *objective, *memcap, tr)
+		runPortfolio(t, mach, *objective, *memcap, tr, *timeline)
 		return
 	}
 	if *name == sched.IDExact.String() {
-		runExact(t, mach, *memcap, *budget, msLB, memLB, tr)
+		runExact(t, mach, *memcap, *budget, msLB, memLB, tr, *timeline)
 		return
 	}
 
@@ -128,6 +131,7 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
 	var charts []string
+	timelineDone := false
 	for _, h := range hs {
 		cid := obs.RootSpan
 		if tr != nil {
@@ -149,6 +153,13 @@ func main() {
 		if *gantt {
 			charts = append(charts, h.Name+"\n"+sched.GanttString(t, s, 100))
 		}
+		// The first heuristic's schedule is the one -timeline renders
+		// (with -heuristic <name> that is the selected heuristic); written
+		// now, before the next run can recycle the pooled scratch.
+		if *timeline != "" && !timelineDone {
+			writeTimeline(*timeline, t, s, h.Name, memCapOf(*memcap, memLB))
+			timelineDone = true
+		}
 	}
 	if *memcap > 0 {
 		pc := sched.NewPrecompute(t)
@@ -169,6 +180,33 @@ func main() {
 		fmt.Println("\n" + c)
 	}
 	printTrace(tr)
+}
+
+// memCapOf resolves the timeline's memory-counter cap series: the -memcap
+// factor × M_seq, or 0 (no cap series) for uncapped runs.
+func memCapOf(factor float64, memSeq int64) int64 {
+	if factor <= 0 {
+		return 0
+	}
+	return int64(factor * float64(memSeq))
+}
+
+// writeTimeline renders one schedule as Chrome Trace Event Format JSON at
+// path — the -timeline output, loadable in ui.perfetto.dev or
+// chrome://tracing.
+func writeTimeline(path string, t *tree.Tree, s *sched.Schedule, name string, memCap int64) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = sched.WriteChromeTrace(f, t, s, sched.ChromeTraceOptions{Name: name, MemCap: memCap})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "treesched: timeline (%s) written to %s — open in ui.perfetto.dev\n", name, path)
 }
 
 // printTrace prints the recorded span tree, indented by depth, with per-
@@ -196,7 +234,7 @@ func printTrace(tr *obs.Trace) {
 // under the -memcap cap (a factor of M_seq; 0 = no cap) within the
 // -budget node budget, or the best schedule found when the budget runs
 // out first.
-func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec string, msLB float64, memLB int64, tr *obs.Trace) {
+func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec string, msLB float64, memLB int64, tr *obs.Trace, timeline string) {
 	nodes := exact.DefaultNodeBudget
 	if budgetSpec != "" {
 		var err error
@@ -217,6 +255,9 @@ func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec stri
 	fmt.Fprintln(w, "heuristic\tmakespan\tms/LB\tmemory\tmem/Mseq\tutilization")
 	report(w, "Exact", t, res.Schedule, msLB, memLB)
 	w.Flush()
+	if timeline != "" {
+		writeTimeline(timeline, t, res.Schedule, "Exact", memCapOf(memcap, memLB))
+	}
 	if res.Proven {
 		fmt.Printf("\nexact: proven optimal (explored %d nodes, pruned %d, memo hits %d, lower bound %.6g)\n",
 			res.Explored, res.Pruned, res.MemoHits, res.LowerBound)
@@ -230,7 +271,7 @@ func runExact(t *tree.Tree, mach *machine.Model, memcap float64, budgetSpec stri
 // runPortfolio races the default candidate set (plus the memory-capped
 // schedulers when -memcap is given) and reports every candidate with its
 // frontier membership and the objective-selected winner.
-func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap float64, tr *obs.Trace) {
+func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap float64, tr *obs.Trace, timeline string) {
 	obj := portfolio.MinMakespan()
 	if objSpec != "" {
 		var err error
@@ -276,6 +317,21 @@ func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap floa
 	if win, ok := res.WinnerCandidate(); ok {
 		fmt.Printf("\nwinner under %s: %s (makespan %.6g, memory %d)\n",
 			res.Objective, win.ID, win.Makespan, win.PeakMemory)
+		// The race only keeps metrics, so -timeline re-runs the winner
+		// deterministically to obtain its schedule. Exact's schedule is
+		// not re-derivable through the heuristic interface.
+		if timeline != "" && win.ID != sched.IDExact {
+			wopts := sched.Options{Machine: mach, Heuristics: []sched.HeuristicID{win.ID}, MemCapFactor: memcap}
+			hs, _, err := wopts.SelectFor(t)
+			if err != nil {
+				fatal(err)
+			}
+			s, err := hs[0].RunOn(t, mach)
+			if err != nil {
+				fatal(err)
+			}
+			writeTimeline(timeline, t, s, win.ID.String(), memCapOf(memcap, res.MemorySeq))
+		}
 	} else {
 		fmt.Println("\nno winner: every candidate failed")
 	}
@@ -284,7 +340,7 @@ func runPortfolio(t *tree.Tree, mach *machine.Model, objSpec string, memcap floa
 
 // runForest simulates an NDJSON job trace on one shared machine and
 // prints per-job results plus the run summary.
-func runForest(path string, mach *machine.Model, policyName string, mem int64, capFactor float64) {
+func runForest(path string, mach *machine.Model, policyName string, mem int64, capFactor float64, timeline string) {
 	pol, err := forest.ParsePolicy(policyName)
 	if err != nil {
 		fatal(err)
@@ -303,9 +359,25 @@ func runForest(path string, mach *machine.Model, policyName string, mem int64, c
 		MemCap:       mem,
 		MemCapFactor: capFactor,
 		Policy:       pol,
+		Timeline:     timeline != "",
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			fatal(err)
+		}
+		err = res.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "treesched: forest timeline (%d jobs) written to %s — open in ui.perfetto.dev\n",
+			len(res.Timeline.JobIDs), timeline)
 	}
 	s := res.Summary
 	fmt.Printf("forest: %d jobs on machine %s (p=%d), policy %s, memory cap %d\n",

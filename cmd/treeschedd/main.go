@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,8 +41,15 @@ func main() {
 		maxProcs  = flag.Int("max-procs", service.DefaultMaxProcs, "max processor count per request")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 		logMode   = flag.String("log", "text", "per-request structured logs on stderr: text|json|off")
-		debugAddr = flag.String("debug-addr", "", "optional listen address for the debug mux (net/http/pprof); keep it loopback-only")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for the debug mux (net/http/pprof + /debug/flight); keep it loopback-only")
+
+		flightSize   = flag.Int("flight-size", service.DefaultFlightSize, "flight recorder ring capacity (retained requests)")
+		flightSlow   = flag.Duration("flight-slow", service.DefaultFlightSlow, "latency above which the flight recorder always keeps a request")
+		flightSample = flag.Int("flight-sample", service.DefaultFlightSampleEvery, "keep 1 in N fast successful requests in the flight recorder")
+		listMetrics  = flag.Bool("list-metrics", false, "print every registered metric family name and exit")
 	)
+	var slos sloFlags
+	flag.Var(&slos, "slo", "per-endpoint SLO as endpoint:latency:objective, e.g. /v1/schedule:250ms:99.9 (repeatable; latency 0 = availability-only)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -57,13 +65,27 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		MaxBodyBytes: *maxBody,
-		MaxNodes:     *maxNodes,
-		MaxProcs:     *maxProcs,
-		Logger:       logger,
+		Workers:           *workers,
+		CacheSize:         *cacheSize,
+		MaxBodyBytes:      *maxBody,
+		MaxNodes:          *maxNodes,
+		MaxProcs:          *maxProcs,
+		SLOs:              slos,
+		FlightSize:        *flightSize,
+		FlightSlow:        *flightSlow,
+		FlightSampleEvery: *flightSample,
+		Logger:            logger,
 	})
+
+	// -list-metrics prints the registered family names — the CI drift
+	// gate diffs this list against a live /metrics scrape, so a family
+	// can't be added without showing up in the snapshot the gate checks.
+	if *listMetrics {
+		for _, name := range svc.MetricFamilies() {
+			fmt.Println(name)
+		}
+		return
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -83,7 +105,7 @@ func main() {
 	if *debugAddr != "" {
 		dsrv := &http.Server{
 			Addr:              *debugAddr,
-			Handler:           service.DebugHandler(),
+			Handler:           svc.DebugHandler(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -117,4 +139,24 @@ func main() {
 		svc.Close()
 	}
 	log.Printf("treeschedd: bye")
+}
+
+// sloFlags collects repeated -slo flags.
+type sloFlags []service.SLO
+
+func (f *sloFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *sloFlags) Set(v string) error {
+	slo, err := service.ParseSLO(v)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, slo)
+	return nil
 }

@@ -22,7 +22,11 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Result, error) {
 	}
 	m := cfg.model()
 	cfg.Processors = m.P()
-	states := planJobs(ctx, jobs, cfg)
+	tr := cfg.Trace
+	planSpan := tr.Start("plan", cfg.TraceParent)
+	states := planJobs(ctx, jobs, cfg, planSpan)
+	tr.SetValue(planSpan, int64(len(jobs)))
+	tr.End(planSpan)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -41,13 +45,24 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Result, error) {
 	hp := getEngineHeaps()
 	e := &engine{cfg: cfg, m: m, cap: cap, states: states,
 		ready: hp.ready, fin: hp.fin, skipped: hp.skipped}
+	if cfg.Timeline {
+		e.tl = &Timeline{Cap: cap, JobIDs: make([]string, len(states))}
+		for i, js := range states {
+			e.tl.JobIDs[i] = js.id
+		}
+	}
+	simSpan := tr.Start("simulate", cfg.TraceParent)
 	err := e.simulate(ctx)
+	tr.SetValue(simSpan, int64(e.rounds))
+	tr.End(simSpan)
 	hp.ready, hp.fin, hp.skipped = e.ready, e.fin, e.skipped
 	putEngineHeaps(hp)
 	if err != nil {
 		return nil, err
 	}
-	return e.collect(), nil
+	res := e.collect()
+	res.Timeline = e.tl
+	return res, nil
 }
 
 // readyItem is one startable task in the global ready queue. Priority is
@@ -102,6 +117,8 @@ type engine struct {
 	maxRunning  int
 	rounds      int
 	bookRejects int
+
+	tl *Timeline // nil unless Config.Timeline
 }
 
 func (e *engine) simulate(ctx context.Context) error {
@@ -155,6 +172,9 @@ func (e *engine) simulate(ctx context.Context) error {
 		e.assign()
 		if e.mem > e.cap {
 			return fmt.Errorf("forest: internal error: resident memory %d exceeds cap %d at t=%g", e.mem, e.cap, e.now)
+		}
+		if e.tl != nil {
+			e.tl.Memory = append(e.tl.Memory, TimelineSample{At: e.now, Resident: e.mem})
 		}
 	}
 	// Every feasible job must have completed: the booking invariant
@@ -321,8 +341,14 @@ func (e *engine) startTask(js *jobState, v int, proc int32) {
 	if js.next != old {
 		e.bookedSeq += js.futurePeak[js.next] - js.futurePeak[old]
 	}
-	e.fin.push(finEvent{e.now + e.m.ExecTime(t.W(v), int(proc)), js.admitSeq, js.rank[v], js, v, proc})
+	end := e.now + e.m.ExecTime(t.W(v), int(proc))
+	e.fin.push(finEvent{end, js.admitSeq, js.rank[v], js, v, proc})
 	e.tasks++
+	if e.tl != nil {
+		e.tl.Tasks = append(e.tl.Tasks, TimelineTask{
+			Job: js.idx, Node: v, Proc: int(proc), Start: e.now, End: end,
+		})
+	}
 }
 
 func (e *engine) completeTask(js *jobState, v int, proc int32) {

@@ -83,6 +83,19 @@ type Config struct {
 	// heuristic, a sensible default under a shared cap). Auto plans every
 	// such job with a min_makespan portfolio race.
 	DefaultHeuristic sched.HeuristicID
+	// Trace, when non-nil, records the run's phases as spans under
+	// TraceParent (obs.RootSpan for top-level spans): one "plan" span with
+	// a "plan:<job id>" child per job (concurrent planning is safe — the
+	// trace serializes internally and children carry explicit parents) and
+	// one "simulate" span whose value is the event-loop round count. A nil
+	// Trace costs one nil check per phase.
+	Trace       *obs.Trace
+	TraceParent int
+	// Timeline, when true, retains the executed timeline on the Result: one
+	// task event per started task and the resident-memory step curve, the
+	// input of WriteChromeTrace's one-track-per-job rendering. Costs two
+	// slices proportional to tasks and event rounds; off by default.
+	Timeline bool
 }
 
 func (c Config) validate() error {
@@ -203,6 +216,9 @@ type Summary struct {
 type Result struct {
 	Jobs    []JobResult `json:"jobs"`
 	Summary Summary     `json:"summary"`
+	// Timeline is the executed timeline, present only when Config.Timeline
+	// was set.
+	Timeline *Timeline `json:"timeline,omitempty"`
 }
 
 // resolveCap turns the config's cap specification into an absolute cap

@@ -58,7 +58,7 @@ type jobState struct {
 // futurePeak suffix maxima. Jobs are planned concurrently — planning is
 // the expensive part of a forest run — with results placed by index, so
 // the outcome never depends on goroutine scheduling.
-func planJobs(ctx context.Context, jobs []Job, cfg Config) []*jobState {
+func planJobs(ctx context.Context, jobs []Job, cfg Config, planSpan int) []*jobState {
 	states := make([]*jobState, len(jobs))
 	par.ForEach(len(jobs), func(i int) {
 		// A canceled run stops picking up new jobs; in-flight plans are
@@ -68,7 +68,24 @@ func planJobs(ctx context.Context, jobs []Job, cfg Config) []*jobState {
 			states[i] = &jobState{idx: i, rejectReason: "planning canceled"}
 			return
 		}
+		// One span per job under the shared "plan" span, carrying the
+		// job's node count. Explicit parents keep concurrent planners from
+		// racing on an implicit span stack.
+		var sp int
+		if tr := cfg.Trace; tr != nil {
+			name := jobs[i].ID
+			if name == "" {
+				name = fmt.Sprintf("job-%d", i)
+			}
+			sp = tr.Start("plan:"+name, planSpan)
+		}
 		states[i] = planJob(ctx, i, &jobs[i], cfg)
+		if tr := cfg.Trace; tr != nil {
+			if states[i].t != nil {
+				tr.SetValue(sp, int64(states[i].t.Len()))
+			}
+			tr.End(sp)
+		}
 	})
 	return states
 }

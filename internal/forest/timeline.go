@@ -1,0 +1,70 @@
+package forest
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"treesched/internal/sched"
+)
+
+// The forest timeline is the executed counterpart of a single tree's
+// schedule: which task of which tenant ran where and when, and how the
+// shared resident memory moved against the cap. It is recorded by the
+// engine when Config.Timeline is set and rendered to Chrome Trace Event
+// Format by WriteChromeTrace — one track per job, so Perfetto shows the
+// tenants' interleaving the way the paper's Gantt figures show a single
+// tree's processors.
+
+// TimelineTask is one executed task: job and node identify it, Proc is
+// the processor it ran on, Start/End are simulation times.
+type TimelineTask struct {
+	Job   int     `json:"job"`
+	Node  int     `json:"node"`
+	Proc  int     `json:"proc"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// TimelineSample is the resident memory after one event instant.
+type TimelineSample struct {
+	At       float64 `json:"at"`
+	Resident int64   `json:"resident"`
+}
+
+// Timeline is the executed timeline of a forest run.
+type Timeline struct {
+	// JobIDs maps TimelineTask.Job (trace index) to the job's id.
+	JobIDs []string         `json:"job_ids"`
+	Tasks  []TimelineTask   `json:"tasks"`
+	Memory []TimelineSample `json:"memory"`
+	Cap    int64            `json:"cap"`
+}
+
+// WriteChromeTrace renders the run's timeline as Trace Event Format JSON:
+// one track per job (labeled with the job id), one complete event per
+// executed task (args carry node and processor), and a counter track
+// plotting shared resident memory against the cap. Returns an error when
+// the run was made without Config.Timeline. Output is deterministic for a
+// deterministic run: tasks in start order (the order the engine recorded
+// them), memory samples in event order.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	tl := r.Timeline
+	if tl == nil {
+		return fmt.Errorf("forest: result has no timeline (run with Config.Timeline)")
+	}
+	bw := sched.NewChromeTraceWriter(w)
+	bw.Open()
+	bw.Meta(0, "process_name", "treesched forest")
+	for j, id := range tl.JobIDs {
+		bw.Meta(j, "thread_name", id)
+	}
+	for _, task := range tl.Tasks {
+		bw.Task(task.Job, strconv.Itoa(task.Node), task.Start, task.End-task.Start,
+			fmt.Sprintf(`{"job":%q,"node":%d,"proc":%d}`, tl.JobIDs[task.Job], task.Node, task.Proc))
+	}
+	for _, s := range tl.Memory {
+		bw.Memory(s.At, s.Resident, tl.Cap)
+	}
+	return bw.Close()
+}

@@ -1,0 +1,169 @@
+package forest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treesched/internal/obs"
+)
+
+// TestTimelineRecording checks the executed timeline: one task event per
+// executed task, consistent job/node/processor references, and a memory
+// curve that never exceeds the cap and ends drained.
+func TestTimelineRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	jobs := []Job{
+		testJob(rng, "a", 0, 40),
+		testJob(rng, "b", 0.5, 30),
+		testJob(rng, "c", 1, 25),
+	}
+	res, err := Run(context.Background(), jobs, Config{Processors: 4, Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if tl == nil {
+		t.Fatal("Config.Timeline set but Result.Timeline is nil")
+	}
+	if len(tl.JobIDs) != 3 || tl.JobIDs[0] != "a" || tl.JobIDs[2] != "c" {
+		t.Fatalf("JobIDs = %v", tl.JobIDs)
+	}
+	if len(tl.Tasks) != res.Summary.TasksExecuted {
+		t.Errorf("timeline has %d tasks, summary says %d executed", len(tl.Tasks), res.Summary.TasksExecuted)
+	}
+	for _, task := range tl.Tasks {
+		if task.Job < 0 || task.Job >= 3 || task.Proc < 0 || task.Proc >= 4 || task.End < task.Start {
+			t.Fatalf("inconsistent task event %+v", task)
+		}
+	}
+	if len(tl.Memory) == 0 {
+		t.Fatal("timeline has no memory samples")
+	}
+	for _, s := range tl.Memory {
+		if s.Resident > tl.Cap {
+			t.Errorf("memory sample %+v exceeds cap %d", s, tl.Cap)
+		}
+	}
+	if last := tl.Memory[len(tl.Memory)-1]; last.Resident != 0 {
+		t.Errorf("memory curve ends at %d, want 0 (drained)", last.Resident)
+	}
+
+	// Off by default.
+	res2, err := Run(context.Background(), jobs, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timeline != nil {
+		t.Error("Result.Timeline must be nil without Config.Timeline")
+	}
+}
+
+// TestForestWriteChromeTrace renders the timeline and checks the event
+// stream: one track per job, every task on its job's track, a memory
+// counter with the cap series — and that a timeline-less result errors.
+func TestForestWriteChromeTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	jobs := []Job{testJob(rng, "left", 0, 35), testJob(rng, "right", 0, 35)}
+	res, err := Run(context.Background(), jobs, Config{Processors: 2, Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+				Job  string `json:"job"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	tracks := map[int]string{}
+	tasksPerTrack := map[int]int{}
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				tracks[e.Tid] = e.Args.Name
+			}
+		case "X":
+			tasksPerTrack[e.Tid]++
+			if want := tracks[e.Tid]; e.Args.Job != want {
+				t.Fatalf("task on track %d carries job %q, track is %q", e.Tid, e.Args.Job, want)
+			}
+		case "C":
+			counters++
+		}
+	}
+	if tracks[0] != "left" || tracks[1] != "right" {
+		t.Errorf("tracks = %v, want left/right", tracks)
+	}
+	if tasksPerTrack[0] != 35 || tasksPerTrack[1] != 35 {
+		t.Errorf("tasks per track = %v, want 35 each", tasksPerTrack)
+	}
+	if counters == 0 {
+		t.Error("no memory counter samples")
+	}
+	if !strings.Contains(buf.String(), `"cap":`) {
+		t.Error("memory counter missing cap series")
+	}
+
+	bare, err := Run(context.Background(), jobs, Config{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.WriteChromeTrace(&buf); err == nil {
+		t.Error("WriteChromeTrace without a timeline must error")
+	}
+}
+
+// TestForestTraceSpans checks Config.Trace: a "plan" span with one child
+// per job and a "simulate" span carrying the round count.
+func TestForestTraceSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	jobs := []Job{testJob(rng, "x", 0, 30), testJob(rng, "y", 0, 30)}
+	tr := obs.AcquireTrace()
+	defer tr.Release()
+	res, err := Run(context.Background(), jobs, Config{
+		Processors: 2, Trace: tr, TraceParent: obs.RootSpan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Tree()
+	if root == nil {
+		t.Fatal("trace recorded nothing")
+	}
+	byName := map[string]*obs.SpanNode{}
+	root.Walk(func(n *obs.SpanNode, _ int) { byName[n.Name] = n })
+	plan := byName["plan"]
+	if plan == nil || len(plan.Spans) != 2 {
+		t.Fatalf("plan span = %+v, want 2 children", plan)
+	}
+	if byName["plan:x"] == nil || byName["plan:y"] == nil {
+		t.Errorf("missing per-job plan spans, have %v", plan.Spans)
+	}
+	if byName["plan:x"].Value != 30 {
+		t.Errorf("plan:x value = %d, want the node count 30", byName["plan:x"].Value)
+	}
+	sim := byName["simulate"]
+	if sim == nil {
+		t.Fatal("missing simulate span")
+	}
+	if sim.Value != int64(res.Summary.Rounds) {
+		t.Errorf("simulate span value = %d, want rounds %d", sim.Value, res.Summary.Rounds)
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestAllocsHistogramObserve pins the zero-allocation contract of the
 // metrics record path: observing a sample and bumping counters allocate
@@ -44,5 +47,56 @@ func TestAllocsTraceSpans(t *testing.T) {
 	})
 	if got != 0 {
 		t.Errorf("warm trace cycle allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestAllocsFlightRecord pins the ring-insert contract: once every slot's
+// span buffer has been sized by a first lap around the ring, recording a
+// kept request — slot claim, entry fill, span copy — allocates nothing.
+func TestAllocsFlightRecord(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	f := NewFlightRecorder(8, 0, 1) // slow=0: every request is kept
+	tr := AcquireTrace()
+	defer tr.Release()
+	a := tr.Start("decode", RootSpan)
+	tr.End(a)
+	b := tr.Start("schedule", RootSpan)
+	tr.SetValue(b, 7)
+	tr.End(b)
+	info := FlightInfo{
+		RequestID: "r1", Endpoint: "/v1/schedule", Status: 200,
+		Duration: 3 * time.Millisecond, Machine: "2x1", Heuristic: "parsub", Nodes: 40,
+	}
+	for i := 0; i < 16; i++ { // two laps: warm every slot's span buffer
+		f.Record(info, tr)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		f.Record(info, tr)
+	})
+	if got != 0 {
+		t.Errorf("warm flight-recorder insert allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestAllocsExemplarObserve pins the exemplar record path: observing with
+// an exemplar id allocates nothing, on both the screen-and-skip path and
+// the replacement path (tick grows, so every call wins its bucket).
+func TestAllocsExemplarObserve(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	h := NewHistogram("h", "help", 1e-9, ExpBuckets(1000, 4, 16))
+	h.EnableExemplars(DefaultExemplarWindow)
+	var tick int64
+	h.ObserveExemplar(999, "r0") // seed the first bucket near its bound
+	got := testing.AllocsPerRun(100, func() {
+		tick += 997
+		h.ObserveExemplar(tick, "r1") // always a new per-bucket max: replacement path
+		h.ObserveExemplar(1, "r2")    // never beats the seed: screening path
+	})
+	if got != 0 {
+		t.Errorf("exemplar record path allocates %.1f/op, want 0", got)
 	}
 }

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplars link histogram buckets back to concrete requests: each bucket
+// remembers the request id of the largest observation seen inside a
+// freshness window, so a bump in a latency bucket on /metrics can be
+// joined against the flight recorder's retained trace for that request.
+//
+// The record path stays zero-allocation and effectively lock-free: the
+// common case (the sample does not beat the bucket's current exemplar and
+// the exemplar is still fresh) is two atomic loads. Only a replacement —
+// a new per-window maximum, or an expired exemplar — takes the slot's
+// mutex, and replacement writes only integers and a string header.
+
+// DefaultExemplarWindow is the freshness horizon used by EnableExemplars:
+// an exemplar older than this is replaced by the next observation, so
+// /metrics never advertises a request id that has long since rotated out
+// of the flight recorder.
+const DefaultExemplarWindow = 5 * time.Minute
+
+// exemplarSlot is one bucket's exemplar state.
+type exemplarSlot struct {
+	// val/at mirror the locked fields for cheap lock-free screening on
+	// the record path; the locked fields are the source of truth so id,
+	// value and timestamp are always mutually consistent for readers.
+	val atomic.Int64
+	at  atomic.Int64 // unix ns; zero means no exemplar yet
+
+	mu   sync.Mutex
+	id   string
+	lval int64
+	lat  int64
+}
+
+// record offers (v, id) as an exemplar observed now (unix ns). The sample
+// wins the slot when the slot is empty, stale (older than windowNS), or v
+// is at least the current value.
+func (s *exemplarSlot) record(v int64, id string, now, windowNS int64) {
+	at := s.at.Load()
+	if at != 0 && now-at <= windowNS && v < s.val.Load() {
+		return
+	}
+	s.mu.Lock()
+	// Re-check under the lock against the authoritative fields: a racing
+	// recorder may have published a larger, fresher exemplar meanwhile.
+	if s.lat == 0 || now-s.lat > windowNS || v >= s.lval {
+		s.id = id
+		s.lval = v
+		s.lat = now
+		s.val.Store(v)
+		s.at.Store(now)
+	}
+	s.mu.Unlock()
+}
+
+// load returns the slot's exemplar, if any.
+func (s *exemplarSlot) load() (id string, v int64, atNS int64, ok bool) {
+	s.mu.Lock()
+	id, v, atNS = s.id, s.lval, s.lat
+	s.mu.Unlock()
+	return id, v, atNS, atNS != 0
+}
+
+// EnableExemplars allocates one exemplar slot per bucket (including +Inf)
+// with the given freshness window (DefaultExemplarWindow when window <= 0).
+// Call once at startup, before the histogram sees traffic; exemplars are
+// exposed only in OpenMetrics mode.
+func (h *Histogram) EnableExemplars(window time.Duration) {
+	if window <= 0 {
+		window = DefaultExemplarWindow
+	}
+	h.enableExemplarsNS(window.Nanoseconds())
+}
+
+func (h *Histogram) enableExemplarsNS(windowNS int64) {
+	h.exemplars = make([]exemplarSlot, len(h.bounds)+1)
+	h.exemplarWindowNS = windowNS
+}
+
+// EnableExemplars makes every child (existing and future) carry exemplar
+// slots with the given freshness window. Call once at startup.
+func (v *HistogramVec) EnableExemplars(window time.Duration) {
+	if window <= 0 {
+		window = DefaultExemplarWindow
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.exemplarWindowNS = window.Nanoseconds()
+	for _, h := range v.children {
+		h.enableExemplarsNS(v.exemplarWindowNS)
+	}
+}
+
+// ObserveExemplar records one sample like Observe and offers id as the
+// bucket's exemplar. Zero-allocation; the exemplar update is two atomic
+// loads unless the sample wins the bucket (new per-window maximum or the
+// current exemplar expired), which takes a short per-bucket mutex. On a
+// histogram without EnableExemplars it degrades to plain Observe.
+func (h *Histogram) ObserveExemplar(v int64, id string) {
+	i := h.bucketAdd(v)
+	if h.exemplars == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.exemplars[i].record(v, id, time.Now().UnixNano(), h.exemplarWindowNS)
+}
+
+// Exemplar is the point-in-time copy of one bucket's exemplar, in native
+// units. Used by tests and debug tooling; /metrics exposition formats
+// exemplars directly.
+type Exemplar struct {
+	Bucket    int // bucket index; len(bounds) is the +Inf bucket
+	RequestID string
+	Value     int64
+	AtUnixNS  int64
+}
+
+// ExemplarSnapshot returns the currently recorded exemplars, one entry per
+// bucket that has one. Returns nil when exemplars are disabled.
+func (h *Histogram) ExemplarSnapshot() []Exemplar {
+	if h.exemplars == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if id, v, at, ok := h.exemplars[i].load(); ok {
+			out = append(out, Exemplar{Bucket: i, RequestID: id, Value: v, AtUnixNS: at})
+		}
+	}
+	return out
+}

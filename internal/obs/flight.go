@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder retains evidence about completed requests after the
+// response is gone: a fixed-size ring of tail-sampled request records,
+// each carrying the request's span timeline and its outcome labels. Tail
+// sampling means the keep/drop decision happens at completion, when the
+// outcome is known — errors and slow requests are always kept, a
+// deterministic 1-in-N of the rest rides along as a baseline (same
+// expected rate as coin-flip sampling with no RNG state on the hot path).
+//
+// The insert path is zero-allocation warm and effectively lock-free:
+// a single atomic fetch-add claims a ring slot, and publication into the
+// slot takes only that slot's own mutex (uncontended unless the ring
+// wraps onto a slot a reader is copying). Slot buffers are reused across
+// wraps, so a warm ring's insert allocates nothing. A true seqlock would
+// be torn-read-unsafe for the string headers involved and would trip the
+// race detector; per-slot mutexes give the same scalability for a ring
+// that sees one writer per completed request.
+
+// FlightSpan is one span inside a retained request record: flat, with an
+// explicit parent index into the same slice (-1 for root), offsets in
+// microseconds from the start of the request.
+type FlightSpan struct {
+	Name    string  `json:"name"`
+	Parent  int32   `json:"parent"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	Value   int64   `json:"value,omitempty"`
+}
+
+// FlightInfo is the outcome summary a completed request offers to the
+// recorder.
+type FlightInfo struct {
+	RequestID string
+	Endpoint  string
+	Status    int
+	Duration  time.Duration
+	Error     string // response error message, empty on success
+	ErrorKind string // metrics error kind: decode, limit, cancelled, internal
+	Cached    bool
+	Machine   string // machine spec the request ran against
+	Heuristic string // winning / reporting heuristic, if any
+	Nodes     int    // tree size (or forest job count)
+}
+
+// FlightEntry is one retained record as served by GET /debug/flight.
+type FlightEntry struct {
+	Seq        uint64       `json:"seq"`
+	RequestID  string       `json:"request_id"`
+	Endpoint   string       `json:"endpoint"`
+	Status     int          `json:"status"`
+	DurationUS float64      `json:"duration_us"`
+	Time       string       `json:"time"` // completion time, RFC3339Nano
+	Sampled    string       `json:"sampled"`
+	Error      string       `json:"error,omitempty"`
+	ErrorKind  string       `json:"error_kind,omitempty"`
+	Cached     bool         `json:"cached,omitempty"`
+	Machine    string       `json:"machine,omitempty"`
+	Heuristic  string       `json:"heuristic,omitempty"`
+	Nodes      int          `json:"nodes,omitempty"`
+	Spans      []FlightSpan `json:"spans,omitempty"`
+
+	atNS int64 // completion time, unix ns; Time is rendered at read time
+}
+
+// Keep reasons recorded on entries.
+const (
+	SampledError = "error"   // kept because the request failed
+	SampledSlow  = "slow"    // kept because it exceeded the latency threshold
+	SampledTail  = "sampled" // kept by the 1-in-N baseline sampler
+)
+
+// flightMaxSpans bounds how many spans one ring slot retains.
+const flightMaxSpans = 256
+
+type flightSlot struct {
+	mu  sync.Mutex
+	seq uint64 // global sequence of the resident entry; 0 while empty
+	e   FlightEntry
+}
+
+// FlightRecorder is the fixed-size tail-sampling ring.
+type FlightRecorder struct {
+	slowNS      int64
+	sampleEvery uint64
+	seen        atomic.Uint64 // requests offered
+	kept        atomic.Uint64 // requests retained (== next sequence number)
+	slots       []flightSlot
+}
+
+// NewFlightRecorder returns a ring with size slots. Requests slower than
+// slow and requests with a non-empty Error are always kept; of the rest,
+// one in sampleEvery is kept (0 or 1 keeps everything). size is clamped
+// to at least 1.
+func NewFlightRecorder(size int, slow time.Duration, sampleEvery int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &FlightRecorder{
+		slowNS:      slow.Nanoseconds(),
+		sampleEvery: uint64(sampleEvery),
+		slots:       make([]flightSlot, size),
+	}
+}
+
+// Seen returns the number of requests offered to the recorder.
+func (f *FlightRecorder) Seen() uint64 { return f.seen.Load() }
+
+// Kept returns the number of requests retained (including ones that have
+// since been overwritten by ring wrap).
+func (f *FlightRecorder) Kept() uint64 { return f.kept.Load() }
+
+// Record offers a completed request. tr may be nil (no spans retained —
+// the early-reject path). Returns whether the request was kept.
+// Zero-allocation once the ring is warm.
+func (f *FlightRecorder) Record(info FlightInfo, tr *Trace) bool {
+	n := f.seen.Add(1)
+	var why string
+	switch {
+	case info.Error != "":
+		why = SampledError
+	case info.Duration.Nanoseconds() >= f.slowNS:
+		why = SampledSlow
+	case n%f.sampleEvery == 0:
+		why = SampledTail
+	default:
+		return false
+	}
+	seq := f.kept.Add(1)
+	s := &f.slots[(seq-1)%uint64(len(f.slots))]
+	s.mu.Lock()
+	spans := s.e.Spans
+	s.e = FlightEntry{
+		Seq:        seq,
+		RequestID:  info.RequestID,
+		Endpoint:   info.Endpoint,
+		Status:     info.Status,
+		DurationUS: float64(info.Duration.Nanoseconds()) / 1e3,
+		Sampled:    why,
+		Error:      info.Error,
+		ErrorKind:  info.ErrorKind,
+		Cached:     info.Cached,
+		Machine:    info.Machine,
+		Heuristic:  info.Heuristic,
+		Nodes:      info.Nodes,
+		Spans:      tr.AppendFlightSpans(spans[:0], flightMaxSpans),
+		atNS:       time.Now().UnixNano(),
+	}
+	s.seq = seq
+	s.mu.Unlock()
+	return true
+}
+
+// Snapshot deep-copies the retained entries, newest first. The read path
+// allocates freely — it runs on a debug endpoint, not per request.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	out := make([]FlightEntry, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			e := s.e
+			e.Spans = append([]FlightSpan(nil), s.e.Spans...)
+			e.Time = time.Unix(0, e.atNS).UTC().Format(time.RFC3339Nano)
+			out = append(out, e)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// Dump logs every retained entry, oldest first, one structured record
+// each — the on-demand slog form of the ring for postmortems without an
+// HTTP client.
+func (f *FlightRecorder) Dump(log *slog.Logger) {
+	if log == nil {
+		return
+	}
+	entries := f.Snapshot()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		log.Info("flight",
+			"seq", e.Seq,
+			"request_id", e.RequestID,
+			"endpoint", e.Endpoint,
+			"status", e.Status,
+			"duration_us", e.DurationUS,
+			"time", e.Time,
+			"sampled", e.Sampled,
+			"error", e.Error,
+			"error_kind", e.ErrorKind,
+			"cached", e.Cached,
+			"machine", e.Machine,
+			"heuristic", e.Heuristic,
+			"nodes", e.Nodes,
+			"spans", len(e.Spans),
+		)
+	}
+}

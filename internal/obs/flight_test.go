@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func flightOK(id string, d time.Duration) FlightInfo {
+	return FlightInfo{RequestID: id, Endpoint: "/v1/schedule", Status: 200, Duration: d}
+}
+
+// TestFlightTailSampling checks the keep policy: errors and slow requests
+// always kept, the rest kept 1-in-N.
+func TestFlightTailSampling(t *testing.T) {
+	f := NewFlightRecorder(64, 100*time.Millisecond, 4)
+	if !f.Record(FlightInfo{RequestID: "err", Status: 500, Error: "boom", ErrorKind: "internal"}, nil) {
+		t.Error("error request must always be kept")
+	}
+	if !f.Record(flightOK("slow", 250*time.Millisecond), nil) {
+		t.Error("slow request must always be kept")
+	}
+	kept := 0
+	for i := 0; i < 40; i++ {
+		if f.Record(flightOK(fmt.Sprintf("fast%d", i), time.Millisecond), nil) {
+			kept++
+		}
+	}
+	if kept != 10 { // 40 fast requests at 1-in-4, counter offset by the 2 above
+		t.Errorf("kept %d of 40 fast requests, want 10 (1-in-4)", kept)
+	}
+	if f.Seen() != 42 || f.Kept() != 12 {
+		t.Errorf("Seen/Kept = %d/%d, want 42/12", f.Seen(), f.Kept())
+	}
+
+	entries := f.Snapshot()
+	if len(entries) != 12 {
+		t.Fatalf("snapshot has %d entries, want 12", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq >= entries[i-1].Seq {
+			t.Fatal("snapshot must be newest-first")
+		}
+	}
+	bySampled := map[string]int{}
+	for _, e := range entries {
+		bySampled[e.Sampled]++
+	}
+	if bySampled[SampledError] != 1 || bySampled[SampledSlow] != 1 || bySampled[SampledTail] != 10 {
+		t.Errorf("sampled reasons = %v, want error:1 slow:1 sampled:10", bySampled)
+	}
+	newest := entries[0]
+	if newest.Time == "" || newest.Endpoint != "/v1/schedule" {
+		t.Errorf("entry missing time/endpoint: %+v", newest)
+	}
+}
+
+// TestFlightRingWrap checks that the ring retains exactly the newest
+// `size` kept entries and that labels and spans survive the copy.
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4, 0, 1) // keep everything
+	tr := AcquireTrace()
+	defer tr.Release()
+	a := tr.Start("decode", RootSpan)
+	tr.End(a)
+	b := tr.Start("schedule", RootSpan)
+	tr.SetValue(b, 9)
+	tr.End(b)
+	for i := 0; i < 10; i++ {
+		info := flightOK(fmt.Sprintf("r%d", i), time.Millisecond)
+		info.Machine = "4x1+4x0.5"
+		info.Heuristic = "parsub"
+		info.Nodes = 40 + i
+		info.Cached = i%2 == 0
+		f.Record(info, tr)
+	}
+	entries := f.Snapshot()
+	if len(entries) != 4 {
+		t.Fatalf("ring of 4 retains %d entries", len(entries))
+	}
+	if entries[0].RequestID != "r9" || entries[3].RequestID != "r6" {
+		t.Errorf("retained ids %s..%s, want r9..r6", entries[0].RequestID, entries[3].RequestID)
+	}
+	e := entries[0]
+	if e.Machine != "4x1+4x0.5" || e.Heuristic != "parsub" || e.Nodes != 49 {
+		t.Errorf("labels lost in ring: %+v", e)
+	}
+	if len(e.Spans) != 2 || e.Spans[0].Name != "decode" || e.Spans[1].Value != 9 {
+		t.Errorf("spans lost in ring: %+v", e.Spans)
+	}
+}
+
+// TestFlightConcurrent hammers the ring from many goroutines while a
+// reader snapshots — the -race proof of the slot protocol.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8, 0, 1)
+	tr := AcquireTrace()
+	defer tr.Release()
+	tr.End(tr.Start("stage", RootSpan))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(flightOK(fmt.Sprintf("w%d-%d", w, i), time.Millisecond), tr)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, e := range f.Snapshot() {
+				if e.RequestID == "" || e.Seq == 0 {
+					t.Error("torn entry in snapshot")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if f.Kept() != 2000 {
+		t.Errorf("Kept = %d, want 2000", f.Kept())
+	}
+}
+
+// TestFlightDump checks the slog dump emits one record per retained entry,
+// oldest first.
+func TestFlightDump(t *testing.T) {
+	f := NewFlightRecorder(8, 0, 1)
+	f.Record(FlightInfo{RequestID: "a", Endpoint: "/v1/schedule", Status: 200}, nil)
+	f.Record(FlightInfo{RequestID: "b", Endpoint: "/v1/forest", Status: 500, Error: "boom", ErrorKind: "internal"}, nil)
+	var buf bytes.Buffer
+	f.Dump(slog.New(slog.NewJSONHandler(&buf, nil)))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"request_id":"a"`) || !strings.Contains(lines[1], `"request_id":"b"`) {
+		t.Errorf("dump must be oldest-first:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], `"error_kind":"internal"`) {
+		t.Errorf("dump line missing error kind:\n%s", lines[1])
+	}
+	f.Dump(nil) // must not panic
+}

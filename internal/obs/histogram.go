@@ -22,6 +22,12 @@ type Histogram struct {
 	scale      float64 // native unit -> exposed unit
 	counts     []atomic.Int64
 	sum        atomic.Int64
+	// exemplars, when non-nil, holds one exemplar slot per bucket
+	// (including +Inf); see EnableExemplars.
+	exemplars []exemplarSlot
+	// exemplarWindowNS is the freshness window: an exemplar older than
+	// this is replaced by the next observation regardless of value.
+	exemplarWindowNS int64
 }
 
 // NewHistogram returns a histogram family with the given inclusive upper
@@ -42,8 +48,20 @@ func NewHistogram(name, help string, scale float64, bounds []int64) *Histogram {
 	}
 }
 
-// Observe records one sample. Zero-allocation and wait-free.
+// Observe records one sample. Zero-allocation and wait-free. Negative
+// samples are clamped to zero: they can only come from clock anomalies or
+// caller bugs, and letting them through would land them in the first
+// bucket while silently decrementing _sum.
 func (h *Histogram) Observe(v int64) {
+	h.bucketAdd(v)
+}
+
+// bucketAdd clamps, locates and increments the bucket for v, returning
+// the bucket index so ObserveExemplar can reuse the search.
+func (h *Histogram) bucketAdd(v int64) int {
+	if v < 0 {
+		v = 0
+	}
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -55,6 +73,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.counts[lo].Add(1)
 	h.sum.Add(v)
+	return lo
 }
 
 // Count returns the total number of observed samples.
@@ -72,26 +91,36 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // FamilyName implements Metric.
 func (h *Histogram) FamilyName() string { return h.name }
 
-func (h *Histogram) expose(w io.Writer) {
+func (h *Histogram) expose(w io.Writer, om bool) {
 	header(w, h.name, h.help, "histogram")
-	h.exposeSamples(w, "")
+	h.exposeSamples(w, "", om)
 }
 
 // exposeSamples writes the _bucket/_sum/_count samples with an optional
-// pre-rendered label prefix like `endpoint="/v1/schedule"`.
-func (h *Histogram) exposeSamples(w io.Writer, label string) {
+// pre-rendered label prefix like `endpoint="/v1/schedule"`. In OpenMetrics
+// mode, bucket lines carry their exemplar (if one is recorded) in the
+// `# {request_id="..."} value timestamp` form.
+func (h *Histogram) exposeSamples(w io.Writer, label string, om bool) {
 	comma := ""
 	if label != "" {
 		comma = ","
 	}
 	var cum int64
-	for i, b := range h.bounds {
+	for i := 0; i <= len(h.bounds); i++ {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
-			h.name, label+comma, formatFloat(float64(b)*h.scale), cum)
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(float64(h.bounds[i]) * h.scale)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d", h.name, label+comma, le, cum)
+		if om && h.exemplars != nil {
+			if id, v, at, ok := h.exemplars[i].load(); ok {
+				fmt.Fprintf(w, " # {request_id=%q} %s %s",
+					id, formatFloat(float64(v)*h.scale), formatFloat(float64(at)/1e9))
+			}
+		}
+		io.WriteString(w, "\n")
 	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, label+comma, cum)
 	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, braced(label), formatFloat(float64(h.sum.Load())*h.scale))
 	fmt.Fprintf(w, "%s_count%s %d\n", h.name, braced(label), cum)
 }
@@ -143,6 +172,7 @@ type HistogramVec struct {
 	name, help, label string
 	scale             float64
 	bounds            []int64
+	exemplarWindowNS  int64 // non-zero: children get exemplar slots
 	mu                sync.RWMutex
 	children          map[string]*Histogram
 }
@@ -169,6 +199,9 @@ func (v *HistogramVec) With(value string) *Histogram {
 	defer v.mu.Unlock()
 	if h = v.children[value]; h == nil {
 		h = NewHistogram(v.name, v.help, v.scale, v.bounds)
+		if v.exemplarWindowNS > 0 {
+			h.enableExemplarsNS(v.exemplarWindowNS)
+		}
 		v.children[value] = h
 	}
 	return h
@@ -177,7 +210,7 @@ func (v *HistogramVec) With(value string) *Histogram {
 // FamilyName implements Metric.
 func (v *HistogramVec) FamilyName() string { return v.name }
 
-func (v *HistogramVec) expose(w io.Writer) {
+func (v *HistogramVec) expose(w io.Writer, om bool) {
 	v.mu.RLock()
 	values := make([]string, 0, len(v.children))
 	for val := range v.children {
@@ -191,7 +224,7 @@ func (v *HistogramVec) expose(w io.Writer) {
 	v.mu.RUnlock()
 	header(w, v.name, v.help, "histogram")
 	for i, val := range values {
-		hs[i].exposeSamples(w, v.label+"="+strconv.Quote(val))
+		hs[i].exposeSamples(w, v.label+"="+strconv.Quote(val), om)
 	}
 }
 

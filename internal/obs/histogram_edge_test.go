@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBoundaryObservation pins the inclusive-upper-bound
+// contract at the exact boundary: v == bound lands in that bucket, and
+// v == bound+1 in the next.
+func TestHistogramBoundaryObservation(t *testing.T) {
+	h := NewHistogram("edge", "", 1, []int64{10, 100})
+	h.Observe(10)  // exactly on the first bound
+	h.Observe(11)  // first value past it
+	h.Observe(100) // exactly on the last finite bound
+	h.Observe(101) // first value in +Inf
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Errorf("le=10 cumulative = %d, want 1 (bound is inclusive)", s.Counts[0])
+	}
+	if s.Counts[1] != 3 {
+		t.Errorf("le=100 cumulative = %d, want 3", s.Counts[1])
+	}
+	if s.Counts[2] != 4 {
+		t.Errorf("+Inf cumulative = %d, want 4", s.Counts[2])
+	}
+}
+
+// TestHistogramNegativeClamp pins the clamp: negative observations count
+// in the first bucket as zero and leave _sum untouched, rather than
+// decrementing it.
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram("edge", "", 1, []int64{10})
+	h.Observe(-5)
+	h.Observe(7)
+	if got := h.Sum(); got != 7 {
+		t.Errorf("Sum = %d, want 7 (negative sample must clamp to 0)", got)
+	}
+	s := h.Snapshot()
+	if s.Counts[0] != 2 || s.Count != 2 {
+		t.Errorf("counts = %v/%d, want both clamped samples in le=10", s.Counts, s.Count)
+	}
+	// Same clamp on the exemplar path.
+	h2 := NewHistogram("edge2", "", 1, []int64{10})
+	h2.EnableExemplars(time.Hour)
+	h2.ObserveExemplar(-3, "neg")
+	if h2.Sum() != 0 || h2.Count() != 1 {
+		t.Errorf("exemplar path Sum/Count = %d/%d, want 0/1", h2.Sum(), h2.Count())
+	}
+	ex := h2.ExemplarSnapshot()
+	if len(ex) != 1 || ex[0].Value != 0 || ex[0].RequestID != "neg" {
+		t.Errorf("exemplar = %+v, want value clamped to 0", ex)
+	}
+}
+
+// TestExemplarMaxPerWindow checks replacement policy: the largest sample
+// in the window owns the bucket's exemplar, and a stale exemplar yields
+// to the next observation regardless of value.
+func TestExemplarMaxPerWindow(t *testing.T) {
+	h := NewHistogram("lat", "", 1, []int64{1000})
+	h.EnableExemplars(time.Hour)
+	h.ObserveExemplar(500, "mid")
+	h.ObserveExemplar(100, "small") // loses to mid
+	h.ObserveExemplar(900, "big")   // wins
+	ex := h.ExemplarSnapshot()
+	if len(ex) != 1 || ex[0].RequestID != "big" || ex[0].Value != 900 {
+		t.Fatalf("exemplar = %+v, want big/900", ex)
+	}
+	// Expiry: force staleness by shrinking the window, then a small
+	// sample takes over.
+	h.exemplarWindowNS = 1
+	time.Sleep(time.Millisecond)
+	h.ObserveExemplar(100, "fresh")
+	ex = h.ExemplarSnapshot()
+	if len(ex) != 1 || ex[0].RequestID != "fresh" || ex[0].Value != 100 {
+		t.Fatalf("exemplar after expiry = %+v, want fresh/100", ex)
+	}
+}
+
+// TestExemplarConcurrentReplacement races many ObserveExemplar callers
+// into one bucket and checks the surviving exemplar is internally
+// consistent (id matches value) and is the maximum offered — the -race
+// proof of the slot protocol.
+func TestExemplarConcurrentReplacement(t *testing.T) {
+	h := NewHistogram("lat", "", 1, []int64{1 << 30})
+	h.EnableExemplars(time.Hour)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				v := int64(w*per + i) // all distinct, max = workers*per
+				h.ObserveExemplar(v, "v"+strconv.FormatInt(v, 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	ex := h.ExemplarSnapshot()
+	if len(ex) != 1 {
+		t.Fatalf("want one bucket exemplar, got %+v", ex)
+	}
+	if want := fmt.Sprintf("v%d", ex[0].Value); ex[0].RequestID != want {
+		t.Errorf("torn exemplar: id %q does not match value %d", ex[0].RequestID, ex[0].Value)
+	}
+	if ex[0].Value != workers*per {
+		t.Errorf("exemplar value = %d, want the maximum %d", ex[0].Value, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}

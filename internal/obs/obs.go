@@ -26,19 +26,24 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
 // A Metric is one exposition family: a named group of samples sharing a
 // HELP string and a TYPE. Implementations are Counter, CounterVec,
-// GaugeFunc, FuncCounter, ConstGauge, Histogram and HistogramVec.
+// GaugeFunc, FuncCounter, ConstGauge, Histogram, HistogramVec and
+// FuncGauges.
 type Metric interface {
 	// FamilyName is the metric family name (without _bucket/_sum/_count
 	// suffixes for histograms).
 	FamilyName() string
 	// expose writes the family's HELP/TYPE header and all its samples.
-	expose(w io.Writer)
+	// When om is true the family is written in OpenMetrics form: counter
+	// families drop the _total suffix from their HELP/TYPE lines (samples
+	// keep it) and histogram buckets may carry exemplars.
+	expose(w io.Writer, om bool)
 }
 
 // Registry is an ordered collection of metric families with a Prometheus
@@ -78,8 +83,50 @@ func (r *Registry) WriteText(w io.Writer) {
 	fams := r.families
 	r.mu.Unlock()
 	for _, m := range fams {
-		m.expose(w)
+		m.expose(w, false)
 	}
+}
+
+// WriteOpenMetrics writes every registered family in OpenMetrics 1.0 text
+// form: counter families are named without their _total suffix in HELP and
+// TYPE lines (samples keep the suffix), histogram buckets carry exemplars
+// when recorded, and the page ends with the mandatory # EOF terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.mu.Lock()
+	fams := r.families
+	r.mu.Unlock()
+	for _, m := range fams {
+		m.expose(w, true)
+	}
+	io.WriteString(w, "# EOF\n")
+}
+
+// FamilyNames returns the names of every registered family in registration
+// order. Used by drift gates that assert each registered family actually
+// shows up in a scraped /metrics page.
+func (r *Registry) FamilyNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.families))
+	for i, m := range r.families {
+		names[i] = m.FamilyName()
+	}
+	return names
+}
+
+// omFamily is the OpenMetrics family name for a counter: the _total sample
+// suffix belongs to the sample, not the family, so HELP/TYPE drop it.
+func omFamily(name string) string {
+	return strings.TrimSuffix(name, "_total")
+}
+
+// counterHeader writes a counter family header in the requested format.
+func counterHeader(w io.Writer, name, help string, om bool) {
+	if om {
+		header(w, omFamily(name), help, "counter")
+		return
+	}
+	header(w, name, help, "counter")
 }
 
 // Counter is a monotonically increasing counter. The zero value is ready
@@ -109,8 +156,8 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // FamilyName implements Metric.
 func (c *Counter) FamilyName() string { return c.name }
 
-func (c *Counter) expose(w io.Writer) {
-	header(w, c.name, c.help, "counter")
+func (c *Counter) expose(w io.Writer, om bool) {
+	counterHeader(w, c.name, c.help, om)
 	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
 }
 
@@ -157,7 +204,7 @@ func (v *CounterVec) With(value string) *Counter {
 // FamilyName implements Metric.
 func (v *CounterVec) FamilyName() string { return v.name }
 
-func (v *CounterVec) expose(w io.Writer) {
+func (v *CounterVec) expose(w io.Writer, om bool) {
 	v.mu.RLock()
 	values := make([]string, 0, len(v.children))
 	for val := range v.children {
@@ -171,7 +218,7 @@ func (v *CounterVec) expose(w io.Writer) {
 		total += counts[i]
 	}
 	v.mu.RUnlock()
-	header(w, v.name, v.help, "counter")
+	counterHeader(w, v.name, v.help, om)
 	if v.emitTotal {
 		fmt.Fprintf(w, "%s %d\n", v.name, total)
 	}
@@ -194,7 +241,7 @@ func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
 // FamilyName implements Metric.
 func (g *GaugeFunc) FamilyName() string { return g.name }
 
-func (g *GaugeFunc) expose(w io.Writer) {
+func (g *GaugeFunc) expose(w io.Writer, _ bool) {
 	header(w, g.name, g.help, "gauge")
 	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
 }
@@ -215,8 +262,8 @@ func NewFuncCounter(name, help string, fn func() float64) *FuncCounter {
 // FamilyName implements Metric.
 func (c *FuncCounter) FamilyName() string { return c.name }
 
-func (c *FuncCounter) expose(w io.Writer) {
-	header(w, c.name, c.help, "counter")
+func (c *FuncCounter) expose(w io.Writer, om bool) {
+	counterHeader(w, c.name, c.help, om)
 	fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.fn()))
 }
 
@@ -237,9 +284,45 @@ func NewConstGauge(name, help string, labels [][2]string, value float64) *ConstG
 // FamilyName implements Metric.
 func (g *ConstGauge) FamilyName() string { return g.name }
 
-func (g *ConstGauge) expose(w io.Writer) {
+func (g *ConstGauge) expose(w io.Writer, _ bool) {
 	header(w, g.name, g.help, "gauge")
 	fmt.Fprintf(w, "%s%s %s\n", g.name, formatLabels(g.labels), formatFloat(g.value))
+}
+
+// FuncGauges is a gauge family whose samples each carry a fixed label set
+// and compute their value at scrape time — the shape of the SLO burn-rate
+// family, where one family holds a sample per (endpoint, window) pair.
+// Samples are exposed in the order they were added.
+type FuncGauges struct {
+	name, help string
+	samples    []funcGaugeSample
+}
+
+type funcGaugeSample struct {
+	labels [][2]string
+	fn     func() float64
+}
+
+// NewFuncGauges returns an empty callback gauge family. Add samples before
+// registering; the sample set is fixed after startup.
+func NewFuncGauges(name, help string) *FuncGauges {
+	return &FuncGauges{name: name, help: help}
+}
+
+// Add appends one sample with the given labels (emitted in order) and
+// value callback.
+func (g *FuncGauges) Add(labels [][2]string, fn func() float64) {
+	g.samples = append(g.samples, funcGaugeSample{labels: labels, fn: fn})
+}
+
+// FamilyName implements Metric.
+func (g *FuncGauges) FamilyName() string { return g.name }
+
+func (g *FuncGauges) expose(w io.Writer, _ bool) {
+	header(w, g.name, g.help, "gauge")
+	for _, s := range g.samples {
+		fmt.Fprintf(w, "%s%s %s\n", g.name, formatLabels(s.labels), formatFloat(s.fn()))
+	}
 }
 
 func formatLabels(labels [][2]string) string {

@@ -40,7 +40,7 @@ func TestHistogramScale(t *testing.T) {
 	h := NewHistogram("dur_seconds", "help", 1e-9, []int64{1_000_000}) // 1ms bound
 	h.Observe(500_000)
 	var b bytes.Buffer
-	h.expose(&b)
+	h.expose(&b, false)
 	out := b.String()
 	for _, want := range []string{
 		`dur_seconds_bucket{le="0.001"} 1`,
@@ -81,7 +81,7 @@ func TestCounterVec(t *testing.T) {
 		t.Error("With not idempotent")
 	}
 	var b bytes.Buffer
-	v.expose(&b)
+	v.expose(&b, false)
 	out := b.String()
 	for _, want := range []string{
 		"errs_total 4\n", // unlabeled total first

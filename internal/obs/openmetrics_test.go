@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteOpenMetrics checks the OpenMetrics page shape: counter
+// families drop _total in HELP/TYPE while samples keep it, histogram
+// buckets carry exemplars, and the page ends with # EOF.
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("app_requests_total", "Total requests.")
+	c.Add(7)
+	ev := NewCounterVec("app_errors_total", "Errors by kind.", "kind", true)
+	ev.With("decode").Add(2)
+	g := NewGaugeFunc("app_goroutines", "Goroutines.", func() float64 { return 12 })
+	h := NewHistogram("app_latency_seconds", "Latency.", 1e-9, []int64{1_000_000})
+	h.EnableExemplars(time.Hour)
+	h.ObserveExemplar(500_000, "r42")
+	r.Register(c, ev, g, h)
+
+	var b bytes.Buffer
+	r.WriteOpenMetrics(&b)
+	page := b.String()
+
+	for _, want := range []string{
+		"# HELP app_requests Total requests.\n",
+		"# TYPE app_requests counter\n",
+		"app_requests_total 7\n",
+		"# TYPE app_errors counter\n",
+		`app_errors_total{kind="decode"} 2`,
+		"# TYPE app_goroutines gauge\n",
+		"# TYPE app_latency_seconds histogram\n",
+		`app_latency_seconds_bucket{le="0.001"} 1 # {request_id="r42"} 0.0005 `,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("OpenMetrics page missing %q in:\n%s", want, page)
+		}
+	}
+	if !strings.HasSuffix(page, "# EOF\n") {
+		t.Errorf("OpenMetrics page must end with # EOF, got tail %q", page[max(0, len(page)-40):])
+	}
+	if strings.Contains(page, "# HELP app_requests_total") {
+		t.Error("OpenMetrics counter HELP must drop the _total suffix")
+	}
+
+	// The classic text page for the same registry keeps _total in headers,
+	// has no exemplars, and has no EOF terminator.
+	b.Reset()
+	r.WriteText(&b)
+	text := b.String()
+	if !strings.Contains(text, "# HELP app_requests_total Total requests.\n") {
+		t.Error("text page must keep _total in HELP")
+	}
+	if strings.Contains(text, "# EOF") || strings.Contains(text, "request_id=") {
+		t.Error("text page must carry neither # EOF nor exemplars")
+	}
+	parseExposition(t, text) // and it must still machine-parse
+}
+
+// TestFamilyNames checks registration-order name listing — the contract
+// the CI metrics drift gate is built on.
+func TestFamilyNames(t *testing.T) {
+	r := NewRegistry()
+	r.Register(NewCounter("b_total", ""), NewGaugeFunc("a", "", func() float64 { return 0 }))
+	got := r.FamilyNames()
+	if len(got) != 2 || got[0] != "b_total" || got[1] != "a" {
+		t.Errorf("FamilyNames = %v, want [b_total a]", got)
+	}
+}
+
+// TestFuncGauges checks the multi-label callback gauge family used for
+// SLO burn rates.
+func TestFuncGauges(t *testing.T) {
+	g := NewFuncGauges("app_burn_rate", "Burn rate.")
+	g.Add([][2]string{{"endpoint", "/v1/schedule"}, {"window", "5m"}}, func() float64 { return 2.5 })
+	g.Add([][2]string{{"endpoint", "/v1/schedule"}, {"window", "1h"}}, func() float64 { return 0.5 })
+	r := NewRegistry()
+	r.Register(g)
+	var b bytes.Buffer
+	r.WriteText(&b)
+	page := b.String()
+	for _, want := range []string{
+		"# TYPE app_burn_rate gauge\n",
+		`app_burn_rate{endpoint="/v1/schedule",window="5m"} 2.5` + "\n",
+		`app_burn_rate{endpoint="/v1/schedule",window="1h"} 0.5` + "\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q in:\n%s", want, page)
+		}
+	}
+	parseExposition(t, page)
+}

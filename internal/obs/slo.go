@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WindowedRatio is the counting substrate for SLO burn rates: a ring of
+// time-bucketed good/bad counters that can answer "what fraction of
+// requests were bad over the last W?" for any window the ring covers.
+// Recording is wait-free atomic arithmetic (zero-allocation); summing
+// happens at scrape time.
+//
+// Buckets are reused in place: a recorder that lands on a bucket from an
+// older epoch claims it with a CAS and zeroes the counts. A sample racing
+// that reset within the same nanosecond-scale window can be attributed to
+// the wrong epoch or dropped; burn rates are statistical monitoring
+// signals, and the error is bounded by one sample per bucket turnover.
+type WindowedRatio struct {
+	bucketNS int64
+	buckets  []ratioBucket
+}
+
+type ratioBucket struct {
+	epoch atomic.Int64 // bucket index since the unix epoch; 0 = never used
+	total atomic.Int64
+	bad   atomic.Int64
+}
+
+// NewWindowedRatio returns a ring of n buckets of the given width. The
+// ring answers windows up to (n-1)*bucket wide; wider queries saturate at
+// what the ring retains.
+func NewWindowedRatio(bucket time.Duration, n int) *WindowedRatio {
+	if bucket <= 0 || n < 2 {
+		panic("obs: WindowedRatio needs bucket > 0 and n >= 2")
+	}
+	return &WindowedRatio{bucketNS: bucket.Nanoseconds(), buckets: make([]ratioBucket, n)}
+}
+
+// Record counts one request at nowNS (unix ns), bad or good.
+func (r *WindowedRatio) Record(bad bool, nowNS int64) {
+	epoch := nowNS / r.bucketNS
+	b := &r.buckets[epoch%int64(len(r.buckets))]
+	if old := b.epoch.Load(); old != epoch {
+		if b.epoch.CompareAndSwap(old, epoch) {
+			b.total.Store(0)
+			b.bad.Store(0)
+		}
+	}
+	b.total.Add(1)
+	if bad {
+		b.bad.Add(1)
+	}
+}
+
+// Counts sums the buckets inside the window ending at nowNS and returns
+// (bad, total).
+func (r *WindowedRatio) Counts(window time.Duration, nowNS int64) (bad, total int64) {
+	nowEpoch := nowNS / r.bucketNS
+	k := window.Nanoseconds() / r.bucketNS
+	if k < 1 {
+		k = 1
+	}
+	if max := int64(len(r.buckets)) - 1; k > max {
+		k = max
+	}
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		e := b.epoch.Load()
+		if e > nowEpoch-k && e <= nowEpoch {
+			total += b.total.Load()
+			bad += b.bad.Load()
+		}
+	}
+	return bad, total
+}
+
+// BurnRate returns the SLO burn rate over the window: the observed bad
+// fraction divided by the error budget (1 - objective), where objective
+// is the target good fraction (e.g. 0.999). A burn rate of 1 spends the
+// budget exactly; above 1 the budget is burning. Returns 0 when the
+// window saw no traffic.
+func (r *WindowedRatio) BurnRate(window time.Duration, objective float64, nowNS int64) float64 {
+	bad, total := r.Counts(window, nowNS)
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (float64(bad) / float64(total)) / budget
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWindowedRatioCounts drives a ring with a synthetic clock and checks
+// window sums as buckets age out.
+func TestWindowedRatioCounts(t *testing.T) {
+	r := NewWindowedRatio(time.Minute, 8)
+	base := int64(1_000_000 * time.Minute) // arbitrary epoch-aligned origin
+	min := func(i int64) int64 { return base + i*time.Minute.Nanoseconds() }
+
+	// Minute 0: 10 requests, 2 bad. Minute 1: 5 requests, all good.
+	for i := 0; i < 10; i++ {
+		r.Record(i < 2, min(0))
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(false, min(1))
+	}
+	if bad, total := r.Counts(2*time.Minute, min(1)); bad != 2 || total != 15 {
+		t.Errorf("2m window = %d/%d, want 2/15", bad, total)
+	}
+	// One minute later, a 1-minute window sees only minute 1.
+	if bad, total := r.Counts(time.Minute, min(1)); bad != 0 || total != 5 {
+		t.Errorf("1m window = %d/%d, want 0/5", bad, total)
+	}
+	// Far in the future every bucket has aged out.
+	if _, total := r.Counts(2*time.Minute, min(100)); total != 0 {
+		t.Errorf("aged-out window total = %d, want 0", total)
+	}
+	// The ring reuses slots: writing at minute 8 lands on minute 0's slot.
+	r.Record(true, min(8))
+	if bad, total := r.Counts(time.Minute, min(8)); bad != 1 || total != 1 {
+		t.Errorf("reused bucket = %d/%d, want 1/1", bad, total)
+	}
+}
+
+// TestWindowedRatioBurnRate checks the budget arithmetic: bad fraction
+// over error budget.
+func TestWindowedRatioBurnRate(t *testing.T) {
+	r := NewWindowedRatio(time.Minute, 8)
+	now := int64(500 * time.Hour)
+	// 1% bad against a 99.9% objective: burn rate 10.
+	for i := 0; i < 1000; i++ {
+		r.Record(i < 10, now)
+	}
+	if got := r.BurnRate(5*time.Minute, 0.999, now); got < 9.99 || got > 10.01 {
+		t.Errorf("burn rate = %v, want 10", got)
+	}
+	// No traffic: burn rate 0, not NaN.
+	empty := NewWindowedRatio(time.Minute, 8)
+	if got := empty.BurnRate(5*time.Minute, 0.999, now); got != 0 {
+		t.Errorf("empty burn rate = %v, want 0", got)
+	}
+	// A 100% objective must not divide by zero.
+	if got := r.BurnRate(5*time.Minute, 1.0, now); got <= 0 {
+		t.Errorf("objective=1 burn rate = %v, want > 0", got)
+	}
+}
+
+// TestWindowedRatioConcurrent is the -race proof of the bucket protocol:
+// concurrent recorders across bucket turnovers plus a concurrent reader.
+func TestWindowedRatioConcurrent(t *testing.T) {
+	r := NewWindowedRatio(time.Millisecond, 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Record(i%7 == 0, time.Now().UnixNano())
+			}
+		}(w)
+	}
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Counts(5*time.Millisecond, time.Now().UnixNano())
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+}

@@ -93,6 +93,40 @@ func (t *Trace) SetValue(id int, v int64) {
 	t.mu.Unlock()
 }
 
+// AppendFlightSpans appends the recorded spans to dst in recording order,
+// flat with explicit parent indices — the form the flight recorder's ring
+// slots store, chosen so a warm slot reuses its backing array and the
+// copy allocates nothing. At most max spans are copied (a deep candidate
+// fan-out cannot blow up a ring slot); open spans are closed at the
+// current instant. Safe on nil (returns dst unchanged).
+func (t *Trace) AppendFlightSpans(dst []FlightSpan, max int) []FlightSpan {
+	if t == nil {
+		return dst
+	}
+	now := time.Since(t.t0).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.spans)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		sp := &t.spans[i]
+		end := sp.end
+		if end < 0 {
+			end = now
+		}
+		dst = append(dst, FlightSpan{
+			Name:    sp.name,
+			Parent:  sp.parent,
+			StartUS: float64(sp.start) / 1e3,
+			DurUS:   float64(end-sp.start) / 1e3,
+			Value:   sp.value,
+		})
+	}
+	return dst
+}
+
 // SpanNode is the wire form of one span: offsets and durations in
 // microseconds from the start of the trace, nested children in recording
 // order.

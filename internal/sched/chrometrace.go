@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"treesched/internal/tree"
+)
+
+// WriteChromeTrace emits the schedule in Chrome Trace Event Format JSON —
+// the format Perfetto (ui.perfetto.dev) and chrome://tracing open
+// natively. The timeline is the same event stream the simulator replays
+// (fillEvents order): one track (tid) per processor carrying a complete
+// event per task, plus a counter track plotting resident memory against
+// the cap, so the memory/makespan trade-off the schedulers negotiate is
+// visible as a curve over time rather than a scalar.
+//
+// One unit of schedule time is rendered as one microsecond: the Trace
+// Event Format requires integer-friendly microsecond timestamps and the
+// paper's work units are dimensionless, so the mapping is lossless for
+// display purposes.
+//
+// The output is byte-stable for a given (tree, schedule, options): events
+// are emitted in deterministic order (metadata, then tasks by node id,
+// then memory samples in event-time order) with a fixed float format —
+// the property the golden-file test pins.
+type ChromeTraceOptions struct {
+	// Name labels the process track; defaults to "treesched".
+	Name string
+	// MemCap, when > 0, adds a constant "cap" series to the memory
+	// counter track so budget headroom is visible.
+	MemCap int64
+}
+
+// ctFloat renders a float the way the golden file expects: shortest
+// round-trip form (matches the obs exposition format).
+func ctFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteChromeTrace writes t's schedule s as Trace Event Format JSON.
+func WriteChromeTrace(w io.Writer, t *tree.Tree, s *Schedule, opts ChromeTraceOptions) error {
+	if len(s.Start) != t.Len() || len(s.Proc) != t.Len() {
+		return fmt.Errorf("chrometrace: schedule covers %d nodes, tree has %d", len(s.Start), t.Len())
+	}
+	name := opts.Name
+	if name == "" {
+		name = "treesched"
+	}
+	bw := NewChromeTraceWriter(w)
+	bw.Open()
+	bw.Meta(0, "process_name", name)
+	for p := 0; p < s.P; p++ {
+		label := fmt.Sprintf("P%d", p)
+		if s.M != nil && !s.M.IsUniform() {
+			label = fmt.Sprintf("P%d (speed %s)", p, ctFloat(s.M.Speed(p)))
+		}
+		bw.Meta(p, "thread_name", label)
+	}
+	for v := 0; v < t.Len(); v++ {
+		bw.Task(s.Proc[v], strconv.Itoa(v), s.Start[v], s.Dur(t, v),
+			fmt.Sprintf(`{"node":%d,"w":%s,"n":%d,"f":%d}`, v, ctFloat(t.W(v)), t.N(v), t.F(v)))
+	}
+	times, mem := MemoryTrace(t, s)
+	for i := range times {
+		bw.Memory(times[i], mem[i], opts.MemCap)
+	}
+	return bw.Close()
+}
+
+// ChromeTraceWriter assembles the Trace Event Format envelope: an object
+// holding a traceEvents array, one event per line so diffs of golden
+// files stay readable. Shared by the single-schedule renderer above and
+// the forest package's one-track-per-job renderer.
+type ChromeTraceWriter struct {
+	w     io.Writer
+	err   error
+	first bool
+}
+
+// NewChromeTraceWriter returns a writer ready for Open.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter {
+	return &ChromeTraceWriter{w: w, first: true}
+}
+
+func (c *ChromeTraceWriter) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+// Open writes the envelope prefix.
+func (c *ChromeTraceWriter) Open() { c.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n") }
+
+// Close writes the envelope suffix and returns the first write error.
+func (c *ChromeTraceWriter) Close() error {
+	c.printf("\n]}\n")
+	return c.err
+}
+
+func (c *ChromeTraceWriter) event(body string) {
+	if c.first {
+		c.printf("%s", body)
+		c.first = false
+		return
+	}
+	c.printf(",\n%s", body)
+}
+
+// Meta emits a metadata event naming a process or thread track.
+func (c *ChromeTraceWriter) Meta(tid int, kind, name string) {
+	c.event(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":%q,"args":{"name":%q}}`, tid, kind, name))
+}
+
+// Task emits a complete ("X") event on track tid.
+func (c *ChromeTraceWriter) Task(tid int, name string, start, dur float64, args string) {
+	c.event(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"name":%q,"ts":%s,"dur":%s,"args":%s}`,
+		tid, name, ctFloat(start), ctFloat(dur), args))
+}
+
+// Memory emits a counter ("C") sample of resident memory, with a constant
+// cap series when cap > 0.
+func (c *ChromeTraceWriter) Memory(ts float64, resident, cap int64) {
+	if cap > 0 {
+		c.event(fmt.Sprintf(`{"ph":"C","pid":0,"tid":0,"name":"memory","ts":%s,"args":{"resident":%d,"cap":%d}}`,
+			ctFloat(ts), resident, cap))
+		return
+	}
+	c.event(fmt.Sprintf(`{"ph":"C","pid":0,"tid":0,"name":"memory","ts":%s,"args":{"resident":%d}}`,
+		ctFloat(ts), resident))
+}

@@ -11,6 +11,7 @@ import (
 
 	"treesched/internal/forest"
 	"treesched/internal/machine"
+	"treesched/internal/obs"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -44,17 +45,39 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 	rid := s.requestID()
 	s.metrics.reqForest.Inc()
 	w.Header().Set("X-Request-Id", rid)
+	tr := obs.AcquireTrace()
+	finish := func(status int, errMsg, errKind string, res *forest.Result) {
+		elapsed := time.Since(start)
+		s.metrics.latForest.ObserveExemplar(elapsed.Nanoseconds(), rid)
+		info := obs.FlightInfo{
+			RequestID: rid, Endpoint: epForest, Status: status,
+			Duration: elapsed, Error: errMsg, ErrorKind: errKind,
+		}
+		if res != nil {
+			info.Nodes = res.Summary.Jobs
+		}
+		s.metrics.recordOutcome(info, tr)
+		tr.Release()
+		s.logRequest(rid, epForest, status, elapsed, errMsg)
+	}
 	cfg, err := forestConfigFromQuery(r.URL.Query(), s.cfg.MaxProcs)
 	if err != nil {
 		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, err.Error())
-		s.metrics.latForest.Observe(time.Since(start).Nanoseconds())
-		s.logRequest(rid, epForest, http.StatusBadRequest, time.Since(start), err.Error())
+		finish(http.StatusBadRequest, err.Error(), errKindDecode, nil)
 		return
 	}
+	// The engine records plan/simulate spans (with one child per planned
+	// job) into the request trace; ?trace=1 additionally attaches the
+	// materialized tree to the trailing summary line. Either way the
+	// flight recorder retains the spans of kept forest requests.
+	attachTrace := traceWanted(r)
+	cfg.Trace = tr
+	cfg.TraceParent = obs.RootSpan
 	type outcome struct {
-		status int
-		errMsg string
-		res    *forest.Result
+		status  int
+		errMsg  string
+		errKind string
+		res     *forest.Result
 	}
 	ch := make(chan outcome, 1)
 	// The pool worker does all CPU work — trace decode, per-job planning,
@@ -66,7 +89,8 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 				if rec := recover(); rec != nil {
 					s.metrics.errInternal.Inc()
 					out = outcome{status: http.StatusInternalServerError,
-						errMsg: fmt.Sprintf("internal error: panic during forest run: %v", rec)}
+						errMsg:  fmt.Sprintf("internal error: panic during forest run: %v", rec),
+						errKind: errKindInternal}
 				}
 			}()
 			// MaxBodyBytes bounds the whole trace (like /v1/schedule's
@@ -74,32 +98,35 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 			// MaxForestJobs × MaxNodes of memory regardless of how the
 			// per-job limits multiply out.
 			body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			did := tr.Start("decode", obs.RootSpan)
 			jobs, err := forest.DecodeTrace(body, forest.DecodeLimits{
 				MaxJobs:      s.cfg.MaxForestJobs,
 				MaxNodes:     s.cfg.MaxNodes,
 				MaxLineBytes: s.cfg.MaxBodyBytes,
 			})
+			tr.SetValue(did, int64(len(jobs)))
+			tr.End(did)
 			if err != nil {
-				status := http.StatusBadRequest
+				status, kind := http.StatusBadRequest, errKindDecode
 				var tooLarge *http.MaxBytesError
 				if errors.Is(err, forest.ErrTraceTooLarge) || errors.Is(err, tree.ErrTooLarge) || errors.As(err, &tooLarge) {
-					status = http.StatusRequestEntityTooLarge
+					status, kind = http.StatusRequestEntityTooLarge, errKindLimit
 					s.metrics.errLimit.Inc()
 				} else {
 					s.metrics.errDecode.Inc()
 				}
-				return outcome{status: status, errMsg: err.Error()}
+				return outcome{status: status, errMsg: err.Error(), errKind: kind}
 			}
 			res, err := forest.Run(r.Context(), jobs, cfg)
 			if err != nil {
-				status := http.StatusInternalServerError
+				status, kind := http.StatusInternalServerError, errKindInternal
 				if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-					status = http.StatusBadRequest
+					status, kind = http.StatusBadRequest, errKindCancelled
 					s.metrics.errCancelled.Inc()
 				} else {
 					s.metrics.errInternal.Inc()
 				}
-				return outcome{status: status, errMsg: err.Error()}
+				return outcome{status: status, errMsg: err.Error(), errKind: kind}
 			}
 			s.metrics.forestJobs.Add(int64(res.Summary.Jobs))
 			s.metrics.forestRejected.Add(int64(res.Summary.Rejected))
@@ -110,19 +137,23 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 	})
 	out := <-ch
 	if out.errMsg != "" {
-		writeJSON(w, out.status, Response{Error: out.errMsg})
+		writeJSON(w, out.status, Response{RequestID: rid, Error: out.errMsg})
 	} else {
-		writeForestNDJSON(w, out.res)
+		var spans *obs.SpanNode
+		if attachTrace {
+			spans = tr.Tree()
+		}
+		writeForestNDJSON(w, out.res, spans)
 	}
-	elapsed := time.Since(start)
-	s.metrics.latForest.Observe(elapsed.Nanoseconds())
-	s.logRequest(rid, epForest, out.status, elapsed, out.errMsg)
+	finish(out.status, out.errMsg, out.errKind, out.res)
 }
 
 // writeForestNDJSON streams the per-job results and the trailing summary
-// line. Results are bounded by MaxForestJobs, so they are encoded from
-// the materialized Result rather than pipelined.
-func writeForestNDJSON(w http.ResponseWriter, res *forest.Result) {
+// line; a non-nil trace rides on the summary line (the trace covers the
+// whole run, so it belongs to the run-level line, not any job's). Results
+// are bounded by MaxForestJobs, so they are encoded from the materialized
+// Result rather than pipelined.
+func writeForestNDJSON(w http.ResponseWriter, res *forest.Result, trace *obs.SpanNode) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -133,7 +164,8 @@ func writeForestNDJSON(w http.ResponseWriter, res *forest.Result) {
 	}
 	enc.Encode(struct {
 		Summary *forest.Summary `json:"summary"`
-	}{&res.Summary})
+		Trace   *obs.SpanNode   `json:"trace,omitempty"`
+	}{&res.Summary, trace})
 }
 
 // forestConfigFromQuery builds the engine config from the request's query

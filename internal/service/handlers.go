@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -31,7 +34,17 @@ func (s *Server) rejectJSON(w http.ResponseWriter, status int, kind *obs.Counter
 // traceWanted reports whether the request opted into span tracing via
 // ?trace=1.
 func traceWanted(r *http.Request) bool {
-	v := r.URL.Query().Get("trace")
+	return boolParam(r, "trace")
+}
+
+// timelineWanted reports whether the request asked for a Perfetto
+// timeline of the winning schedule via ?timeline=1.
+func timelineWanted(r *http.Request) bool {
+	return boolParam(r, "timeline")
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
 	return v == "1" || v == "true"
 }
 
@@ -59,44 +72,52 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 // handleOne is the shared single-request path: the handler goroutine only
 // does I/O; parsing, validation, hashing and scheduling run on the bounded
 // worker pool. With ?trace=1 the response carries the request's span tree
-// in the trace field.
+// in the trace field; with ?timeline=1 it carries the winning schedule as
+// Chrome-trace JSON. Every request is traced into the pooled span recorder
+// regardless — the flight recorder retains the spans of kept requests —
+// and finishes through the shared outcome bookkeeping (latency exemplar,
+// flight record, SLO classification).
 func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfolio bool, endpoint string, lat *obs.Histogram) {
 	start := time.Now()
 	rid := s.requestID()
 	w.Header().Set("X-Request-Id", rid)
-	finish := func(status int, errMsg string) {
+	tr := obs.AcquireTrace()
+	finish := func(status int, resp *Response) {
 		elapsed := time.Since(start)
-		lat.Observe(elapsed.Nanoseconds())
-		s.logRequest(rid, endpoint, status, elapsed, errMsg)
+		lat.ObserveExemplar(elapsed.Nanoseconds(), rid)
+		s.metrics.recordOutcome(flightInfoFor(rid, endpoint, status, elapsed, resp), tr)
+		tr.Release()
+		s.logRequest(rid, endpoint, status, elapsed, resp.Error)
+	}
+	reject := func(status int, kind *obs.Counter, kindName, msg string) {
+		kind.Inc()
+		resp := &Response{RequestID: rid, Error: msg, errKind: kindName}
+		writeJSON(w, status, resp)
+		finish(status, resp)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.rejectJSON(w, http.StatusRequestEntityTooLarge, s.metrics.errLimit, "request body exceeds limit")
-			finish(http.StatusRequestEntityTooLarge, "request body exceeds limit")
+			reject(http.StatusRequestEntityTooLarge, s.metrics.errLimit, errKindLimit, "request body exceeds limit")
 			return
 		}
-		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, "reading request body: "+err.Error())
-		finish(http.StatusBadRequest, err.Error())
+		reject(http.StatusBadRequest, s.metrics.errDecode, errKindDecode, "reading request body: "+err.Error())
 		return
 	}
-	var tr *obs.Trace
-	if traceWanted(r) {
-		tr = obs.AcquireTrace()
-	}
+	attachTrace, timeline := traceWanted(r), timelineWanted(r)
 	type outcome struct {
 		status int
 		resp   *Response
 	}
 	ch := make(chan outcome, 1)
 	s.submit(func() {
-		status, resp := s.answerBytes(r.Context(), body, forcePortfolio, tr)
+		status, resp := s.answerBytes(r.Context(), body, forcePortfolio, tr, attachTrace, timeline, rid)
 		ch <- outcome{status, resp}
 	})
 	out := <-ch
 	writeJSON(w, out.status, out.resp)
-	finish(out.status, out.resp.Error)
+	finish(out.status, out.resp)
 }
 
 // handleBatch answers POST /v1/schedule/batch: NDJSON in, NDJSON out, one
@@ -146,9 +167,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case <-ctx.Done(): // client disconnected while we waited
 				return
 			}
-			lines.Add(1)
+			lineRid := rid + "." + strconv.FormatInt(lines.Add(1), 10)
 			s.submit(func() {
-				ch <- s.answerLine(ctx, line)
+				ch <- s.answerLine(ctx, line, lineRid)
 			})
 		}
 		if err := sc.Err(); err != nil {
@@ -187,7 +208,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	elapsed := time.Since(start)
-	s.metrics.latBatch.Observe(elapsed.Nanoseconds())
+	s.metrics.latBatch.ObserveExemplar(elapsed.Nanoseconds(), rid)
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("request",
 			"request_id", rid, "endpoint", epBatch, "status", http.StatusOK,
@@ -203,9 +224,16 @@ const batchWriteTimeout = 2 * time.Minute
 // answerLine answers one batch line; it is answerBytes without the HTTP
 // status (batch lines carry errors in the response body, not the status).
 // Portfolio mode is per-line: a line with an objective (or Auto) races,
-// plain lines schedule sequentially.
-func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
-	_, resp := s.answerBytes(ctx, line, false, nil)
+// plain lines schedule sequentially. Each line is its own observable
+// request: it gets a derived request id ("<batch-id>.<line>", echoed in
+// the NDJSON result line), its own flight-recorder entry with stage
+// spans, and its own SLO classification against the batch endpoint.
+func (s *Server) answerLine(ctx context.Context, line []byte, lineRid string) *Response {
+	start := time.Now()
+	tr := obs.AcquireTrace()
+	status, resp := s.answerBytes(ctx, line, false, tr, false, false, lineRid)
+	s.metrics.recordOutcome(flightInfoFor(lineRid, epBatch, status, time.Since(start), resp), tr)
+	tr.Release()
 	return resp
 }
 
@@ -216,33 +244,35 @@ func (s *Server) answerLine(ctx context.Context, line []byte) *Response {
 // — is recover-protected here; a panic must cost one request, not the
 // daemon.
 //
-// A non-nil tr records the request's stage spans; the deferred block
-// attaches the materialized span tree to a shallow copy of the response
-// (never to the response itself — the cache shares response objects
-// across requests, and a trace belongs to exactly one) and returns the
-// trace to the pool.
-func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool, tr *obs.Trace) (status int, resp *Response) {
+// tr records the request's stage spans; the caller still owns it — it
+// hands the trace to the flight recorder after the response is written,
+// then releases it. The deferred block stamps the request id and, when
+// attachTrace is set, the materialized span tree onto a shallow copy of
+// the response (never onto the response itself — the cache shares
+// response objects across requests, and an id or trace belongs to exactly
+// one).
+func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool, tr *obs.Trace, attachTrace, timeline bool, rid string) (status int, resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.errInternal.Inc()
 			status = http.StatusInternalServerError
-			resp = &Response{Error: fmt.Sprintf("internal error: panic handling request: %v", r)}
+			resp = &Response{Error: fmt.Sprintf("internal error: panic handling request: %v", r), errKind: errKindInternal}
 		}
-		if tr != nil {
-			if resp != nil {
+		if resp != nil {
+			r2 := *resp
+			r2.RequestID = rid
+			if attachTrace && tr != nil {
 				// Left open on purpose: Tree() closes it at materialization
 				// time, so the encode span covers building the wire response.
 				tr.Start("encode", obs.RootSpan)
-				r2 := *resp
 				r2.Trace = tr.Tree()
-				resp = &r2
 			}
-			tr.Release()
+			resp = &r2
 		}
 	}()
 	if ctx.Err() != nil {
 		s.metrics.errCancelled.Inc()
-		return http.StatusBadRequest, &Response{Error: "request canceled"}
+		return http.StatusBadRequest, &Response{Error: "request canceled", errKind: errKindCancelled}
 	}
 	var req Request
 	did := tr.Start("decode", obs.RootSpan)
@@ -252,46 +282,115 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio boo
 		s.metrics.errDecode.Inc()
 		// req.ID is echoed best-effort: it is populated whenever the id
 		// field was decoded before the failure.
-		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error()}
+		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error(), errKind: errKindDecode}
 	}
 	j, err := s.prepare(req, forcePortfolio, tr)
 	if err != nil {
 		st := http.StatusBadRequest
+		kind := errKindDecode
 		var re *requestError
 		if errors.As(err, &re) {
 			st = re.status
 		}
 		if st == http.StatusRequestEntityTooLarge {
 			s.metrics.errLimit.Inc()
+			kind = errKindLimit
 		} else {
 			s.metrics.errDecode.Inc()
 		}
-		return st, &Response{ID: req.ID, Error: err.Error()}
+		return st, &Response{ID: req.ID, Error: err.Error(), errKind: kind}
 	}
-	s.metrics.treeNodes.Observe(int64(j.tree.Len()))
+	s.metrics.treeNodes.ObserveExemplar(int64(j.tree.Len()), rid)
 	j.trace = tr
-	cid := tr.Start("cache", obs.RootSpan)
-	cresp, ok := s.cached(j)
-	tr.End(cid)
-	if ok {
-		return http.StatusOK, cresp
+	j.timeline = timeline
+	if !timeline {
+		cid := tr.Start("cache", obs.RootSpan)
+		cresp, ok := s.cached(j)
+		tr.End(cid)
+		if ok {
+			return http.StatusOK, cresp
+		}
 	}
 	return http.StatusOK, s.answerJob(ctx, j)
 }
 
-// handleHealthz answers GET /healthz.
+// handleHealthz answers GET /healthz. With SLOs configured the probe
+// reports each objective's multi-window burn rates; any SLO burning in
+// both windows degrades the reported status (the HTTP status stays 200 —
+// the process is alive, the budget is what's suffering).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"workers":        s.cfg.Workers,
-	})
+	}
+	if len(s.metrics.slos) > 0 {
+		nowNS := time.Now().UnixNano()
+		rows := make([]sloHealth, 0, len(s.metrics.slos))
+		for _, ep := range sortedSLOEndpoints(s.metrics.slos) {
+			st := s.metrics.slos[ep]
+			short, long, burning := st.burning(nowNS)
+			rows = append(rows, sloHealth{
+				Endpoint:   ep,
+				Objective:  st.slo.Objective,
+				LatencyMS:  float64(st.slo.Latency) / float64(time.Millisecond),
+				BurnRate5m: short,
+				BurnRate1h: long,
+				Burning:    burning,
+			})
+			if burning {
+				body["status"] = "degraded"
+			}
+		}
+		body["slos"] = rows
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func sortedSLOEndpoints(slos map[string]*sloState) []string {
+	eps := make([]string, 0, len(slos))
+	for ep := range slos {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	return eps
 }
 
 // handleMetrics answers GET /metrics: every family — counters, gauges,
 // histograms — flows through the one obs registry writer, so each family
-// has exactly one HELP/TYPE header and one format.
+// has exactly one HELP/TYPE header and one format. Clients that accept
+// the OpenMetrics media type (Prometheus with exemplar scraping on) get
+// OpenMetrics 1.0 — same families, `# EOF` terminator, and exemplars on
+// histogram bucket lines; everyone else gets classic text 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.metrics.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.reg.WriteText(w)
+}
+
+// acceptsOpenMetrics reports whether the Accept header asks for the
+// OpenMetrics exposition format. Plain substring matching suffices: the
+// only clients sending the media type are scrapers that prefer it.
+func acceptsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleFlight answers GET /debug/flight: the flight recorder's retained
+// entries, newest first, each with its outcome summary and stage spans.
+// ?dump=1 additionally writes every entry through the structured logger
+// (oldest first), putting the ring's contents into the log stream for
+// postmortems collected off-box.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if boolParam(r, "dump") && s.cfg.Logger != nil {
+		s.metrics.flight.Dump(s.cfg.Logger)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seen":    s.metrics.flight.Seen(),
+		"kept":    s.metrics.flight.Kept(),
+		"entries": s.metrics.flight.Snapshot(),
+	})
 }

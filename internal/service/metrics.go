@@ -45,6 +45,11 @@ type serverMetrics struct {
 
 	wins    *obs.CounterVec
 	candDur *obs.HistogramVec
+
+	// flight is the tail-sampling ring behind GET /debug/flight; slos
+	// holds one burn-rate tracker per configured endpoint objective.
+	flight *obs.FlightRecorder
+	slos   map[string]*sloState
 }
 
 // Endpoint paths, used as the label values of per-endpoint families.
@@ -116,6 +121,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	durBounds := obs.ExpBuckets(100_000, 4, 16)
 	m.latency = obs.NewHistogramVec("treeschedd_request_duration_seconds",
 		"Request latency per endpoint.", "endpoint", 1e-9, durBounds)
+	// Exemplars tie the worst observation per bucket window back to its
+	// request id, which GET /debug/flight resolves to a full trace.
+	m.latency.EnableExemplars(obs.DefaultExemplarWindow)
 	m.latSchedule = m.latency.With(epSchedule)
 	m.latBatch = m.latency.With(epBatch)
 	m.latPortfolio = m.latency.With(epPortfolio)
@@ -124,6 +132,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Time jobs wait for a pool worker.", 1e-9, durBounds)
 	m.treeNodes = obs.NewHistogram("treeschedd_tree_nodes",
 		"Tree sizes of prepared requests, in nodes.", 1, obs.ExpBuckets(1, 4, 12))
+	m.treeNodes.EnableExemplars(obs.DefaultExemplarWindow)
 	m.peakMemory = obs.NewHistogram("treeschedd_peak_memory_units",
 		"Simulated peak memory of produced schedules, in task-graph memory units.",
 		1, obs.ExpBuckets(1, 8, 14))
@@ -158,6 +167,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Build information; the labels carry the values.",
 		[][2]string{{"version", buildVersion()}, {"go", runtime.Version()}}, 1)
 
+	m.flight = obs.NewFlightRecorder(s.cfg.FlightSize, s.cfg.FlightSlow, s.cfg.FlightSampleEvery)
+	flightSeen := obs.NewFuncCounter("treeschedd_flight_seen_total",
+		"Requests offered to the flight recorder.", func() float64 {
+			return float64(m.flight.Seen())
+		})
+	flightKept := obs.NewFuncCounter("treeschedd_flight_kept_total",
+		"Requests retained by the flight recorder (errors, slow requests, 1-in-N sample).",
+		func() float64 {
+			return float64(m.flight.Kept())
+		})
+
 	m.reg.Register(
 		m.requests, m.forestJobs, m.forestRejected, m.trees,
 		m.cacheHits, m.cacheMisses, cacheRatio, cacheEntries, inflight,
@@ -165,8 +185,46 @@ func newServerMetrics(s *Server) *serverMetrics {
 		m.latency, m.queueWait, m.treeNodes, m.peakMemory,
 		m.wins, m.candDur, m.forestRounds, m.forestBookRej,
 		goroutines, heap, gcPause, buildInfo,
+		flightSeen, flightKept,
 	)
+	m.slos = newSLOStates(s.cfg.SLOs, m.reg)
 	return m
+}
+
+// recordOutcome is the shared end-of-request bookkeeping: the flight
+// recorder gets the outcome with its span tree, and the endpoint's SLO
+// (when configured) classifies it. tr may be nil (no spans retained).
+func (m *serverMetrics) recordOutcome(info obs.FlightInfo, tr *obs.Trace) {
+	m.flight.Record(info, tr)
+	if st := m.slos[info.Endpoint]; st != nil {
+		st.record(info.Status, info.Duration)
+	}
+}
+
+// flightInfoFor summarizes one finished single-request outcome for the
+// flight recorder. resp may be nil (nothing was produced).
+func flightInfoFor(rid, endpoint string, status int, elapsed time.Duration, resp *Response) obs.FlightInfo {
+	info := obs.FlightInfo{
+		RequestID: rid,
+		Endpoint:  endpoint,
+		Status:    status,
+		Duration:  elapsed,
+	}
+	if resp == nil {
+		return info
+	}
+	info.Error = resp.Error
+	info.ErrorKind = resp.errKind
+	info.Cached = resp.Cached
+	info.Machine = resp.Machine
+	info.Nodes = resp.Nodes
+	switch {
+	case resp.Winner != nil:
+		info.Heuristic = resp.Winner.String()
+	case len(resp.Results) == 1:
+		info.Heuristic = resp.Results[0].Heuristic.String()
+	}
+	return info
 }
 
 // buildVersion resolves the module version baked into the binary;

@@ -329,13 +329,22 @@ func TestTraceBatchAndLogs(t *testing.T) {
 	}
 }
 
-// TestDebugHandlerServesPprof checks the opt-in pprof mux.
+// TestDebugHandlerServesPprof checks the opt-in debug mux: pprof plus the
+// flight recorder.
 func TestDebugHandlerServesPprof(t *testing.T) {
-	dh := DebugHandler()
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	dh := s.DebugHandler()
 	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
 	rec := httptest.NewRecorder()
 	dh.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
 		t.Fatalf("pprof index: %d\n%s", rec.Code, rec.Body.String())
+	}
+	req = httptest.NewRequest(http.MethodGet, "/debug/flight", nil)
+	rec = httptest.NewRecorder()
+	dh.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"entries"`) {
+		t.Fatalf("debug flight: %d\n%s", rec.Code, rec.Body.String())
 	}
 }

@@ -66,6 +66,11 @@ const (
 	// oracle-sized trees, small enough that a pool worker answers in
 	// well under a second even when the proof does not close.
 	DefaultExactNodes = 200_000
+	// Flight recorder defaults: retain up to 256 requests, always keep
+	// anything slower than 250ms or failed, and 1 in 16 of the rest.
+	DefaultFlightSize        = 256
+	DefaultFlightSlow        = 250 * time.Millisecond
+	DefaultFlightSampleEvery = 16
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -93,8 +98,24 @@ type Config struct {
 	// wire field: budgets shape response latency, and a fixed budget
 	// keeps the response cache coherent. Default: DefaultExactNodes.
 	ExactNodes int64
+	// SLOs are the per-endpoint service-level objectives: each one adds
+	// the treeschedd_slo_* families for its endpoint and a burn-rate row
+	// to /healthz. Empty disables the SLO layer.
+	SLOs []SLO
+	// FlightSize is the flight recorder's ring capacity in retained
+	// requests. Default: DefaultFlightSize.
+	FlightSize int
+	// FlightSlow is the latency above which the flight recorder always
+	// retains a request. Default: DefaultFlightSlow.
+	FlightSlow time.Duration
+	// FlightSampleEvery keeps one in N fast, successful requests as the
+	// recorder's baseline sample (1 keeps everything).
+	// Default: DefaultFlightSampleEvery.
+	FlightSampleEvery int
 	// Logger receives one structured record per request (request id,
 	// endpoint, status, duration, error). nil disables request logging.
+	// The flight recorder's on-demand dump (GET /debug/flight?dump=1)
+	// writes through it too.
 	Logger *slog.Logger
 }
 
@@ -119,6 +140,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ExactNodes <= 0 {
 		c.ExactNodes = DefaultExactNodes
+	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = DefaultFlightSize
+	}
+	if c.FlightSlow <= 0 {
+		c.FlightSlow = DefaultFlightSlow
+	}
+	if c.FlightSampleEvery <= 0 {
+		c.FlightSampleEvery = DefaultFlightSampleEvery
 	}
 	return c
 }
@@ -162,6 +192,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/forest", s.handleForest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return s
 }
 
@@ -174,6 +205,12 @@ func (s *Server) Close() { s.pool.close() }
 
 // Workers returns the size of the scheduling pool.
 func (s *Server) Workers() int { return s.cfg.Workers }
+
+// MetricFamilies returns the name of every registered metric family, in
+// exposition order. treeschedd -list-metrics prints this list; the CI
+// drift gate diffs it against a live /metrics scrape so no family can be
+// registered without being covered by the end-to-end snapshot.
+func (s *Server) MetricFamilies() []string { return s.metrics.reg.FamilyNames() }
 
 // submit hands f to the worker pool with the standard accounting: the job
 // counts as in-flight from enqueue to completion, and the time it spent
@@ -212,14 +249,18 @@ func (s *Server) logRequest(rid, endpoint string, status int, elapsed time.Durat
 }
 
 // DebugHandler returns the opt-in debug mux: the net/http/pprof endpoints
-// (/debug/pprof/...). It is a separate handler so profiling can be bound
-// to a loopback-only listener while the service handler faces traffic.
-func DebugHandler() http.Handler {
+// (/debug/pprof/...) plus the flight recorder (/debug/flight). It is a
+// separate handler so debugging can be bound to a loopback-only listener
+// while the service handler faces traffic; /debug/flight is additionally
+// mounted on the service handler itself, since retained traces are the
+// thing /metrics exemplars link to.
+func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
 }

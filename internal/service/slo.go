@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"treesched/internal/obs"
+)
+
+// An SLO is a per-endpoint service-level objective: at least Objective of
+// countable requests must be good, where a request is bad when it fails
+// server-side (status >= 500) or — when Latency is set — succeeds slower
+// than Latency. Client errors (4xx) count neither way: a client sending
+// garbage must not burn the server's error budget.
+type SLO struct {
+	// Endpoint is the path the objective applies to, e.g. "/v1/schedule".
+	Endpoint string
+	// Latency is the good-request latency threshold; 0 disables the
+	// latency criterion (availability-only SLO).
+	Latency time.Duration
+	// Objective is the target good fraction in (0, 1), e.g. 0.999.
+	Objective float64
+}
+
+// ParseSLO parses the flag form "endpoint:latency:objective", e.g.
+// "/v1/schedule:250ms:99.9". The latency is a Go duration ("0" disables
+// the latency criterion); the objective is a percentage when > 1 (99.9)
+// and a fraction otherwise (0.999).
+func ParseSLO(s string) (SLO, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return SLO{}, fmt.Errorf("bad slo %q (want endpoint:latency:objective, e.g. /v1/schedule:250ms:99.9)", s)
+	}
+	rest, objStr := s[:i], s[i+1:]
+	j := strings.LastIndexByte(rest, ':')
+	if j < 0 {
+		return SLO{}, fmt.Errorf("bad slo %q (want endpoint:latency:objective, e.g. /v1/schedule:250ms:99.9)", s)
+	}
+	ep, latStr := rest[:j], rest[j+1:]
+	if ep == "" || !strings.HasPrefix(ep, "/") {
+		return SLO{}, fmt.Errorf("bad slo endpoint %q (want a path like /v1/schedule)", ep)
+	}
+	var lat time.Duration
+	if latStr != "0" && latStr != "" {
+		var err error
+		lat, err = time.ParseDuration(latStr)
+		if err != nil || lat < 0 {
+			return SLO{}, fmt.Errorf("bad slo latency %q: want a duration like 250ms", latStr)
+		}
+	}
+	obj, err := strconv.ParseFloat(objStr, 64)
+	if err != nil {
+		return SLO{}, fmt.Errorf("bad slo objective %q: %v", objStr, err)
+	}
+	if obj > 1 {
+		// "99.9" means 99.9%. Round away the division artifact so the
+		// objective gauge exports 0.999, not 0.9990000000000001.
+		obj = math.Round(obj/100*1e12) / 1e12
+	}
+	if !(obj > 0 && obj < 1) {
+		return SLO{}, fmt.Errorf("bad slo objective %q (want a fraction in (0,1) or a percentage in (0,100))", objStr)
+	}
+	return SLO{Endpoint: ep, Latency: lat, Objective: obj}, nil
+}
+
+// String renders the SLO in its flag form.
+func (o SLO) String() string {
+	return fmt.Sprintf("%s:%s:%g", o.Endpoint, o.Latency, o.Objective*100)
+}
+
+// Burn-rate windows. The short window reacts fast, the long one filters
+// blips: /healthz reports an SLO as burning only when both exceed 1
+// (the multiwindow alert pattern).
+const (
+	sloShortWindow = 5 * time.Minute
+	sloLongWindow  = time.Hour
+)
+
+// sloState is one SLO's runtime: the multi-window good/bad ring plus the
+// pre-resolved cumulative counters. The record path is lock-free.
+type sloState struct {
+	slo   SLO
+	ratio *obs.WindowedRatio
+	total *obs.Counter
+	bad   *obs.Counter
+}
+
+// record classifies one finished request against the objective.
+func (st *sloState) record(status int, elapsed time.Duration) {
+	if status >= 400 && status < 500 {
+		return // client errors are excluded from the budget
+	}
+	bad := status >= 500 || (st.slo.Latency > 0 && elapsed > st.slo.Latency)
+	st.ratio.Record(bad, time.Now().UnixNano())
+	st.total.Inc()
+	if bad {
+		st.bad.Inc()
+	}
+}
+
+// burning reports the multi-window burn rates and whether the SLO is
+// actively burning (both windows above rate 1, i.e. spending budget
+// faster than the objective allows).
+func (st *sloState) burning(nowNS int64) (short, long float64, burning bool) {
+	short = st.ratio.BurnRate(sloShortWindow, st.slo.Objective, nowNS)
+	long = st.ratio.BurnRate(sloLongWindow, st.slo.Objective, nowNS)
+	return short, long, short > 1 && long > 1
+}
+
+// sloHealth is one SLO's row in the /healthz report.
+type sloHealth struct {
+	Endpoint   string  `json:"endpoint"`
+	Objective  float64 `json:"objective"`
+	LatencyMS  float64 `json:"latency_threshold_ms,omitempty"`
+	BurnRate5m float64 `json:"burn_rate_5m"`
+	BurnRate1h float64 `json:"burn_rate_1h"`
+	Burning    bool    `json:"burning"`
+}
+
+// newSLOStates builds the per-endpoint states and registers the SLO
+// metric families on reg: cumulative request/bad counters, the constant
+// objective and threshold gauges, and the live multi-window burn rates.
+// The WindowedRatio ring (30s × 128 buckets = 64 min) covers the long
+// window with slack.
+func newSLOStates(slos []SLO, reg *obs.Registry) map[string]*sloState {
+	if len(slos) == 0 {
+		return nil
+	}
+	states := make(map[string]*sloState, len(slos))
+	total := obs.NewCounterVec("treeschedd_slo_requests_total",
+		"Requests counted against an SLO (4xx excluded).", "endpoint", false)
+	bad := obs.NewCounterVec("treeschedd_slo_bad_total",
+		"SLO-bad requests: 5xx, or slower than the latency threshold.", "endpoint", false)
+	objective := obs.NewFuncGauges("treeschedd_slo_objective",
+		"Configured SLO target (good fraction).")
+	threshold := obs.NewFuncGauges("treeschedd_slo_latency_threshold_seconds",
+		"Configured good-latency threshold (0 = availability-only SLO).")
+	burn := obs.NewFuncGauges("treeschedd_slo_burn_rate",
+		"Error-budget burn rate over the trailing window (>1 = burning).")
+	ordered := append([]SLO(nil), slos...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Endpoint < ordered[b].Endpoint })
+	for _, slo := range ordered {
+		st := &sloState{
+			slo:   slo,
+			ratio: obs.NewWindowedRatio(30*time.Second, 128),
+			total: total.With(slo.Endpoint),
+			bad:   bad.With(slo.Endpoint),
+		}
+		states[slo.Endpoint] = st
+		epLabel := [2]string{"endpoint", slo.Endpoint}
+		obj, lat := slo.Objective, slo.Latency.Seconds()
+		objective.Add([][2]string{epLabel}, func() float64 { return obj })
+		threshold.Add([][2]string{epLabel}, func() float64 { return lat })
+		for _, w := range []struct {
+			name string
+			d    time.Duration
+		}{{"5m", sloShortWindow}, {"1h", sloLongWindow}} {
+			win := w
+			burn.Add([][2]string{epLabel, {"window", win.name}}, func() float64 {
+				return st.ratio.BurnRate(win.d, obj, time.Now().UnixNano())
+			})
+		}
+	}
+	reg.Register(total, bad, objective, threshold, burn)
+	return states
+}

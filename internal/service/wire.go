@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -92,9 +94,14 @@ type HeuristicResult struct {
 }
 
 // Response is the answer to one Request. In batch mode a line-level
-// failure is reported as a Response with only ID and Error set.
+// failure is reported as a Response with only ID, RequestID and Error
+// set.
 type Response struct {
-	ID         string `json:"id,omitempty"`
+	ID string `json:"id,omitempty"`
+	// RequestID is the server-assigned id of this answer — the
+	// X-Request-Id header value, or "<batch-id>.<line>" for batch lines.
+	// It keys the flight recorder and /metrics exemplars.
+	RequestID  string `json:"request_id,omitempty"`
 	TreeHash   string `json:"tree_hash,omitempty"`
 	Nodes      int    `json:"nodes,omitempty"`
 	Processors int    `json:"p,omitempty"`
@@ -116,9 +123,19 @@ type Response struct {
 	// request opted in via ?trace=1 (or treesched -trace). Traces are
 	// never cached: a cache hit reports the hit's own spans.
 	Trace *obs.SpanNode `json:"trace,omitempty"`
+	// Timeline is the winning (or only) schedule rendered as Chrome
+	// Trace Event Format JSON, present only with ?timeline=1. Open it in
+	// Perfetto (ui.perfetto.dev) or chrome://tracing. Timeline responses
+	// bypass the cache: the timeline is rebuilt per request.
+	Timeline json.RawMessage `json:"timeline,omitempty"`
 	// Error is set instead of the result fields when the request itself
 	// was invalid.
 	Error string `json:"error,omitempty"`
+
+	// errKind is Error's metrics classification (decode, limit,
+	// cancelled, internal); the flight recorder records it alongside the
+	// message. Not serialized.
+	errKind string
 }
 
 // requestError is an invalid-request failure with an HTTP status.
@@ -144,9 +161,12 @@ type job struct {
 	opts      sched.Options
 	objective *portfolio.Objective
 	cacheKey  string
-	// trace is the request's span recorder; nil on untraced requests and
-	// every batch line.
+	// trace is the request's span recorder (always pooled, never nil on
+	// the worker path — the flight recorder retains its spans).
 	trace *obs.Trace
+	// timeline requests a Chrome-trace rendering of the winning
+	// schedule; such jobs bypass the response cache.
+	timeline bool
 }
 
 // prepare validates req against the server limits and resolves it into a
@@ -351,7 +371,7 @@ func (s *Server) safeRun(ctx context.Context, j *job) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.errInternal.Inc()
-			resp = &Response{ID: j.req.ID, Error: fmt.Sprintf("internal error: panic during scheduling: %v", r)}
+			resp = &Response{ID: j.req.ID, Error: fmt.Sprintf("internal error: panic during scheduling: %v", r), errKind: errKindInternal}
 		}
 	}()
 	return s.run(ctx, j)
@@ -421,10 +441,37 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 			if bounds.MemorySeq > 0 {
 				hr.MemoryRatio = float64(hr.PeakMemory) / float64(bounds.MemorySeq)
 			}
+			// The first successful schedule is the one the timeline shows;
+			// it is rendered here, before the next heuristic can recycle
+			// the pooled schedule scratch.
+			if j.timeline && resp.Timeline == nil {
+				resp.Timeline = renderTimeline(t, sc, h.ID.String(), memCapOf(j.opts.MemCapFactor, memSeq))
+			}
 		}
 		resp.Results = append(resp.Results, hr)
 	}
 	return resp
+}
+
+// memCapOf resolves the memory-counter cap series of a timeline: the
+// capped heuristics' budget factor × M_seq, or 0 (no cap series) when the
+// request ran uncapped.
+func memCapOf(factor float64, memSeq int64) int64 {
+	if factor <= 0 {
+		return 0
+	}
+	return int64(factor * float64(memSeq))
+}
+
+// renderTimeline renders sc as Chrome Trace Event Format JSON for the
+// Response.Timeline field. A rendering failure drops the timeline rather
+// than the response.
+func renderTimeline(t *tree.Tree, sc *sched.Schedule, name string, memCap int64) json.RawMessage {
+	var buf bytes.Buffer
+	if err := sched.WriteChromeTrace(&buf, t, sc, sched.ChromeTraceOptions{Name: name, MemCap: memCap}); err != nil {
+		return nil
+	}
+	return buf.Bytes()
 }
 
 // runPortfolio answers a portfolio-mode job: the selected heuristics race
@@ -498,6 +545,19 @@ acquire:
 		id := w.ID
 		resp.Winner = &id
 		s.metrics.wins.With(id.String()).Inc()
+		// The race only keeps candidate metrics, so a timeline re-runs the
+		// winner deterministically. Exact's schedule is not re-derivable
+		// through the heuristic interface; its timeline is omitted.
+		if j.timeline && id != sched.IDExact {
+			topts := j.opts
+			topts.Heuristics = []sched.HeuristicID{id}
+			if hs, _, err := topts.SelectFor(j.tree); err == nil {
+				if sc, err := hs[0].RunOn(j.tree, topts.Model()); err == nil {
+					resp.Timeline = renderTimeline(j.tree, sc, id.String(),
+						memCapOf(j.opts.MemCapFactor, res.MemorySeq))
+				}
+			}
+		}
 	}
 	return resp
 }
@@ -526,12 +586,14 @@ func (s *Server) cached(j *job) (*Response, bool) {
 func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 	if ctx.Err() != nil {
 		s.metrics.errCancelled.Inc()
-		return &Response{ID: j.req.ID, Error: "request canceled"}
+		return &Response{ID: j.req.ID, Error: "request canceled", errKind: errKindCancelled}
 	}
 	// Dedup re-check: a concurrent identical request may have finished
 	// while this one waited for a worker. Bypasses the hit/miss counters —
 	// this lookup is an internal optimization, not a client-visible miss.
-	if s.cache != nil {
+	// Timeline jobs bypass the cache both ways: cached responses carry no
+	// timeline, and a per-request rendering must not be shared.
+	if s.cache != nil && !j.timeline {
 		if c, ok := s.cache.get(j.cacheKey); ok {
 			resp := *c
 			resp.ID = j.req.ID
@@ -541,7 +603,7 @@ func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 	}
 	resp := s.safeRun(ctx, j)
 	s.metrics.trees.Inc()
-	if s.cache != nil && resp.Error == "" {
+	if s.cache != nil && !j.timeline && resp.Error == "" {
 		s.cache.add(j.cacheKey, resp)
 	}
 	return resp
