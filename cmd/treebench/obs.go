@@ -8,6 +8,7 @@ import (
 
 	"treesched/internal/machine"
 	"treesched/internal/obs"
+	"treesched/internal/resilience"
 )
 
 // The obs rows microbenchmark the observability record paths the service
@@ -41,6 +42,10 @@ func obsBenches() []obsBench {
 	ftr.End(fid)
 	var fseq int
 	var tick int64
+	adm := resilience.NewAdmission(resilience.AdmissionConfig{
+		Capacity: 64, Target: 100 * time.Millisecond,
+	})
+	brk := resilience.NewBreaker(resilience.BreakerConfig{Failures: 5, Cooldown: 10 * time.Second})
 	return []obsBench{
 		{"Obs/HistogramObserve", func() {
 			tick += 1_000_003
@@ -69,6 +74,20 @@ func obsBenches() []obsBench {
 			fseq++
 		}},
 		{"Obs/Exposition", func() { reg.WriteText(io.Discard) }},
+		{"Obs/AdmissionDecision", func() {
+			// The full per-request admission round trip: decide, then release
+			// the window slot. Sits on every request the daemon accepts, so
+			// it must stay allocation-free like the other record paths.
+			tick += 1_000_003
+			if adm.Admit(tick, resilience.PriorityHigh) == resilience.Admitted {
+				adm.Done()
+			}
+		}},
+		{"Obs/BreakerCheck", func() {
+			// The closed-breaker fast path checked before every Exact run.
+			tick += 1_000_003
+			brk.Allow(tick)
+		}},
 	}
 }
 

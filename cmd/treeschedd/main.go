@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"treesched/internal/resilience/chaos"
 	"treesched/internal/service"
 )
 
@@ -47,10 +48,31 @@ func main() {
 		flightSlow   = flag.Duration("flight-slow", service.DefaultFlightSlow, "latency above which the flight recorder always keeps a request")
 		flightSample = flag.Int("flight-sample", service.DefaultFlightSampleEvery, "keep 1 in N fast successful requests in the flight recorder")
 		listMetrics  = flag.Bool("list-metrics", false, "print every registered metric family name and exit")
+
+		timeout         = flag.Duration("timeout", 0, "server-side time budget per request (0 = none); exhausted budgets answer 503")
+		batchWrite      = flag.Duration("batch-write-timeout", service.DefaultBatchWriteTimeout, "per-response-line write deadline of the batch endpoint (must be > 0)")
+		queueDepth      = flag.Int("queue-depth", 0, "admission window: max admitted unfinished jobs (default 16×workers)")
+		queueTarget     = flag.Duration("queue-target", service.DefaultQueueTarget, "acceptable queue sojourn before shedding begins (negative disables delay shedding)")
+		breakerFailures = flag.Int("breaker-failures", service.DefaultBreakerFailures, "consecutive Exact budget exhaustions that trip its circuit breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", service.DefaultBreakerCooldown, "how long the Exact breaker stays open before a half-open probe")
+		chaosSpec       = flag.String("chaos", "", "deterministic fault injection spec, e.g. seed=42,latency=0.5:5ms,panic=0.1,cancel=0.05,evict=0.2 (testing only)")
 	)
 	var slos sloFlags
 	flag.Var(&slos, "slo", "per-endpoint SLO as endpoint:latency:objective, e.g. /v1/schedule:250ms:99.9 (repeatable; latency 0 = availability-only)")
 	flag.Parse()
+
+	if *batchWrite <= 0 {
+		fmt.Fprintf(os.Stderr, "treeschedd: bad -batch-write-timeout %s (must be > 0)\n", *batchWrite)
+		os.Exit(2)
+	}
+	injector, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treeschedd: bad -chaos: %v\n", err)
+		os.Exit(2)
+	}
+	if injector != nil {
+		log.Printf("treeschedd: CHAOS INJECTION ACTIVE (%s) — testing only", injector)
+	}
 
 	var logger *slog.Logger
 	switch *logMode {
@@ -75,6 +97,13 @@ func main() {
 		FlightSlow:        *flightSlow,
 		FlightSampleEvery: *flightSample,
 		Logger:            logger,
+		RequestTimeout:    *timeout,
+		BatchWriteTimeout: *batchWrite,
+		QueueDepth:        *queueDepth,
+		QueueTarget:       *queueTarget,
+		BreakerFailures:   *breakerFailures,
+		BreakerCooldown:   *breakerCooldown,
+		Chaos:             injector,
 	})
 
 	// -list-metrics prints the registered family names — the CI drift
@@ -125,6 +154,9 @@ func main() {
 	}
 
 	log.Printf("treeschedd: shutting down (drain %s)", *drain)
+	// Flip /readyz to 503 first so the load balancer stops routing here
+	// while in-flight requests drain.
+	svc.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

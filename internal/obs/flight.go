@@ -49,6 +49,7 @@ type FlightInfo struct {
 	Machine   string // machine spec the request ran against
 	Heuristic string // winning / reporting heuristic, if any
 	Nodes     int    // tree size (or forest job count)
+	Degraded  string // comma-joined degradation actions, empty for full answers
 }
 
 // FlightEntry is one retained record as served by GET /debug/flight.
@@ -66,6 +67,7 @@ type FlightEntry struct {
 	Machine    string       `json:"machine,omitempty"`
 	Heuristic  string       `json:"heuristic,omitempty"`
 	Nodes      int          `json:"nodes,omitempty"`
+	Degraded   string       `json:"degraded,omitempty"`
 	Spans      []FlightSpan `json:"spans,omitempty"`
 
 	atNS int64 // completion time, unix ns; Time is rendered at read time
@@ -154,6 +156,7 @@ func (f *FlightRecorder) Record(info FlightInfo, tr *Trace) bool {
 		Machine:    info.Machine,
 		Heuristic:  info.Heuristic,
 		Nodes:      info.Nodes,
+		Degraded:   info.Degraded,
 		Spans:      tr.AppendFlightSpans(spans[:0], flightMaxSpans),
 		atNS:       time.Now().UnixNano(),
 	}
@@ -205,6 +208,7 @@ func (f *FlightRecorder) Dump(log *slog.Logger) {
 			"machine", e.Machine,
 			"heuristic", e.Heuristic,
 			"nodes", e.Nodes,
+			"degraded", e.Degraded,
 			"spans", len(e.Spans),
 		)
 	}

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priority classes order who gets shed first under overload. Liveness
+// endpoints (/healthz, /metrics, /readyz) never pass through admission at
+// all — they are answered on their handler goroutines — so the classes
+// only rank CPU-bound work.
+type Priority uint8
+
+const (
+	// PriorityHigh marks interactive single requests (/v1/schedule,
+	// /v1/portfolio, /v1/forest): shed only while the queue is still far
+	// from drained.
+	PriorityHigh Priority = iota
+	// PriorityLow marks batch lines: the first work shed under overload.
+	PriorityLow
+)
+
+// Decision is the outcome of one admission check.
+type Decision uint8
+
+const (
+	// Admitted lets the request onto the worker queue. The caller must
+	// pair it with exactly one Done.
+	Admitted Decision = iota
+	// ShedQueueFull rejects because the admission window is at capacity:
+	// accepting more would only grow the queue delay for everyone.
+	ShedQueueFull
+	// ShedOverload rejects because dequeued jobs have exceeded the target
+	// sojourn for a full interval: the queue is technically open but
+	// serving it means stale answers, so arrivals are shed until it drains.
+	ShedOverload
+)
+
+// String names the decision for metric labels.
+func (d Decision) String() string {
+	switch d {
+	case Admitted:
+		return "admitted"
+	case ShedQueueFull:
+		return "shed_queue_full"
+	default:
+		return "shed_overload"
+	}
+}
+
+// AdmissionConfig parameterizes an Admission controller.
+type AdmissionConfig struct {
+	// Capacity is the admission window: the maximum number of admitted,
+	// not-yet-finished jobs. Must be >= 1.
+	Capacity int
+	// Target is the acceptable queue sojourn (CoDel's target): dequeue
+	// waits at or below it mean the queue is healthy.
+	Target time.Duration
+	// Interval is how long dequeue waits must continuously exceed Target
+	// before shedding begins (CoDel's initial interval). 0 means 2×Target.
+	Interval time.Duration
+}
+
+// Admission is a bounded admission window with CoDel-style queue-delay
+// shedding. Admit is called on the request path (atomics only, no
+// allocation); Observe is called once per job at dequeue with the time it
+// waited for a worker; Done releases the window slot at completion.
+//
+// The shedding rule follows CoDel's shape: a queue is overloaded not when
+// it is long but when it is persistently slow. When every dequeue for a
+// full Interval has waited longer than Target, new arrivals are shed —
+// PriorityLow immediately, PriorityHigh only while the window is still
+// more than half full — until a dequeue wait comes back under Target.
+type Admission struct {
+	cfg AdmissionConfig
+
+	// occupancy counts admitted, not-yet-Done jobs.
+	occupancy atomic.Int64
+	// shedding is the published overload state, read by Admit and Shedding.
+	shedding atomic.Bool
+
+	// mu guards the sojourn state machine below (touched once per dequeue).
+	mu sync.Mutex
+	// above records that dequeue waits have been over Target since
+	// aboveSince, without coming back down.
+	above      bool
+	aboveSince int64
+}
+
+// NewAdmission builds a controller. Capacity < 1 is raised to 1; an unset
+// Interval defaults to 2×Target.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * cfg.Target
+	}
+	return &Admission{cfg: cfg}
+}
+
+// Admit decides whether a request of class pri may enter the worker queue
+// at time now (unix nanoseconds). An Admitted result takes a window slot;
+// the caller must release it with Done exactly once. Shed results take
+// nothing. Admit never blocks and never allocates.
+func (a *Admission) Admit(now int64, pri Priority) Decision {
+	occ := a.occupancy.Load()
+	if occ >= int64(a.cfg.Capacity) {
+		return ShedQueueFull
+	}
+	if a.shedding.Load() {
+		// Low priority sheds for the whole overload episode; high priority
+		// is re-admitted as soon as the window has drained to half, so
+		// single requests come back before batch lines do.
+		if pri == PriorityLow || occ*2 >= int64(a.cfg.Capacity) {
+			return ShedOverload
+		}
+	}
+	a.occupancy.Add(1)
+	return Admitted
+}
+
+// Done releases the window slot of an admitted job. Call exactly once per
+// Admitted decision, after the job finished (or was abandoned).
+func (a *Admission) Done() { a.occupancy.Add(-1) }
+
+// Observe feeds one dequeue wait into the shedding state machine: wait is
+// how long the job sat in the queue before a worker picked it up, now is
+// the dequeue time in unix nanoseconds. A wait at or under Target ends
+// any overload episode immediately; waits above it for a full Interval
+// start one.
+func (a *Admission) Observe(now int64, wait time.Duration) {
+	a.mu.Lock()
+	if wait <= a.cfg.Target {
+		a.above = false
+		if a.shedding.Load() {
+			a.shedding.Store(false)
+		}
+		a.mu.Unlock()
+		return
+	}
+	if !a.above {
+		a.above, a.aboveSince = true, now
+	} else if now-a.aboveSince >= int64(a.cfg.Interval) && !a.shedding.Load() {
+		a.shedding.Store(true)
+	}
+	a.mu.Unlock()
+}
+
+// Shedding reports whether the controller is currently in an overload
+// episode (new arrivals are being shed). /readyz turns this into a 503 so
+// a load balancer can drain the node.
+func (a *Admission) Shedding() bool { return a.shedding.Load() }
+
+// Occupancy returns the number of admitted, not-yet-finished jobs.
+func (a *Admission) Occupancy() int64 { return a.occupancy.Load() }
+
+// Capacity returns the admission window size.
+func (a *Admission) Capacity() int { return a.cfg.Capacity }

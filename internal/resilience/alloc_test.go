@@ -1,0 +1,65 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocsAdmissionDecision pins the admission hot path at zero
+// allocations: every request pays one Admit, and every dequeued job one
+// Observe + Done, so none of the three may allocate.
+func TestAllocsAdmissionDecision(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	a := NewAdmission(AdmissionConfig{Capacity: 64, Target: 100 * time.Millisecond})
+	var now int64
+	got := testing.AllocsPerRun(1000, func() {
+		now += int64(time.Millisecond)
+		if a.Admit(now, PriorityHigh) == Admitted {
+			a.Observe(now, 50*time.Microsecond)
+			a.Done()
+		}
+	})
+	if got != 0 {
+		t.Errorf("admission decision cycle allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestAllocsBreakerCheck pins the breaker hot path at zero allocations:
+// portfolio requests with an Exact candidate pay one Allow and one Record
+// each.
+func TestAllocsBreakerCheck(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	b := NewBreaker(BreakerConfig{Failures: 5, Cooldown: time.Second})
+	var now int64
+	got := testing.AllocsPerRun(1000, func() {
+		now += int64(time.Millisecond)
+		if b.Allow(now) {
+			b.Record(now, now%3 != 0)
+		}
+	})
+	if got != 0 {
+		t.Errorf("breaker check cycle allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestAllocsLadder pins the ladder at zero allocations on both ends: the
+// per-dequeue Observe and the per-request Level read.
+func TestAllocsLadder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	l := NewLadder(LadderConfig{Light: 10 * time.Millisecond, Heavy: 40 * time.Millisecond})
+	var now int64
+	got := testing.AllocsPerRun(1000, func() {
+		now += int64(time.Millisecond)
+		l.Observe(now, 5*time.Millisecond)
+		_ = l.Level()
+	})
+	if got != 0 {
+		t.Errorf("ladder observe/level cycle allocates %.1f/op, want 0", got)
+	}
+}

@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states.
+const (
+	BreakerClosed   int32 = iota // normal operation
+	BreakerOpen                  // tripped: callers skip the guarded work
+	BreakerHalfOpen              // cooldown elapsed: one probe in flight
+)
+
+// BreakerStateName names a breaker state for metrics and wire fields.
+func BreakerStateName(s int32) string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half_open"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip the breaker open.
+	// Must be >= 1.
+	Failures int
+	// Cooldown is how long the breaker stays open before letting one
+	// half-open probe through.
+	Cooldown time.Duration
+}
+
+// Breaker is a consecutive-failure circuit breaker. treeschedd wraps the
+// Exact portfolio candidate in one: a budget exhaustion (the search ran
+// out of nodes without proving optimality) is a failure, a proof is a
+// success, and Failures consecutive exhaustions mean the current workload
+// is too big for proofs — so the candidate is skipped entirely for
+// Cooldown instead of burning a full node budget per request on searches
+// that cannot close. After the cooldown a single probe request runs the
+// candidate again; a proof closes the breaker, another exhaustion reopens
+// it.
+//
+// Allow and Record are allocation-free and safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	state    atomic.Int32
+	failures atomic.Int32
+	openedAt atomic.Int64 // unix ns of the trip that opened it
+	opens    atomic.Int64 // cumulative open transitions, for metrics
+}
+
+// NewBreaker builds a breaker; Failures < 1 is raised to 1.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures < 1 {
+		cfg.Failures = 1
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether the guarded work may run at time now (unix
+// nanoseconds). While open it returns false until Cooldown has elapsed,
+// then admits exactly one caller as the half-open probe (further callers
+// keep getting false until that probe Records an outcome).
+func (b *Breaker) Allow(now int64) bool {
+	switch b.state.Load() {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-b.openedAt.Load() < int64(b.cfg.Cooldown) {
+			return false
+		}
+		// First caller past the cooldown wins the probe slot.
+		return b.state.CompareAndSwap(BreakerOpen, BreakerHalfOpen)
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Record reports the outcome of a run Allow admitted. A success closes
+// the breaker and clears the failure streak; a failure extends the streak
+// — tripping the breaker open at the configured threshold — and a failed
+// half-open probe reopens it immediately.
+func (b *Breaker) Record(now int64, ok bool) {
+	if ok {
+		b.failures.Store(0)
+		b.state.Store(BreakerClosed)
+		return
+	}
+	if b.state.Load() == BreakerHalfOpen {
+		b.trip(now)
+		return
+	}
+	if b.failures.Add(1) >= int32(b.cfg.Failures) {
+		b.trip(now)
+	}
+}
+
+func (b *Breaker) trip(now int64) {
+	b.openedAt.Store(now)
+	b.failures.Store(0)
+	if b.state.Swap(BreakerOpen) != BreakerOpen {
+		b.opens.Add(1)
+	}
+}
+
+// State returns the current breaker state (BreakerClosed/Open/HalfOpen).
+func (b *Breaker) State() int32 { return b.state.Load() }
+
+// Opens returns the cumulative number of closed/half-open → open
+// transitions, for the metrics layer.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }

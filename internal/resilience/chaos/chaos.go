@@ -1,0 +1,224 @@
+// Package chaos is treeschedd's deterministic fault injector: seeded,
+// compiled-in injection points the service consults at well-defined sites
+// (worker start, batch lines, cache lookups). Every decision comes from a
+// splitmix64 hash of (seed, site, per-site sequence number), so a given
+// seed produces the same per-site fault sequence on every run — the chaos
+// e2e suite replays fault mixes reproducibly and asserts invariants
+// (exactly one response per accepted request, no goroutine leaks,
+// unfaulted outputs byte-identical) rather than eyeballing logs.
+//
+// An Injector is configured from a compact spec string, the same grammar
+// the treeschedd -chaos flag takes:
+//
+//	seed=42,latency=0.5:5ms,panic=0.1,cancel=0.05,evict=0.2
+//
+// Each fault is independent and optional: latency=P:D sleeps D on a
+// worker with probability P; panic=P panics on a worker (contained by the
+// service's per-request recover — the request fails, the daemon lives);
+// cancel=P cancels the batch context mid-stream, simulating a client
+// disconnect; evict=P purges the response cache before a lookup, the
+// eviction-storm case. A nil *Injector is valid and injects nothing, so
+// the production path costs one nil check per site.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies an injection point. Each site draws from its own
+// deterministic sequence, so adding calls at one site never perturbs the
+// faults another site sees.
+type Site uint8
+
+const (
+	// SiteWorker is consulted once per pool-worker job, before the job's
+	// CPU work: latency and panic faults fire here.
+	SiteWorker Site = iota
+	// SiteBatchLine is consulted once per accepted batch line: a cancel
+	// fault cancels the whole batch's context, the mid-batch disconnect.
+	SiteBatchLine
+	// SiteCache is consulted once per response-cache lookup: an evict
+	// fault purges the cache first, the eviction-storm case.
+	SiteCache
+	numSites
+)
+
+// Kind is the fault an injection point decided on.
+type Kind uint8
+
+const (
+	None Kind = iota
+	// Latency: sleep Fault.Dur before proceeding.
+	Latency
+	// Panic: panic with a recognizable message; the per-request recover
+	// turns it into one internal-error response.
+	Panic
+	// Cancel: cancel the surrounding (batch) context.
+	Cancel
+	// Evict: purge the response cache.
+	Evict
+)
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// Dur is the added latency for Latency faults.
+	Dur time.Duration
+}
+
+// Config parameterizes an Injector. Probabilities are in [0, 1].
+type Config struct {
+	Seed        int64
+	LatencyProb float64
+	LatencyDur  time.Duration
+	PanicProb   float64
+	CancelProb  float64
+	EvictProb   float64
+}
+
+// Injector draws deterministic fault decisions. Safe for concurrent use;
+// a nil receiver injects nothing.
+type Injector struct {
+	cfg Config
+	seq [numSites]atomic.Uint64
+}
+
+// New builds an Injector from cfg.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Parse builds an Injector from a spec string like
+// "seed=42,latency=0.5:5ms,panic=0.1,cancel=0.05,evict=0.2". An empty
+// spec returns a nil Injector (no chaos).
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var cfg Config
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad term %q (want key=value)", part)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q", val)
+			}
+			cfg.Seed = n
+		case "latency":
+			p, rest, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("chaos: bad latency %q (want prob:duration, e.g. 0.5:5ms)", val)
+			}
+			prob, err := parseProb(p)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: latency: %v", err)
+			}
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("chaos: bad latency duration %q", rest)
+			}
+			cfg.LatencyProb, cfg.LatencyDur = prob, d
+		case "panic":
+			prob, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: panic: %v", err)
+			}
+			cfg.PanicProb = prob
+		case "cancel":
+			prob, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: cancel: %v", err)
+			}
+			cfg.CancelProb = prob
+		case "evict":
+			prob, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: evict: %v", err)
+			}
+			cfg.EvictProb = prob
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault %q (want seed, latency, panic, cancel or evict)", key)
+		}
+	}
+	return New(cfg), nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q (want a number in [0,1])", s)
+	}
+	return p, nil
+}
+
+// String renders the injector's configuration in Parse's grammar.
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", in.cfg.Seed)
+	if in.cfg.LatencyProb > 0 {
+		fmt.Fprintf(&b, ",latency=%g:%s", in.cfg.LatencyProb, in.cfg.LatencyDur)
+	}
+	if in.cfg.PanicProb > 0 {
+		fmt.Fprintf(&b, ",panic=%g", in.cfg.PanicProb)
+	}
+	if in.cfg.CancelProb > 0 {
+		fmt.Fprintf(&b, ",cancel=%g", in.cfg.CancelProb)
+	}
+	if in.cfg.EvictProb > 0 {
+		fmt.Fprintf(&b, ",evict=%g", in.cfg.EvictProb)
+	}
+	return b.String()
+}
+
+// At draws the next fault decision for site. Decisions at one site form a
+// deterministic sequence per seed; concurrent callers each get a distinct
+// draw. A nil Injector always returns Fault{None}.
+func (in *Injector) At(site Site) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	switch site {
+	case SiteWorker:
+		// Independent draws per fault class, so latency and panic can mix
+		// at one site without stealing each other's probability mass.
+		if in.roll(site, 0) < in.cfg.LatencyProb {
+			return Fault{Kind: Latency, Dur: in.cfg.LatencyDur}
+		}
+		if in.roll(site, 1) < in.cfg.PanicProb {
+			return Fault{Kind: Panic}
+		}
+	case SiteBatchLine:
+		if in.roll(site, 0) < in.cfg.CancelProb {
+			return Fault{Kind: Cancel}
+		}
+	case SiteCache:
+		if in.roll(site, 0) < in.cfg.EvictProb {
+			return Fault{Kind: Evict}
+		}
+	}
+	return Fault{}
+}
+
+// roll returns the next uniform draw in [0,1) for (site, class): a
+// splitmix64 finalizer over the seed, the site's running sequence number
+// and the fault class.
+func (in *Injector) roll(site Site, class uint64) float64 {
+	seq := in.seq[site].Add(1)
+	x := uint64(in.cfg.Seed) ^ (uint64(site)+1)<<56 ^ class<<48 ^ seq
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42,latency=0.5:5ms,panic=0.1,cancel=0.05,evict=0.2"
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.String() != spec {
+		t.Fatalf("String() = %q, want %q", in.String(), spec)
+	}
+	again, err := Parse(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.cfg != in.cfg {
+		t.Fatalf("round-trip config %+v != %+v", again.cfg, in.cfg)
+	}
+}
+
+func TestParseEmptyAndNil(t *testing.T) {
+	in, err := Parse("  ")
+	if err != nil || in != nil {
+		t.Fatalf("empty spec: injector %v err %v, want nil/nil", in, err)
+	}
+	// A nil injector is inert at every site.
+	for site := Site(0); site < numSites; site++ {
+		if f := in.At(site); f.Kind != None {
+			t.Fatalf("nil injector faulted at site %d: %+v", site, f)
+		}
+	}
+	if in.String() != "" {
+		t.Fatalf("nil String() = %q", in.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"latency",           // no value
+		"latency=0.5",       // missing duration
+		"latency=2:5ms",     // probability out of range
+		"latency=0.5:-1ms",  // non-positive duration
+		"latency=0.5:bogus", // unparsable duration
+		"panic=x",           // unparsable probability
+		"panic=-0.1",        // negative probability
+		"cancel=1.5",        // out of range
+		"evict=oops",        // unparsable
+		"seed=abc",          // unparsable seed
+		"teleport=0.5",      // unknown fault
+		"seed=1,,panic=0.1", // empty term
+		"seed=1 panic=0.1",  // missing comma
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	const spec = "seed=7,latency=0.3:1ms,panic=0.2,cancel=0.4,evict=0.5"
+	draw := func() (faults [numSites][]Kind) {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for site := Site(0); site < numSites; site++ {
+			for i := 0; i < 200; i++ {
+				faults[site] = append(faults[site], in.At(site).Kind)
+			}
+		}
+		return faults
+	}
+	a, b := draw(), draw()
+	for site := range a {
+		for i := range a[site] {
+			if a[site][i] != b[site][i] {
+				t.Fatalf("site %d draw %d differs across identically seeded injectors: %v vs %v",
+					site, i, a[site][i], b[site][i])
+			}
+		}
+	}
+	// A different seed produces a different sequence (overwhelmingly).
+	in2, _ := Parse(strings.Replace(spec, "seed=7", "seed=8", 1))
+	same := true
+	for i := 0; i < 200; i++ {
+		if in2.At(SiteWorker).Kind != a[SiteWorker][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 8 produced identical worker fault sequences")
+	}
+}
+
+func TestFaultRatesRoughlyMatchProbabilities(t *testing.T) {
+	in := New(Config{Seed: 1, LatencyProb: 0.25, LatencyDur: time.Millisecond})
+	const n = 10_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		f := in.At(SiteWorker)
+		if f.Kind == Latency {
+			if f.Dur != time.Millisecond {
+				t.Fatalf("latency fault carries duration %v", f.Dur)
+			}
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.2 || rate > 0.3 {
+		t.Fatalf("latency rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	// Only the configured site faults; the others stay silent.
+	in := New(Config{Seed: 3, CancelProb: 1})
+	for i := 0; i < 50; i++ {
+		if f := in.At(SiteWorker); f.Kind != None {
+			t.Fatalf("worker site faulted with only cancel configured: %+v", f)
+		}
+		if f := in.At(SiteCache); f.Kind != None {
+			t.Fatalf("cache site faulted with only cancel configured: %+v", f)
+		}
+		if f := in.At(SiteBatchLine); f.Kind != Cancel {
+			t.Fatalf("batch site missed a probability-1 cancel: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Degradation levels. Higher levels trade answer quality for latency, the
+// same shape as the paper's memory/makespan knob: under a tight resource
+// budget the quality degrades, the service does not fall over.
+const (
+	// DegradeNone: full portfolio race, every candidate.
+	DegradeNone = 0
+	// DegradeTop3: portfolio requests race only the first three
+	// candidates of their selection; the Exact candidate is dropped.
+	DegradeTop3 = 1
+	// DegradeSingle: portfolio requests run one heuristic, no race.
+	DegradeSingle = 2
+)
+
+// LadderConfig parameterizes a Ladder.
+type LadderConfig struct {
+	// Light and Heavy are the smoothed queue-delay thresholds of levels
+	// DegradeTop3 and DegradeSingle. Both must be > 0 and Light < Heavy.
+	Light, Heavy time.Duration
+	// Cooldown is how long measured pressure must stay below a level's
+	// threshold before the ladder steps back down one rung. 0 means
+	// DefaultLadderCooldown. Stepping up is immediate; stepping down is
+	// deliberate, so the service does not flap between full and degraded
+	// answers at the threshold.
+	Cooldown time.Duration
+	// Floor, when non-nil, returns a minimum level from out-of-band
+	// telemetry (the service wires goroutine-count pressure here). It is
+	// consulted on every Observe, so it must be cheap.
+	Floor func() int
+}
+
+// DefaultLadderCooldown is the step-down hold time when Cooldown is 0.
+const DefaultLadderCooldown = 2 * time.Second
+
+// Ladder converts measured pressure into a degradation level. Observe is
+// called once per dequeued job with its queue wait; Level is the hot-path
+// read (one atomic load, no allocation). Pressure is an exponentially
+// weighted moving average of queue waits (7/8 old + 1/8 new), so one
+// outlier wait cannot degrade the service and one fast dequeue cannot
+// instantly restore it.
+type Ladder struct {
+	cfg LadderConfig
+
+	level atomic.Int32
+
+	mu     sync.Mutex
+	ewmaNS int64
+	// heldAt is when the ladder last saw pressure justifying the current
+	// level; a step-down requires Cooldown of calm after it.
+	heldAt int64
+}
+
+// NewLadder builds a ladder; an unset Cooldown becomes
+// DefaultLadderCooldown.
+func NewLadder(cfg LadderConfig) *Ladder {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultLadderCooldown
+	}
+	return &Ladder{cfg: cfg}
+}
+
+// Observe feeds one queue wait into the pressure average and moves the
+// level: up immediately when the average (or the telemetry floor) calls
+// for it, down one rung after Cooldown of lower pressure.
+func (l *Ladder) Observe(now int64, wait time.Duration) {
+	l.mu.Lock()
+	l.ewmaNS -= l.ewmaNS >> 3
+	l.ewmaNS += int64(wait) >> 3
+	want := DegradeNone
+	switch {
+	case l.ewmaNS >= int64(l.cfg.Heavy):
+		want = DegradeSingle
+	case l.ewmaNS >= int64(l.cfg.Light):
+		want = DegradeTop3
+	}
+	if l.cfg.Floor != nil {
+		if f := l.cfg.Floor(); f > want {
+			want = f
+			if want > DegradeSingle {
+				want = DegradeSingle
+			}
+		}
+	}
+	cur := int(l.level.Load())
+	switch {
+	case want >= cur:
+		if want > cur {
+			l.level.Store(int32(want))
+		}
+		l.heldAt = now
+	case now-l.heldAt >= int64(l.cfg.Cooldown):
+		l.level.Store(int32(cur - 1))
+		l.heldAt = now
+	}
+	l.mu.Unlock()
+}
+
+// Level returns the current degradation level (DegradeNone, DegradeTop3
+// or DegradeSingle). One atomic load; safe on any hot path.
+func (l *Ladder) Level() int { return int(l.level.Load()) }
+
+// Pressure returns the current smoothed queue wait, for diagnostics.
+func (l *Ladder) Pressure() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Duration(l.ewmaNS)
+}

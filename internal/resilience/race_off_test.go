@@ -1,0 +1,5 @@
+//go:build !race
+
+package resilience
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package resilience
+
+// raceEnabled reports that the race detector is active; the allocation
+// pins skip, since the race runtime instruments atomics and mutexes with
+// extra allocations that say nothing about the production paths.
+const raceEnabled = true

@@ -1,0 +1,62 @@
+// Package resilience keeps treeschedd answering under overload instead of
+// queueing unboundedly or falling over. It is the daemon's counterpart of
+// the paper's discipline: just as the schedulers degrade the schedule
+// quality knob when the memory cap is tight rather than failing, the
+// service degrades its response quality knob when the latency/CPU budget
+// is tight rather than stalling. Four mechanisms, all allocation-free on
+// their hot paths:
+//
+//   - Admission: a bounded admission window with CoDel-style queue-delay
+//     shedding and priority classes — when jobs have waited longer than a
+//     target sojourn for a full interval, new arrivals are shed with an
+//     immediate 503 until the queue drains, low-priority work (batch
+//     lines) first.
+//   - Breaker: a consecutive-failure circuit breaker guarding expensive
+//     optional work (the Exact portfolio candidate): repeated budget
+//     exhaustions trip it open for a cooldown; a single half-open probe
+//     restores it.
+//   - Ladder: a degradation ladder driven by smoothed queue delay plus a
+//     telemetry floor — under pressure, portfolio requests step down
+//     full race → top-3 candidates → single heuristic.
+//   - ScaleNodeBudget: deadline-aware scaling of the exact solver's node
+//     budget, so a request with little remaining time budget gets a
+//     proportionally smaller search instead of a guaranteed timeout.
+//
+// Every type takes explicit unix-nano timestamps so tests drive the clock
+// deterministically; the service passes time.Now().UnixNano().
+package resilience
+
+import "time"
+
+// ExactNodesPerMilli is the conservative branch-and-bound exploration
+// rate ScaleNodeBudget assumes when converting a remaining time budget
+// into a node budget: the solver explores well over this many decision
+// nodes per millisecond on oracle-sized trees, so a budget scaled with it
+// finishes inside the deadline with room for the other stages.
+const ExactNodesPerMilli = 500
+
+// MinExactNodes is the floor ScaleNodeBudget never goes below: an anytime
+// search needs a few nodes to improve on its seeded incumbent at all, and
+// below this the fixed setup cost dominates the search anyway.
+const MinExactNodes = 1 << 10
+
+// ScaleNodeBudget shrinks an exact-solver node budget to what fits into
+// the remaining time budget, assuming ExactNodesPerMilli. It returns
+// budget unchanged when the remaining time is ample, and never less than
+// MinExactNodes (a non-positive remaining budget means the deadline
+// already passed; the caller's next ctx check answers 503, so the floor
+// is harmless). The result depends only on the arguments, so equal
+// requests with equal remaining budgets degrade identically.
+func ScaleNodeBudget(budget int64, remaining time.Duration) int64 {
+	if budget <= 0 {
+		return budget
+	}
+	fits := remaining.Milliseconds() * ExactNodesPerMilli
+	if fits >= budget {
+		return budget
+	}
+	if fits < MinExactNodes {
+		return MinExactNodes
+	}
+	return fits
+}

@@ -1,0 +1,271 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ns(d time.Duration) int64 { return int64(d) }
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Capacity: 2, Target: time.Millisecond})
+	if d := a.Admit(0, PriorityHigh); d != Admitted {
+		t.Fatalf("first admit: %v", d)
+	}
+	if d := a.Admit(0, PriorityLow); d != Admitted {
+		t.Fatalf("second admit: %v", d)
+	}
+	if d := a.Admit(0, PriorityHigh); d != ShedQueueFull {
+		t.Fatalf("over-capacity admit: %v, want ShedQueueFull", d)
+	}
+	a.Done()
+	if d := a.Admit(0, PriorityHigh); d != Admitted {
+		t.Fatalf("admit after Done: %v", d)
+	}
+	if got := a.Occupancy(); got != 2 {
+		t.Fatalf("occupancy %d, want 2", got)
+	}
+}
+
+func TestAdmissionCoDelShedding(t *testing.T) {
+	target := 10 * time.Millisecond
+	a := NewAdmission(AdmissionConfig{Capacity: 100, Target: target, Interval: 2 * target})
+
+	// Waits above target, but not yet for a full interval: no shedding.
+	a.Observe(ns(0), 20*time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("shedding after one bad wait")
+	}
+	a.Observe(ns(15*time.Millisecond), 20*time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("shedding before the interval elapsed")
+	}
+	// A full interval of bad sojourns: overload.
+	a.Observe(ns(25*time.Millisecond), 20*time.Millisecond)
+	if !a.Shedding() {
+		t.Fatal("not shedding after a full interval above target")
+	}
+
+	// Low priority sheds outright; high priority is re-admitted while the
+	// window is under half full.
+	if d := a.Admit(ns(26*time.Millisecond), PriorityLow); d != ShedOverload {
+		t.Fatalf("low-priority admit while shedding: %v", d)
+	}
+	if d := a.Admit(ns(26*time.Millisecond), PriorityHigh); d != Admitted {
+		t.Fatalf("high-priority admit with a drained window: %v", d)
+	}
+	// Fill past half: now even high priority sheds.
+	for a.Occupancy()*2 < int64(a.Capacity()) {
+		a.occupancy.Add(1)
+	}
+	if d := a.Admit(ns(27*time.Millisecond), PriorityHigh); d != ShedOverload {
+		t.Fatalf("high-priority admit with a congested window: %v", d)
+	}
+
+	// One healthy sojourn ends the episode.
+	a.Observe(ns(30*time.Millisecond), time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("still shedding after a healthy sojourn")
+	}
+	if d := a.Admit(ns(31*time.Millisecond), PriorityLow); d != Admitted {
+		t.Fatalf("low-priority admit after recovery: %v", d)
+	}
+}
+
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Capacity: 64, Target: time.Second})
+	var wg sync.WaitGroup
+	var admitted sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if a.Admit(int64(i), PriorityHigh) == Admitted {
+					a.Observe(int64(i), time.Microsecond)
+					a.Done()
+				}
+				admitted.Store(g*1000+i, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.Occupancy(); got != 0 {
+		t.Fatalf("occupancy %d after all Done, want 0", got)
+	}
+}
+
+func TestDecisionNames(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Admitted: "admitted", ShedQueueFull: "shed_queue_full", ShedOverload: "shed_overload",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second})
+	now := ns(0)
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused at failure %d", i)
+		}
+		b.Record(now, false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened below the failure threshold")
+	}
+	b.Record(now, false) // third consecutive failure trips it
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens %d, want 1", b.Opens())
+	}
+	if b.Allow(now + ns(999*time.Millisecond)) {
+		t.Fatal("open breaker allowed inside the cooldown")
+	}
+
+	// Past the cooldown: exactly one probe gets through.
+	probeAt := now + ns(time.Second)
+	if !b.Allow(probeAt) {
+		t.Fatal("no probe after the cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker not half-open during the probe")
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe reopens immediately (no threshold).
+	b.Record(probeAt, false)
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("failed probe: state %d opens %d, want open/2", b.State(), b.Opens())
+	}
+
+	// Next probe succeeds and closes it.
+	probe2 := probeAt + ns(time.Second)
+	if !b.Allow(probe2) {
+		t.Fatal("no second probe")
+	}
+	b.Record(probe2, true)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow(probe2) {
+		t.Fatal("closed breaker refused")
+	}
+	// A success mid-streak clears the consecutive-failure count.
+	b.Record(probe2, false)
+	b.Record(probe2, false)
+	b.Record(probe2, true)
+	b.Record(probe2, false)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerStateNames(t *testing.T) {
+	for s, want := range map[int32]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half_open",
+	} {
+		if BreakerStateName(s) != want {
+			t.Errorf("BreakerStateName(%d) = %q, want %q", s, BreakerStateName(s), want)
+		}
+	}
+}
+
+func TestLadderStepsUpAndDown(t *testing.T) {
+	l := NewLadder(LadderConfig{
+		Light: 10 * time.Millisecond, Heavy: 40 * time.Millisecond,
+		Cooldown: 100 * time.Millisecond,
+	})
+	if l.Level() != DegradeNone {
+		t.Fatal("new ladder not at level 0")
+	}
+	// Sustained waits around 4× Heavy pull the EWMA over both thresholds.
+	now := ns(0)
+	for i := 0; i < 50; i++ {
+		l.Observe(now, 160*time.Millisecond)
+		now += ns(time.Millisecond)
+	}
+	if l.Level() != DegradeSingle {
+		t.Fatalf("level %d after sustained heavy pressure, want %d (ewma %s)",
+			l.Level(), DegradeSingle, l.Pressure())
+	}
+	// Calm waits: the EWMA decays, but the step down waits for the cooldown.
+	for i := 0; i < 50; i++ {
+		l.Observe(now, 0)
+		now += ns(time.Millisecond)
+	}
+	if l.Level() != DegradeSingle {
+		t.Fatalf("level %d dropped before cooldown", l.Level())
+	}
+	now += ns(100 * time.Millisecond)
+	l.Observe(now, 0)
+	if l.Level() != DegradeTop3 {
+		t.Fatalf("level %d after first cooldown, want %d", l.Level(), DegradeTop3)
+	}
+	now += ns(100 * time.Millisecond)
+	l.Observe(now, 0)
+	if l.Level() != DegradeNone {
+		t.Fatalf("level %d after second cooldown, want %d", l.Level(), DegradeNone)
+	}
+}
+
+func TestLadderTelemetryFloor(t *testing.T) {
+	floor := 0
+	l := NewLadder(LadderConfig{
+		Light: time.Hour, Heavy: 2 * time.Hour, // queue delay never triggers
+		Cooldown: 50 * time.Millisecond,
+		Floor:    func() int { return floor },
+	})
+	l.Observe(0, 0)
+	if l.Level() != DegradeNone {
+		t.Fatal("floor 0 degraded")
+	}
+	floor = DegradeTop3
+	l.Observe(ns(time.Millisecond), 0)
+	if l.Level() != DegradeTop3 {
+		t.Fatalf("level %d with floor 1", l.Level())
+	}
+	floor = 99 // out-of-range floors clamp to DegradeSingle
+	l.Observe(ns(2*time.Millisecond), 0)
+	if l.Level() != DegradeSingle {
+		t.Fatalf("level %d with floor 99", l.Level())
+	}
+	floor = 0
+	l.Observe(ns(3*time.Millisecond)+ns(50*time.Millisecond), 0)
+	l.Observe(ns(4*time.Millisecond)+ns(100*time.Millisecond), 0)
+	l.Observe(ns(5*time.Millisecond)+ns(200*time.Millisecond), 0)
+	if l.Level() != DegradeNone {
+		t.Fatalf("level %d after floor cleared and cooldowns passed", l.Level())
+	}
+}
+
+func TestScaleNodeBudget(t *testing.T) {
+	const budget = 200_000
+	if got := ScaleNodeBudget(budget, time.Hour); got != budget {
+		t.Fatalf("ample budget scaled: %d", got)
+	}
+	// 100ms × 500 nodes/ms = 50k < 200k.
+	if got := ScaleNodeBudget(budget, 100*time.Millisecond); got != 100*ExactNodesPerMilli {
+		t.Fatalf("100ms budget: %d, want %d", got, 100*ExactNodesPerMilli)
+	}
+	if got := ScaleNodeBudget(budget, time.Millisecond); got != MinExactNodes {
+		t.Fatalf("1ms budget: %d, want floor %d", got, MinExactNodes)
+	}
+	if got := ScaleNodeBudget(budget, -time.Second); got != MinExactNodes {
+		t.Fatalf("negative budget: %d, want floor %d", got, MinExactNodes)
+	}
+	if got := ScaleNodeBudget(0, time.Millisecond); got != 0 {
+		t.Fatalf("zero budget rewritten: %d", got)
+	}
+	// Determinism: equal inputs, equal outputs.
+	if ScaleNodeBudget(budget, 73*time.Millisecond) != ScaleNodeBudget(budget, 73*time.Millisecond) {
+		t.Fatal("ScaleNodeBudget not deterministic")
+	}
+}

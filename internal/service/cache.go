@@ -61,3 +61,12 @@ func (c *lruCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// purge empties the cache. Only the chaos injector's eviction-storm fault
+// calls it; production paths never drop entries wholesale.
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}

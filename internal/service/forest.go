@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,8 @@ import (
 	"treesched/internal/forest"
 	"treesched/internal/machine"
 	"treesched/internal/obs"
+	"treesched/internal/resilience"
+	"treesched/internal/resilience/chaos"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -66,6 +69,28 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 		finish(http.StatusBadRequest, err.Error(), errKindDecode, nil)
 		return
 	}
+	timeout, terr := s.requestTimeout(r)
+	if terr != nil {
+		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, terr.Error())
+		finish(http.StatusBadRequest, terr.Error(), errKindDecode, nil)
+		return
+	}
+	// Forest runs are the heaviest single jobs the pool takes, so they
+	// pass admission like every other CPU-bound request.
+	if dec := s.admit(resilience.PriorityHigh); dec != resilience.Admitted {
+		s.metrics.errShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		msg := shedMessage(dec)
+		writeJSON(w, http.StatusServiceUnavailable, Response{RequestID: rid, Error: msg})
+		finish(http.StatusServiceUnavailable, msg, errKindShed, nil)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	// The engine records plan/simulate spans (with one child per planned
 	// job) into the request trace; ?trace=1 additionally attaches the
 	// materialized tree to the trailing summary line. Either way the
@@ -93,6 +118,14 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 						errKind: errKindInternal}
 				}
 			}()
+			// Chaos worker faults fire inside this recover scope, like on
+			// the schedule path.
+			switch f := s.cfg.Chaos.At(chaos.SiteWorker); f.Kind {
+			case chaos.Latency:
+				time.Sleep(f.Dur)
+			case chaos.Panic:
+				panic("chaos: injected worker panic")
+			}
 			// MaxBodyBytes bounds the whole trace (like /v1/schedule's
 			// body) as well as each line, so a trace cannot demand
 			// MaxForestJobs × MaxNodes of memory regardless of how the
@@ -117,13 +150,17 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 				}
 				return outcome{status: status, errMsg: err.Error(), errKind: kind}
 			}
-			res, err := forest.Run(r.Context(), jobs, cfg)
+			res, err := forest.Run(ctx, jobs, cfg)
 			if err != nil {
 				status, kind := http.StatusInternalServerError, errKindInternal
-				if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+				switch {
+				case errors.Is(ctx.Err(), context.DeadlineExceeded):
+					status, kind = http.StatusServiceUnavailable, errKindDeadline
+					s.metrics.errDeadline.Inc()
+				case ctx.Err() != nil:
 					status, kind = http.StatusBadRequest, errKindCancelled
 					s.metrics.errCancelled.Inc()
-				} else {
+				default:
 					s.metrics.errInternal.Inc()
 				}
 				return outcome{status: status, errMsg: err.Error(), errKind: kind}
@@ -137,6 +174,9 @@ func (s *Server) handleForest(w http.ResponseWriter, r *http.Request) {
 	})
 	out := <-ch
 	if out.errMsg != "" {
+		if out.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeJSON(w, out.status, Response{RequestID: rid, Error: out.errMsg})
 	} else {
 		var spans *obs.SpanNode

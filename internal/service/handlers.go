@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"treesched/internal/obs"
+	"treesched/internal/resilience"
+	"treesched/internal/resilience/chaos"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -46,6 +48,32 @@ func timelineWanted(r *http.Request) bool {
 func boolParam(r *http.Request, name string) bool {
 	v := r.URL.Query().Get(name)
 	return v == "1" || v == "true"
+}
+
+// requestTimeout resolves the request's server-side time budget: the
+// configured default, tightened by an X-Timeout-Ms header (which can only
+// shorten it — a client cannot buy more time than the server grants).
+// 0 means no budget.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	to := s.cfg.RequestTimeout
+	if v := r.Header.Get("X-Timeout-Ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("bad X-Timeout-Ms %q (want a positive integer)", v)
+		}
+		if d := time.Duration(ms) * time.Millisecond; to == 0 || d < to {
+			to = d
+		}
+	}
+	return to, nil
+}
+
+// shedMessage is the error body of an admission rejection.
+func shedMessage(dec resilience.Decision) string {
+	if dec == resilience.ShedQueueFull {
+		return "server overloaded: admission queue full, request shed"
+	}
+	return "server overloaded: queue delay over target, request shed"
 }
 
 // handleSchedule answers POST /v1/schedule: one JSON Request in, one JSON
@@ -95,6 +123,11 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfoli
 		writeJSON(w, status, resp)
 		finish(status, resp)
 	}
+	timeout, terr := s.requestTimeout(r)
+	if terr != nil {
+		reject(http.StatusBadRequest, s.metrics.errDecode, errKindDecode, terr.Error())
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -105,6 +138,20 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfoli
 		reject(http.StatusBadRequest, s.metrics.errDecode, errKindDecode, "reading request body: "+err.Error())
 		return
 	}
+	// Admission sits between body read and submit: a shed costs the server
+	// the network I/O (already paid by the client) but none of the
+	// CPU-bound work the window protects.
+	if dec := s.admit(resilience.PriorityHigh); dec != resilience.Admitted {
+		w.Header().Set("Retry-After", "1")
+		reject(http.StatusServiceUnavailable, s.metrics.errShed, errKindShed, shedMessage(dec))
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	attachTrace, timeline := traceWanted(r), timelineWanted(r)
 	type outcome struct {
 		status int
@@ -112,10 +159,13 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfoli
 	}
 	ch := make(chan outcome, 1)
 	s.submit(func() {
-		status, resp := s.answerBytes(r.Context(), body, forcePortfolio, tr, attachTrace, timeline, rid)
+		status, resp := s.answerBytes(ctx, start, body, forcePortfolio, tr, attachTrace, timeline, rid)
 		ch <- outcome{status, resp}
 	})
 	out := <-ch
+	if out.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, out.status, out.resp)
 	finish(out.status, out.resp)
 }
@@ -133,13 +183,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	rid := s.requestID()
 	s.metrics.reqBatch.Inc()
 	w.Header().Set("X-Request-Id", rid)
+	timeout, terr := s.requestTimeout(r)
+	if terr != nil {
+		s.rejectJSON(w, http.StatusBadRequest, s.metrics.errDecode, terr.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 
 	// Set by the writer when the client stops reading; makes the reader
 	// quit instead of scheduling work nobody will receive.
 	var clientGone atomic.Bool
-	ctx := r.Context()
+	// The batch context is cancellable so the chaos injector can simulate
+	// a mid-batch client disconnect.
+	ctx, cancelBatch := context.WithCancel(r.Context())
+	defer cancelBatch()
 
 	var lines atomic.Int64
 	results := make(chan chan *Response, 2*s.cfg.Workers)
@@ -168,8 +226,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			lineRid := rid + "." + strconv.FormatInt(lines.Add(1), 10)
+			// Batch lines are the low-priority admission class: the first
+			// work shed under overload. A shed line costs one error line in
+			// place, never a worker.
+			if dec := s.admit(resilience.PriorityLow); dec != resilience.Admitted {
+				s.metrics.errShed.Inc()
+				resp := &Response{RequestID: lineRid, Error: shedMessage(dec), errKind: errKindShed}
+				s.metrics.recordOutcome(flightInfoFor(lineRid, epBatch, http.StatusServiceUnavailable, 0, resp), nil)
+				ch <- resp
+				continue
+			}
+			if s.cfg.Chaos.At(chaos.SiteBatchLine).Kind == chaos.Cancel {
+				cancelBatch()
+			}
+			arrival := time.Now()
+			lineCtx := ctx
+			var cancelLine context.CancelFunc
+			if timeout > 0 {
+				lineCtx, cancelLine = context.WithTimeout(ctx, timeout)
+			}
 			s.submit(func() {
-				ch <- s.answerLine(ctx, line, lineRid)
+				if cancelLine != nil {
+					defer cancelLine()
+				}
+				ch <- s.answerLine(lineCtx, arrival, line, lineRid)
 			})
 		}
 		if err := sc.Err(); err != nil {
@@ -198,7 +278,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if clientGone.Load() {
 			continue
 		}
-		rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.BatchWriteTimeout))
 		if err := enc.Encode(resp); err != nil {
 			clientGone.Store(true)
 			continue
@@ -216,11 +296,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// batchWriteTimeout is the per-response-line write deadline of the batch
-// endpoint: generous enough for any reading client, finite so a client
-// that stops reading cannot pin handler goroutines forever.
-const batchWriteTimeout = 2 * time.Minute
-
 // answerLine answers one batch line; it is answerBytes without the HTTP
 // status (batch lines carry errors in the response body, not the status).
 // Portfolio mode is per-line: a line with an objective (or Auto) races,
@@ -228,10 +303,12 @@ const batchWriteTimeout = 2 * time.Minute
 // request: it gets a derived request id ("<batch-id>.<line>", echoed in
 // the NDJSON result line), its own flight-recorder entry with stage
 // spans, and its own SLO classification against the batch endpoint.
-func (s *Server) answerLine(ctx context.Context, line []byte, lineRid string) *Response {
+// arrival is when the reader framed the line; the line's timeout_ms field
+// counts from it.
+func (s *Server) answerLine(ctx context.Context, arrival time.Time, line []byte, lineRid string) *Response {
 	start := time.Now()
 	tr := obs.AcquireTrace()
-	status, resp := s.answerBytes(ctx, line, false, tr, false, false, lineRid)
+	status, resp := s.answerBytes(ctx, arrival, line, false, tr, false, false, lineRid)
 	s.metrics.recordOutcome(flightInfoFor(lineRid, epBatch, status, time.Since(start), resp), tr)
 	tr.Release()
 	return resp
@@ -251,7 +328,7 @@ func (s *Server) answerLine(ctx context.Context, line []byte, lineRid string) *R
 // the response (never onto the response itself — the cache shares
 // response objects across requests, and an id or trace belongs to exactly
 // one).
-func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio bool, tr *obs.Trace, attachTrace, timeline bool, rid string) (status int, resp *Response) {
+func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte, forcePortfolio bool, tr *obs.Trace, attachTrace, timeline bool, rid string) (status int, resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.errInternal.Inc()
@@ -270,9 +347,16 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio boo
 			resp = &r2
 		}
 	}()
+	// Chaos worker faults fire inside this recover scope, so an injected
+	// panic costs one request — exactly like a real scheduling panic.
+	switch f := s.cfg.Chaos.At(chaos.SiteWorker); f.Kind {
+	case chaos.Latency:
+		time.Sleep(f.Dur)
+	case chaos.Panic:
+		panic("chaos: injected worker panic")
+	}
 	if ctx.Err() != nil {
-		s.metrics.errCancelled.Inc()
-		return http.StatusBadRequest, &Response{Error: "request canceled", errKind: errKindCancelled}
+		return s.ctxErrResponse(ctx, "")
 	}
 	var req Request
 	did := tr.Start("decode", obs.RootSpan)
@@ -283,6 +367,18 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio boo
 		// req.ID is echoed best-effort: it is populated whenever the id
 		// field was decoded before the failure.
 		return http.StatusBadRequest, &Response{ID: req.ID, Error: "invalid request: " + err.Error(), errKind: errKindDecode}
+	}
+	if req.TimeoutMS < 0 {
+		s.metrics.errDecode.Inc()
+		return http.StatusBadRequest, &Response{ID: req.ID,
+			Error: fmt.Sprintf("timeout_ms must be >= 0, got %d", req.TimeoutMS), errKind: errKindDecode}
+	}
+	if req.TimeoutMS > 0 {
+		// The field can only tighten the surrounding budget: the nested
+		// context keeps whichever deadline is earlier.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, arrival.Add(time.Duration(req.TimeoutMS)*time.Millisecond))
+		defer cancel()
 	}
 	j, err := s.prepare(req, forcePortfolio, tr)
 	if err != nil {
@@ -301,9 +397,17 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio boo
 		return st, &Response{ID: req.ID, Error: err.Error(), errKind: kind}
 	}
 	s.metrics.treeNodes.ObserveExemplar(int64(j.tree.Len()), rid)
+	// Stage boundary: the budget is re-checked between hash and cache so a
+	// request that spent its whole budget parsing stops here.
+	if ctx.Err() != nil {
+		return s.ctxErrResponse(ctx, req.ID)
+	}
 	j.trace = tr
 	j.timeline = timeline
 	if !timeline {
+		if s.cache != nil && s.cfg.Chaos.At(chaos.SiteCache).Kind == chaos.Evict {
+			s.cache.purge()
+		}
 		cid := tr.Start("cache", obs.RootSpan)
 		cresp, ok := s.cached(j)
 		tr.End(cid)
@@ -311,7 +415,8 @@ func (s *Server) answerBytes(ctx context.Context, raw []byte, forcePortfolio boo
 			return http.StatusOK, cresp
 		}
 	}
-	return http.StatusOK, s.answerJob(ctx, j)
+	resp = s.answerJob(ctx, j)
+	return statusFor(resp), resp
 }
 
 // handleHealthz answers GET /healthz. With SLOs configured the probe
@@ -345,6 +450,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["slos"] = rows
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz answers GET /readyz: readiness, as opposed to /healthz's
+// liveness. It returns 503 while the admission controller is in an
+// overload episode or shutdown has begun, so a load balancer drains the
+// node instead of feeding it work it would shed anyway. Like /healthz and
+// /metrics it is answered on the handler goroutine and never passes
+// through admission itself.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"status":    "ready",
+		"occupancy": s.adm.Occupancy(),
+		"capacity":  s.adm.Capacity(),
+	}
+	status := http.StatusOK
+	switch {
+	case s.shuttingDown.Load():
+		body["status"] = "shutting_down"
+		status = http.StatusServiceUnavailable
+	case s.adm.Shedding():
+		body["status"] = "shedding"
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, body)
 }
 
 func sortedSLOEndpoints(slos map[string]*sloState) []string {

@@ -3,10 +3,12 @@ package service
 import (
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"treesched/internal/obs"
+	"treesched/internal/resilience"
 )
 
 // Error kinds for the treeschedd_errors_total{kind} family. The unlabeled
@@ -17,6 +19,8 @@ const (
 	errKindLimit     = "limit"     // body/tree/trace size limits exceeded
 	errKindCancelled = "cancelled" // client gone before or during scheduling
 	errKindInternal  = "internal"  // panics and engine invariant failures
+	errKindDeadline  = "deadline"  // request time budget exhausted
+	errKindShed      = "shed"      // rejected by the admission controller
 )
 
 // serverMetrics is the service's metric set, built on the obs registry so
@@ -36,6 +40,14 @@ type serverMetrics struct {
 
 	errors                                         *obs.CounterVec
 	errDecode, errLimit, errCancelled, errInternal *obs.Counter
+	errDeadline, errShed                           *obs.Counter
+
+	// admDecisions is indexed by resilience.Decision; degraded children
+	// count ladder/breaker/budget degradations by action.
+	admission                                *obs.CounterVec
+	admDecisions                             [3]*obs.Counter
+	degraded                                 *obs.CounterVec
+	degTop3, degSingle, degBreaker, degScale *obs.Counter
 
 	inflight atomic.Int64
 
@@ -110,6 +122,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.errLimit = m.errors.With(errKindLimit)
 	m.errCancelled = m.errors.With(errKindCancelled)
 	m.errInternal = m.errors.With(errKindInternal)
+	m.errDeadline = m.errors.With(errKindDeadline)
+	m.errShed = m.errors.With(errKindShed)
 
 	uptime := obs.NewGaugeFunc("treeschedd_uptime_seconds",
 		"Seconds since the server started.", func() float64 {
@@ -178,6 +192,35 @@ func newServerMetrics(s *Server) *serverMetrics {
 			return float64(m.flight.Kept())
 		})
 
+	m.admission = obs.NewCounterVec("treeschedd_admission_total",
+		"Admission decisions, by outcome (admitted, shed_queue_full, shed_overload).",
+		"decision", false)
+	for d := resilience.Admitted; d <= resilience.ShedOverload; d++ {
+		m.admDecisions[d] = m.admission.With(d.String())
+	}
+	m.degraded = obs.NewCounterVec("treeschedd_degraded_total",
+		"Requests answered degraded, by action taken.", "action", false)
+	m.degTop3 = m.degraded.With("portfolio_top3")
+	m.degSingle = m.degraded.With("portfolio_single")
+	m.degBreaker = m.degraded.With("exact_breaker")
+	m.degScale = m.degraded.With("exact_scaled")
+	shedding := obs.NewGaugeFunc("treeschedd_admission_shedding",
+		"1 while the admission controller is in an overload episode.", func() float64 {
+			if s.adm.Shedding() {
+				return 1
+			}
+			return 0
+		})
+	breakerState := obs.NewGaugeFunc("treeschedd_breaker_state",
+		"Exact-candidate circuit breaker state (0 closed, 1 open, 2 half-open).",
+		func() float64 {
+			return float64(s.breaker.State())
+		})
+	breakerOpens := obs.NewFuncCounter("treeschedd_breaker_opens_total",
+		"Times the Exact-candidate circuit breaker tripped open.", func() float64 {
+			return float64(s.breaker.Opens())
+		})
+
 	m.reg.Register(
 		m.requests, m.forestJobs, m.forestRejected, m.trees,
 		m.cacheHits, m.cacheMisses, cacheRatio, cacheEntries, inflight,
@@ -186,6 +229,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		m.wins, m.candDur, m.forestRounds, m.forestBookRej,
 		goroutines, heap, gcPause, buildInfo,
 		flightSeen, flightKept,
+		m.admission, m.degraded, shedding, breakerState, breakerOpens,
 	)
 	m.slos = newSLOStates(s.cfg.SLOs, m.reg)
 	return m
@@ -218,6 +262,7 @@ func flightInfoFor(rid, endpoint string, status int, elapsed time.Duration, resp
 	info.Cached = resp.Cached
 	info.Machine = resp.Machine
 	info.Nodes = resp.Nodes
+	info.Degraded = strings.Join(resp.Degraded, ",")
 	switch {
 	case resp.Winner != nil:
 		info.Heuristic = resp.Winner.String()

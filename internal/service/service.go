@@ -27,9 +27,12 @@
 //     trace order followed by a {"summary":...} line. Machine size,
 //     admission policy and cap come from query parameters.
 //   - GET /healthz — liveness probe with uptime and pool size.
+//   - GET /readyz — readiness probe: 503 while the admission controller
+//     is shedding or shutdown has begun, 200 otherwise, so a load
+//     balancer drains an overloaded node instead of feeding it.
 //   - GET /metrics — Prometheus-style text metrics: request counts per
 //     endpoint, scheduled-tree count, cache hits/misses and hit ratio,
-//     in-flight jobs, errors.
+//     in-flight jobs, errors, admission/degradation/breaker state.
 //
 // # Shape
 //
@@ -43,16 +46,37 @@
 // JSON error objects. Responses are deterministic: identical requests
 // produce identical result sets whether computed or cached, concurrent or
 // not.
+//
+// # Overload behavior
+//
+// The service degrades instead of queueing unboundedly (the
+// internal/resilience package). Every CPU-bound request passes a bounded
+// admission window with CoDel-style queue-delay shedding: when dequeue
+// waits exceed Config.QueueTarget for a sustained interval, new arrivals
+// are shed with 503 + Retry-After — batch lines first, single requests
+// only while the window is still half full. Requests carry a time budget
+// (Config.RequestTimeout, the X-Timeout-Ms header, or the per-request
+// timeout_ms field — the tightest wins) propagated as a context deadline
+// through every stage; an exhausted budget answers 503 with error kind
+// "deadline". Under measured pressure, portfolio requests step down a
+// degradation ladder (full race → top-3 → single heuristic), the Exact
+// candidate is guarded by a circuit breaker, and its node budget is
+// scaled to the remaining time budget; every degraded response names what
+// was skipped in its "degraded" field and is never cached.
 package service
 
 import (
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"treesched/internal/resilience"
+	"treesched/internal/resilience/chaos"
 )
 
 // Defaults for Config fields left zero.
@@ -71,6 +95,36 @@ const (
 	DefaultFlightSize        = 256
 	DefaultFlightSlow        = 250 * time.Millisecond
 	DefaultFlightSampleEvery = 16
+	// DefaultBatchWriteTimeout is the per-response-line write deadline of
+	// the batch endpoint: generous enough for any reading client, finite
+	// so a client that stops reading cannot pin handler goroutines
+	// forever.
+	DefaultBatchWriteTimeout = 2 * time.Minute
+	// DefaultQueueDepthPerWorker sizes the admission window at
+	// Workers × this: deep enough that bursts and batch lookahead never
+	// brush it, shallow enough that a saturated pool sheds instead of
+	// growing an unbounded queue.
+	DefaultQueueDepthPerWorker = 16
+	// DefaultQueueTarget is the acceptable queue sojourn: dequeue waits
+	// persistently above it for twice this long start an overload episode.
+	DefaultQueueTarget = 100 * time.Millisecond
+	// DefaultDegradeLight and DefaultDegradeHeavy are the smoothed
+	// queue-delay thresholds at which portfolio requests step down to the
+	// top-3 candidates and to a single heuristic.
+	DefaultDegradeLight = 250 * time.Millisecond
+	DefaultDegradeHeavy = time.Second
+	// DefaultBreakerFailures consecutive Exact budget exhaustions trip the
+	// candidate's circuit breaker open for DefaultBreakerCooldown.
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 10 * time.Second
+)
+
+// Goroutine-count floors of the degradation ladder: out-of-band telemetry
+// that raises the ladder level even when queue delay looks healthy (e.g.
+// handler goroutines piling up on slow clients rather than on the pool).
+const (
+	goroutineFloorLight = 2048
+	goroutineFloorHeavy = 8192
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -117,6 +171,40 @@ type Config struct {
 	// The flight recorder's on-demand dump (GET /debug/flight?dump=1)
 	// writes through it too.
 	Logger *slog.Logger
+	// RequestTimeout is the server-side default time budget per request
+	// (each batch line counts as one request). 0 disables the default;
+	// clients can only tighten the budget, via the X-Timeout-Ms header or
+	// the per-request timeout_ms field. An exhausted budget answers 503
+	// with Retry-After and error kind "deadline".
+	RequestTimeout time.Duration
+	// BatchWriteTimeout is the per-response-line write deadline of the
+	// batch endpoint. Default: DefaultBatchWriteTimeout.
+	BatchWriteTimeout time.Duration
+	// QueueDepth is the admission window: the maximum number of admitted,
+	// not-yet-finished jobs before arrivals are shed with 503.
+	// Default: DefaultQueueDepthPerWorker × Workers.
+	QueueDepth int
+	// QueueTarget is the acceptable queue sojourn of the CoDel-style
+	// shedder; dequeue waits persistently above it begin an overload
+	// episode. 0 means DefaultQueueTarget; negative disables delay-based
+	// shedding (the QueueDepth bound still applies).
+	QueueTarget time.Duration
+	// DegradeLight and DegradeHeavy are the smoothed queue-delay
+	// thresholds of the degradation ladder (portfolio full race → top-3 →
+	// single heuristic). 0 means the defaults; a negative DegradeLight
+	// disables the ladder.
+	DegradeLight time.Duration
+	DegradeHeavy time.Duration
+	// BreakerFailures consecutive Exact budget exhaustions trip the
+	// candidate's circuit breaker open for BreakerCooldown; a half-open
+	// probe then restores it. Defaults: DefaultBreakerFailures,
+	// DefaultBreakerCooldown.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// Chaos injects deterministic faults at the worker, batch-line and
+	// cache sites (see internal/resilience/chaos). nil disables injection;
+	// production runs leave it nil.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +238,27 @@ func (c Config) withDefaults() Config {
 	if c.FlightSampleEvery <= 0 {
 		c.FlightSampleEvery = DefaultFlightSampleEvery
 	}
+	if c.BatchWriteTimeout <= 0 {
+		c.BatchWriteTimeout = DefaultBatchWriteTimeout
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepthPerWorker * c.Workers
+	}
+	if c.QueueTarget == 0 {
+		c.QueueTarget = DefaultQueueTarget
+	}
+	if c.DegradeLight == 0 {
+		c.DegradeLight = DefaultDegradeLight
+	}
+	if c.DegradeHeavy <= 0 {
+		c.DegradeHeavy = DefaultDegradeHeavy
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = DefaultBreakerFailures
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return c
 }
 
@@ -170,6 +279,16 @@ type Server struct {
 	// races at full width while a saturated one degrades to sequential
 	// sweeps instead of stacking GOMAXPROCS goroutines per worker.
 	raceSlots chan struct{}
+	// adm, ladder and breaker are the overload controls (see the package
+	// doc's Overload behavior section). ladder is nil when the degradation
+	// ladder is disabled.
+	adm     *resilience.Admission
+	ladder  *resilience.Ladder
+	breaker *resilience.Breaker
+	// shuttingDown flips /readyz to 503 once BeginShutdown is called, so
+	// the load balancer drains the node before http.Server.Shutdown stops
+	// accepting.
+	shuttingDown atomic.Bool
 }
 
 // New builds a Server from cfg (zero value for defaults).
@@ -184,6 +303,27 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
 	}
+	target := cfg.QueueTarget
+	if target < 0 {
+		// Delay-based shedding disabled: an unreachable target means only
+		// the QueueDepth bound ever sheds.
+		target = math.MaxInt64 / 4
+	}
+	s.adm = resilience.NewAdmission(resilience.AdmissionConfig{
+		Capacity: cfg.QueueDepth,
+		Target:   target,
+	})
+	if cfg.DegradeLight > 0 {
+		s.ladder = resilience.NewLadder(resilience.LadderConfig{
+			Light: cfg.DegradeLight,
+			Heavy: cfg.DegradeHeavy,
+			Floor: goroutineFloor,
+		})
+	}
+	s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		Failures: cfg.BreakerFailures,
+		Cooldown: cfg.BreakerCooldown,
+	})
 	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
@@ -191,9 +331,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/portfolio", s.handlePortfolio)
 	s.mux.HandleFunc("POST /v1/forest", s.handleForest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return s
+}
+
+// goroutineFloor is the ladder's telemetry floor: goroutines piling up —
+// slow clients holding handler goroutines, not pool queueing — raise the
+// degradation level even while dequeue waits look healthy.
+func goroutineFloor() int {
+	switch g := runtime.NumGoroutine(); {
+	case g >= goroutineFloorHeavy:
+		return resilience.DegradeSingle
+	case g >= goroutineFloorLight:
+		return resilience.DegradeTop3
+	}
+	return resilience.DegradeNone
 }
 
 // Handler returns the service's HTTP handler.
@@ -202,6 +356,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close stops the worker pool. Call only after all in-flight HTTP
 // requests have completed (e.g. after http.Server.Shutdown returned).
 func (s *Server) Close() { s.pool.close() }
+
+// BeginShutdown flips /readyz to 503 so the load balancer stops routing
+// here. Call it before http.Server.Shutdown: in-flight requests still
+// complete, new probes see a draining node.
+func (s *Server) BeginShutdown() { s.shuttingDown.Store(true) }
 
 // Workers returns the size of the scheduling pool.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -212,15 +371,34 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 // registered without being covered by the end-to-end snapshot.
 func (s *Server) MetricFamilies() []string { return s.metrics.reg.FamilyNames() }
 
+// admit runs one admission decision of class pri and counts it in the
+// treeschedd_admission_total family. Admitted decisions take a window
+// slot, released by the submit wrapper when the job completes — so every
+// admit must be followed by exactly one submit.
+func (s *Server) admit(pri resilience.Priority) resilience.Decision {
+	dec := s.adm.Admit(time.Now().UnixNano(), pri)
+	s.metrics.admDecisions[dec].Inc()
+	return dec
+}
+
 // submit hands f to the worker pool with the standard accounting: the job
-// counts as in-flight from enqueue to completion, and the time it spent
-// waiting for a worker lands in the queue-wait histogram.
+// counts as in-flight from enqueue to completion, the time it spent
+// waiting for a worker lands in the queue-wait histogram and feeds the
+// shedder and the degradation ladder, and the job's admission-window slot
+// is released at completion.
 func (s *Server) submit(f func()) {
 	s.metrics.inflight.Add(1)
 	enqueued := time.Now()
 	s.pool.submit(func() {
-		s.metrics.queueWait.Observe(time.Since(enqueued).Nanoseconds())
+		wait := time.Since(enqueued)
+		now := time.Now().UnixNano()
+		s.metrics.queueWait.Observe(wait.Nanoseconds())
+		s.adm.Observe(now, wait)
+		if s.ladder != nil {
+			s.ladder.Observe(now, wait)
+		}
 		defer s.metrics.inflight.Add(-1)
+		defer s.adm.Done()
 		f()
 	})
 }

@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"treesched/internal/machine"
 	"treesched/internal/obs"
 	"treesched/internal/portfolio"
+	"treesched/internal/resilience"
 	"treesched/internal/sched"
 	"treesched/internal/tree"
 )
@@ -57,6 +59,11 @@ type Request struct {
 	// "weighted:A"). Optional on /v1/schedule and batch lines; defaults to
 	// min_makespan on /v1/portfolio and when Auto is selected.
 	Objective *portfolio.Objective `json:"objective,omitempty"`
+	// TimeoutMS tightens this request's time budget to the given number of
+	// milliseconds from arrival. It can only shorten the budget the server
+	// default (or the X-Timeout-Ms header) already imposes; an exhausted
+	// budget answers 503 with error kind "deadline".
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Bounds carries the paper's bi-objective lower bounds for one instance.
@@ -128,13 +135,20 @@ type Response struct {
 	// Perfetto (ui.perfetto.dev) or chrome://tracing. Timeline responses
 	// bypass the cache: the timeline is rebuilt per request.
 	Timeline json.RawMessage `json:"timeline,omitempty"`
+	// Degraded names the quality reductions overload protection applied to
+	// this answer, in the order they were taken: "portfolio_top3" or
+	// "portfolio_single" (degradation ladder trimmed the race),
+	// "exact_breaker" (circuit breaker skipped the Exact candidate),
+	// "exact_scaled" (a short time budget shrank the Exact node budget).
+	// Absent on full-quality answers; degraded answers are never cached.
+	Degraded []string `json:"degraded,omitempty"`
 	// Error is set instead of the result fields when the request itself
 	// was invalid.
 	Error string `json:"error,omitempty"`
 
 	// errKind is Error's metrics classification (decode, limit,
-	// cancelled, internal); the flight recorder records it alongside the
-	// message. Not serialized.
+	// cancelled, internal, deadline, shed); the flight recorder records it
+	// alongside the message. Not serialized.
 	errKind string
 }
 
@@ -257,6 +271,16 @@ func (s *Server) prepare(req Request, forcePortfolio bool, tr *obs.Trace) (*job,
 	return j, nil
 }
 
+// hasExact reports whether ids selects the Exact pseudo-heuristic.
+func hasExact(ids []sched.HeuristicID) bool {
+	for _, id := range ids {
+		if id == sched.IDExact {
+			return true
+		}
+	}
+	return false
+}
+
 // resolveSelection turns the wire-level heuristic selection into a
 // runnable one: the Auto pseudo-heuristic expands in place into the
 // default portfolio candidates (deduplicated), and an objective — explicit,
@@ -363,6 +387,56 @@ func withoutExact(ids []sched.HeuristicID) []sched.HeuristicID {
 	return out
 }
 
+// topCandidates is the degradation ladder's trim: the first n non-Exact
+// candidates of ids, in selection order (selection order encodes the
+// request's preference, and Exact is the most expensive candidate, so it
+// is always the first casualty). A selection with no non-Exact candidate
+// is returned unchanged — degrading to nothing would be an error, not a
+// cheaper answer.
+func topCandidates(ids []sched.HeuristicID, n int) []sched.HeuristicID {
+	out := make([]sched.HeuristicID, 0, n)
+	for _, id := range ids {
+		if id == sched.IDExact {
+			continue
+		}
+		out = append(out, id)
+		if len(out) == n {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return ids
+	}
+	return out
+}
+
+// ctxErrResponse classifies a dead request context: an exhausted time
+// budget answers 503 (the server was too slow — retryable), a client
+// cancellation answers 400 (nobody is listening).
+func (s *Server) ctxErrResponse(ctx context.Context, id string) (int, *Response) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.metrics.errDeadline.Inc()
+		return http.StatusServiceUnavailable,
+			&Response{ID: id, Error: "deadline exceeded: request time budget exhausted", errKind: errKindDeadline}
+	}
+	s.metrics.errCancelled.Inc()
+	return http.StatusBadRequest, &Response{ID: id, Error: "request canceled", errKind: errKindCancelled}
+}
+
+// statusFor maps a response produced on the worker path to its HTTP
+// status: deadline exhaustion is retryable (503), cancellation is the
+// client's doing (400), everything else keeps the 200-with-error-body
+// contract of the scheduling endpoints.
+func statusFor(resp *Response) int {
+	switch resp.errKind {
+	case errKindDeadline:
+		return http.StatusServiceUnavailable
+	case errKindCancelled:
+		return http.StatusBadRequest
+	}
+	return http.StatusOK
+}
+
 // safeRun is run with panic containment: on HTTP handler goroutines
 // net/http limits a panic's blast radius to one connection, but pool
 // workers have no such net, so a latent panic in the scheduling code must
@@ -412,6 +486,12 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 		resp.Machine = m.Spec()
 	}
 	for _, h := range hs {
+		// Stage boundary: a request whose time budget ran out mid-sweep
+		// stops here instead of finishing work nobody will wait for.
+		if ctx.Err() != nil {
+			_, eresp := s.ctxErrResponse(ctx, j.req.ID)
+			return eresp
+		}
 		hr := HeuristicResult{Heuristic: h.ID}
 		cid := obs.RootSpan
 		if tr != nil {
@@ -483,11 +563,59 @@ func renderTimeline(t *tree.Tree, sc *sched.Schedule, name string, memCap int64)
 // portfolio requests on a saturated pool degrade toward sequential
 // sweeps instead of stacking GOMAXPROCS goroutines per worker.
 func (s *Server) runPortfolio(ctx context.Context, j *job) *Response {
+	// Overload degradation, applied before any scheduling work. The ladder
+	// trims the race width; the circuit breaker skips the Exact candidate
+	// while proofs keep exhausting their budget; a short remaining time
+	// budget shrinks the Exact node budget so the search fits the
+	// deadline. Each action is named in the response's degraded field, and
+	// degraded responses are never cached (answerJob), so the cache stays
+	// canonical.
+	opts := j.opts
+	var degraded []string
+	if s.ladder != nil {
+		switch s.ladder.Level() {
+		case resilience.DegradeTop3:
+			if trimmed := topCandidates(opts.Heuristics, 3); len(trimmed) < len(opts.Heuristics) {
+				opts.Heuristics = trimmed
+				degraded = append(degraded, "portfolio_top3")
+				s.metrics.degTop3.Inc()
+			}
+		case resilience.DegradeSingle:
+			if trimmed := topCandidates(opts.Heuristics, 1); len(trimmed) < len(opts.Heuristics) {
+				opts.Heuristics = trimmed
+				degraded = append(degraded, "portfolio_single")
+				s.metrics.degSingle.Inc()
+			}
+		}
+	}
+	exactNodes := s.cfg.ExactNodes
+	exactGuarded := false
+	if hasExact(opts.Heuristics) {
+		// Only strip Exact while other candidates remain: with Exact as
+		// the sole selection, skipping it would answer nothing.
+		if len(opts.Heuristics) > 1 && !s.breaker.Allow(time.Now().UnixNano()) {
+			opts.Heuristics = withoutExact(opts.Heuristics)
+			degraded = append(degraded, "exact_breaker")
+			s.metrics.degBreaker.Inc()
+		} else {
+			// The breaker admitted this run (possibly as the half-open
+			// probe); its outcome must be recorded below, or a probe slot
+			// would leak and wedge the breaker half-open.
+			exactGuarded = true
+			if dl, ok := ctx.Deadline(); ok {
+				if scaled := resilience.ScaleNodeBudget(exactNodes, time.Until(dl)); scaled < exactNodes {
+					exactNodes = scaled
+					degraded = append(degraded, "exact_scaled")
+					s.metrics.degScale.Inc()
+				}
+			}
+		}
+	}
 	// Non-blocking grab of up to candidates-1 extra slots: the pool worker
 	// itself is the first lane of the race.
 	lanes := 1
 acquire:
-	for lanes < len(j.opts.Heuristics) {
+	for lanes < len(opts.Heuristics) {
 		select {
 		case s.raceSlots <- struct{}{}:
 			lanes++
@@ -503,11 +631,33 @@ acquire:
 	tr := j.trace
 	sid := tr.Start("schedule", obs.RootSpan)
 	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{
-		Options: j.opts, Parallelism: lanes, ExactNodes: s.cfg.ExactNodes,
+		Options: opts, Parallelism: lanes, ExactNodes: exactNodes,
 		Trace: tr, TraceParent: sid,
 	})
 	tr.End(sid)
+	if exactGuarded {
+		// An Exact run that proved optimality is a breaker success; a
+		// budget exhaustion, failure, or a race that died before Exact
+		// reported is a failure (the conservative reading — it keeps a
+		// half-open probe from leaking when the race itself errors).
+		ok := false
+		if err == nil {
+			for _, c := range res.Candidates {
+				if c.ID == sched.IDExact {
+					ok = c.Err == nil && c.Proven
+				}
+			}
+		}
+		s.breaker.Record(time.Now().UnixNano(), ok)
+	}
 	if err != nil {
+		// A race that died because the request's context expired is a
+		// deadline/cancel outcome, not an internal scheduling failure —
+		// classify it so the error accounting matches what the client saw.
+		if ctx.Err() != nil {
+			_, eresp := s.ctxErrResponse(ctx, j.req.ID)
+			return eresp
+		}
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
 	resp := &Response{
@@ -519,6 +669,7 @@ acquire:
 		Objective:  j.objective,
 		Results:    make([]HeuristicResult, 0, len(res.Candidates)),
 		Frontier:   make([]sched.HeuristicID, 0, len(res.Frontier)),
+		Degraded:   degraded,
 	}
 	if res.Machine != nil {
 		resp.Machine = res.Machine.Spec()
@@ -585,8 +736,8 @@ func (s *Server) cached(j *job) (*Response, bool) {
 // time a worker picks them up are skipped rather than computed for nobody.
 func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 	if ctx.Err() != nil {
-		s.metrics.errCancelled.Inc()
-		return &Response{ID: j.req.ID, Error: "request canceled", errKind: errKindCancelled}
+		_, resp := s.ctxErrResponse(ctx, j.req.ID)
+		return resp
 	}
 	// Dedup re-check: a concurrent identical request may have finished
 	// while this one waited for a worker. Bypasses the hit/miss counters —
@@ -602,8 +753,17 @@ func (s *Server) answerJob(ctx context.Context, j *job) *Response {
 		}
 	}
 	resp := s.safeRun(ctx, j)
-	s.metrics.trees.Inc()
-	if s.cache != nil && !j.timeline && resp.Error == "" {
+	// A job aborted by its context mid-run was not scheduled — it already
+	// counted against errors_total{deadline|cancelled}, and counting it
+	// here too would break the admitted = scheduled + aborted accounting
+	// the chaos suite checks.
+	if resp.errKind != errKindCancelled && resp.errKind != errKindDeadline {
+		s.metrics.trees.Inc()
+	}
+	// Degraded responses are never cached: they answer with reduced
+	// quality under the moment's pressure, and a cache entry would keep
+	// serving that reduced answer after the pressure is gone.
+	if s.cache != nil && !j.timeline && resp.Error == "" && len(resp.Degraded) == 0 {
 		s.cache.add(j.cacheKey, resp)
 	}
 	return resp
