@@ -108,6 +108,32 @@ func TestMemCappedFacade(t *testing.T) {
 	}
 }
 
+func TestPartitionedAndPrecomputeCacheFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := treesched.RandomTree(rng, 300, treesched.WeightSpec{WMin: 1, WMax: 4, FMin: 1, FMax: 9})
+	s, err := treesched.PartitionedInnerFirst(tr, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	pcc := treesched.NewPrecomputeCache(1 << 20)
+	pc := treesched.NewPrecompute(tr)
+	if !pcc.Add("k", pc) {
+		t.Fatal("entry within budget not admitted")
+	}
+	got, ok := pcc.Get("k")
+	if !ok || got != pc {
+		t.Fatalf("Get = %p, %v; want the added context", got, ok)
+	}
+	st := pcc.Stats()
+	if st.Hits != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 entry, positive bytes", st)
+	}
+}
+
 func TestEvaluationCollectionFacade(t *testing.T) {
 	insts, err := treesched.EvaluationCollection("quick", 9)
 	if err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"treesched/internal/sched"
+	"treesched/internal/tree"
+)
+
+// runPartitionStudy (E20) measures the partitioned single-tree scheduler
+// against sequential ParInnerFirst: wall-clock speedup and makespan cost
+// across tree sizes and partition counts at p=8. The partitioned path
+// trades schedule quality for construction throughput, so both columns
+// matter: speedup > 1 is only worth its makespan ratio.
+func runPartitionStudy(sizes []int, seed int64) {
+	fmt.Println("== Extension E20: partitioned ParInnerFirst scaling at p=8 ==")
+	fmt.Printf("%9s  %5s  %10s  %8s  %12s\n", "nodes", "parts", "wall ms", "speedup", "makespan/seq")
+	rng := rand.New(rand.NewSource(seed))
+	ws := tree.WeightSpec{WMin: 1, WMax: 10, NMin: 0, NMax: 5, FMin: 1, FMax: 20}
+	const p = 8
+	const reps = 3
+	for _, n := range sizes {
+		t := tree.RandomAttachment(rng, n, ws)
+		pc := sched.NewPrecompute(t)
+		var seqS *sched.Schedule
+		seqWall := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			s, err := pc.ParInnerFirst(p)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); d < seqWall {
+				seqWall = d
+			}
+			seqS = s
+		}
+		seqMs := seqS.Makespan(t)
+		fmt.Printf("%9d  %5s  %10.2f  %8s  %12s\n", n, "seq",
+			float64(seqWall.Nanoseconds())/1e6, "1.00x", "1.000")
+		for _, parts := range []int{2, 4, 8, 16} {
+			var partS *sched.Schedule
+			wall := time.Duration(1<<63 - 1)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				s, err := pc.PartitionedInnerFirst(p, parts)
+				if err != nil {
+					fatal(err)
+				}
+				if d := time.Since(start); d < wall {
+					wall = d
+				}
+				partS = s
+			}
+			fmt.Printf("%9d  %5d  %10.2f  %7.2fx  %12.3f\n", n, parts,
+				float64(wall.Nanoseconds())/1e6,
+				float64(seqWall)/float64(wall),
+				partS.Makespan(t)/seqMs)
+		}
+	}
+	fmt.Println()
+}

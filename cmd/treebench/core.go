@@ -26,6 +26,14 @@ import (
 // coreProcs is the machine size every scheduler bench uses.
 const coreProcs = 8
 
+// stressNodes/stressParts size the large-tree stress rows: at 10⁶ nodes
+// the partitioned ParInnerFirst (parts=8) beats the sequential scheduler,
+// and both rows are ratcheted in the baseline.
+const (
+	stressNodes = 1_000_000
+	stressParts = 8
+)
+
 // CoreEntry is one (bench, family, size) cell.
 type CoreEntry struct {
 	Bench     string  `json:"bench"`
@@ -105,11 +113,18 @@ func coreMain(scale string, seed int64, machSpec, out, baseline string, maxratio
 		{"caterpillar", func(n int) *tree.Tree { return tree.Caterpillar(rng, n/4, 3, ws) }},
 	}
 
+	// pcCache backs the */batch rows: the cross-request Precompute cache in
+	// its steady state (every benched tree resident), so the row measures a
+	// warm Get — the repeat-request path the service serves.
+	pcCache := sched.NewPrecomputeCache(1 << 30)
+
 	var schedOps, schedNs float64
 	for _, fam := range families {
 		for _, n := range sizes {
 			t := fam.gen(n)
 			pc := sched.NewPrecompute(t) // shared, warm — the service's steady state
+			cacheKey := fmt.Sprintf("%s/%d", fam.name, n)
+			pcCache.Add(cacheKey, pc)
 			cap2 := 2 * pc.MSeq()
 			sPeak, err := pc.ParInnerFirst(coreProcs)
 			if err != nil {
@@ -126,10 +141,16 @@ func coreMain(scale string, seed int64, machSpec, out, baseline string, maxratio
 				run  func()
 			}{
 				{"Precompute", func() { sched.NewPrecompute(t) }},
+				{"Precompute/batch", func() {
+					if _, ok := pcCache.Get(cacheKey); !ok {
+						fatal(fmt.Errorf("warm Precompute cache missed %s", cacheKey))
+					}
+				}},
 				{"BestPostOrder", func() { traversal.BestPostOrder(t) }},
 				{"OptimalTraversal", func() { traversal.Optimal(t) }},
 				{"ParSubtrees", func() { mustRun(pc.ParSubtrees(coreProcs)) }},
 				{"ParInnerFirst", func() { mustRun(pc.ParInnerFirst(coreProcs)) }},
+				{"ParInnerFirst/partitioned", func() { mustRun(pc.PartitionedInnerFirst(coreProcs, 4)) }},
 				{"ParDeepestFirst", func() { mustRun(pc.ParDeepestFirst(coreProcs)) }},
 				{"Sequential", func() { mustRun(sched.SequentialSchedule(t, pc.Order())) }},
 				{"MemCappedBooking", func() { mustRun(pc.MemCappedBooking(coreProcs, cap2)) }},
@@ -158,6 +179,35 @@ func coreMain(scale string, seed int64, machSpec, out, baseline string, maxratio
 			}
 		}
 	}
+	// Stress rows: one 10⁶-node tree pins the partitioned scheduler's
+	// large-tree win. At this size the heap-driven σ-order loop dominates
+	// sequential ParInnerFirst, and the partitioned path — which fills each
+	// subtree work-package in linear time — must come out ahead. Both rows
+	// are ratcheted so neither the sequential core nor the partitioned win
+	// can regress silently.
+	stressT := tree.RandomAttachment(rng, stressNodes, ws)
+	stressPC := sched.NewPrecompute(stressT)
+	var stressNs [2]float64
+	for i, b := range []struct {
+		name string
+		run  func()
+	}{
+		{"ParInnerFirst/stress1M", func() { mustRun(stressPC.ParInnerFirst(coreProcs)) }},
+		{"ParInnerFirst/partitioned/stress1M", func() { mustRun(stressPC.PartitionedInnerFirst(coreProcs, stressParts)) }},
+	} {
+		nsOp, allocsOp := measure(b.run, budget)
+		e := CoreEntry{Bench: b.name, Family: "attachment", Nodes: stressT.Len(), NsOp: nsOp, AllocsOp: allocsOp}
+		if nsOp > 0 {
+			e.OpsPerSec = 1e9 / nsOp
+		}
+		rep.Entries = append(rep.Entries, e)
+		stressNs[i] = nsOp
+	}
+	if stressNs[1] > 0 {
+		fmt.Printf("stress 1M nodes: partitioned(parts=%d) %.2fx sequential ParInnerFirst\n",
+			stressParts, stressNs[0]/stressNs[1])
+	}
+
 	// The observability record paths ride along: they are on every service
 	// request, so they are ratcheted with the scheduling core.
 	rep.Entries = append(rep.Entries, measureObsRows(budget)...)

@@ -37,6 +37,8 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "scheduling worker pool size (default GOMAXPROCS)")
 		cacheSize = flag.Int("cache", service.DefaultCacheSize, "LRU result cache entries (negative disables)")
+		pcBytes   = flag.Int64("precompute-cache-bytes", service.DefaultPrecomputeCacheBytes, "byte budget of the cross-request Precompute cache (negative disables)")
+		maxParts  = flag.Int("max-partitions", service.DefaultMaxPartitions, "max partitions field per request")
 		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "max request body / batch line bytes")
 		maxNodes  = flag.Int("max-nodes", service.DefaultMaxNodes, "max tree size in nodes")
 		maxProcs  = flag.Int("max-procs", service.DefaultMaxProcs, "max processor count per request")
@@ -87,23 +89,25 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:           *workers,
-		CacheSize:         *cacheSize,
-		MaxBodyBytes:      *maxBody,
-		MaxNodes:          *maxNodes,
-		MaxProcs:          *maxProcs,
-		SLOs:              slos,
-		FlightSize:        *flightSize,
-		FlightSlow:        *flightSlow,
-		FlightSampleEvery: *flightSample,
-		Logger:            logger,
-		RequestTimeout:    *timeout,
-		BatchWriteTimeout: *batchWrite,
-		QueueDepth:        *queueDepth,
-		QueueTarget:       *queueTarget,
-		BreakerFailures:   *breakerFailures,
-		BreakerCooldown:   *breakerCooldown,
-		Chaos:             injector,
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		PrecomputeCacheBytes: *pcBytes,
+		MaxPartitions:        *maxParts,
+		MaxBodyBytes:         *maxBody,
+		MaxNodes:             *maxNodes,
+		MaxProcs:             *maxProcs,
+		SLOs:                 slos,
+		FlightSize:           *flightSize,
+		FlightSlow:           *flightSlow,
+		FlightSampleEvery:    *flightSample,
+		Logger:               logger,
+		RequestTimeout:       *timeout,
+		BatchWriteTimeout:    *batchWrite,
+		QueueDepth:           *queueDepth,
+		QueueTarget:          *queueTarget,
+		BreakerFailures:      *breakerFailures,
+		BreakerCooldown:      *breakerCooldown,
+		Chaos:                injector,
 	})
 
 	// -list-metrics prints the registered family names — the CI drift

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -266,5 +267,50 @@ func TestRaceRespectsParallelismBound(t *testing.T) {
 	race(context.Background(), tr, machine.Uniform(1), hs, 2, nil, obs.RootSpan)
 	if p := peak.Load(); p > 2 {
 		t.Errorf("peak concurrency %d exceeds parallelism bound 2", p)
+	}
+}
+
+// TestRunPreSharedPrecomputeConcurrent races many RunPre calls over one
+// shared Precompute — the service's cross-request cache serves exactly
+// this shape — and checks every race resolves the lazy per-tree state
+// safely (run under -race) and lands on identical results.
+func TestRunPreSharedPrecomputeConcurrent(t *testing.T) {
+	tr := portfolioTestTree(t, 8, 200)
+	pc := sched.NewPrecompute(tr)
+	ref, err := RunPre(context.Background(), pc, MinMakespan(),
+		Options{Options: sched.Options{Processors: 4}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const racers = 4
+	results := make([]*Result, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Vary p and parallelism across racers: different machine sizes
+			// resolve different lazy rank state off the one shared context.
+			results[i], errs[i] = RunPre(context.Background(), pc, MinMakespan(),
+				Options{Options: sched.Options{Processors: 4}, Parallelism: 1 + i%3})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		res := results[i]
+		if res.Winner != ref.Winner || !reflect.DeepEqual(res.Frontier, ref.Frontier) {
+			t.Fatalf("racer %d: winner %d frontier %v, want %d %v",
+				i, res.Winner, res.Frontier, ref.Winner, ref.Frontier)
+		}
+		for c := range res.Candidates {
+			a, b := res.Candidates[c], ref.Candidates[c]
+			if a.ID != b.ID || a.Makespan != b.Makespan || a.PeakMemory != b.PeakMemory {
+				t.Fatalf("racer %d candidate %d differs: %+v vs %+v", i, c, a, b)
+			}
+		}
 	}
 }

@@ -158,3 +158,50 @@ func TestInlinePeakMatchesSimulator(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocsPrecomputeCacheHit pins the precompute-cache hot path: a warm
+// hit must stay within 2 allocations (it performs none — the budget is
+// headroom for runtime map internals), so repeat trees ride the request
+// path without touching the allocator.
+func TestAllocsPrecomputeCacheHit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	pc := NewPrecompute(allocTree(11, 2000))
+	c := NewPrecomputeCache(1 << 30)
+	if !c.Add("k", pc) {
+		t.Fatal("warm entry not admitted")
+	}
+	got := testing.AllocsPerRun(50, func() {
+		if _, ok := c.Get("k"); !ok {
+			t.Fatal("warm cache missed")
+		}
+	})
+	if got > 2 {
+		t.Errorf("precompute cache hit allocates %.1f/op, want <= 2", got)
+	}
+}
+
+// TestAllocsPartitioned pins the partitioned scheduler's pooling: on a
+// warm pool a run costs the result, the package bookkeeping and the crown
+// stitch (whose quotient tree is rebuilt per call) — bounded well below
+// anything per-node.
+func TestAllocsPartitioned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	pc := NewPrecompute(allocTree(7, 5000))
+	for _, parts := range []int{4, 8} {
+		if _, err := pc.PartitionedInnerFirst(8, parts); err != nil { // warm pools
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(20, func() {
+			if _, err := pc.PartitionedInnerFirst(8, parts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 64 {
+			t.Errorf("partitioned(parts=%d) allocates %.1f/op on a warm pool, want <= 64", parts, got)
+		}
+	}
+}

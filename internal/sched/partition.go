@@ -1,0 +1,409 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treesched/internal/machine"
+	"treesched/internal/tree"
+)
+
+// This file implements the partitioned variant of ParInnerFirst for very
+// large trees, following the structure of Eyraud-Dubois et al. 2014:
+// independent subtrees can be scheduled in parallel and stitched without
+// breaking the memory accounting, because no file crosses a subtree
+// boundary except at its root edge.
+//
+// The tree is decomposed at the σ-front exactly like SplitSubtrees — pop
+// the heaviest subtree and expose its children until enough independent
+// subtrees exist — then the subtrees are LPT-packed into work-packages,
+// each package owns a contiguous processor range, and every package is
+// scheduled independently (its own ready heap over the shared
+// ParInnerFirst ranks, its own finish heap, its own machine state). The
+// popped merge nodes (the crown) run last on the fastest processor in the
+// memory-minimizing quotient order, as in ParSubtrees. Packages are
+// independent subtrees, so per-package schedules compose into a valid
+// whole; the exact peak is recovered by the same P-way stream sweep the
+// two-phase schedulers use.
+//
+// Two properties are load-bearing and covered by tests:
+//
+//   - Determinism: the output depends only on (tree, machine, partitions).
+//     Work-packages are data-disjoint — every shared array is touched at
+//     package-owned indices only — so the worker pool's interleaving
+//     cannot reach the result, and a single-worker replay is
+//     byte-identical.
+//   - The sequential path is untouched: partitions <= 1 delegates to
+//     ParInnerFirstOn, whose golden hashes this file must never move.
+//
+// A package that owns exactly one processor needs no ready heap at all:
+// within one subtree on one processor, ParInnerFirst's list order offers
+// no choices that affect the result, and the memory-optimal fill is σ
+// restricted to the subtree, emitted straight from the postorder index in
+// O(subtree). With partitions == p every package takes this heap-free
+// path, which is where the large-tree speedup over the O(n log n)
+// heap-driven sequential loop comes from even on one core.
+
+// PartitionedInnerFirst schedules t on the paper's uniform machine of p
+// processors with the partitioned ParInnerFirst scheduler using the given
+// partition count. partitions <= 1 is exactly ParInnerFirst.
+func PartitionedInnerFirst(t *tree.Tree, p, partitions int) (*Schedule, error) {
+	return NewPrecompute(t).PartitionedInnerFirst(p, partitions)
+}
+
+// PartitionedInnerFirst is the precompute-sharing form of the
+// package-level function.
+func (pc *Precompute) PartitionedInnerFirst(p, partitions int) (*Schedule, error) {
+	m, err := uniformChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	return pc.PartitionedInnerFirstOn(m, partitions)
+}
+
+// PartitionedInnerFirstOn is PartitionedInnerFirst on an explicit machine
+// model: packages are LPT-placed by subtree weight and own contiguous
+// processor ranges; the crown runs on the fastest processor.
+func (pc *Precompute) PartitionedInnerFirstOn(m *machine.Model, partitions int) (*Schedule, error) {
+	return partitionedInnerFirstOn(pc, m, partitions, 0)
+}
+
+// partPkg is one work-package: a set of independent subtree roots plus
+// the contiguous processor range that schedules them.
+type partPkg struct {
+	roots   []int
+	weight  float64 // total subtree work, for LPT packing
+	procOff int
+	procCnt int
+}
+
+// partScratch is the per-call working set of the partitioned scheduler,
+// pooled like schedScratch so a warm run only allocates the result.
+type partScratch struct {
+	inCrown   []bool
+	inPar     []bool    // !inCrown, in quotientOrder's done[] sense
+	remaining []int32   // shared, package-disjoint indices
+	streams   [][]int32 // per-processor tasks in time order
+	crownAsc  []int
+	pkgEnd    []float64
+	pkgs      []partPkg
+}
+
+var partPool = sync.Pool{New: func() any { return new(partScratch) }}
+
+func (sc *partScratch) ensure(n, p, k int) {
+	if cap(sc.inCrown) < n {
+		sc.inCrown = make([]bool, n)
+		sc.inPar = make([]bool, n)
+		sc.remaining = make([]int32, n)
+	}
+	sc.inCrown = sc.inCrown[:n]
+	sc.inPar = sc.inPar[:n]
+	sc.remaining = sc.remaining[:n]
+	clear(sc.inCrown)
+	if cap(sc.streams) < p {
+		sc.streams = make([][]int32, p)
+	}
+	sc.streams = sc.streams[:p]
+	for i := range sc.streams {
+		sc.streams[i] = sc.streams[i][:0]
+	}
+	sc.crownAsc = sc.crownAsc[:0]
+	if cap(sc.pkgEnd) < k {
+		sc.pkgEnd = make([]float64, k)
+	}
+	sc.pkgEnd = sc.pkgEnd[:k]
+	clear(sc.pkgEnd)
+	if cap(sc.pkgs) < k {
+		sc.pkgs = make([]partPkg, k)
+	}
+	sc.pkgs = sc.pkgs[:k]
+	for i := range sc.pkgs {
+		sc.pkgs[i].roots = sc.pkgs[i].roots[:0]
+		sc.pkgs[i].weight = 0
+	}
+}
+
+// partWorker is the per-goroutine working set (one per pool worker, not
+// per call).
+type partWorker struct {
+	order []int
+	ready []int32
+	fin   finishHeap
+}
+
+var partWorkerPool = sync.Pool{New: func() any { return new(partWorker) }}
+
+// partitionedInnerFirstOn is the implementation; maxWorkers <= 0 means
+// min(packages, GOMAXPROCS). Tests pass maxWorkers == 1 to replay the
+// pool's work serially and assert byte-identical output.
+func partitionedInnerFirstOn(pc *Precompute, m *machine.Model, partitions, maxWorkers int) (*Schedule, error) {
+	t := pc.t
+	n := t.Len()
+	p := m.P()
+	if partitions > p {
+		partitions = p
+	}
+	if partitions <= 1 || p <= 1 || n == 0 {
+		return pc.ParInnerFirstOn(m)
+	}
+
+	// Decompose at the σ-front: pop the globally heaviest subtree and
+	// expose its children until `partitions` independent subtrees exist or
+	// the heaviest is a single node. Popped nodes form the crown.
+	W := pc.subtreeW()
+	key := func(v int) splitKey { return splitKey{W: W[v], w: t.W(v), id: v} }
+	q := newSplitQueue(partitions)
+	q.Push(key(t.Root()))
+	var crownLen int
+	sc := partPool.Get().(*partScratch)
+	// inCrown needs sizing before the pop loop; the rest is sized after K
+	// is known, but ensure() does all of it in one place — K is at most
+	// `partitions` so size for that and re-slice below.
+	sc.ensure(n, p, partitions)
+	for q.Len() < partitions {
+		head := q.Max()
+		if head.W <= head.w {
+			break
+		}
+		q.PopMax()
+		sc.inCrown[head.id] = true
+		crownLen++
+		for _, c := range t.Children(head.id) {
+			q.Push(key(c))
+		}
+	}
+	rootKeys := q.Drain() // heaviest first
+	q.release()
+
+	k := partitions
+	if len(rootKeys) < k {
+		k = len(rootKeys)
+	}
+	if k <= 1 {
+		// Chain-like trees offer no independent subtrees to package; the
+		// plain scheduler is both correct and faster here.
+		partPool.Put(sc)
+		return pc.ParInnerFirstOn(m)
+	}
+	sc.pkgEnd = sc.pkgEnd[:k]
+	sc.pkgs = sc.pkgs[:k]
+
+	// LPT-pack the subtrees into k packages (heaviest root onto the
+	// lightest package, ties to the lowest package index), then hand each
+	// package a contiguous processor range.
+	pkgs := sc.pkgs
+	for _, rk := range rootKeys {
+		best := 0
+		for i := 1; i < k; i++ {
+			if pkgs[i].weight < pkgs[best].weight {
+				best = i
+			}
+		}
+		pkgs[best].roots = append(pkgs[best].roots, rk.id)
+		pkgs[best].weight += rk.W
+	}
+	base, extra := p/k, p%k
+	off := 0
+	for i := range pkgs {
+		cnt := base
+		if i < extra {
+			cnt++
+		}
+		pkgs[i].procOff, pkgs[i].procCnt = off, cnt
+		off += cnt
+	}
+
+	s := &Schedule{Start: make([]float64, n), Proc: make([]int, n), P: p, M: hetModel(m)}
+	rank := pc.rankInnerFirst()
+	streams, remaining, inCrown := sc.streams, sc.remaining, sc.inCrown
+
+	runPackage := func(i int, ws *partWorker) error {
+		pg := &pkgs[i]
+		if len(pg.roots) == 0 || pg.procCnt == 0 {
+			return nil
+		}
+		if pg.procCnt == 1 {
+			// Single processor: the package is a back-to-back σ-order fill,
+			// no heaps. This is the heap-free fast path described above.
+			proc := pg.procOff
+			at := 0.0
+			for _, r := range pg.roots {
+				ws.order = pc.ix.AppendSubtreeOrder(t, r, ws.order[:0])
+				for _, v := range ws.order {
+					s.Start[v] = at
+					s.Proc[v] = proc
+					at += m.ExecTime(t.W(v), proc)
+					streams[proc] = append(streams[proc], int32(v))
+				}
+			}
+			sc.pkgEnd[i] = at
+			return nil
+		}
+		// Multi-processor package: the rank-keyed event loop of
+		// listScheduleRank, restricted to the package's nodes and its
+		// processor range (local sub-machine, offsets remapped on write).
+		subM, err := subModel(m, pg.procOff, pg.procCnt)
+		if err != nil {
+			return err
+		}
+		ws.order = ws.order[:0]
+		for _, r := range pg.roots {
+			ws.order = pc.ix.AppendSubtreeOrder(t, r, ws.order)
+		}
+		ready := ws.ready[:0]
+		for _, v := range ws.order {
+			remaining[v] = int32(t.NumChildren(v))
+			if remaining[v] == 0 {
+				ready = append(ready, int32(v))
+			}
+		}
+		readyInit(ready, rank)
+		fin := &ws.fin
+		fin.reset()
+		st := machine.NewState(subM)
+		now := 0.0
+		assign := func() {
+			for st.Idle() > 0 && len(ready) > 0 {
+				lp := st.Take()
+				var v int32
+				v, ready = readyPop(ready, rank)
+				gp := pg.procOff + int(lp)
+				s.Start[v] = now
+				s.Proc[v] = gp
+				streams[gp] = append(streams[gp], v)
+				fin.push(now+subM.ExecTime(t.W(int(v)), int(lp)), v, lp)
+			}
+		}
+		complete := func(v int32) {
+			// The parent of a package subtree root is a crown node; every
+			// other parent is package-local, so the shared counters are only
+			// ever touched at package-owned indices.
+			if pa := t.Parent(int(v)); pa != tree.None && !inCrown[pa] {
+				remaining[pa]--
+				if remaining[pa] == 0 {
+					ready = readyPush(ready, int32(pa), rank)
+				}
+			}
+		}
+		assign()
+		for fin.Len() > 0 {
+			at, v, lp := fin.pop()
+			now = at
+			st.Put(lp)
+			complete(v)
+			for fin.Len() > 0 && fin.at[0] == now {
+				_, v2, lp2 := fin.pop()
+				st.Put(lp2)
+				complete(v2)
+			}
+			assign()
+		}
+		ws.ready = ready
+		st.Recycle()
+		sc.pkgEnd[i] = now
+		return nil
+	}
+
+	if err := runPackages(k, maxWorkers, runPackage); err != nil {
+		partPool.Put(sc)
+		return nil, err
+	}
+
+	// Stitch: the crown runs after every package on the fastest processor,
+	// in the memory-minimizing quotient order (completed subtrees appear
+	// as zero-work stubs), exactly like ParSubtrees' sequential phase.
+	phase1End := 0.0
+	for _, e := range sc.pkgEnd {
+		if e > phase1End {
+			phase1End = e
+		}
+	}
+	if crownLen > 0 {
+		for v := 0; v < n; v++ {
+			sc.inPar[v] = !inCrown[v]
+			if inCrown[v] {
+				sc.crownAsc = append(sc.crownAsc, v)
+			}
+		}
+		seqProc := m.Fastest()
+		order := quotientOrder(t, sc.crownAsc, sc.inPar)
+		at := phase1End
+		for _, v := range order {
+			s.Start[v] = at
+			s.Proc[v] = seqProc
+			at += m.ExecTime(t.W(v), seqProc)
+			streams[seqProc] = append(streams[seqProc], int32(v))
+		}
+	}
+	setPeakFromStreams(t, s, streams)
+	partPool.Put(sc)
+	return s, nil
+}
+
+// runPackages executes fn(0..k-1) on a bounded worker pool. Package
+// results are data-disjoint, so the execution order is irrelevant to the
+// output; maxWorkers == 1 runs in-line (the determinism tests' serial
+// replay).
+func runPackages(k, maxWorkers int, fn func(i int, ws *partWorker) error) error {
+	nw := maxWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > k {
+		nw = k
+	}
+	if nw <= 1 {
+		ws := partWorkerPool.Get().(*partWorker)
+		defer partWorkerPool.Put(ws)
+		for i := 0; i < k; i++ {
+			if err := fn(i, ws); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			ws := partWorkerPool.Get().(*partWorker)
+			defer partWorkerPool.Put(ws)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				if err := fn(i, ws); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// subModel is the machine restricted to the contiguous processor range
+// [off, off+cnt): the cached uniform model when m is uniform, otherwise a
+// model over the range's speeds.
+func subModel(m *machine.Model, off, cnt int) (*machine.Model, error) {
+	if m.IsUniform() {
+		return machine.Uniform(cnt), nil
+	}
+	speeds := make([]float64, cnt)
+	for i := range speeds {
+		speeds[i] = m.Speed(off + i)
+	}
+	return machine.New(speeds)
+}

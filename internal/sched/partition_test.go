@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/dataset"
+	"treesched/internal/machine"
+	"treesched/internal/tree"
+)
+
+// requireSameSchedule asserts byte-identity: IEEE bits of every start
+// time, every processor assignment, P, and the replayed peak.
+func requireSameSchedule(t *testing.T, tr *tree.Tree, want, got *Schedule, label string) {
+	t.Helper()
+	if want.P != got.P {
+		t.Fatalf("%s: P = %d, want %d", label, got.P, want.P)
+	}
+	for v := range want.Start {
+		if math.Float64bits(want.Start[v]) != math.Float64bits(got.Start[v]) {
+			t.Fatalf("%s: node %d starts at %v, want %v (bit-exact)", label, v, got.Start[v], want.Start[v])
+		}
+		if want.Proc[v] != got.Proc[v] {
+			t.Fatalf("%s: node %d on proc %d, want %d", label, v, got.Proc[v], want.Proc[v])
+		}
+	}
+	if wp, gp := PeakMemory(tr, want), PeakMemory(tr, got); wp != gp {
+		t.Fatalf("%s: peak %d, want %d", label, gp, wp)
+	}
+}
+
+func quickInstances(t *testing.T) []dataset.Instance {
+	t.Helper()
+	insts, err := dataset.Collection(dataset.Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+// TestPartitionedParts1IsSequential locks the satellite contract that the
+// sequential path is untouched: partition counts 0 and 1 must replay the
+// exact ParInnerFirst schedule on every golden tree.
+func TestPartitionedParts1IsSequential(t *testing.T) {
+	for _, inst := range quickInstances(t) {
+		pc := NewPrecompute(inst.Tree)
+		for _, p := range []int{2, 8} {
+			want, err := pc.ParInnerFirst(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{0, 1} {
+				got, err := pc.PartitionedInnerFirst(p, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameSchedule(t, inst.Tree, want, got, inst.Name)
+			}
+		}
+	}
+}
+
+// TestPartitionedDeterministic runs every golden tree at partition counts
+// {1, 2, 4, 8}: the worker pool's interleaving must not reach the result,
+// so a serial replay (one worker) and two independent pooled runs are all
+// byte-identical. Run under -race this also proves the package
+// decomposition is data-disjoint.
+func TestPartitionedDeterministic(t *testing.T) {
+	for _, inst := range quickInstances(t) {
+		pc := NewPrecompute(inst.Tree)
+		for _, p := range []int{2, 8} {
+			m := machine.Uniform(p)
+			for _, parts := range []int{1, 2, 4, 8} {
+				serial, err := partitionedInnerFirstOn(pc, m, parts, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := serial.Validate(inst.Tree); err != nil {
+					t.Fatalf("%s p=%d parts=%d: %v", inst.Name, p, parts, err)
+				}
+				for run := 0; run < 2; run++ {
+					pooled, err := partitionedInnerFirstOn(pc, m, parts, 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameSchedule(t, inst.Tree, serial, pooled, inst.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedInvariants is the stitching property test: for random
+// trees across families, machine shapes and partition counts, the stitched
+// schedule must pass full validation (children-before-parents, no
+// processor overlap) and its inline-tracked peak must equal the
+// simulator's replay.
+func TestPartitionedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ws := tree.WeightSpec{WMin: 1, WMax: 10, NMin: 0, NMax: 5, FMin: 1, FMax: 20}
+	gens := []func(n int) *tree.Tree{
+		func(n int) *tree.Tree { return tree.RandomAttachment(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.RandomBinary(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.Fork(rng, n, ws) },
+		func(n int) *tree.Tree { return tree.Chain(rng, n, ws) },
+	}
+	het, err := machine.New([]float64{2, 2, 1, 1, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*machine.Model{machine.Uniform(4), machine.Uniform(8), het}
+	for gi, gen := range gens {
+		for _, n := range []int{1, 2, 17, 400} {
+			tr := gen(n)
+			pc := NewPrecompute(tr)
+			for _, m := range models {
+				for _, parts := range []int{2, 4, 8, 100} {
+					s, err := pc.PartitionedInnerFirstOn(m, parts)
+					if err != nil {
+						t.Fatalf("gen %d n=%d m=%s parts=%d: %v", gi, n, m.Spec(), parts, err)
+					}
+					if err := s.Validate(tr); err != nil {
+						t.Fatalf("gen %d n=%d m=%s parts=%d: invalid: %v", gi, n, m.Spec(), parts, err)
+					}
+					if s.peakKnown {
+						clone := &Schedule{Start: s.Start, Proc: s.Proc, P: s.P, M: s.M}
+						if replay := PeakMemory(tr, clone); replay != s.peak {
+							t.Fatalf("gen %d n=%d m=%s parts=%d: inline peak %d != replay %d",
+								gi, n, m.Spec(), parts, s.peak, replay)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedPulseTreeSkipsPeakCache mirrors the other schedulers'
+// contract around zero-duration tasks: the schedule is still valid, but
+// the peak cache stays cold (the simulator's pulse ordering decides).
+func TestPartitionedPulseTreeSkipsPeakCache(t *testing.T) {
+	var b tree.Builder
+	b.Add(tree.None, 0, 1, 0) // zero-work root
+	b.Add(0, 3, 1, 2)
+	b.Add(0, 2, 1, 2)
+	b.Add(1, 1, 1, 1)
+	b.Add(2, 1, 1, 1)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := PartitionedInnerFirst(tr, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.peakKnown {
+		t.Fatal("pulse tree must not cache an inline peak")
+	}
+}
+
+// TestPartitionedOptionsDispatch checks the Options plumbing: a selection
+// with Partitions > 1 routes IDParInnerFirst through the partitioned
+// scheduler and leaves every other heuristic alone.
+func TestPartitionedOptionsDispatch(t *testing.T) {
+	tr := allocTree(3, 500)
+	pc := NewPrecompute(tr)
+	opts := Options{Processors: 8, Partitions: 4,
+		Heuristics: []HeuristicID{IDParInnerFirst, IDParSubtrees}}
+	hs, _, err := opts.SelectPre(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hs[0].Run(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pc.PartitionedInnerFirst(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSchedule(t, tr, want, got, "options dispatch")
+
+	sub, err := hs[1].Run(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub, err := pc.ParSubtrees(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSchedule(t, tr, wantSub, sub, "non-ParInnerFirst unaffected")
+
+	if err := (Options{Processors: 2, Partitions: -1}).Validate(); err == nil {
+		t.Fatal("negative partitions must not validate")
+	}
+}

@@ -74,6 +74,27 @@ func NewPrecompute(t *tree.Tree) *Precompute {
 // Tree returns the tree this context was built for.
 func (pc *Precompute) Tree() *tree.Tree { return pc.t }
 
+// Per-node and fixed byte costs of a fully materialized Precompute,
+// including the tree it pins (a cached Precompute keeps its tree alive, so
+// a byte budget must charge for both). The per-node constant sums the
+// tree's parent/children/order/w/n/f storage (72 B), the postorder index
+// (28 B), σ-positions (8 B), depths and leaf flags (5 B), weighted depths
+// (8 B), the four priority-rank arrays (32 B), the booking suffix maxima
+// (8 B) and subtree weights (8 B), rounded up to a word.
+const (
+	precomputePerNodeBytes = 176
+	precomputeFixedBytes   = 1024
+)
+
+// SizeBytes returns a deterministic upper bound on the heap bytes this
+// context retains once every lazy field is materialized, tree included.
+// It is a function of the node count alone — it never touches the lazy
+// fields, so it is safe to call concurrently with schedulers that are
+// still faulting them in. PrecomputeCache charges admissions with it.
+func (pc *Precompute) SizeBytes() int64 {
+	return precomputeFixedBytes + int64(pc.t.Len())*precomputePerNodeBytes
+}
+
 // Order returns σ, the memory-optimal postorder (Liu 1986). Owned by pc;
 // callers must not modify it.
 func (pc *Precompute) Order() []int { return pc.ix.Order }

@@ -166,6 +166,12 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request, forcePortfoli
 	if out.status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
+	// Debug header: did this request's scheduling context come from the
+	// cross-request Precompute cache? Absent when no scheduling ran (errors,
+	// response-cache hits) or the cache is disabled.
+	if out.resp.precompute != "" {
+		w.Header().Set("X-Precompute-Cache", out.resp.precompute)
+	}
 	writeJSON(w, out.status, out.resp)
 	finish(out.status, out.resp)
 }
@@ -329,6 +335,7 @@ func (s *Server) answerLine(ctx context.Context, arrival time.Time, line []byte,
 // response objects across requests, and an id or trace belongs to exactly
 // one).
 func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte, forcePortfolio bool, tr *obs.Trace, attachTrace, timeline bool, rid string) (status int, resp *Response) {
+	var j *job
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.errInternal.Inc()
@@ -338,6 +345,11 @@ func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte,
 		if resp != nil {
 			r2 := *resp
 			r2.RequestID = rid
+			if j != nil {
+				// Per-request like the id: the Precompute-cache outcome
+				// belongs to this request, never to a shared cached response.
+				r2.precompute = j.pcState
+			}
 			if attachTrace && tr != nil {
 				// Left open on purpose: Tree() closes it at materialization
 				// time, so the encode span covers building the wire response.
@@ -380,7 +392,7 @@ func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte,
 		ctx, cancel = context.WithDeadline(ctx, arrival.Add(time.Duration(req.TimeoutMS)*time.Millisecond))
 		defer cancel()
 	}
-	j, err := s.prepare(req, forcePortfolio, tr)
+	jb, err := s.prepare(req, forcePortfolio, tr)
 	if err != nil {
 		st := http.StatusBadRequest
 		kind := errKindDecode
@@ -396,6 +408,7 @@ func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte,
 		}
 		return st, &Response{ID: req.ID, Error: err.Error(), errKind: kind}
 	}
+	j = jb
 	s.metrics.treeNodes.ObserveExemplar(int64(j.tree.Len()), rid)
 	// Stage boundary: the budget is re-checked between hash and cache so a
 	// request that spent its whole budget parsing stops here.
@@ -405,8 +418,16 @@ func (s *Server) answerBytes(ctx context.Context, arrival time.Time, raw []byte,
 	j.trace = tr
 	j.timeline = timeline
 	if !timeline {
-		if s.cache != nil && s.cfg.Chaos.At(chaos.SiteCache).Kind == chaos.Evict {
-			s.cache.purge()
+		// One eviction-storm draw clears both caches: survivors must
+		// recompute their Precompute and reschedule, and the chaos suite
+		// asserts they stay byte-identical to an unfaulted run.
+		if (s.cache != nil || s.pcache != nil) && s.cfg.Chaos.At(chaos.SiteCache).Kind == chaos.Evict {
+			if s.cache != nil {
+				s.cache.purge()
+			}
+			if s.pcache != nil {
+				s.pcache.Purge()
+			}
 		}
 		cid := tr.Start("cache", obs.RootSpan)
 		cresp, ok := s.cached(j)

@@ -9,6 +9,7 @@ import (
 
 	"treesched/internal/obs"
 	"treesched/internal/resilience"
+	"treesched/internal/sched"
 )
 
 // Error kinds for the treeschedd_errors_total{kind} family. The unlabeled
@@ -115,6 +116,28 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Scheduling jobs running or queued on the pool.", func() float64 {
 			return float64(m.inflight.Load())
 		})
+
+	// Cross-request Precompute cache. The counters read the cache's own
+	// atomic-snapshot stats at scrape time (nil-safe: a disabled cache
+	// reports zeros), so the request hot path pays nothing for them.
+	pcacheStats := func() (st sched.PrecomputeCacheStats) {
+		if s.pcache != nil {
+			st = s.pcache.Stats()
+		}
+		return st
+	}
+	pcHits := obs.NewFuncCounter("treeschedd_precompute_cache_hits_total",
+		"Scheduling requests whose per-tree Precompute came from the cross-request cache.",
+		func() float64 { return float64(pcacheStats().Hits) })
+	pcMisses := obs.NewFuncCounter("treeschedd_precompute_cache_misses_total",
+		"Precompute cache lookups that built the per-tree context fresh.",
+		func() float64 { return float64(pcacheStats().Misses) })
+	pcEvictions := obs.NewFuncCounter("treeschedd_precompute_cache_evictions_total",
+		"Precompute cache entries dropped for space (eviction storms included).",
+		func() float64 { return float64(pcacheStats().Evictions) })
+	pcBytes := obs.NewGaugeFunc("treeschedd_precompute_cache_bytes",
+		"Resident bytes of the cross-request Precompute cache.",
+		func() float64 { return float64(pcacheStats().Bytes) })
 
 	m.errors = obs.NewCounterVec("treeschedd_errors_total",
 		"Rejected requests and failed batch lines, by kind.", "kind", true)
@@ -223,7 +246,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	m.reg.Register(
 		m.requests, m.forestJobs, m.forestRejected, m.trees,
-		m.cacheHits, m.cacheMisses, cacheRatio, cacheEntries, inflight,
+		m.cacheHits, m.cacheMisses, cacheRatio, cacheEntries,
+		pcHits, pcMisses, pcEvictions, pcBytes, inflight,
 		m.errors, uptime,
 		m.latency, m.queueWait, m.treeNodes, m.peakMemory,
 		m.wins, m.candDur, m.forestRounds, m.forestBookRej,

@@ -77,6 +77,7 @@ import (
 
 	"treesched/internal/resilience"
 	"treesched/internal/resilience/chaos"
+	"treesched/internal/sched"
 )
 
 // Defaults for Config fields left zero.
@@ -85,6 +86,17 @@ const (
 	DefaultMaxBodyBytes = 8 << 20 // 8 MiB per request (or per batch line)
 	DefaultMaxNodes     = 1_000_000
 	DefaultMaxProcs     = 4096
+	// DefaultPrecomputeCacheBytes budgets the cross-request Precompute
+	// cache: repeated trees skip Liu's DP and the priority-rank builds.
+	// 64 MiB holds hundreds of mid-size trees or a handful of 10⁵-node
+	// ones; entries are admission-weighted so one giant tree cannot flush
+	// the working set.
+	DefaultPrecomputeCacheBytes = 64 << 20
+	// DefaultMaxPartitions caps the wire-level partitions field: the
+	// partitioned scheduler caps partitions at p anyway, and a server-side
+	// ceiling keeps hostile requests from forcing degenerate
+	// decompositions.
+	DefaultMaxPartitions = 64
 	// DefaultExactNodes is the per-request node budget of the Exact
 	// portfolio candidate: large enough to prove optimality on
 	// oracle-sized trees, small enough that a pool worker answers in
@@ -136,6 +148,14 @@ type Config struct {
 	// CacheSize is the number of LRU-cached responses. 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// PrecomputeCacheBytes budgets the cross-request Precompute cache in
+	// bytes (per-tree scheduling context keyed by canonical tree hash and
+	// machine spec). 0 means DefaultPrecomputeCacheBytes; negative
+	// disables it.
+	PrecomputeCacheBytes int64
+	// MaxPartitions rejects requests whose partitions field exceeds this.
+	// Default: DefaultMaxPartitions.
+	MaxPartitions int
 	// MaxBodyBytes limits the size of a single request body, of each
 	// line of a batch, and of a whole /v1/forest trace.
 	// Default: DefaultMaxBodyBytes.
@@ -214,6 +234,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = DefaultCacheSize
 	}
+	if c.PrecomputeCacheBytes == 0 {
+		c.PrecomputeCacheBytes = DefaultPrecomputeCacheBytes
+	}
+	if c.MaxPartitions <= 0 {
+		c.MaxPartitions = DefaultMaxPartitions
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
@@ -266,9 +292,13 @@ func (c Config) withDefaults() Config {
 // Handler on an http.Server, and Close it after the http.Server has shut
 // down.
 type Server struct {
-	cfg     Config
-	pool    *pool
-	cache   *lruCache
+	cfg   Config
+	pool  *pool
+	cache *lruCache
+	// pcache shares per-tree scheduling context (sched.Precompute) across
+	// requests: a repeat tree skips Liu's DP and the rank builds even when
+	// the response itself differs (other heuristics, objective, p).
+	pcache  *sched.PrecomputeCache
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	started time.Time
@@ -302,6 +332,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	if cfg.PrecomputeCacheBytes > 0 {
+		s.pcache = sched.NewPrecomputeCache(cfg.PrecomputeCacheBytes)
 	}
 	target := cfg.QueueTarget
 	if target < 0 {

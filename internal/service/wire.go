@@ -52,6 +52,13 @@ type Request struct {
 	// MemCapFactor × M_seq. Required (>= 1) iff a capped heuristic is
 	// selected.
 	MemCapFactor float64 `json:"mem_cap_factor,omitempty"`
+	// Partitions > 1 runs the ParInnerFirst heuristic through the
+	// partitioned scheduler: the tree is decomposed into up to Partitions
+	// independent subtree work-packages scheduled concurrently and
+	// stitched deterministically. 0 and 1 select the exact sequential
+	// scheduler; other heuristics ignore the field. Capped server-side by
+	// Config.MaxPartitions.
+	Partitions int `json:"partitions,omitempty"`
 	// Objective switches the request into portfolio mode: the selected
 	// heuristics race concurrently and the response carries the Pareto
 	// frontier plus the winner under this objective ("min_makespan",
@@ -150,7 +157,19 @@ type Response struct {
 	// cancelled, internal, deadline, shed); the flight recorder records it
 	// alongside the message. Not serialized.
 	errKind string
+	// precompute is the Precompute-cache outcome of the request ("hit" or
+	// "miss", empty when the cache is disabled or no scheduling ran);
+	// handleOne surfaces it as the X-Precompute-Cache debug header. Like
+	// errKind it is stamped per request on the shallow response copy, never
+	// on a cached response object. Not serialized.
+	precompute string
 }
+
+// X-Precompute-Cache header values (Response.precompute).
+const (
+	pcHit  = "hit"
+	pcMiss = "miss"
+)
 
 // requestError is an invalid-request failure with an HTTP status.
 type requestError struct {
@@ -175,6 +194,15 @@ type job struct {
 	opts      sched.Options
 	objective *portfolio.Objective
 	cacheKey  string
+	// pcKey keys the cross-request Precompute cache: the canonical tree
+	// hash alone on the uniform machine (the per-tree context is
+	// p-independent, so requests at any p share one entry), plus the
+	// machine spec on heterogeneous requests.
+	pcKey string
+	// pcState records the Precompute-cache outcome of this job ("hit",
+	// "miss", or empty when the cache is disabled); answerBytes copies it
+	// to the response's precompute field.
+	pcState string
 	// trace is the request's span recorder (always pooled, never nil on
 	// the worker path — the flight recorder retains its spans).
 	trace *obs.Trace
@@ -242,6 +270,12 @@ func (s *Server) prepare(req Request, forcePortfolio bool, tr *obs.Trace) (*job,
 	if p > s.cfg.MaxProcs {
 		return nil, badRequest("p=%d exceeds limit %d", p, s.cfg.MaxProcs)
 	}
+	if req.Partitions < 0 {
+		return nil, badRequest("partitions must be >= 0, got %d", req.Partitions)
+	}
+	if req.Partitions > s.cfg.MaxPartitions {
+		return nil, badRequest("partitions=%d exceeds limit %d", req.Partitions, s.cfg.MaxPartitions)
+	}
 	ids, obj, err := resolveSelection(req.Heuristics, req.Objective, forcePortfolio)
 	if err != nil {
 		return nil, err
@@ -251,6 +285,7 @@ func (s *Server) prepare(req Request, forcePortfolio bool, tr *obs.Trace) (*job,
 		Machine:      mm,
 		Heuristics:   ids,
 		MemCapFactor: req.MemCapFactor,
+		Partitions:   req.Partitions,
 	}
 	// The Exact pseudo-heuristic is resolved by the portfolio layer, so
 	// validation sees the selection exactly as that layer will: with
@@ -268,7 +303,37 @@ func (s *Server) prepare(req Request, forcePortfolio bool, tr *obs.Trace) (*job,
 	tr.End(hid)
 	j := &job{req: req, tree: t, treeHash: treeHash, opts: opts, objective: obj}
 	j.cacheKey = cacheKey(j.treeHash, opts, obj)
+	j.pcKey = treeHash
+	if mm != nil {
+		j.pcKey += "|m=" + mm.Spec()
+	}
 	return j, nil
+}
+
+// precomputeFor resolves the job's per-tree scheduling context through the
+// cross-request Precompute cache: a hit skips Liu's DP and the rank builds
+// entirely and records a "precompute_cached" span (value 1); a miss builds
+// the context under the usual "precompute" span and offers it to the
+// cache. With the cache disabled the context is built per request, as
+// before this layer existed.
+func (s *Server) precomputeFor(j *job, tr *obs.Trace) *sched.Precompute {
+	if s.pcache != nil {
+		if pc, ok := s.pcache.Get(j.pcKey); ok {
+			pid := tr.Start("precompute_cached", obs.RootSpan)
+			tr.SetValue(pid, 1)
+			tr.End(pid)
+			j.pcState = pcHit
+			return pc
+		}
+		j.pcState = pcMiss
+	}
+	pid := tr.Start("precompute", obs.RootSpan)
+	pc := sched.NewPrecompute(j.tree)
+	tr.End(pid)
+	if s.pcache != nil {
+		s.pcache.Add(j.pcKey, pc)
+	}
+	return pc
 }
 
 // hasExact reports whether ids selects the Exact pseudo-heuristic.
@@ -356,6 +421,12 @@ func cacheKey(treeHash string, opts sched.Options, obj *portfolio.Objective) str
 	}
 	if needsCapFactor(ids) {
 		fmt.Fprintf(&b, "|cap=%g", opts.MemCapFactor)
+	}
+	// Partitions 0 and 1 are the exact sequential scheduler, so they share
+	// the unpartitioned entry; higher counts produce different (valid)
+	// schedules and must not alias it.
+	if opts.Partitions > 1 {
+		fmt.Fprintf(&b, "|parts=%d", opts.Partitions)
 	}
 	if obj != nil {
 		b.WriteString("|obj=")
@@ -457,16 +528,20 @@ func (s *Server) run(ctx context.Context, j *job) *Response {
 	if j.objective != nil {
 		return s.runPortfolio(ctx, j)
 	}
-	t, m := j.tree, j.opts.Model()
+	m := j.opts.Model()
 	tr := j.trace
-	// SelectFor builds the request's sched.Precompute once on this worker:
+	// precomputeFor resolves the request's sched.Precompute — from the
+	// cross-request cache on repeat trees, built on this worker otherwise:
 	// every heuristic below shares the same traversal, depths and priority
 	// rankings (and the pooled scheduler scratch is recycled across
-	// requests), so per-request CPU is one Liu DP plus the schedules
-	// themselves.
-	pid := tr.Start("precompute", obs.RootSpan)
-	hs, memSeq, err := j.opts.SelectFor(t)
-	tr.End(pid)
+	// requests), so per-request CPU is at most one Liu DP plus the
+	// schedules themselves, and zero DPs on a cache hit. A hit's context
+	// may be bound to a canonically-equal copy of the request's tree, so
+	// everything below schedules pc's tree — the same aliasing the
+	// response cache already performs on the canonical hash.
+	pc := s.precomputeFor(j, tr)
+	t := pc.Tree()
+	hs, memSeq, err := j.opts.SelectPre(pc)
 	if err != nil { // unreachable: prepare validated the options
 		return &Response{ID: j.req.ID, Error: err.Error()}
 	}
@@ -629,8 +704,9 @@ acquire:
 		}
 	}()
 	tr := j.trace
+	pc := s.precomputeFor(j, tr)
 	sid := tr.Start("schedule", obs.RootSpan)
-	res, err := portfolio.Run(ctx, j.tree, *j.objective, portfolio.Options{
+	res, err := portfolio.RunPre(ctx, pc, *j.objective, portfolio.Options{
 		Options: opts, Parallelism: lanes, ExactNodes: exactNodes,
 		Trace: tr, TraceParent: sid,
 	})
@@ -702,9 +778,12 @@ acquire:
 		if j.timeline && id != sched.IDExact {
 			topts := j.opts
 			topts.Heuristics = []sched.HeuristicID{id}
-			if hs, _, err := topts.SelectFor(j.tree); err == nil {
-				if sc, err := hs[0].RunOn(j.tree, topts.Model()); err == nil {
-					resp.Timeline = renderTimeline(j.tree, sc, id.String(),
+			// The selection is bound to pc's tree (a canonically-equal copy
+			// of the request's on a Precompute-cache hit), so the re-run and
+			// the rendering use that tree too.
+			if hs, _, err := topts.SelectPre(pc); err == nil {
+				if sc, err := hs[0].RunOn(pc.Tree(), topts.Model()); err == nil {
+					resp.Timeline = renderTimeline(pc.Tree(), sc, id.String(),
 						memCapOf(j.opts.MemCapFactor, res.MemorySeq))
 				}
 			}
